@@ -1,0 +1,166 @@
+//===- bench/BenchUtil.h - Shared helpers for the figure harnesses -------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure benchmark binaries: accuracy-experiment
+/// drivers (Figures 9/10 and the sensitivity study) and timing-experiment
+/// drivers over the Section 5.3 microbenchmark (Figures 13/14 and the cost
+/// decomposition).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_BENCH_BENCHUTIL_H
+#define BOR_BENCH_BENCHUTIL_H
+
+#include "profile/Accuracy.h"
+#include "profile/SamplingPolicy.h"
+#include "profile/TraceGen.h"
+#include "support/Rng.h"
+#include "support/Stats.h"
+#include "support/Table.h"
+#include "uarch/Pipeline.h"
+#include "workloads/Microbench.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace bor {
+namespace bench {
+
+/// Accuracy of the three Figure-9/10 sampling techniques on one benchmark
+/// stream. The LFSR technique is run with several seeds in the same pass
+/// so the tables can report its seed-to-seed spread (the counters are
+/// deterministic and need no such treatment).
+struct AccuracyRow {
+  double SwCount = 0;
+  double HwCount = 0;
+  double Random = 0;       ///< mean over seeds
+  double RandomSpread = 0; ///< max - min over seeds
+};
+
+inline AccuracyRow runAccuracy(const BenchmarkModel &Model,
+                               uint64_t Interval, uint64_t BrrSeed) {
+  constexpr unsigned NumSeeds = 3;
+  MethodProfile Full(Model.NumMethods);
+  MethodProfile Sw(Model.NumMethods);
+  MethodProfile Hw(Model.NumMethods);
+  std::vector<MethodProfile> Rand(NumSeeds,
+                                  MethodProfile(Model.NumMethods));
+
+  SwCounterPolicy SwP(Interval);
+  HwCounterPolicy HwP(Interval);
+  std::vector<BrrPolicy> RandP;
+  SplitMix64 Seeder(BrrSeed);
+  for (unsigned I = 0; I != NumSeeds; ++I) {
+    BrrUnitConfig BrrCfg;
+    do {
+      BrrCfg.Seed = Seeder.next();
+    } while ((BrrCfg.Seed & ((1ULL << BrrCfg.LfsrWidth) - 1)) == 0);
+    RandP.emplace_back(Interval, BrrCfg);
+  }
+
+  InvocationStream Stream(Model);
+  while (!Stream.done()) {
+    uint32_t Id = Stream.next();
+    Full.record(Id);
+    if (SwP.sample())
+      Sw.record(Id);
+    if (HwP.sample())
+      Hw.record(Id);
+    for (unsigned I = 0; I != NumSeeds; ++I)
+      if (RandP[I].sample())
+        Rand[I].record(Id);
+  }
+
+  AccuracyRow Row;
+  Row.SwCount = overlapAccuracy(Full, Sw);
+  Row.HwCount = overlapAccuracy(Full, Hw);
+  RunningStat Stat;
+  for (const MethodProfile &P : Rand)
+    Stat.add(overlapAccuracy(Full, P));
+  Row.Random = Stat.mean();
+  Row.RandomSpread = Stat.max() - Stat.min();
+  return Row;
+}
+
+/// Prints a Figure-9/10 style table for the given sampling interval.
+inline void printAccuracyFigure(const char *Title, uint64_t Interval) {
+  std::printf("%s\n", Title);
+  std::printf("(sampling interval %llu; DaCapo-analogue streams, "
+              "invocation counts scaled 1/5 of the paper's)\n\n",
+              static_cast<unsigned long long>(Interval));
+
+  Table T;
+  T.addRow({"benchmark", "invocations", "sw count", "hw count",
+            "random (3 seeds)", "seed spread"});
+  AccuracyRow Avg;
+  std::vector<BenchmarkModel> Models = dacapoAnalogues();
+  for (const BenchmarkModel &M : Models) {
+    AccuracyRow Row = runAccuracy(M, Interval, /*BrrSeed=*/0x2c9277b5);
+    Avg.SwCount += Row.SwCount;
+    Avg.HwCount += Row.HwCount;
+    Avg.Random += Row.Random;
+    T.addRow({M.Name, Table::fmt(static_cast<uint64_t>(M.Invocations)),
+              Table::fmt(Row.SwCount, 2), Table::fmt(Row.HwCount, 2),
+              Table::fmt(Row.Random, 2),
+              Table::fmt(Row.RandomSpread, 2)});
+  }
+  double N = static_cast<double>(Models.size());
+  T.addRow({"average", "", Table::fmt(Avg.SwCount / N, 2),
+            Table::fmt(Avg.HwCount / N, 2), Table::fmt(Avg.Random / N, 2),
+            ""});
+  T.print();
+  std::printf("\n");
+}
+
+/// Timed microbenchmark run: region-of-interest cycles plus the stats the
+/// figures report.
+struct MicroRun {
+  uint64_t RoiCycles = 0;
+  uint64_t DynamicSiteVisits = 0;
+  PipelineStats Stats;
+};
+
+inline MicroRun runMicrobench(const InstrumentationConfig &Instr,
+                              size_t NumChars) {
+  MicrobenchConfig C;
+  C.Text.NumChars = NumChars;
+  C.Instr = Instr;
+  MicrobenchProgram MB = buildMicrobench(C);
+  Pipeline Pipe(MB.Prog, PipelineConfig());
+  MicroRun Run;
+  Run.Stats = Pipe.run(1ULL << 40);
+  const auto &Events = Pipe.markerEvents();
+  if (Events.size() == 2)
+    Run.RoiCycles = Events[1].CommitCycle - Events[0].CommitCycle;
+  Run.DynamicSiteVisits = MB.DynamicSiteVisits;
+  return Run;
+}
+
+inline InstrumentationConfig
+microConfig(SamplingFramework F, DuplicationMode Dup, uint64_t Interval,
+            bool IncludeBody) {
+  InstrumentationConfig C;
+  C.Framework = F;
+  C.Dup = Dup;
+  C.Interval = Interval;
+  C.IncludeBody = IncludeBody;
+  return C;
+}
+
+/// The character count used by the timing figures. The paper processes
+/// half a million characters; that is also affordable here.
+constexpr size_t FigureChars = 500000;
+
+/// The sampling-interval sweep of Figures 13/14.
+inline std::vector<uint64_t> figureIntervals() {
+  return {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+}
+
+} // namespace bench
+} // namespace bor
+
+#endif // BOR_BENCH_BENCHUTIL_H

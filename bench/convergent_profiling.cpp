@@ -1,0 +1,173 @@
+//===- bench/convergent_profiling.cpp - Section 7's convergent profiling --===//
+//
+// Quantifies the paper's convergent-profiling extension: because every brr
+// encodes its own frequency, a runtime can sample fast while a profile is
+// still moving and back off once it has converged, re-raising the rate
+// when low-frequency samples disagree with the established
+// characterization.
+//
+// We compare three policies on a workload with a mid-run phase change:
+//
+//   fixed 1/8     - accurate and quick to adapt, but expensive (many
+//                   samples);
+//   fixed 1/1024  - cheap, but slow to notice the phase change;
+//   convergent    - starts at 1/8, converges down toward 1/1024, and
+//                   re-characterizes after the shift.
+//
+// Reported per policy: samples taken (the cost proxy: every sample is an
+// instrumentation execution), post-convergence accuracy in each phase, and
+// how many visits after the shift it took to re-rank the new hot method.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Accuracy.h"
+#include "profile/Convergent.h"
+#include "profile/SamplingPolicy.h"
+#include "profile/TraceGen.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace bor;
+
+namespace {
+
+constexpr uint32_t NumMethods = 64;
+constexpr uint64_t PhaseLen = 4000000;
+
+/// Phase 1 invokes the Zipf head directly; phase 2 rotates ids by 17 so a
+/// previously-cold method becomes the hottest.
+uint32_t methodAt(InvocationStream &S, bool Shifted) {
+  uint32_t Id = S.next();
+  return Shifted ? (Id + 17) % NumMethods : Id;
+}
+
+BenchmarkModel streamModel(uint64_t Seed) {
+  BenchmarkModel M;
+  M.Invocations = PhaseLen;
+  M.NumMethods = NumMethods;
+  M.ZipfSkew = 1.2;
+  M.ResonantFraction = 0;
+  M.Seed = Seed;
+  return M;
+}
+
+struct PolicyResult {
+  uint64_t Samples = 0;
+  double Phase2Accuracy = 0;
+  /// Visits after the shift until the policy's running profile (over a
+  /// trailing window) ranks the new hot method first; 0 = never.
+  uint64_t DetectVisits = 0;
+};
+
+/// Drives one sampling functor through both phases.
+template <typename SampleFn, typename RateFn>
+PolicyResult drive(SampleFn &&Sample, RateFn &&CurrentlySampled) {
+  PolicyResult R;
+  MethodProfile Phase2Full(NumMethods);
+  MethodProfile Phase2Sampled(NumMethods);
+  // Trailing window used for shift detection.
+  MethodProfile Window(NumMethods);
+  uint64_t WindowStart = 0;
+
+  InvocationStream S1(streamModel(0xaaa));
+  while (!S1.done())
+    Sample(methodAt(S1, false));
+  (void)CurrentlySampled;
+
+  InvocationStream S2(streamModel(0xbbb));
+  uint64_t Visits = 0;
+  uint32_t NewHot = (0 + 17) % NumMethods; // phase-2 image of rank 0
+  while (!S2.done()) {
+    uint32_t Id = methodAt(S2, true);
+    ++Visits;
+    Phase2Full.record(Id);
+    if (Sample(Id)) {
+      Phase2Sampled.record(Id);
+      Window.record(Id);
+    }
+    // Rotate the detection window every 256 samples.
+    if (Window.total() >= 256) {
+      bool Detected = true;
+      for (uint32_t M = 0; M != NumMethods; ++M)
+        if (M != NewHot && Window.count(M) > Window.count(NewHot))
+          Detected = false;
+      if (Detected && R.DetectVisits == 0)
+        R.DetectVisits = Visits;
+      Window = MethodProfile(NumMethods);
+      WindowStart = Visits;
+    }
+  }
+  (void)WindowStart;
+  R.Phase2Accuracy = overlapAccuracy(Phase2Full, Phase2Sampled);
+  return R;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Section 7 - convergent profiling on a phase-changing "
+              "workload\n(%llu visits per phase, %u methods)\n\n",
+              static_cast<unsigned long long>(PhaseLen), NumMethods);
+
+  Table T;
+  T.addRow({"policy", "samples taken", "phase-2 accuracy %",
+            "shift detected after (visits)"});
+
+  auto Report = [&](const char *Name, PolicyResult R, uint64_t Samples) {
+    T.addRow({Name, Table::fmt(Samples), Table::fmt(R.Phase2Accuracy, 2),
+              R.DetectVisits ? Table::fmt(R.DetectVisits)
+                             : std::string("never")});
+  };
+
+  {
+    BrrPolicy Fast(8);
+    uint64_t Count = 0;
+    PolicyResult R = drive(
+        [&](uint32_t) {
+          bool S = Fast.sample();
+          Count += S;
+          return S;
+        },
+        [] { return true; });
+    Report("fixed 1/8", R, Count);
+  }
+  {
+    BrrPolicy Slow(1024);
+    uint64_t Count = 0;
+    PolicyResult R = drive(
+        [&](uint32_t) {
+          bool S = Slow.sample();
+          Count += S;
+          return S;
+        },
+        [] { return true; });
+    Report("fixed 1/1024", R, Count);
+  }
+  {
+    ConvergentConfig Cfg;
+    Cfg.InitialFreqRaw = 2; // 1/8
+    Cfg.MaxFreqRaw = 9;     // 1/1024
+    Cfg.EpochSamples = 512;
+    Cfg.AdaptiveThresholds = true; // noise-floor-calibrated
+    ConvergentProfiler CP(NumMethods, Cfg);
+    PolicyResult R = drive(
+        [&](uint32_t Id) { return CP.visit(Id); }, [] { return true; });
+    Report("convergent (1/8 .. 1/1024)", R, CP.samples());
+    std::printf("convergent rate at end of run: 1/%llu\n\n",
+                static_cast<unsigned long long>(
+                    CP.currentFreq().expectedInterval()));
+  }
+
+  T.print();
+  std::printf(
+      "\nshape: the fast policy buys quick detection with ~128x the "
+      "samples; convergent\nprofiling matches the *slow* policy's cost "
+      "(it had converged to 1/1024 before the\nshift), and once its "
+      "low-frequency samples disagree with the characterization it\n"
+      "quadruples its rate per epoch to re-characterize - the Section 7 "
+      "loop. Detection\nlatency at the backed-off rate is bounded by the "
+      "sampling interval itself, which\nis the accuracy/overhead knob the "
+      "4-bit freq field exposes.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+//===- bench/core_microbench.cpp - Library hot-path microbenchmarks ------===//
+//
+// google-benchmark timings for the library's hot paths: the simulated
+// hardware primitives (LFSR step, brr evaluation, sampling policies) and
+// the simulators themselves (functional interpreter and timing pipeline,
+// in instructions per second).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BrrUnit.h"
+#include "profile/SamplingPolicy.h"
+#include "profile/TraceGen.h"
+#include "sim/Interpreter.h"
+#include "uarch/Pipeline.h"
+#include "workloads/Microbench.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace bor;
+
+static void BM_LfsrStep(benchmark::State &State) {
+  Lfsr L = Lfsr::fromPolynomial(20, {20, 17});
+  for (auto _ : State)
+    benchmark::DoNotOptimize(L.step());
+}
+BENCHMARK(BM_LfsrStep);
+
+static void BM_BrrEvaluate(benchmark::State &State) {
+  BrrUnit Unit;
+  FreqCode F(9);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Unit.evaluate(F));
+}
+BENCHMARK(BM_BrrEvaluate);
+
+static void BM_DeterministicBrrEvaluate(benchmark::State &State) {
+  DeterministicBrrUnit Unit(BrrUnitConfig(), 64);
+  FreqCode F(9);
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Unit.evaluate(F));
+    Unit.retireOldest(1);
+  }
+}
+BENCHMARK(BM_DeterministicBrrEvaluate);
+
+static void BM_SwCounterPolicy(benchmark::State &State) {
+  SwCounterPolicy P(1024);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(P.sample());
+}
+BENCHMARK(BM_SwCounterPolicy);
+
+static void BM_InvocationStream(benchmark::State &State) {
+  BenchmarkModel Model;
+  Model.Invocations = ~0ULL >> 1;
+  Model.NumMethods = 400;
+  InvocationStream Stream(Model);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Stream.next());
+}
+BENCHMARK(BM_InvocationStream);
+
+static void BM_FunctionalInterpreter(benchmark::State &State) {
+  MicrobenchConfig C;
+  C.Text.NumChars = 50000;
+  MicrobenchProgram MB = buildMicrobench(C);
+  for (auto _ : State) {
+    BrrUnitDecider D;
+    Machine M;
+    Interpreter I(MB.Prog, M, D);
+    RunStats S = I.run(1ULL << 34);
+    State.SetItemsProcessed(State.items_processed() +
+                            static_cast<int64_t>(S.Insts));
+  }
+}
+BENCHMARK(BM_FunctionalInterpreter)->Unit(benchmark::kMillisecond);
+
+static void BM_TimingPipeline(benchmark::State &State) {
+  MicrobenchConfig C;
+  C.Text.NumChars = 50000;
+  MicrobenchProgram MB = buildMicrobench(C);
+  for (auto _ : State) {
+    Pipeline Pipe(MB.Prog, PipelineConfig());
+    PipelineStats S = Pipe.run(1ULL << 40);
+    State.SetItemsProcessed(State.items_processed() +
+                            static_cast<int64_t>(S.Insts));
+  }
+}
+BENCHMARK(BM_TimingPipeline)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,17 @@
+//===- bench/fig10_accuracy_8k.cpp - Figure 10: accuracy at 2^13 ---------===//
+//
+// Regenerates Figure 10: the Figure-9 experiment with 8x fewer samples
+// (interval 8192). Paper shape: same trends as Figure 9 but uniformly
+// lower; the counter techniques' resonance penalty shows on jython and
+// becomes visible on pmd as well.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+int main() {
+  bor::bench::printAccuracyFigure(
+      "Figure 10 - sampling accuracy at interval 2^13 (percent overlap)",
+      8192);
+  return 0;
+}

@@ -1,0 +1,135 @@
+//===- bench/predictor_pollution.cpp - Section 5.2's mispredict split -----===//
+//
+// Section 5.2 attributes the counter framework's extra branch
+// mispredictions to two sources: (1) the sampling branches themselves
+// (mispredicted as taken through predictor aliasing, or when the periodic
+// pattern no longer fits), and (2) *program* branches whose accuracy
+// degrades because the low-entropy sampling branches dilute the global
+// history and alias in the tables. Branch-on-random produces neither: it
+// never consults or trains the predictor.
+//
+// Using the per-instruction observer and the transform's recorded
+// check-branch PCs, this bench splits every back-end misprediction of the
+// microbenchmark into "framework check" vs "program branch" and compares
+// against the uninstrumented baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <unordered_set>
+
+using namespace bor;
+using namespace bor::bench;
+
+namespace {
+
+struct MispredictSplit {
+  uint64_t Program = 0;
+  uint64_t Framework = 0;
+  uint64_t RoiCycles = 0;
+};
+
+MispredictSplit measure(const InstrumentationConfig &Instr,
+                        const PipelineConfig &Machine = PipelineConfig()) {
+  MicrobenchConfig C;
+  C.Text.NumChars = FigureChars;
+  C.Instr = Instr;
+  MicrobenchProgram MB = buildMicrobench(C);
+  std::unordered_set<uint64_t> Checks(MB.CheckBranchPcs.begin(),
+                                      MB.CheckBranchPcs.end());
+
+  Pipeline Pipe(MB.Prog, Machine);
+  MispredictSplit Split;
+  Pipe.setObserver([&](const InstTimestamps &TS) {
+    if (!TS.Mispredicted)
+      return;
+    if (Checks.count(TS.Pc))
+      ++Split.Framework;
+    else
+      ++Split.Program;
+  });
+  Pipe.run(1ULL << 40);
+  const auto &Events = Pipe.markerEvents();
+  Split.RoiCycles = Events[1].CommitCycle - Events[0].CommitCycle;
+  return Split;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Section 5.2 - where the extra branch mispredictions come "
+              "from\n(microbenchmark, No-Duplication, framework-only, "
+              "%zu chars; mispredictions per 1000 characters)\n\n",
+              FigureChars);
+
+  MispredictSplit Base = measure(InstrumentationConfig());
+  double PerK = 1000.0 / static_cast<double>(FigureChars);
+
+  Table T;
+  T.addRow({"configuration", "program-branch mis/1K", "delta vs baseline",
+            "framework-check mis/1K"});
+  T.addRow({"baseline", Table::fmt(Base.Program * PerK, 2), "-", "-"});
+
+  for (uint64_t Interval : {4ull, 16ull, 1024ull}) {
+    for (SamplingFramework F :
+         {SamplingFramework::CounterBased, SamplingFramework::BrrBased}) {
+      MispredictSplit S = measure(microConfig(
+          F, DuplicationMode::NoDuplication, Interval, false));
+      char Name[64];
+      std::snprintf(Name, sizeof(Name), "%s @ %llu", frameworkName(F),
+                    static_cast<unsigned long long>(Interval));
+      T.addRow({Name, Table::fmt(S.Program * PerK, 2),
+                Table::fmt((static_cast<double>(S.Program) -
+                            static_cast<double>(Base.Program)) *
+                               PerK,
+                           2),
+                Table::fmt(S.Framework * PerK, 2)});
+    }
+  }
+  T.print();
+
+  // --- Sensitivity: the dilution effect vs predictor strength. -----------
+  std::printf("\nprogram-branch misprediction delta (cbs @ 16 minus "
+              "baseline, per 1K chars)\nby predictor configuration - the "
+              "weaker the history, the worse the pollution:\n\n");
+  Table S;
+  S.addRow({"predictor", "baseline mis/1K", "cbs delta/1K",
+            "framework mis/1K"});
+  struct PredArm {
+    const char *Name;
+    PredictorKind Kind;
+    unsigned HistoryBits;
+  };
+  const PredArm PredArms[] = {
+      {"tournament, 16-bit history", PredictorKind::Tournament, 16},
+      {"gshare-only, 16-bit history", PredictorKind::GshareOnly, 16},
+      {"gshare-only, 10-bit history", PredictorKind::GshareOnly, 10},
+      {"bimodal-only", PredictorKind::BimodalOnly, 16},
+  };
+  for (const PredArm &A : PredArms) {
+    PipelineConfig Machine;
+    Machine.Predictor.Kind = A.Kind;
+    Machine.Predictor.HistoryBits = A.HistoryBits;
+    MispredictSplit B = measure(InstrumentationConfig(), Machine);
+    MispredictSplit CbsS = measure(
+        microConfig(SamplingFramework::CounterBased,
+                    DuplicationMode::NoDuplication, 16, false),
+        Machine);
+    S.addRow({A.Name, Table::fmt(B.Program * PerK, 2),
+              Table::fmt((static_cast<double>(CbsS.Program) -
+                          static_cast<double>(B.Program)) *
+                             PerK,
+                         2),
+              Table::fmt(CbsS.Framework * PerK, 2)});
+  }
+  S.print();
+
+  std::printf("\nreading: cbs adds mispredictions both on its own check "
+              "branches (column 4) and on program branches via history "
+              "dilution/aliasing (column 3); brr's rows show zero "
+              "framework mispredictions and an unchanged program rate - "
+              "taken brrs pay only the short decode-stage flush, which is "
+              "not a misprediction of the predictor at all.\n");
+  return 0;
+}

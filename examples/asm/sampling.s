@@ -1,0 +1,32 @@
+; examples/asm/sampling.s - a hand-written brr-sampled loop.
+;
+; Build and run:
+;   bor-as examples/asm/sampling.s -o sampling.borb
+;   bor-run sampling.borb --timing --dump-sym=hits --dump-sym=sum
+;
+; The loop accumulates a sum (the "real work"); a single branch-on-random
+; per iteration samples an out-of-line profiling block (Figure 8 layout)
+; roughly once every 64 iterations.
+
+.alloc hits 8 8
+.alloc sum  8 8
+
+        lc   r28, @hits           ; globals base (hits is first)
+        lc   r2, 50000            ; iterations
+        li   r3, 0                ; accumulator
+
+loop:
+        brr  1/64, profile        ; the entire sampling framework
+back:
+        add  r3, r3, r2           ; real work
+        addi r2, r2, -1
+        bne  r2, r0, loop
+
+        st   r3, 8(r28)           ; publish "sum"
+        halt
+
+profile:                          ; out of line: common case falls through
+        ld   r15, 0(r28)
+        addi r15, r15, 1
+        st   r15, 0(r28)
+        jmp  back

@@ -1,0 +1,148 @@
+//===- examples/value_profiler.cpp - Sampled value profiling --------------===//
+//
+// The paper opens with value profiling as the canonical expensive
+// instrumentation: Calder et al.'s profiler slows programs down by up to
+// 10x when it records a value at every site execution (Section 1). With
+// branch-on-random, a site records into its top-N-value table only on
+// sampled visits, making "always-on" value profiling plausible.
+//
+// This example profiles the values flowing through three synthetic sites
+// with different invariance (constant, semi-invariant, random), comparing
+// the full profile against a brr-sampled one, and then measures on the
+// timing model what each strategy costs in the containing loop.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/ProgramBuilder.h"
+#include "profile/SamplingPolicy.h"
+#include "profile/ValueProfile.h"
+#include "support/Rng.h"
+#include "support/Table.h"
+#include "uarch/Pipeline.h"
+#include "workloads/Microbench.h" // marker ids
+
+#include <cstdio>
+
+using namespace bor;
+
+namespace {
+
+/// The three sites' value generators.
+uint64_t siteValue(unsigned Site, Xoshiro256 &Rng) {
+  switch (Site) {
+  case 0:
+    return 4096; // invariant (e.g., an allocation size)
+  case 1:
+    return Rng.nextBool(0.85) ? 7 : Rng.nextBelow(100); // semi-invariant
+  default:
+    return Rng.next(); // genuinely variable
+  }
+}
+
+const char *siteName(unsigned Site) {
+  switch (Site) {
+  case 0:
+    return "alloc-size (invariant)";
+  case 1:
+    return "loop-bound (semi-inv)";
+  default:
+    return "hash-input (random)";
+  }
+}
+
+/// Cycle cost of a loop whose body "records a value": the record is a TNV
+/// probe modelled as a handful of loads/stores, guarded by nothing (full),
+/// by a brr (sampled), or absent (baseline).
+uint64_t loopCycles(int Mode /*0=no inst, 1=full, 2=brr-sampled*/) {
+  ProgramBuilder B;
+  uint64_t Table = B.allocData(256, 8);
+  B.emitLoadConst(28, Table);
+  B.emitLoadConst(2, 200000);
+  B.emit(Inst::marker(MarkerRoiBegin));
+  auto Loop = B.label();
+  auto Probe = B.label();
+  auto Back = B.label();
+  B.bind(Loop);
+  B.emit(Inst::add(4, 4, 2));
+  B.emit(Inst::alui(Opcode::Xori, 5, 5, 3));
+
+  auto EmitProbe = [&] {
+    // A compact TNV probe: read a slot, compare, bump a counter.
+    B.emit(Inst::ld(15, 28, 0));
+    B.emit(Inst::addi(15, 15, 1));
+    B.emit(Inst::st(15, 28, 0));
+    B.emit(Inst::ld(14, 28, 8));
+    B.emit(Inst::add(14, 14, 4));
+    B.emit(Inst::st(14, 28, 8));
+  };
+
+  if (Mode == 1)
+    EmitProbe();
+  if (Mode == 2)
+    B.emitBrr(FreqCode::forInterval(64), Probe);
+  B.bind(Back);
+  B.emit(Inst::addi(2, 2, -1));
+  B.emitBranch(Opcode::Bne, 2, 0, Loop);
+  B.emit(Inst::marker(MarkerRoiEnd));
+  B.emit(Inst::halt());
+  if (Mode == 2) {
+    B.bind(Probe);
+    EmitProbe();
+    B.emitJmp(Back);
+  }
+
+  Program P = B.finish();
+  Pipeline Pipe(P, PipelineConfig());
+  Pipe.run(1ULL << 40);
+  const auto &E = Pipe.markerEvents();
+  return E[1].CommitCycle - E[0].CommitCycle;
+}
+
+} // namespace
+
+int main() {
+  std::printf("sampled value profiling with branch-on-random "
+              "(rate 1/64, 500000 site visits per site)\n\n");
+
+  Table T;
+  T.addRow({"site", "top value (full)", "top value (1/64)",
+            "invariance (full)", "invariance (1/64)", "samples"});
+  Xoshiro256 Rng(0xbeef);
+  for (unsigned Site = 0; Site != 3; ++Site) {
+    ValueProfile Full(8, 1024);
+    ValueProfile Sampled(8, 1024);
+    BrrPolicy Brr(64);
+    for (int I = 0; I != 500000; ++I) {
+      uint64_t V = siteValue(Site, Rng);
+      Full.record(V);
+      if (Brr.sample())
+        Sampled.record(V);
+    }
+    T.addRow({siteName(Site), Table::fmt(Full.topValue()),
+              Table::fmt(Sampled.topValue()),
+              Table::fmt(Full.topValueFraction(), 3),
+              Table::fmt(Sampled.topValueFraction(), 3),
+              Table::fmt(Sampled.samples())});
+  }
+  T.print();
+
+  std::printf("\ncost of the recording itself (timing model, 200000-"
+              "iteration loop):\n\n");
+  uint64_t Base = loopCycles(0);
+  uint64_t Full = loopCycles(1);
+  uint64_t Sampled = loopCycles(2);
+  Table C;
+  C.addRow({"strategy", "cycles", "overhead %"});
+  auto Pct = [Base](uint64_t Cycles) {
+    return Table::fmt(100.0 * (static_cast<double>(Cycles) - Base) / Base,
+                      2);
+  };
+  C.addRow({"no profiling", Table::fmt(Base), "0.00"});
+  C.addRow({"record every visit", Table::fmt(Full), Pct(Full)});
+  C.addRow({"brr-sampled 1/64", Table::fmt(Sampled), Pct(Sampled)});
+  C.print();
+
+  std::printf("\nthe sampled profile identifies the same dominant values "
+              "and invariance at a fraction of the recording cost.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+//===- core/BitSelection.cpp - Choosing LFSR bits for each AND gate ------===//
+
+#include "core/BitSelection.h"
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+
+using namespace bor;
+
+std::vector<unsigned> bor::selectAndBits(BitSelectPolicy Policy,
+                                         unsigned NumBits, unsigned Width) {
+  assert(NumBits >= 1 && "an AND gate needs at least one input");
+  assert(NumBits <= Width && "cannot select more distinct bits than exist");
+
+  std::vector<unsigned> Bits;
+  Bits.reserve(NumBits);
+
+  if (Policy == BitSelectPolicy::Contiguous) {
+    for (unsigned I = 0; I != NumBits; ++I)
+      Bits.push_back(I);
+    return Bits;
+  }
+
+  // Spaced: positions 0, 2, 5, 9, 14, ... (gap grows by one each step, per
+  // the paper's 0/2/5/9 example). Once the next position would leave the
+  // register, fall back to the lowest positions not already used; providing
+  // spacing for *all* inputs of the largest gates is exactly why the paper
+  // suggests extending the LFSR beyond 16 bits (e.g. to 20).
+  std::vector<bool> Used(Width, false);
+  unsigned Pos = 0;
+  unsigned Gap = 2;
+  while (Bits.size() < NumBits && Pos < Width) {
+    Bits.push_back(Pos);
+    Used[Pos] = true;
+    Pos += Gap;
+    ++Gap;
+  }
+  for (unsigned I = 0; Bits.size() < NumBits; ++I) {
+    assert(I < Width && "ran out of register bits");
+    if (Used[I])
+      continue;
+    Bits.push_back(I);
+    Used[I] = true;
+  }
+
+  // Keep the result sorted so callers see a canonical selection.
+  for (size_t I = 1; I < Bits.size(); ++I)
+    for (size_t J = I; J > 0 && Bits[J - 1] > Bits[J]; --J)
+      std::swap(Bits[J - 1], Bits[J]);
+  return Bits;
+}
+
+uint64_t bor::selectAndMask(BitSelectPolicy Policy, unsigned NumBits,
+                            unsigned Width) {
+  uint64_t Mask = 0;
+  for (unsigned B : selectAndBits(Policy, NumBits, Width))
+    Mask |= 1ULL << B;
+  return Mask;
+}
+
+const char *bor::bitSelectPolicyName(BitSelectPolicy Policy) {
+  switch (Policy) {
+  case BitSelectPolicy::Contiguous:
+    return "contiguous";
+  case BitSelectPolicy::Spaced:
+    return "spaced";
+  }
+  assert(false && "unknown policy");
+  return "unknown";
+}

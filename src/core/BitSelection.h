@@ -1,0 +1,53 @@
+//===- core/BitSelection.h - Choosing LFSR bits for each AND gate --------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Selects which LFSR register bits feed the k-input AND gate for each
+/// frequency. Section 3.3 observes that ANDing *adjacent* bits yields the
+/// right marginal probability but correlated consecutive outcomes (after a
+/// taken 25% branch, the next 25% evaluation is taken 50% of the time,
+/// because one of its inputs is yesterday's other input shifted over). The
+/// paper's mitigation is to AND non-contiguous bits with varied spacing,
+/// e.g. bits 0, 2, 5 and 9 for the 6.25% frequency. Both policies are
+/// implemented so the sensitivity study (and the ablation bench) can compare
+/// them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_CORE_BITSELECTION_H
+#define BOR_CORE_BITSELECTION_H
+
+#include <cstdint>
+#include <vector>
+
+namespace bor {
+
+/// How the AND-gate inputs are placed within the LFSR register.
+enum class BitSelectPolicy {
+  /// Bits 0..k-1: minimal wiring, correlated consecutive outcomes.
+  Contiguous,
+  /// Bits with increasing gaps (0, 2, 5, 9, 14, ...), falling back to the
+  /// lowest unused positions once the register width is exhausted. This is
+  /// the paper's recommended design.
+  Spaced,
+};
+
+/// Returns the \p NumBits register bit positions (each < \p Width, all
+/// distinct, sorted ascending) that feed the AND gate for a frequency
+/// requiring \p NumBits random bits.
+std::vector<unsigned> selectAndBits(BitSelectPolicy Policy, unsigned NumBits,
+                                    unsigned Width);
+
+/// The mask form of selectAndBits.
+uint64_t selectAndMask(BitSelectPolicy Policy, unsigned NumBits,
+                       unsigned Width);
+
+/// Human-readable policy name for bench/test output.
+const char *bitSelectPolicyName(BitSelectPolicy Policy);
+
+} // namespace bor
+
+#endif // BOR_CORE_BITSELECTION_H

@@ -1,0 +1,6 @@
+//===- core/DeterministicBrr.cpp - Counter-triggered brr ------------------===//
+
+#include "core/DeterministicBrr.h"
+
+// Header-only today; this file anchors the translation unit so the build
+// keeps a stable home for future out-of-line definitions.

@@ -1,0 +1,51 @@
+//===- core/SuperscalarBrr.cpp - brr in a wide decode stage --------------===//
+
+#include "core/SuperscalarBrr.h"
+
+#include "support/Rng.h"
+
+using namespace bor;
+
+SuperscalarBrrUnit::SuperscalarBrrUnit(SuperscalarBrrDesign Design,
+                                       unsigned DecodeWidth,
+                                       const BrrUnitConfig &BaseConfig)
+    : Design(Design), DecodeWidth(DecodeWidth) {
+  assert(DecodeWidth >= 1 && "decode stage needs at least one slot");
+  unsigned NumUnits =
+      Design == SuperscalarBrrDesign::ReplicatedPerDecoder ? DecodeWidth : 1;
+  // Decoupled LFSRs must not march in lockstep; derive a distinct nonzero
+  // seed per unit from the base seed.
+  SplitMix64 Seeder(BaseConfig.Seed);
+  for (unsigned I = 0; I != NumUnits; ++I) {
+    BrrUnitConfig Config = BaseConfig;
+    uint64_t Seed;
+    do {
+      Seed = Seeder.next();
+    } while ((Seed & ((1ULL << Config.LfsrWidth) - 1)) == 0);
+    Config.Seed = Seed;
+    Units.emplace_back(Config);
+  }
+}
+
+BrrGroupResult SuperscalarBrrUnit::evaluateGroup(
+    const std::vector<FreqCode> &Freqs) {
+  assert(Freqs.size() <= DecodeWidth &&
+         "more brrs in the packet than decode slots");
+  BrrGroupResult Result;
+  Result.Taken.reserve(Freqs.size());
+
+  if (Design == SuperscalarBrrDesign::ReplicatedPerDecoder) {
+    for (size_t I = 0; I != Freqs.size(); ++I)
+      Result.Taken.push_back(Units[I].evaluate(Freqs[I]));
+    Result.DecodeCycles = 1;
+    return Result;
+  }
+
+  // Shared LFSR: the priority encoder grants one brr per cycle; additional
+  // brrs split the packet and decode on following cycles.
+  for (FreqCode Freq : Freqs)
+    Result.Taken.push_back(Units[0].evaluate(Freq));
+  Result.DecodeCycles =
+      Freqs.empty() ? 1 : static_cast<unsigned>(Freqs.size());
+  return Result;
+}

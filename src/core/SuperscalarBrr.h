@@ -1,0 +1,76 @@
+//===- core/SuperscalarBrr.h - brr in a wide decode stage ----------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.3 sketches two ways to support branch-on-random in a
+/// superscalar decode stage:
+///
+///  * Replicate the whole unit at every decoder. Each brr is logically
+///    independent, so fully decoupled LFSRs are architecturally valid.
+///
+///  * Share one LFSR among the decoders, with a priority encoder (program
+///    order) arbitrating. If a fetch packet contains more brrs than LFSRs,
+///    the packet is split and the excess brrs decode the following cycle
+///    (footnote 3).
+///
+/// This class models both, reporting how many decode cycles a group of
+/// simultaneously-decoded brrs consumes so the pipeline model can charge the
+/// packet-split penalty.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_CORE_SUPERSCALARBRR_H
+#define BOR_CORE_SUPERSCALARBRR_H
+
+#include "core/BrrUnit.h"
+
+#include <vector>
+
+namespace bor {
+
+enum class SuperscalarBrrDesign {
+  /// One complete unit per decoder; decoupled LFSRs with distinct seeds.
+  ReplicatedPerDecoder,
+  /// A single LFSR; simultaneous brrs arbitrate in program order and split
+  /// the fetch packet when oversubscribed.
+  SharedArbitrated,
+};
+
+/// The outcome of decoding one group of simultaneous branch-on-randoms.
+struct BrrGroupResult {
+  std::vector<bool> Taken;
+  /// Decode cycles consumed: 1 unless a shared design splits the packet.
+  unsigned DecodeCycles = 1;
+};
+
+/// A decode-width-aware branch-on-random stage.
+class SuperscalarBrrUnit {
+public:
+  SuperscalarBrrUnit(SuperscalarBrrDesign Design, unsigned DecodeWidth,
+                     const BrrUnitConfig &BaseConfig = BrrUnitConfig());
+
+  /// Evaluates the brrs of one fetch packet, in program order. \p Freqs has
+  /// one entry per brr in the packet (at most DecodeWidth).
+  BrrGroupResult evaluateGroup(const std::vector<FreqCode> &Freqs);
+
+  SuperscalarBrrDesign design() const { return Design; }
+  unsigned decodeWidth() const { return DecodeWidth; }
+
+  /// Units in the stage: DecodeWidth for the replicated design, 1 for the
+  /// shared design.
+  unsigned numLfsrs() const { return static_cast<unsigned>(Units.size()); }
+
+  const BrrUnit &unit(unsigned I) const { return Units[I]; }
+
+private:
+  SuperscalarBrrDesign Design;
+  unsigned DecodeWidth;
+  std::vector<BrrUnit> Units;
+};
+
+} // namespace bor
+
+#endif // BOR_CORE_SUPERSCALARBRR_H

@@ -1,0 +1,5 @@
+//===- instr/BrrSampling.cpp - brr-based sampling framework ---------------===//
+
+#include "instr/BrrSampling.h"
+
+// Header-only today; this file anchors the translation unit.

@@ -1,0 +1,48 @@
+//===- instr/BrrSampling.h - brr-based sampling framework -----------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The branch-on-random sampling framework (Figure 4, right): a single brr
+/// instruction per site replaces the entire load/check/decrement/store
+/// counter framework. Because a low-overhead brr implementation requires
+/// the common-case outcome to be fall-through, the instrumentation code is
+/// placed out of line (at the method end) and unconditionally jumps back —
+/// the code-layout flip of Figure 8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_INSTR_BRRSAMPLING_H
+#define BOR_INSTR_BRRSAMPLING_H
+
+#include "isa/ProgramBuilder.h"
+
+namespace bor {
+
+/// brr framework state: just the frequency. There is no memory or register
+/// state at all — that absence is the paper's point.
+class BrrFramework {
+public:
+  /// \p Interval must be a power of two in brr's encodable range; it maps
+  /// to the frequency (1/2)^(freq+1) = 1/Interval.
+  explicit BrrFramework(uint64_t Interval)
+      : Freq(FreqCode::forInterval(Interval)) {}
+
+  FreqCode freq() const { return Freq; }
+
+  /// Emits the site check: one brr to \p Uncommon. Returns the brr's
+  /// instruction index.
+  size_t emitCheck(ProgramBuilder &B,
+                   ProgramBuilder::LabelId Uncommon) const {
+    return B.emitBrr(Freq, Uncommon);
+  }
+
+private:
+  FreqCode Freq;
+};
+
+} // namespace bor
+
+#endif // BOR_INSTR_BRRSAMPLING_H

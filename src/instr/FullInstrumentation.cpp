@@ -1,0 +1,10 @@
+//===- instr/FullInstrumentation.cpp - Unsampled instrumentation ----------===//
+
+#include "instr/FullInstrumentation.h"
+
+using namespace bor;
+
+void bor::emitFullInstrumentationSite(
+    ProgramBuilder &B, const std::function<void(ProgramBuilder &)> &Body) {
+  Body(B);
+}

@@ -1,0 +1,32 @@
+//===- instr/FullInstrumentation.h - Unsampled instrumentation ------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The no-sampling reference points of the evaluation: `Full` executes the
+/// instrumentation body inline at every site (Section 5.3's
+/// full-instrumentation, ~4.3 cycles/site on the microbenchmark), and
+/// `None` is the uninstrumented baseline all overheads are normalized to.
+/// Both are trivially expressible, but naming them keeps the experiment
+/// configurations self-describing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_INSTR_FULLINSTRUMENTATION_H
+#define BOR_INSTR_FULLINSTRUMENTATION_H
+
+#include "isa/ProgramBuilder.h"
+
+#include <functional>
+
+namespace bor {
+
+/// Emits the instrumentation body inline, unconditionally.
+void emitFullInstrumentationSite(
+    ProgramBuilder &B, const std::function<void(ProgramBuilder &)> &Body);
+
+} // namespace bor
+
+#endif // BOR_INSTR_FULLINSTRUMENTATION_H

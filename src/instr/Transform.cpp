@@ -1,0 +1,174 @@
+//===- instr/Transform.cpp - The sampling-framework transform -------------===//
+
+#include "instr/Transform.h"
+
+#include "instr/FullInstrumentation.h"
+
+using namespace bor;
+
+const char *bor::frameworkName(SamplingFramework F) {
+  switch (F) {
+  case SamplingFramework::None:
+    return "baseline";
+  case SamplingFramework::Full:
+    return "full-instrumentation";
+  case SamplingFramework::CounterBased:
+    return "cbs";
+  case SamplingFramework::BrrBased:
+    return "brr";
+  }
+  assert(false && "unknown framework");
+  return "?";
+}
+
+const char *bor::duplicationName(DuplicationMode D) {
+  switch (D) {
+  case DuplicationMode::NoDuplication:
+    return "no-dup";
+  case DuplicationMode::FullDuplication:
+    return "full-dup";
+  }
+  assert(false && "unknown duplication mode");
+  return "?";
+}
+
+std::string bor::describeConfig(const InstrumentationConfig &C) {
+  std::string S = frameworkName(C.Framework);
+  if (C.Framework == SamplingFramework::CounterBased &&
+      C.CounterPlacement == CounterHome::Register)
+    S += "-reg";
+  if (C.Framework == SamplingFramework::CounterBased ||
+      C.Framework == SamplingFramework::BrrBased) {
+    S += " ";
+    S += duplicationName(C.Dup);
+    S += " interval=" + std::to_string(C.Interval);
+    S += C.IncludeBody ? " +inst" : " framework-only";
+  }
+  return S;
+}
+
+SamplingFrameworkEmitter::SamplingFrameworkEmitter(
+    ProgramBuilder &B, const InstrumentationConfig &Config,
+    uint64_t GlobalsBase)
+    : B(B), Config(Config) {
+  switch (Config.Framework) {
+  case SamplingFramework::None:
+  case SamplingFramework::Full:
+    break;
+  case SamplingFramework::CounterBased:
+    Counter = std::make_unique<CounterGlobals>(B, Config.Interval,
+                                               GlobalsBase,
+                                               Config.CounterPlacement);
+    break;
+  case SamplingFramework::BrrBased:
+    Brr = std::make_unique<BrrFramework>(Config.Interval);
+    break;
+  }
+}
+
+void SamplingFrameworkEmitter::emitSetup() {
+  if (Counter)
+    Counter->emitSetup(B);
+}
+
+SamplingFrameworkEmitter::~SamplingFrameworkEmitter() {
+  assert(Pending.empty() &&
+         "out-of-line instrumentation blocks were never flushed");
+}
+
+void SamplingFrameworkEmitter::emitSite(const Body &InstrBody) {
+  ++NumSites;
+  switch (Config.Framework) {
+  case SamplingFramework::None:
+    return;
+  case SamplingFramework::Full:
+    if (Config.IncludeBody)
+      emitFullInstrumentationSite(B, InstrBody);
+    return;
+
+  case SamplingFramework::CounterBased: {
+    assert(Config.Dup == DuplicationMode::NoDuplication &&
+           "use the duplication-check API for Full-Duplication");
+    // Figure 4 (left): load, check, then the common-path decrement/store;
+    // the uncommon path (reset + body) goes out of line.
+    ProgramBuilder::LabelId Uncommon = B.label();
+    ProgramBuilder::LabelId Common = B.label();
+    Counter->emitLoadAndCheck(B, Uncommon);
+    CheckBranchPcs.push_back(Program::pcForIndex(B.here() - 1));
+    B.bind(Common);
+    Counter->emitDecrementStore(B);
+    Pending.push_back({Uncommon, Common, InstrBody,
+                       /*LoadResetFirst=*/true});
+    return;
+  }
+
+  case SamplingFramework::BrrBased: {
+    assert(Config.Dup == DuplicationMode::NoDuplication &&
+           "use the duplication-check API for Full-Duplication");
+    // Figure 4 (right): a single brr; the body is out of line and jumps
+    // back (Figure 8 layout).
+    ProgramBuilder::LabelId Uncommon = B.label();
+    ProgramBuilder::LabelId Resume = B.label();
+    CheckBranchPcs.push_back(
+        Program::pcForIndex(Brr->emitCheck(B, Uncommon)));
+    B.bind(Resume);
+    Pending.push_back({Uncommon, Resume, InstrBody,
+                       /*LoadResetFirst=*/false});
+    return;
+  }
+  }
+  assert(false && "unknown framework");
+}
+
+void SamplingFrameworkEmitter::emitDuplicationCheck(
+    ProgramBuilder::LabelId InstrumentedCopy) {
+  assert(Config.Dup == DuplicationMode::FullDuplication &&
+         "duplication checks only exist in Full-Duplication mode");
+  switch (Config.Framework) {
+  case SamplingFramework::None:
+  case SamplingFramework::Full:
+    return;
+  case SamplingFramework::CounterBased: {
+    // Check at the region head (Figure 11): when the counter hits zero,
+    // run the instrumented version; otherwise decrement and stay clean.
+    ProgramBuilder::LabelId Common = B.label();
+    Counter->emitLoadAndCheck(B, InstrumentedCopy);
+    CheckBranchPcs.push_back(Program::pcForIndex(B.here() - 1));
+    B.bind(Common);
+    Counter->emitDecrementStore(B);
+    return;
+  }
+  case SamplingFramework::BrrBased:
+    CheckBranchPcs.push_back(
+        Program::pcForIndex(Brr->emitCheck(B, InstrumentedCopy)));
+    return;
+  }
+  assert(false && "unknown framework");
+}
+
+void SamplingFrameworkEmitter::emitDupPrologue() {
+  assert(Config.Dup == DuplicationMode::FullDuplication &&
+         "dup prologues only exist in Full-Duplication mode");
+  if (Config.Framework == SamplingFramework::CounterBased)
+    Counter->emitResetCounter(B);
+}
+
+void SamplingFrameworkEmitter::emitUnconditionalSite(const Body &InstrBody) {
+  ++NumSites;
+  if (Config.Framework == SamplingFramework::None)
+    return;
+  if (Config.IncludeBody)
+    InstrBody(B);
+}
+
+void SamplingFrameworkEmitter::flushOutOfLine() {
+  for (const PendingBlock &P : Pending) {
+    B.bind(P.Entry);
+    if (P.LoadResetFirst)
+      Counter->emitLoadReset(B);
+    if (Config.IncludeBody)
+      P.InstrBody(B);
+    B.emitJmp(P.Resume);
+  }
+  Pending.clear();
+}

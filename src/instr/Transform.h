@@ -1,0 +1,148 @@
+//===- instr/Transform.h - The sampling-framework transform ---------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile-time transform that converts instrumentation sites into
+/// sampled instrumentation, mirroring the Arnold–Ryder framework in Jikes
+/// (Section 4.1) and its branch-on-random replacement (Section 5.2):
+///
+///  * SamplingFramework selects {None, Full, CounterBased, BrrBased};
+///  * DuplicationMode selects the per-site transformation (No-Duplication:
+///    a check in front of every site) or the region transformation
+///    (Full-Duplication: one check selecting between a clean and a fully
+///    instrumented copy of the region — Figure 11);
+///  * IncludeBody distinguishes the paper's "+inst" runs from the
+///    framework-only runs that expose the fixed cost of Figure 2.
+///
+/// Workload generators call the emitter while building the program, so all
+/// compared binaries share every non-framework instruction, register
+/// assignment, and code layout — the guarantee the paper obtained by
+/// post-processing one fixed assembly file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_INSTR_TRANSFORM_H
+#define BOR_INSTR_TRANSFORM_H
+
+#include "instr/BrrSampling.h"
+#include "instr/CounterSampling.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bor {
+
+enum class SamplingFramework {
+  None,         ///< Uninstrumented baseline.
+  Full,         ///< Instrumentation at every site, no sampling.
+  CounterBased, ///< Software countdown counter (Figures 1 and 4, left).
+  BrrBased,     ///< One branch-on-random per site (Figure 4, right).
+};
+
+enum class DuplicationMode {
+  NoDuplication,   ///< A sampling check in front of every site.
+  FullDuplication, ///< One check selects a duplicated instrumented region.
+};
+
+struct InstrumentationConfig {
+  SamplingFramework Framework = SamplingFramework::None;
+  DuplicationMode Dup = DuplicationMode::NoDuplication;
+  /// Sampling interval (power of two within brr's encodable range when the
+  /// framework is BrrBased).
+  uint64_t Interval = 1024;
+  /// Include the instrumentation body itself ("+inst"), or only the
+  /// framework (isolating the fixed cost).
+  bool IncludeBody = true;
+  /// CounterBased only — where the countdown lives (Section 2, items 3-4):
+  /// in memory (extra loads/stores at every site, the Jikes scheme) or
+  /// pinned in a register (fewer instructions, but a register permanently
+  /// lost to the program — "a large cost in an ISA with few registers").
+  CounterHome CounterPlacement = CounterHome::Memory;
+};
+
+const char *frameworkName(SamplingFramework F);
+const char *duplicationName(DuplicationMode D);
+std::string describeConfig(const InstrumentationConfig &C);
+
+/// Emits sampling frameworks around instrumentation sites while a workload
+/// generator builds its program.
+///
+/// No-Duplication usage: call emitSite() at each site; call
+/// flushOutOfLine() wherever out-of-line blocks may live (method end).
+///
+/// Full-Duplication usage: at the region head call emitDuplicationCheck()
+/// targeting the instrumented copy; build the clean copy with no
+/// instrumentation; at the instrumented copy's entry call emitDupPrologue()
+/// and use emitUnconditionalSite() for each site inside it.
+class SamplingFrameworkEmitter {
+public:
+  using Body = std::function<void(ProgramBuilder &)>;
+
+  /// \p GlobalsBase is the runtime value of RegGlobals (the counter-based
+  /// framework addresses its globals off that register).
+  SamplingFrameworkEmitter(ProgramBuilder &B,
+                           const InstrumentationConfig &Config,
+                           uint64_t GlobalsBase);
+
+  /// One-time framework initialization, emitted by the generator in its
+  /// program prologue (outside the timed region). Currently only the
+  /// register-resident counter variant emits anything.
+  void emitSetup();
+
+  /// Wraps one instrumentation site (No-Duplication / Full / None modes).
+  void emitSite(const Body &InstrBody);
+
+  /// Full-Duplication: the check at a region head. Branches to
+  /// \p InstrumentedCopy when a sample fires; falls through to the clean
+  /// code. No code is emitted for None/Full frameworks.
+  void emitDuplicationCheck(ProgramBuilder::LabelId InstrumentedCopy);
+
+  /// Full-Duplication: emitted at the instrumented copy's entry (resets the
+  /// counter for the counter-based framework; empty for brr).
+  void emitDupPrologue();
+
+  /// Full-Duplication: an instrumentation site inside the instrumented
+  /// copy — the body runs unconditionally there.
+  void emitUnconditionalSite(const Body &InstrBody);
+
+  /// Emits all pending out-of-line uncommon blocks and their jumps back.
+  void flushOutOfLine();
+
+  unsigned numSites() const { return NumSites; }
+  const InstrumentationConfig &config() const { return Config; }
+
+  /// Byte PCs of every sampling-check branch this emitter produced (the
+  /// cbs check beq or the brr itself). Lets experiments attribute branch
+  /// mispredictions to the framework vs the program (Section 5.2's
+  /// decomposition).
+  const std::vector<uint64_t> &checkBranchPcs() const {
+    return CheckBranchPcs;
+  }
+
+  ~SamplingFrameworkEmitter();
+
+private:
+  struct PendingBlock {
+    ProgramBuilder::LabelId Entry;
+    ProgramBuilder::LabelId Resume;
+    Body InstrBody; ///< may be null when IncludeBody is false.
+    bool LoadResetFirst;
+  };
+
+  ProgramBuilder &B;
+  InstrumentationConfig Config;
+  std::unique_ptr<CounterGlobals> Counter; ///< CounterBased only.
+  std::unique_ptr<BrrFramework> Brr;       ///< BrrBased only.
+  std::vector<PendingBlock> Pending;
+  std::vector<uint64_t> CheckBranchPcs;
+  unsigned NumSites = 0;
+};
+
+} // namespace bor
+
+#endif // BOR_INSTR_TRANSFORM_H

@@ -1,0 +1,524 @@
+//===- isa/Assembler.cpp - Text assembler for BOR-RISC --------------------===//
+
+#include "isa/Assembler.h"
+
+#include "isa/Encoding.h"
+#include "isa/ProgramBuilder.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+using namespace bor;
+
+namespace {
+
+/// Thrown-free error signalling: handlers set Failed/Message and bail.
+class LineParser {
+public:
+  LineParser(const std::string &Text) : Text(Text) {}
+
+  bool failed() const { return Failed; }
+  const std::string &message() const { return Message; }
+
+  void fail(const std::string &M) {
+    if (!Failed) {
+      Failed = true;
+      Message = M;
+    }
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() && std::isspace(static_cast<unsigned char>(
+                                    Text[Pos])))
+      ++Pos;
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return Pos >= Text.size();
+  }
+
+  char peek() {
+    skipSpace();
+    return Pos < Text.size() ? Text[Pos] : '\0';
+  }
+
+  bool consume(char C) {
+    skipSpace();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char C) {
+    if (!consume(C))
+      fail(std::string("expected '") + C + "'");
+  }
+
+  /// Identifier or mnemonic: [A-Za-z_.][A-Za-z0-9_.]*
+  std::string ident() {
+    skipSpace();
+    size_t Start = Pos;
+    auto IsIdent = [](char C, bool First) {
+      if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' ||
+          C == '.')
+        return true;
+      return !First && std::isdigit(static_cast<unsigned char>(C));
+    };
+    while (Pos < Text.size() && IsIdent(Text[Pos], Pos == Start))
+      ++Pos;
+    if (Pos == Start)
+      fail("expected identifier");
+    return Text.substr(Start, Pos - Start);
+  }
+
+  /// Signed integer, decimal or 0x hex, with optional leading +/-.
+  int64_t number() {
+    skipSpace();
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    bool Hex = Pos + 1 < Text.size() && Text[Pos] == '0' &&
+               (Text[Pos + 1] == 'x' || Text[Pos + 1] == 'X');
+    if (Hex)
+      Pos += 2;
+    size_t DigitsStart = Pos;
+    while (Pos < Text.size() &&
+           (Hex ? std::isxdigit(static_cast<unsigned char>(Text[Pos]))
+                : std::isdigit(static_cast<unsigned char>(Text[Pos]))))
+      ++Pos;
+    if (Pos == DigitsStart) {
+      fail("expected number");
+      return 0;
+    }
+    return std::strtoll(Text.substr(Start, Pos - Start).c_str(), nullptr,
+                        0);
+  }
+
+  uint8_t reg() {
+    skipSpace();
+    if (Pos >= Text.size() || (Text[Pos] != 'r' && Text[Pos] != 'R')) {
+      fail("expected register");
+      return 0;
+    }
+    ++Pos;
+    int64_t N = number();
+    if (N < 0 || N > 31) {
+      fail("register index out of range");
+      return 0;
+    }
+    return static_cast<uint8_t>(N);
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+  bool Failed = false;
+  std::string Message;
+};
+
+/// Strips comments, the disassembler's leading "N:" instruction indices,
+/// and its "(-> N)" target annotations.
+std::string cleanLine(const std::string &Raw) {
+  std::string Line = Raw;
+  size_t Comment = Line.find_first_of(";#");
+  if (Comment != std::string::npos)
+    Line.resize(Comment);
+
+  // "   12:  addi ..." -> "  addi ..." (labels start with a non-digit, so
+  // a leading digits-then-colon run can only be a disassembly index).
+  size_t I = 0;
+  while (I < Line.size() &&
+         std::isspace(static_cast<unsigned char>(Line[I])))
+    ++I;
+  size_t DigitsStart = I;
+  while (I < Line.size() &&
+         std::isdigit(static_cast<unsigned char>(Line[I])))
+    ++I;
+  if (I > DigitsStart && I < Line.size() && Line[I] == ':')
+    Line.erase(0, I + 1);
+  size_t Paren = Line.find('(');
+  // Keep "imm(rN)" memory operands: an annotation paren is preceded by a
+  // space and starts with "(->".
+  while (Paren != std::string::npos) {
+    if (Line.compare(Paren, 3, "(->") == 0) {
+      size_t Close = Line.find(')', Paren);
+      Line.erase(Paren, Close == std::string::npos
+                            ? std::string::npos
+                            : Close - Paren + 1);
+      break;
+    }
+    Paren = Line.find('(', Paren + 1);
+  }
+  return Line;
+}
+
+class Assembler {
+public:
+  AssemblyResult run(const std::string &Source) {
+    unsigned LineNo = 0;
+    size_t Start = 0;
+    while (Start <= Source.size()) {
+      size_t End = Source.find('\n', Start);
+      if (End == std::string::npos)
+        End = Source.size();
+      std::string Line = cleanLine(Source.substr(Start, End - Start));
+      ++LineNo;
+      CurrentLine = LineNo;
+      std::string Error = parseLine(Line);
+      if (!Error.empty())
+        return AssemblyResult::failure(LineNo, Error);
+      if (End == Source.size())
+        break;
+      Start = End + 1;
+    }
+    for (const auto &[Name, Info] : Labels)
+      if (!Info.Defined)
+        return AssemblyResult::failure(Info.FirstUseLine,
+                                       "undefined label '" + Name + "'");
+    return AssemblyResult::success(B.finish());
+  }
+
+private:
+  struct LabelInfo {
+    ProgramBuilder::LabelId Id = 0;
+    bool Defined = false;
+    unsigned FirstUseLine = 0;
+  };
+
+  ProgramBuilder B;
+  std::map<std::string, LabelInfo> Labels;
+  std::map<std::string, uint64_t> DataSymbols;
+  unsigned CurrentLine = 0;
+
+  ProgramBuilder::LabelId labelFor(const std::string &Name) {
+    auto It = Labels.find(Name);
+    if (It != Labels.end())
+      return It->second.Id;
+    LabelInfo Info;
+    Info.Id = B.label();
+    Info.FirstUseLine = CurrentLine;
+    Labels.emplace(Name, Info);
+    return Info.Id;
+  }
+
+  /// Returns an error message, or empty on success.
+  std::string parseLine(const std::string &Line) {
+    LineParser P(Line);
+    if (P.atEnd())
+      return "";
+
+    if (P.peek() == '.')
+      return parseDirective(P);
+
+    std::string Word = P.ident();
+    if (P.failed())
+      return P.message();
+
+    // Label definition?
+    if (P.consume(':')) {
+      auto It = Labels.find(Word);
+      if (It != Labels.end() && It->second.Defined)
+        return "label '" + Word + "' defined twice";
+      ProgramBuilder::LabelId Id = labelFor(Word);
+      Labels[Word].Id = Id;
+      Labels[Word].Defined = true;
+      B.bind(Id);
+      if (!P.atEnd())
+        return "trailing characters after label";
+      return "";
+    }
+
+    std::string Error = parseInstruction(P, Word);
+    if (!Error.empty())
+      return Error;
+    if (P.failed())
+      return P.message();
+    if (!P.atEnd())
+      return "trailing characters after instruction";
+    return "";
+  }
+
+  std::string parseDirective(LineParser &P) {
+    std::string Name = P.ident();
+    if (P.failed())
+      return P.message();
+    if (Name == ".alloc") {
+      std::string Sym = P.ident();
+      int64_t Size = P.number();
+      int64_t Align = 8;
+      if (!P.atEnd())
+        Align = P.number();
+      if (P.failed())
+        return P.message();
+      if (Size <= 0 || Align <= 0 || (Align & (Align - 1)) != 0)
+        return "invalid .alloc size or alignment";
+      if (DataSymbols.count(Sym))
+        return "data symbol '" + Sym + "' allocated twice";
+      uint64_t Addr = B.allocData(static_cast<size_t>(Size),
+                                  static_cast<size_t>(Align));
+      DataSymbols[Sym] = Addr;
+      B.nameData(Sym, Addr);
+      return "";
+    }
+    if (Name == ".u64") {
+      std::string Sym = P.ident();
+      int64_t Offset = P.number();
+      int64_t Value = P.number();
+      if (P.failed())
+        return P.message();
+      auto It = DataSymbols.find(Sym);
+      if (It == DataSymbols.end())
+        return "unknown data symbol '" + Sym + "'";
+      B.initDataU64(It->second + static_cast<uint64_t>(Offset),
+                    static_cast<uint64_t>(Value));
+      return "";
+    }
+    return "unknown directive '" + Name + "'";
+  }
+
+  /// Branch target: a label name or a numeric word offset.
+  std::string emitControl(LineParser &P, Opcode Op, uint8_t Rs1,
+                          uint8_t Rs2, uint8_t Rd, FreqCode Freq) {
+    char C = P.peek();
+    if (C == '+' || C == '-' || std::isdigit(static_cast<unsigned char>(C))) {
+      int64_t Offset = P.number();
+      if (P.failed())
+        return P.message();
+      Inst I;
+      switch (Op) {
+      case Opcode::Jmp:
+        I = Inst::jmp(static_cast<int32_t>(Offset));
+        break;
+      case Opcode::Jal:
+        I = Inst::jal(Rd, static_cast<int32_t>(Offset));
+        break;
+      case Opcode::Brr:
+        I = Inst::brr(Freq, static_cast<int32_t>(Offset));
+        break;
+      default:
+        I = Inst::branch(Op, Rs1, Rs2, static_cast<int32_t>(Offset));
+        break;
+      }
+      if (!immediateFits(I))
+        return "branch offset out of range";
+      B.emit(I);
+      return "";
+    }
+    std::string Target = P.ident();
+    if (P.failed())
+      return P.message();
+    ProgramBuilder::LabelId L = labelFor(Target);
+    switch (Op) {
+    case Opcode::Jmp:
+      B.emitJmp(L);
+      break;
+    case Opcode::Jal:
+      B.emitJal(Rd, L);
+      break;
+    case Opcode::Brr:
+      B.emitBrr(Freq, L);
+      break;
+    default:
+      B.emitBranch(Op, Rs1, Rs2, L);
+      break;
+    }
+    return "";
+  }
+
+  std::string parseInstruction(LineParser &P, const std::string &Mnemonic) {
+    // Pseudo-instructions first.
+    if (Mnemonic == "li") {
+      uint8_t Rd = P.reg();
+      P.expect(',');
+      int64_t Imm = P.number();
+      if (Imm < -32768 || Imm > 32767)
+        return "li immediate out of range (use lc)";
+      B.emit(Inst::li(Rd, static_cast<int32_t>(Imm)));
+      return "";
+    }
+    if (Mnemonic == "mv") {
+      uint8_t Rd = P.reg();
+      P.expect(',');
+      uint8_t Rs = P.reg();
+      B.emit(Inst::mv(Rd, Rs));
+      return "";
+    }
+    if (Mnemonic == "ret") {
+      B.emit(Inst::ret());
+      return "";
+    }
+    if (Mnemonic == "lc") {
+      uint8_t Rd = P.reg();
+      P.expect(',');
+      if (P.consume('@')) {
+        std::string Sym = P.ident();
+        if (P.failed())
+          return P.message();
+        auto It = DataSymbols.find(Sym);
+        if (It == DataSymbols.end())
+          return "unknown data symbol '" + Sym + "'";
+        B.emitLoadConst(Rd, It->second);
+        return "";
+      }
+      int64_t Value = P.number();
+      B.emitLoadConst(Rd, static_cast<uint64_t>(Value));
+      return "";
+    }
+
+    // Real opcodes, by mnemonic.
+    Opcode Op = Opcode::Nop;
+    bool Found = false;
+    for (unsigned Raw = 0; Raw != NumOpcodes; ++Raw) {
+      if (Mnemonic == opcodeName(static_cast<Opcode>(Raw))) {
+        Op = static_cast<Opcode>(Raw);
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      return "unknown mnemonic '" + Mnemonic + "'";
+
+    switch (Op) {
+    case Opcode::Nop:
+      B.emit(Inst::nop());
+      return "";
+    case Opcode::Halt:
+      B.emit(Inst::halt());
+      return "";
+
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Sll:
+    case Opcode::Srl:
+    case Opcode::Mul:
+    case Opcode::Slt:
+    case Opcode::Sltu: {
+      uint8_t Rd = P.reg();
+      P.expect(',');
+      uint8_t Rs1 = P.reg();
+      P.expect(',');
+      uint8_t Rs2 = P.reg();
+      B.emit(Inst::alu(Op, Rd, Rs1, Rs2));
+      return "";
+    }
+
+    case Opcode::Addi:
+    case Opcode::Andi:
+    case Opcode::Ori:
+    case Opcode::Xori:
+    case Opcode::Slli:
+    case Opcode::Srli:
+    case Opcode::Slti: {
+      uint8_t Rd = P.reg();
+      P.expect(',');
+      uint8_t Rs1 = P.reg();
+      P.expect(',');
+      int64_t Imm = P.number();
+      Inst I = Inst::alui(Op, Rd, Rs1, static_cast<int32_t>(Imm));
+      if (!immediateFits(I))
+        return "immediate out of range";
+      B.emit(I);
+      return "";
+    }
+
+    case Opcode::Ld:
+    case Opcode::Ldb:
+    case Opcode::St:
+    case Opcode::Stb: {
+      uint8_t RegA = P.reg(); // rd for loads, rs2 for stores
+      P.expect(',');
+      int64_t Disp = P.number();
+      P.expect('(');
+      uint8_t Base = P.reg();
+      P.expect(')');
+      Inst I;
+      if (Op == Opcode::Ld)
+        I = Inst::ld(RegA, Base, static_cast<int32_t>(Disp));
+      else if (Op == Opcode::Ldb)
+        I = Inst::ldb(RegA, Base, static_cast<int32_t>(Disp));
+      else if (Op == Opcode::St)
+        I = Inst::st(RegA, Base, static_cast<int32_t>(Disp));
+      else
+        I = Inst::stb(RegA, Base, static_cast<int32_t>(Disp));
+      if (!immediateFits(I))
+        return "displacement out of range";
+      B.emit(I);
+      return "";
+    }
+
+    case Opcode::Beq:
+    case Opcode::Bne:
+    case Opcode::Blt:
+    case Opcode::Bge: {
+      uint8_t Rs1 = P.reg();
+      P.expect(',');
+      uint8_t Rs2 = P.reg();
+      P.expect(',');
+      return emitControl(P, Op, Rs1, Rs2, 0, FreqCode(0));
+    }
+
+    case Opcode::Jmp:
+      return emitControl(P, Op, 0, 0, 0, FreqCode(0));
+
+    case Opcode::Jal: {
+      uint8_t Rd = P.reg();
+      P.expect(',');
+      return emitControl(P, Op, 0, 0, Rd, FreqCode(0));
+    }
+
+    case Opcode::Jalr: {
+      uint8_t Rd = P.reg();
+      P.expect(',');
+      uint8_t Rs1 = P.reg();
+      B.emit(Inst::jalr(Rd, Rs1));
+      return "";
+    }
+
+    case Opcode::Brr: {
+      // "brr 1/1024, target".
+      int64_t One = P.number();
+      if (One != 1)
+        return "brr frequency must be written 1/<interval>";
+      P.expect('/');
+      int64_t Interval = P.number();
+      if (P.failed())
+        return P.message();
+      if (Interval < 2 || Interval > 65536 ||
+          (Interval & (Interval - 1)) != 0)
+        return "brr interval must be a power of two in [2, 65536]";
+      P.expect(',');
+      return emitControl(P, Op, 0, 0, 0,
+                         FreqCode::forInterval(
+                             static_cast<uint64_t>(Interval)));
+    }
+
+    case Opcode::Marker: {
+      int64_t Id = P.number();
+      B.emit(Inst::marker(static_cast<int32_t>(Id)));
+      return "";
+    }
+
+    case Opcode::RdLfsr: {
+      uint8_t Rd = P.reg();
+      B.emit(Inst::rdlfsr(Rd));
+      return "";
+    }
+    }
+    return "unhandled opcode";
+  }
+};
+
+} // namespace
+
+AssemblyResult bor::assemble(const std::string &Source) {
+  Assembler A;
+  return A.run(Source);
+}

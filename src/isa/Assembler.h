@@ -1,0 +1,73 @@
+//===- isa/Assembler.h - Text assembler for BOR-RISC ---------------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A two-pass text assembler accepting the disassembler's syntax, so
+/// `assemble(disassemble(P))` round-trips any program. Grammar, one
+/// statement per line:
+///
+///   label:                      ; define a code label
+///   add r3, r1, r2              ; register-register ALU
+///   addi r3, r1, -7             ; register-immediate ALU
+///   ld r1, 16(r2)  /  st r3, -8(r4)
+///   beq r1, r2, target          ; branch to a label...
+///   bne r1, r2, +5              ; ...or a numeric word offset
+///   jmp loop   /  jal r31, fn   /  jalr r0, r31
+///   brr 1/1024, target          ; branch-on-random at the given interval
+///   marker 1  /  nop  /  halt
+///   li r4, 123                  ; pseudo: addi r4, r0, 123
+///   mv r4, r5                   ; pseudo: addi r4, r5, 0
+///   ret                         ; pseudo: jalr r0, r31
+///   lc r28, @blob               ; pseudo: load a data symbol's address
+///   lc r2, 123456               ; pseudo: load an arbitrary constant
+///
+/// Data directives:
+///
+///   .alloc blob 64 8            ; reserve 64 bytes, 8-aligned, named blob
+///   .u64 blob 8 42              ; init u64 at blob+8 with 42
+///
+/// `;` and `#` start comments; a trailing parenthesized annotation after a
+/// numeric branch offset (the disassembler's "(-> 12)") is ignored.
+///
+/// Errors are reported by line with a message; assembly is all-or-nothing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_ISA_ASSEMBLER_H
+#define BOR_ISA_ASSEMBLER_H
+
+#include "isa/Program.h"
+
+#include <string>
+
+namespace bor {
+
+/// Result of assembling a source string: either a program or a diagnostic.
+struct AssemblyResult {
+  bool Ok = false;
+  Program Prog;
+  /// On failure: "line N: message".
+  std::string Error;
+
+  static AssemblyResult success(Program P) {
+    AssemblyResult R;
+    R.Ok = true;
+    R.Prog = std::move(P);
+    return R;
+  }
+  static AssemblyResult failure(unsigned Line, const std::string &Message) {
+    AssemblyResult R;
+    R.Error = "line " + std::to_string(Line) + ": " + Message;
+    return R;
+  }
+};
+
+/// Assembles \p Source into a program.
+AssemblyResult assemble(const std::string &Source);
+
+} // namespace bor
+
+#endif // BOR_ISA_ASSEMBLER_H

@@ -1,0 +1,94 @@
+//===- isa/Disasm.cpp - BOR-RISC disassembler -----------------------------===//
+
+#include "isa/Disasm.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace bor;
+
+static std::string formatImpl(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+static std::string formatImpl(const char *Fmt, ...) {
+  char Buf[128];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  return Buf;
+}
+
+static std::string targetSuffix(int32_t Offset, int64_t Index) {
+  if (Index < 0)
+    return formatImpl("%+d", Offset);
+  return formatImpl("%+d (-> %" PRId64 ")", Offset, Index + Offset);
+}
+
+std::string bor::disassemble(const Inst &I, int64_t Index) {
+  const char *Name = opcodeName(I.Op);
+  switch (I.Op) {
+  case Opcode::Nop:
+  case Opcode::Halt:
+    return Name;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Sll:
+  case Opcode::Srl:
+  case Opcode::Mul:
+  case Opcode::Slt:
+  case Opcode::Sltu:
+    return formatImpl("%s r%u, r%u, r%u", Name, I.Rd, I.Rs1, I.Rs2);
+  case Opcode::Addi:
+  case Opcode::Andi:
+  case Opcode::Ori:
+  case Opcode::Xori:
+  case Opcode::Slli:
+  case Opcode::Srli:
+  case Opcode::Slti:
+    return formatImpl("%s r%u, r%u, %d", Name, I.Rd, I.Rs1, I.Imm);
+  case Opcode::Ld:
+  case Opcode::Ldb:
+    return formatImpl("%s r%u, %d(r%u)", Name, I.Rd, I.Imm, I.Rs1);
+  case Opcode::St:
+  case Opcode::Stb:
+    return formatImpl("%s r%u, %d(r%u)", Name, I.Rs2, I.Imm, I.Rs1);
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+    return formatImpl("%s r%u, r%u, %s", Name, I.Rs1, I.Rs2,
+                      targetSuffix(I.Imm, Index).c_str());
+  case Opcode::Jmp:
+    return formatImpl("%s %s", Name, targetSuffix(I.Imm, Index).c_str());
+  case Opcode::Jal:
+    return formatImpl("%s r%u, %s", Name, I.Rd,
+                      targetSuffix(I.Imm, Index).c_str());
+  case Opcode::Jalr:
+    return formatImpl("%s r%u, r%u", Name, I.Rd, I.Rs1);
+  case Opcode::Brr:
+    return formatImpl("%s 1/%" PRIu64 ", %s", Name,
+                      FreqCode(I.Freq).expectedInterval(),
+                      targetSuffix(I.Imm, Index).c_str());
+  case Opcode::Marker:
+    return formatImpl("%s %d", Name, I.Imm);
+  case Opcode::RdLfsr:
+    return formatImpl("%s r%u", Name, I.Rd);
+  }
+  assert(false && "unknown opcode");
+  return "?";
+}
+
+std::string bor::disassemble(const Program &P) {
+  std::string Out;
+  for (size_t I = 0; I != P.numInsts(); ++I) {
+    Out += formatImpl("%5zu:  ", I);
+    Out += disassemble(P.at(I), static_cast<int64_t>(I));
+    Out += '\n';
+  }
+  return Out;
+}

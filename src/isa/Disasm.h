@@ -1,0 +1,32 @@
+//===- isa/Disasm.h - BOR-RISC disassembler -------------------------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual rendering of instructions and programs, used in tests and when
+/// debugging generated workloads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_ISA_DISASM_H
+#define BOR_ISA_DISASM_H
+
+#include "isa/Program.h"
+
+#include <string>
+
+namespace bor {
+
+/// Renders one instruction, e.g. "add r3, r1, r2" or "brr 1/1024, +12".
+/// \p Index (the instruction's own position) is used to print absolute
+/// branch targets next to relative offsets when nonnegative.
+std::string disassemble(const Inst &I, int64_t Index = -1);
+
+/// Renders the whole code segment, one instruction per line with indices.
+std::string disassemble(const Program &P);
+
+} // namespace bor
+
+#endif // BOR_ISA_DISASM_H

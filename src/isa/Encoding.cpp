@@ -1,0 +1,192 @@
+//===- isa/Encoding.cpp - 32-bit binary encoding of BOR-RISC -------------===//
+
+#include "isa/Encoding.h"
+
+using namespace bor;
+
+namespace {
+
+/// Instruction formats; see the file header of Encoding.h.
+enum class Format { R, I, S, B, J, Jal, Brr, None };
+
+Format formatFor(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+  case Opcode::Halt:
+    return Format::None;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Sll:
+  case Opcode::Srl:
+  case Opcode::Mul:
+  case Opcode::Slt:
+  case Opcode::Sltu:
+    return Format::R;
+  case Opcode::Addi:
+  case Opcode::Andi:
+  case Opcode::Ori:
+  case Opcode::Xori:
+  case Opcode::Slli:
+  case Opcode::Srli:
+  case Opcode::Slti:
+  case Opcode::Ld:
+  case Opcode::Ldb:
+  case Opcode::Jalr:
+  case Opcode::RdLfsr:
+    return Format::I;
+  case Opcode::St:
+  case Opcode::Stb:
+    return Format::S;
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+    return Format::B;
+  case Opcode::Jmp:
+  case Opcode::Marker:
+    return Format::J;
+  case Opcode::Jal:
+    return Format::Jal;
+  case Opcode::Brr:
+    return Format::Brr;
+  }
+  assert(false && "unknown opcode");
+  return Format::None;
+}
+
+bool fitsSigned(int64_t Value, unsigned Bits) {
+  int64_t Lo = -(1LL << (Bits - 1));
+  int64_t Hi = (1LL << (Bits - 1)) - 1;
+  return Value >= Lo && Value <= Hi;
+}
+
+uint32_t field(uint32_t Value, unsigned Shift) { return Value << Shift; }
+
+uint32_t immField(int32_t Imm, unsigned Bits) {
+  assert(fitsSigned(Imm, Bits) && "immediate does not fit encoding field");
+  return static_cast<uint32_t>(Imm) & ((1u << Bits) - 1);
+}
+
+int32_t signExtend(uint32_t Raw, unsigned Bits) {
+  uint32_t SignBit = 1u << (Bits - 1);
+  uint32_t Mask = (1u << Bits) - 1;
+  Raw &= Mask;
+  if (Raw & SignBit)
+    return static_cast<int32_t>(Raw | ~Mask);
+  return static_cast<int32_t>(Raw);
+}
+
+} // namespace
+
+bool bor::immediateFits(const Inst &I) {
+  switch (formatFor(I.Op)) {
+  case Format::R:
+  case Format::None:
+    return true;
+  case Format::I:
+  case Format::S:
+  case Format::B:
+    return fitsSigned(I.Imm, 16);
+  case Format::J:
+    return fitsSigned(I.Imm, 26);
+  case Format::Jal:
+    return fitsSigned(I.Imm, 21);
+  case Format::Brr:
+    return fitsSigned(I.Imm, 22);
+  }
+  assert(false && "unknown format");
+  return false;
+}
+
+uint32_t bor::encode(const Inst &I) {
+  uint32_t Word = field(static_cast<uint32_t>(I.Op), 26);
+  switch (formatFor(I.Op)) {
+  case Format::None:
+    return Word;
+  case Format::R:
+    return Word | field(I.Rd, 21) | field(I.Rs1, 16) | field(I.Rs2, 11);
+  case Format::I:
+    return Word | field(I.Rd, 21) | field(I.Rs1, 16) | immField(I.Imm, 16);
+  case Format::S:
+    return Word | field(I.Rs2, 21) | field(I.Rs1, 16) | immField(I.Imm, 16);
+  case Format::B:
+    return Word | field(I.Rs1, 21) | field(I.Rs2, 16) | immField(I.Imm, 16);
+  case Format::J:
+    return Word | immField(I.Imm, 26);
+  case Format::Jal:
+    return Word | field(I.Rd, 21) | immField(I.Imm, 21);
+  case Format::Brr:
+    assert(I.Freq < FreqCode::NumValues && "freq field is 4 bits");
+    return Word | field(I.Freq, 22) | immField(I.Imm, 22);
+  }
+  assert(false && "unknown format");
+  return 0;
+}
+
+Inst bor::decode(uint32_t Word) {
+  Inst I;
+  uint32_t OpRaw = Word >> 26;
+  assert(OpRaw < NumOpcodes && "invalid opcode bits");
+  I.Op = static_cast<Opcode>(OpRaw);
+
+  auto Reg = [Word](unsigned Shift) {
+    return static_cast<uint8_t>((Word >> Shift) & 31);
+  };
+
+  switch (formatFor(I.Op)) {
+  case Format::None:
+    return I;
+  case Format::R:
+    I.Rd = Reg(21);
+    I.Rs1 = Reg(16);
+    I.Rs2 = Reg(11);
+    return I;
+  case Format::I:
+    I.Rd = Reg(21);
+    I.Rs1 = Reg(16);
+    I.Imm = signExtend(Word, 16);
+    return I;
+  case Format::S:
+    I.Rs2 = Reg(21);
+    I.Rs1 = Reg(16);
+    I.Imm = signExtend(Word, 16);
+    return I;
+  case Format::B:
+    I.Rs1 = Reg(21);
+    I.Rs2 = Reg(16);
+    I.Imm = signExtend(Word, 16);
+    return I;
+  case Format::J:
+    I.Imm = signExtend(Word, 26);
+    return I;
+  case Format::Jal:
+    I.Rd = Reg(21);
+    I.Imm = signExtend(Word, 21);
+    return I;
+  case Format::Brr:
+    I.Freq = static_cast<uint8_t>((Word >> 22) & 15);
+    I.Imm = signExtend(Word, 22);
+    return I;
+  }
+  assert(false && "unknown format");
+  return I;
+}
+
+std::vector<uint32_t> bor::encodeProgram(const std::vector<Inst> &Code) {
+  std::vector<uint32_t> Words;
+  Words.reserve(Code.size());
+  for (const Inst &I : Code)
+    Words.push_back(encode(I));
+  return Words;
+}
+
+std::vector<Inst> bor::decodeProgram(const std::vector<uint32_t> &Words) {
+  std::vector<Inst> Code;
+  Code.reserve(Words.size());
+  for (uint32_t W : Words)
+    Code.push_back(decode(W));
+  return Code;
+}

@@ -1,0 +1,54 @@
+//===- isa/Encoding.h - 32-bit binary encoding of BOR-RISC ---------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BOR-RISC instructions encode into 32-bit words: a 6-bit opcode in the top
+/// bits, then format-specific register and immediate fields. The key point
+/// for the paper is the brr format (Figure 5): opcode, a 4-bit freq field,
+/// and a branch target offset — the frequency replaces the condition
+/// registers of an ordinary conditional branch, so brr reads no registers
+/// at all and can be resolved in decode.
+///
+/// Formats (bit ranges inclusive):
+///   R   op[31:26] rd[25:21] rs1[20:16] rs2[15:11]
+///   I   op[31:26] rd[25:21] rs1[20:16] imm16[15:0]     (ALU-imm, loads, jalr)
+///   S   op[31:26] rs2[25:21] rs1[20:16] imm16[15:0]    (stores)
+///   B   op[31:26] rs1[25:21] rs2[20:16] imm16[15:0]    (cond branches)
+///   J   op[31:26] imm26[25:0]                          (jmp, marker)
+///   JAL op[31:26] rd[25:21] imm21[20:0]
+///   BRR op[31:26] freq[25:22] imm22[21:0]
+///
+/// All immediates are signed (two's complement) except marker ids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_ISA_ENCODING_H
+#define BOR_ISA_ENCODING_H
+
+#include "isa/Inst.h"
+
+#include <vector>
+
+namespace bor {
+
+/// Encodes \p I into its 32-bit word. Asserts if an immediate does not fit
+/// its field.
+uint32_t encode(const Inst &I);
+
+/// Decodes a 32-bit word back into an instruction. encode/decode round-trip
+/// exactly for all well-formed instructions.
+Inst decode(uint32_t Word);
+
+/// True if \p I's immediate fits the field its format provides (useful for
+/// generators to validate before encoding).
+bool immediateFits(const Inst &I);
+
+std::vector<uint32_t> encodeProgram(const std::vector<Inst> &Code);
+std::vector<Inst> decodeProgram(const std::vector<uint32_t> &Words);
+
+} // namespace bor
+
+#endif // BOR_ISA_ENCODING_H

@@ -1,0 +1,169 @@
+//===- isa/Inst.cpp - The BOR-RISC instruction set ------------------------===//
+
+#include "isa/Inst.h"
+
+using namespace bor;
+
+bool Inst::writesReg() const {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Sll:
+  case Opcode::Srl:
+  case Opcode::Mul:
+  case Opcode::Slt:
+  case Opcode::Sltu:
+  case Opcode::Addi:
+  case Opcode::Andi:
+  case Opcode::Ori:
+  case Opcode::Xori:
+  case Opcode::Slli:
+  case Opcode::Srli:
+  case Opcode::Slti:
+  case Opcode::Ld:
+  case Opcode::Ldb:
+  case Opcode::Jal:
+  case Opcode::Jalr:
+  case Opcode::RdLfsr:
+    return Rd != RegZero;
+  case Opcode::Nop:
+  case Opcode::Halt:
+  case Opcode::St:
+  case Opcode::Stb:
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+  case Opcode::Jmp:
+  case Opcode::Brr:
+  case Opcode::Marker:
+    return false;
+  }
+  assert(false && "unknown opcode");
+  return false;
+}
+
+unsigned Inst::sourceRegs(uint8_t Srcs[2]) const {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Sll:
+  case Opcode::Srl:
+  case Opcode::Mul:
+  case Opcode::Slt:
+  case Opcode::Sltu:
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+    Srcs[0] = Rs1;
+    Srcs[1] = Rs2;
+    return 2;
+  case Opcode::St:
+  case Opcode::Stb:
+    Srcs[0] = Rs1; // address base
+    Srcs[1] = Rs2; // stored value
+    return 2;
+  case Opcode::Addi:
+  case Opcode::Andi:
+  case Opcode::Ori:
+  case Opcode::Xori:
+  case Opcode::Slli:
+  case Opcode::Srli:
+  case Opcode::Slti:
+  case Opcode::Ld:
+  case Opcode::Ldb:
+  case Opcode::Jalr:
+    Srcs[0] = Rs1;
+    return 1;
+  case Opcode::Nop:
+  case Opcode::Halt:
+  case Opcode::Jmp:
+  case Opcode::Jal:
+  case Opcode::Brr:
+  case Opcode::Marker:
+  case Opcode::RdLfsr:
+    return 0;
+  }
+  assert(false && "unknown opcode");
+  return 0;
+}
+
+const char *bor::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+    return "nop";
+  case Opcode::Halt:
+    return "halt";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Sll:
+    return "sll";
+  case Opcode::Srl:
+    return "srl";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Slt:
+    return "slt";
+  case Opcode::Sltu:
+    return "sltu";
+  case Opcode::Addi:
+    return "addi";
+  case Opcode::Andi:
+    return "andi";
+  case Opcode::Ori:
+    return "ori";
+  case Opcode::Xori:
+    return "xori";
+  case Opcode::Slli:
+    return "slli";
+  case Opcode::Srli:
+    return "srli";
+  case Opcode::Slti:
+    return "slti";
+  case Opcode::Ld:
+    return "ld";
+  case Opcode::Ldb:
+    return "ldb";
+  case Opcode::St:
+    return "st";
+  case Opcode::Stb:
+    return "stb";
+  case Opcode::Beq:
+    return "beq";
+  case Opcode::Bne:
+    return "bne";
+  case Opcode::Blt:
+    return "blt";
+  case Opcode::Bge:
+    return "bge";
+  case Opcode::Jmp:
+    return "jmp";
+  case Opcode::Jal:
+    return "jal";
+  case Opcode::Jalr:
+    return "jalr";
+  case Opcode::Brr:
+    return "brr";
+  case Opcode::Marker:
+    return "marker";
+  case Opcode::RdLfsr:
+    return "rdlfsr";
+  }
+  assert(false && "unknown opcode");
+  return "?";
+}

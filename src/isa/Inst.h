@@ -1,0 +1,197 @@
+//===- isa/Inst.h - The BOR-RISC instruction set -------------------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// BOR-RISC is the small 64-bit RISC instruction set this reproduction
+/// evaluates branch-on-random in (standing in for the paper's x86/PTLsim
+/// substrate; see DESIGN.md). It has 32 general registers (r0 hardwired to
+/// zero), byte-addressed memory, 4-byte instructions, conditional branches
+/// resolved in the back end, direct jumps resolved in decode — and the new
+/// `brr freq, target` instruction, a conditional branch whose 4-bit freq
+/// field encodes the probability (1/2)^(freq+1) with which it is taken
+/// (paper Figure 5).
+///
+/// The `marker` instruction reproduces the paper's use of the Simics "magic
+/// instruction" for delimiting simulation regions (Section 5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_ISA_INST_H
+#define BOR_ISA_INST_H
+
+#include "core/FreqCode.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace bor {
+
+/// Register conventions used by the code generators in this repository.
+enum : uint8_t {
+  RegZero = 0,  ///< Hardwired zero.
+  RegScratch = 15, ///< Scratch register reserved for sampling frameworks.
+  RegCounter = 27, ///< Countdown register for register-resident counters.
+  RegGlobals = 28, ///< Base of framework globals in the data segment.
+  RegProfBase = 29, ///< Base of the profile-counter table.
+  RegSp = 30,   ///< Stack pointer.
+  RegLr = 31,   ///< Link register.
+};
+
+enum class Opcode : uint8_t {
+  Nop,
+  Halt,
+  // Register-register ALU.
+  Add,
+  Sub,
+  And,
+  Or,
+  Xor,
+  Sll,
+  Srl,
+  Mul,
+  Slt,  ///< rd = (int64)rs1 < (int64)rs2
+  Sltu, ///< rd = (uint64)rs1 < (uint64)rs2
+  // Register-immediate ALU (Imm is the sign-extended operand).
+  Addi,
+  Andi,
+  Ori,
+  Xori,
+  Slli,
+  Srli,
+  Slti,
+  // Memory: address = rs1 + Imm.
+  Ld,  ///< 64-bit load into rd.
+  Ldb, ///< zero-extending byte load into rd.
+  St,  ///< 64-bit store of rs2.
+  Stb, ///< byte store of rs2's low byte.
+  // Control. Branch/jump offsets (Imm) are in instruction words relative to
+  // the branch itself: target = PC + 4*Imm.
+  Beq,
+  Bne,
+  Blt, ///< signed rs1 < rs2
+  Bge, ///< signed rs1 >= rs2
+  Jmp,  ///< unconditional direct jump (resolved in decode)
+  Jal,  ///< direct call: rd = return address, then jump
+  Jalr, ///< indirect jump/call: rd = return address, target = rs1
+  Brr,  ///< branch-on-random: taken with probability (1/2)^(Freq+1)
+  // Infrastructure.
+  Marker, ///< simulation marker (the paper's "magic instruction"); id = Imm
+  /// Reads the LFSR into rd and steps it: Section 3.4's observation that a
+  /// software-visible LFSR doubles as "a very fast pseudo-random number
+  /// generator by randomized algorithms".
+  RdLfsr,
+};
+
+/// Number of opcodes (for table sizing).
+constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::RdLfsr) + 1;
+
+/// A decoded BOR-RISC instruction. The simulators operate on this form; the
+/// 32-bit binary encoding lives in isa/Encoding.h.
+struct Inst {
+  Opcode Op = Opcode::Nop;
+  uint8_t Rd = 0;
+  uint8_t Rs1 = 0;
+  uint8_t Rs2 = 0;
+  /// ALU immediate, memory displacement (bytes), branch/jump offset
+  /// (instruction words), or marker id.
+  int32_t Imm = 0;
+  /// brr only: the 4-bit frequency field.
+  uint8_t Freq = 0;
+
+  // --- Factories -------------------------------------------------------
+  static Inst nop() { return {}; }
+  static Inst halt() { return {Opcode::Halt, 0, 0, 0, 0, 0}; }
+
+  static Inst alu(Opcode Op, uint8_t Rd, uint8_t Rs1, uint8_t Rs2) {
+    return {Op, Rd, Rs1, Rs2, 0, 0};
+  }
+  static Inst add(uint8_t Rd, uint8_t Rs1, uint8_t Rs2) {
+    return alu(Opcode::Add, Rd, Rs1, Rs2);
+  }
+  static Inst sub(uint8_t Rd, uint8_t Rs1, uint8_t Rs2) {
+    return alu(Opcode::Sub, Rd, Rs1, Rs2);
+  }
+  static Inst alui(Opcode Op, uint8_t Rd, uint8_t Rs1, int32_t Imm) {
+    return {Op, Rd, Rs1, 0, Imm, 0};
+  }
+  static Inst addi(uint8_t Rd, uint8_t Rs1, int32_t Imm) {
+    return alui(Opcode::Addi, Rd, Rs1, Imm);
+  }
+  /// rd = Imm (addi rd, r0, Imm).
+  static Inst li(uint8_t Rd, int32_t Imm) { return addi(Rd, RegZero, Imm); }
+  /// rd = rs (addi rd, rs, 0).
+  static Inst mv(uint8_t Rd, uint8_t Rs) { return addi(Rd, Rs, 0); }
+
+  static Inst ld(uint8_t Rd, uint8_t Rs1, int32_t Disp) {
+    return {Opcode::Ld, Rd, Rs1, 0, Disp, 0};
+  }
+  static Inst ldb(uint8_t Rd, uint8_t Rs1, int32_t Disp) {
+    return {Opcode::Ldb, Rd, Rs1, 0, Disp, 0};
+  }
+  static Inst st(uint8_t Rs2, uint8_t Rs1, int32_t Disp) {
+    return {Opcode::St, 0, Rs1, Rs2, Disp, 0};
+  }
+  static Inst stb(uint8_t Rs2, uint8_t Rs1, int32_t Disp) {
+    return {Opcode::Stb, 0, Rs1, Rs2, Disp, 0};
+  }
+
+  static Inst branch(Opcode Op, uint8_t Rs1, uint8_t Rs2, int32_t Offset) {
+    return {Op, 0, Rs1, Rs2, Offset, 0};
+  }
+  static Inst jmp(int32_t Offset) {
+    return {Opcode::Jmp, 0, 0, 0, Offset, 0};
+  }
+  static Inst jal(uint8_t Rd, int32_t Offset) {
+    return {Opcode::Jal, Rd, 0, 0, Offset, 0};
+  }
+  static Inst jalr(uint8_t Rd, uint8_t Rs1) {
+    return {Opcode::Jalr, Rd, Rs1, 0, 0, 0};
+  }
+  /// Return: jalr r0, lr.
+  static Inst ret() { return jalr(RegZero, RegLr); }
+
+  static Inst brr(FreqCode Freq, int32_t Offset) {
+    return {Opcode::Brr, 0, 0, 0, Offset,
+            static_cast<uint8_t>(Freq.raw())};
+  }
+  static Inst marker(int32_t Id) { return {Opcode::Marker, 0, 0, 0, Id, 0}; }
+  /// rd = current LFSR state; the register then steps (Section 3.4).
+  static Inst rdlfsr(uint8_t Rd) { return {Opcode::RdLfsr, Rd, 0, 0, 0, 0}; }
+
+  // --- Classification ---------------------------------------------------
+  bool isCondBranch() const {
+    return Op == Opcode::Beq || Op == Opcode::Bne || Op == Opcode::Blt ||
+           Op == Opcode::Bge;
+  }
+  bool isBrr() const { return Op == Opcode::Brr; }
+  bool isDirectJump() const { return Op == Opcode::Jmp || Op == Opcode::Jal; }
+  bool isIndirect() const { return Op == Opcode::Jalr; }
+  /// Any instruction that can redirect fetch.
+  bool isControl() const {
+    return isCondBranch() || isBrr() || isDirectJump() || isIndirect() ||
+           Op == Opcode::Halt;
+  }
+  bool isLoad() const { return Op == Opcode::Ld || Op == Opcode::Ldb; }
+  bool isStore() const { return Op == Opcode::St || Op == Opcode::Stb; }
+  bool isMem() const { return isLoad() || isStore(); }
+
+  /// True if the instruction architecturally writes Rd (and Rd != r0).
+  bool writesReg() const;
+  /// Number of source registers read (0..2) written into \p Srcs.
+  unsigned sourceRegs(uint8_t Srcs[2]) const;
+
+  friend bool operator==(const Inst &A, const Inst &B) {
+    return A.Op == B.Op && A.Rd == B.Rd && A.Rs1 == B.Rs1 &&
+           A.Rs2 == B.Rs2 && A.Imm == B.Imm && A.Freq == B.Freq;
+  }
+};
+
+/// Mnemonic for an opcode ("add", "brr", ...).
+const char *opcodeName(Opcode Op);
+
+} // namespace bor
+
+#endif // BOR_ISA_INST_H

@@ -1,0 +1,5 @@
+//===- isa/Program.cpp - An executable BOR-RISC image ---------------------===//
+
+#include "isa/Program.h"
+
+// Program is fully inline today; this file anchors the translation unit.

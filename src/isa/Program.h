@@ -1,0 +1,83 @@
+//===- isa/Program.h - An executable BOR-RISC image ----------------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Program is a code image (instructions starting at address 0, 4 bytes
+/// each) plus an initialized data segment and optional symbolic annotations
+/// used by the instrumentation transforms and the benchmark harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_ISA_PROGRAM_H
+#define BOR_ISA_PROGRAM_H
+
+#include "isa/Inst.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bor {
+
+/// Default base address of the data segment; far from code so instruction
+/// and data footprints never collide in the simulated address space.
+constexpr uint64_t DefaultDataBase = 0x100000;
+
+/// An executable image.
+class Program {
+public:
+  Program() = default;
+  Program(std::vector<Inst> Code, uint64_t DataBase,
+          std::vector<uint8_t> Data)
+      : Code(std::move(Code)), DataBase(DataBase), Data(std::move(Data)) {}
+
+  const std::vector<Inst> &code() const { return Code; }
+  std::vector<Inst> &code() { return Code; }
+
+  size_t numInsts() const { return Code.size(); }
+
+  const Inst &at(size_t Index) const {
+    assert(Index < Code.size() && "instruction index out of range");
+    return Code[Index];
+  }
+
+  /// Instruction index for a byte PC (asserts alignment and range).
+  size_t indexForPc(uint64_t Pc) const {
+    assert(Pc % 4 == 0 && "PC must be instruction aligned");
+    size_t Index = Pc / 4;
+    assert(Index < Code.size() && "PC outside code segment");
+    return Index;
+  }
+  static uint64_t pcForIndex(size_t Index) { return Index * 4; }
+
+  uint64_t dataBase() const { return DataBase; }
+  const std::vector<uint8_t> &data() const { return Data; }
+
+  /// Named addresses (data symbols and code labels) for tooling/tests.
+  void setSymbol(const std::string &Name, uint64_t Addr) {
+    Symbols[Name] = Addr;
+  }
+  bool hasSymbol(const std::string &Name) const {
+    return Symbols.count(Name) != 0;
+  }
+  uint64_t symbol(const std::string &Name) const {
+    auto It = Symbols.find(Name);
+    assert(It != Symbols.end() && "unknown symbol");
+    return It->second;
+  }
+  const std::map<std::string, uint64_t> &symbols() const { return Symbols; }
+
+private:
+  std::vector<Inst> Code;
+  uint64_t DataBase = DefaultDataBase;
+  std::vector<uint8_t> Data;
+  std::map<std::string, uint64_t> Symbols;
+};
+
+} // namespace bor
+
+#endif // BOR_ISA_PROGRAM_H

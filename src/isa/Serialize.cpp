@@ -1,0 +1,171 @@
+//===- isa/Serialize.cpp - Binary program images ---------------------------===//
+
+#include "isa/Serialize.h"
+
+#include "isa/Encoding.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace bor;
+
+namespace {
+
+constexpr char Magic[4] = {'B', 'O', 'R', 'B'};
+constexpr uint32_t Version = 1;
+
+void putU32(std::vector<uint8_t> &Out, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void putU64(std::vector<uint8_t> &Out, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+/// Bounds-checked little-endian reader.
+class Reader {
+public:
+  Reader(const std::vector<uint8_t> &Bytes) : Bytes(Bytes) {}
+
+  bool failed() const { return Failed; }
+
+  uint32_t u32() { return static_cast<uint32_t>(uint(4)); }
+  uint64_t u64() { return uint(8); }
+
+  bool bytes(void *Dst, size_t N) {
+    if (Pos + N > Bytes.size()) {
+      Failed = true;
+      return false;
+    }
+    std::memcpy(Dst, Bytes.data() + Pos, N);
+    Pos += N;
+    return true;
+  }
+
+  bool atEnd() const { return Pos == Bytes.size(); }
+
+private:
+  uint64_t uint(unsigned N) {
+    if (Pos + N > Bytes.size()) {
+      Failed = true;
+      return 0;
+    }
+    uint64_t V = 0;
+    for (unsigned I = 0; I != N; ++I)
+      V |= static_cast<uint64_t>(Bytes[Pos + I]) << (8 * I);
+    Pos += N;
+    return V;
+  }
+
+  const std::vector<uint8_t> &Bytes;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+LoadResult fail(const std::string &Message) {
+  LoadResult R;
+  R.Error = Message;
+  return R;
+}
+
+} // namespace
+
+std::vector<uint8_t> bor::serializeProgram(const Program &P) {
+  std::vector<uint8_t> Out;
+  Out.insert(Out.end(), Magic, Magic + 4);
+  putU32(Out, Version);
+  putU32(Out, static_cast<uint32_t>(P.numInsts()));
+  putU64(Out, P.dataBase());
+  putU64(Out, P.data().size());
+  putU32(Out, static_cast<uint32_t>(P.symbols().size()));
+
+  for (const Inst &I : P.code())
+    putU32(Out, encode(I));
+  Out.insert(Out.end(), P.data().begin(), P.data().end());
+  for (const auto &[Name, Addr] : P.symbols()) {
+    putU32(Out, static_cast<uint32_t>(Name.size()));
+    Out.insert(Out.end(), Name.begin(), Name.end());
+    putU64(Out, Addr);
+  }
+  return Out;
+}
+
+LoadResult bor::deserializeProgram(const std::vector<uint8_t> &Bytes) {
+  Reader R(Bytes);
+  char Got[4];
+  if (!R.bytes(Got, 4) || std::memcmp(Got, Magic, 4) != 0)
+    return fail("not a BORB image (bad magic)");
+  uint32_t Ver = R.u32();
+  if (Ver != Version)
+    return fail("unsupported BORB version " + std::to_string(Ver));
+
+  uint32_t NumInsts = R.u32();
+  uint64_t DataBase = R.u64();
+  uint64_t DataSize = R.u64();
+  uint32_t NumSymbols = R.u32();
+  if (R.failed())
+    return fail("truncated header");
+  if (DataBase % 8 != 0)
+    return fail("data base must be 8-byte aligned");
+
+  std::vector<Inst> Code;
+  Code.reserve(NumInsts);
+  for (uint32_t I = 0; I != NumInsts; ++I) {
+    uint32_t Word = R.u32();
+    if (R.failed())
+      return fail("truncated code segment");
+    if ((Word >> 26) >= NumOpcodes)
+      return fail("invalid opcode in instruction " + std::to_string(I));
+    Code.push_back(decode(Word));
+  }
+
+  std::vector<uint8_t> Data(DataSize);
+  if (DataSize != 0 && !R.bytes(Data.data(), DataSize))
+    return fail("truncated data segment");
+
+  Program P(std::move(Code), DataBase, std::move(Data));
+  for (uint32_t I = 0; I != NumSymbols; ++I) {
+    uint32_t Len = R.u32();
+    if (R.failed() || Len > 4096)
+      return fail("bad symbol table");
+    std::string Name(Len, '\0');
+    if (Len != 0 && !R.bytes(Name.data(), Len))
+      return fail("truncated symbol name");
+    uint64_t Addr = R.u64();
+    if (R.failed())
+      return fail("truncated symbol address");
+    P.setSymbol(Name, Addr);
+  }
+  if (!R.atEnd())
+    return fail("trailing bytes after image");
+
+  LoadResult Result;
+  Result.Ok = true;
+  Result.Prog = std::move(P);
+  return Result;
+}
+
+bool bor::saveProgram(const Program &P, const std::string &Path) {
+  std::vector<uint8_t> Bytes = serializeProgram(P);
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Bytes.data(), 1, Bytes.size(), F);
+  bool Ok = std::fclose(F) == 0 && Written == Bytes.size();
+  return Ok;
+}
+
+LoadResult bor::loadProgramFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return fail("cannot open '" + Path + "'");
+  std::vector<uint8_t> Bytes;
+  uint8_t Buf[65536];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Bytes.insert(Bytes.end(), Buf, Buf + N);
+  std::fclose(F);
+  return deserializeProgram(Bytes);
+}

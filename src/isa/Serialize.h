@@ -1,0 +1,52 @@
+//===- isa/Serialize.h - Binary program images ("BORB" container) --------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple binary container for BOR-RISC programs, so workloads can be
+/// built once and shipped between the tools (bor-as, bor-dis, bor-run):
+///
+///   magic "BORB" | u32 version | u32 numInsts | u64 dataBase
+///   | u64 dataSize | u32 numSymbols
+///   | numInsts x u32 encoded instruction words
+///   | dataSize bytes of initialized data
+///   | symbols: (u32 nameLen, name bytes, u64 addr)*
+///
+/// All integers are little-endian. Loading validates structure and decodes
+/// instructions through the checked isa/Encoding path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_ISA_SERIALIZE_H
+#define BOR_ISA_SERIALIZE_H
+
+#include "isa/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace bor {
+
+/// Serializes \p P into the container format.
+std::vector<uint8_t> serializeProgram(const Program &P);
+
+/// Result of deserialization: a program or a diagnostic.
+struct LoadResult {
+  bool Ok = false;
+  Program Prog;
+  std::string Error;
+};
+
+/// Parses a container image produced by serializeProgram.
+LoadResult deserializeProgram(const std::vector<uint8_t> &Bytes);
+
+/// File convenience wrappers. saveProgram returns false on I/O failure;
+/// loadProgramFile reports I/O and format errors through LoadResult.
+bool saveProgram(const Program &P, const std::string &Path);
+LoadResult loadProgramFile(const std::string &Path);
+
+} // namespace bor
+
+#endif // BOR_ISA_SERIALIZE_H

@@ -1,0 +1,40 @@
+//===- lfsr/TapCatalog.cpp - Maximal-length LFSR tap selections ----------===//
+
+#include "lfsr/TapCatalog.h"
+
+using namespace bor;
+
+// Classic maximal-length selections (XAPP052-style tables) for the default
+// widths, plus the paper's Figure 6 4-bit example which corresponds to
+// polynomial (4, 3).
+static const std::vector<TapSet> &catalogStorage() {
+  static const std::vector<TapSet> Catalog = {
+      {"w4", 4, {4, 3}},
+      {"w8", 8, {8, 6, 5, 4}},
+      {"w16", 16, {16, 15, 13, 4}},
+      {"w20", 20, {20, 17}},
+      {"w24", 24, {24, 23, 22, 17}},
+      {"w32", 32, {32, 22, 2, 1}},
+  };
+  return Catalog;
+}
+
+const TapSet &bor::defaultTapSet(unsigned Width) {
+  for (const TapSet &T : catalogStorage())
+    if (T.Width == Width)
+      return T;
+  assert(false && "no default tap set for this width");
+  return catalogStorage().front();
+}
+
+const std::vector<TapSet> &bor::allTapSets() { return catalogStorage(); }
+
+const std::vector<TapSet> &bor::paperSensitivityTapSets() {
+  static const std::vector<TapSet> Sets = {
+      {"taps4-a", 32, {32, 31, 30, 10}},
+      {"taps4-b", 32, {32, 19, 18, 13}},
+      {"taps6-a", 32, {32, 31, 30, 29, 28, 22}},
+      {"taps6-b", 32, {32, 22, 16, 15, 12, 11}},
+  };
+  return Sets;
+}

@@ -1,0 +1,52 @@
+//===- lfsr/TapCatalog.h - Maximal-length LFSR tap selections ------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A catalog of maximal-length LFSR tap selections in polynomial-exponent
+/// notation, including the four 32-bit configurations the paper's Section
+/// 4.2 sensitivity study compares, and default selections for the widths a
+/// branch-on-random unit would plausibly use (16 bits minimum to reach the
+/// (1/2)^16 frequency; 20 bits as the paper's suggested design point that
+/// keeps spaced AND-bit selections available at low probabilities).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_LFSR_TAPCATALOG_H
+#define BOR_LFSR_TAPCATALOG_H
+
+#include "lfsr/Lfsr.h"
+
+#include <string>
+#include <vector>
+
+namespace bor {
+
+/// A named maximal-length tap selection.
+struct TapSet {
+  std::string Name;
+  unsigned Width;
+  std::vector<unsigned> PolyTaps;
+
+  Lfsr makeLfsr(uint64_t Seed = 1) const {
+    return Lfsr::fromPolynomial(Width, PolyTaps, Seed);
+  }
+};
+
+/// The default (maximal-length) tap selection for \p Width. Supported
+/// widths: 4, 8, 16, 20, 24, 32; asserts on anything else.
+const TapSet &defaultTapSet(unsigned Width);
+
+/// All catalog entries, for parameterized property tests.
+const std::vector<TapSet> &allTapSets();
+
+/// The four 32-bit tap selections of the paper's Section 4.2 sensitivity
+/// analysis: four taps at (32,31,30,10) and (32,19,18,13); six taps at
+/// (32,31,30,29,28,22) and (32,22,16,15,12,11).
+const std::vector<TapSet> &paperSensitivityTapSets();
+
+} // namespace bor
+
+#endif // BOR_LFSR_TAPCATALOG_H

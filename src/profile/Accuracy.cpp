@@ -1,0 +1,19 @@
+//===- profile/Accuracy.cpp - The overlap-percentage metric --------------===//
+
+#include "profile/Accuracy.h"
+
+#include <algorithm>
+
+using namespace bor;
+
+double bor::overlapAccuracy(const MethodProfile &Full,
+                            const MethodProfile &Sampled) {
+  assert(Full.numMethods() == Sampled.numMethods() &&
+         "profiles cover different method universes");
+  if (Sampled.total() == 0 || Full.total() == 0)
+    return 0.0;
+  double Overlap = 0.0;
+  for (size_t I = 0; I != Full.numMethods(); ++I)
+    Overlap += std::min(Full.fraction(I), Sampled.fraction(I));
+  return 100.0 * Overlap;
+}

@@ -1,0 +1,33 @@
+//===- profile/Accuracy.h - The overlap-percentage metric ----------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The accuracy metric of Section 4.1 (after Arnold–Ryder):
+///
+///   accuracy = sum_i min(f_full(i), f_sampled(i))
+///
+/// where f(i) is the fraction of all collected samples attributed to method
+/// i. A method over-counted by sampling contributes only its true fraction;
+/// the over-count necessarily under-counts others, so a perfect sampling
+/// yields 100%.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_PROFILE_ACCURACY_H
+#define BOR_PROFILE_ACCURACY_H
+
+#include "profile/Profile.h"
+
+namespace bor {
+
+/// Overlap percentage in [0, 100]. Profiles must cover the same method
+/// universe. Returns 0 if the sampled profile collected nothing.
+double overlapAccuracy(const MethodProfile &Full,
+                       const MethodProfile &Sampled);
+
+} // namespace bor
+
+#endif // BOR_PROFILE_ACCURACY_H

@@ -1,0 +1,79 @@
+//===- profile/Convergent.cpp - Convergent profiling (Section 7) ---------===//
+
+#include "profile/Convergent.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace bor;
+
+ConvergentProfiler::ConvergentProfiler(size_t NumMethods,
+                                       const ConvergentConfig &Config)
+    : Config(Config), Unit(Config.Brr), FreqRaw(Config.InitialFreqRaw),
+      Accumulated(NumMethods), Epoch(NumMethods) {
+  assert(Config.MinFreqRaw <= Config.InitialFreqRaw &&
+         Config.InitialFreqRaw <= Config.MaxFreqRaw &&
+         "initial frequency outside the allowed band");
+  assert(Config.MaxFreqRaw < FreqCode::NumValues);
+}
+
+bool ConvergentProfiler::visit(uint32_t Method) {
+  ++Visits;
+  if (!Unit.evaluate(FreqCode(FreqRaw)))
+    return false;
+
+  Accumulated.record(Method);
+  Epoch.record(Method);
+  if (Epoch.total() >= Config.EpochSamples)
+    endEpoch();
+  return true;
+}
+
+double ConvergentProfiler::expectedSamplingNoise(const MethodProfile &P,
+                                                 uint64_t N) {
+  if (N == 0)
+    return 1.0;
+  // E|p_hat - p| for a binomial estimate is about sqrt(2 p (1-p) / (pi N));
+  // total variation halves the L1 sum of those.
+  double Sum = 0.0;
+  for (size_t I = 0; I != P.numMethods(); ++I) {
+    double Pk = P.fraction(I);
+    Sum += std::sqrt(2.0 * Pk * (1.0 - Pk) /
+                     (3.14159265358979 * static_cast<double>(N)));
+  }
+  return 0.5 * Sum;
+}
+
+void ConvergentProfiler::endEpoch() {
+  // Total-variation distance between the epoch's distribution and the
+  // accumulated profile.
+  double Distance = 0.0;
+  for (size_t I = 0; I != Accumulated.numMethods(); ++I)
+    Distance += std::abs(Epoch.fraction(I) - Accumulated.fraction(I));
+  Distance *= 0.5;
+
+  History.push_back({FreqRaw, Distance, Visits});
+
+  double Converge = Config.ConvergeThreshold;
+  double Diverge = Config.DivergeThreshold;
+  if (Config.AdaptiveThresholds) {
+    double Noise = expectedSamplingNoise(Accumulated, Config.EpochSamples);
+    Converge = Config.ConvergeNoiseMultiple * Noise;
+    Diverge = std::max(Config.DivergeNoiseMultiple * Noise, 0.10);
+  }
+
+  if (Distance < Converge && FreqRaw < Config.MaxFreqRaw) {
+    ++FreqRaw; // converged: halve the sampling rate.
+  } else if (Distance > Diverge) {
+    // Behaviour shifted: re-characterize quickly by quadrupling the rate
+    // (two steps of the 4-bit field, bounded below) AND discarding the
+    // stale characterization — the old accumulated profile would otherwise
+    // keep every future epoch "divergent" and pin the rate at maximum.
+    if (FreqRaw > Config.MinFreqRaw)
+      FreqRaw = FreqRaw >= Config.MinFreqRaw + 2 ? FreqRaw - 2
+                                                 : Config.MinFreqRaw;
+    Accumulated = Epoch;
+  }
+
+  Epoch = MethodProfile(Accumulated.numMethods());
+}

@@ -1,0 +1,92 @@
+//===- profile/Convergent.h - Convergent profiling (Section 7) -----------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convergent profiling, the extension sketched in the paper's conclusion:
+/// because every branch-on-random instruction encodes its own frequency,
+/// the sampling rate can be lowered as the collected profile converges —
+/// and raised again if low-frequency samples start disagreeing with the
+/// established characterization. This controller implements that loop: it
+/// samples with a BrrUnit at a current frequency, compares each completed
+/// epoch of samples against the accumulated profile (total-variation
+/// distance), and walks the 4-bit freq field up (slower) on convergence or
+/// down (faster) on divergence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_PROFILE_CONVERGENT_H
+#define BOR_PROFILE_CONVERGENT_H
+
+#include "core/BrrUnit.h"
+#include "profile/Profile.h"
+
+#include <vector>
+
+namespace bor {
+
+struct ConvergentConfig {
+  unsigned InitialFreqRaw = 4; ///< start at 1/32 sampling.
+  unsigned MinFreqRaw = 0;     ///< fastest allowed: 1/2.
+  unsigned MaxFreqRaw = 12;    ///< slowest allowed: 1/8192.
+  uint64_t EpochSamples = 512; ///< samples per convergence check.
+  /// Epoch-vs-accumulated total-variation distance below which the profile
+  /// is considered converged (rate is lowered).
+  double ConvergeThreshold = 0.05;
+  /// Distance above which behaviour is considered changed (rate is raised).
+  double DivergeThreshold = 0.20;
+  /// When set, the fixed thresholds are replaced each epoch by multiples
+  /// of the *expected sampling noise* of a converged profile — the
+  /// total-variation distance an epoch of EpochSamples draws from the
+  /// accumulated distribution would show by chance. This removes the need
+  /// to tune thresholds per workload shape.
+  bool AdaptiveThresholds = false;
+  double ConvergeNoiseMultiple = 1.5;
+  double DivergeNoiseMultiple = 4.0;
+  BrrUnitConfig Brr;
+};
+
+/// The adaptive sampling controller.
+class ConvergentProfiler {
+public:
+  struct EpochRecord {
+    unsigned FreqRaw;    ///< frequency during the epoch.
+    double Distance;     ///< epoch-vs-accumulated total variation.
+    uint64_t VisitsSoFar;
+  };
+
+  /// Expected total-variation distance between an N-sample epoch and the
+  /// distribution \p P it was drawn from (half-normal approximation per
+  /// method). This is the controller's noise floor in adaptive mode.
+  static double expectedSamplingNoise(const MethodProfile &P, uint64_t N);
+
+  ConvergentProfiler(size_t NumMethods,
+                     const ConvergentConfig &Config = ConvergentConfig());
+
+  /// One instrumentation-site visit for \p Method; returns true if it was
+  /// sampled.
+  bool visit(uint32_t Method);
+
+  FreqCode currentFreq() const { return FreqCode(FreqRaw); }
+  const MethodProfile &profile() const { return Accumulated; }
+  const std::vector<EpochRecord> &history() const { return History; }
+  uint64_t visits() const { return Visits; }
+  uint64_t samples() const { return Accumulated.total(); }
+
+private:
+  void endEpoch();
+
+  ConvergentConfig Config;
+  BrrUnit Unit;
+  unsigned FreqRaw;
+  MethodProfile Accumulated;
+  MethodProfile Epoch;
+  uint64_t Visits = 0;
+  std::vector<EpochRecord> History;
+};
+
+} // namespace bor
+
+#endif // BOR_PROFILE_CONVERGENT_H

@@ -1,0 +1,14 @@
+//===- profile/Profile.cpp - Method-invocation profiles ------------------===//
+
+#include "profile/Profile.h"
+
+using namespace bor;
+
+MethodProfile MethodProfile::fromCounts(const std::vector<uint64_t> &Raw) {
+  MethodProfile P(Raw.size());
+  for (size_t I = 0; I != Raw.size(); ++I) {
+    P.Counts[I] = Raw[I];
+    P.Total += Raw[I];
+  }
+  return P;
+}

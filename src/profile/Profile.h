@@ -1,0 +1,62 @@
+//===- profile/Profile.h - Method-invocation profiles --------------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profile representation used by the accuracy experiments (Section 4):
+/// per-method invocation counts, normalizable to fractions of all collected
+/// samples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_PROFILE_PROFILE_H
+#define BOR_PROFILE_PROFILE_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bor {
+
+/// Per-method sample counts.
+class MethodProfile {
+public:
+  explicit MethodProfile(size_t NumMethods) : Counts(NumMethods, 0) {}
+
+  void record(size_t Method) {
+    assert(Method < Counts.size() && "method id out of range");
+    ++Counts[Method];
+    ++Total;
+  }
+
+  uint64_t count(size_t Method) const {
+    assert(Method < Counts.size() && "method id out of range");
+    return Counts[Method];
+  }
+  uint64_t total() const { return Total; }
+  size_t numMethods() const { return Counts.size(); }
+
+  /// Fraction of all samples attributed to \p Method (0 when empty).
+  double fraction(size_t Method) const {
+    if (Total == 0)
+      return 0.0;
+    return static_cast<double>(count(Method)) / static_cast<double>(Total);
+  }
+
+  const std::vector<uint64_t> &counts() const { return Counts; }
+
+  /// Builds a profile from raw counter values (e.g. read back from
+  /// simulated memory).
+  static MethodProfile fromCounts(const std::vector<uint64_t> &Raw);
+
+private:
+  std::vector<uint64_t> Counts;
+  uint64_t Total = 0;
+};
+
+} // namespace bor
+
+#endif // BOR_PROFILE_PROFILE_H

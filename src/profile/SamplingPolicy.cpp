@@ -1,0 +1,7 @@
+//===- profile/SamplingPolicy.cpp - Trace-level sampling policies --------===//
+
+#include "profile/SamplingPolicy.h"
+
+using namespace bor;
+
+SamplingPolicy::~SamplingPolicy() = default;

@@ -1,0 +1,89 @@
+//===- profile/TraceGen.h - Synthetic method-invocation streams ----------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic stand-ins for the DaCapo-on-Jikes method-invocation streams of
+/// the accuracy study (Section 4.2). What the accuracy experiments consume
+/// is only the sequence of instrumentation-site visits, so each benchmark
+/// is modelled by the properties that matter to sampling:
+///
+///  * total invocation count (the paper's ordering: fop 7M ... luindex
+///    212M, scaled down by a configurable divisor);
+///  * a Zipf-skewed hot-method distribution; and
+///  * structural periodicity: long-running loops whose bodies invoke a
+///    fixed tuple of leaf methods each iteration. An even-period tuple
+///    resonates with power-of-two counter intervals — the footnote-7
+///    pathology that makes jython (and pmd at 2^13) lose accuracy under
+///    counter-based sampling while branch-on-random is immune.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_PROFILE_TRACEGEN_H
+#define BOR_PROFILE_TRACEGEN_H
+
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bor {
+
+/// The generative model for one benchmark's invocation stream.
+struct BenchmarkModel {
+  std::string Name;
+  uint64_t Invocations = 1000000;
+  uint32_t NumMethods = 400;
+  double ZipfSkew = 1.0;
+  /// Approximate fraction of invocations emitted by periodic loops.
+  double ResonantFraction = 0.1;
+  /// Tuple sizes of the periodic loops. Even periods alias with
+  /// power-of-two sampling intervals; odd periods do not.
+  std::vector<unsigned> TuplePeriods = {3};
+  /// Iteration-count range of one loop segment (long segments keep the
+  /// counter phase pinned for a long time, which is what creates bias).
+  uint64_t LoopItersMin = 1000;
+  uint64_t LoopItersMax = 10000;
+  uint64_t Seed = 1;
+};
+
+/// Pull-based generator for a BenchmarkModel's invocation stream.
+class InvocationStream {
+public:
+  explicit InvocationStream(const BenchmarkModel &Model);
+
+  bool done() const { return Emitted >= Model.Invocations; }
+  uint64_t total() const { return Model.Invocations; }
+  uint64_t emitted() const { return Emitted; }
+
+  /// The next invoked method id.
+  uint32_t next();
+
+private:
+  void startSegment();
+
+  BenchmarkModel Model;
+  Xoshiro256 Rng;
+  ZipfSampler Zipf;
+  uint64_t Emitted = 0;
+  uint64_t LoopEmitted = 0;
+
+  // Current segment: either a periodic loop over Tuple, or random draws.
+  std::vector<uint32_t> Tuple; ///< empty in a random segment.
+  size_t TuplePos = 0;
+  uint64_t SegmentRemaining = 0;
+};
+
+/// The eight benchmark models in the paper's invocation-count order: fop,
+/// antlr, bloat, lusearch, xalan, jython, pmd, luindex. \p ScaleDivisor
+/// divides the paper's invocation counts (the default of 5 keeps runtimes
+/// laptop-scale while preserving enough samples per stream that accuracy
+/// levels are comparable to the paper's).
+std::vector<BenchmarkModel> dacapoAnalogues(uint64_t ScaleDivisor = 5);
+
+} // namespace bor
+
+#endif // BOR_PROFILE_TRACEGEN_H

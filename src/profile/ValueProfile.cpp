@@ -1,0 +1,96 @@
+//===- profile/ValueProfile.cpp - Top-N-value tables ----------------------===//
+
+#include "profile/ValueProfile.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bor;
+
+ValueProfile::ValueProfile(size_t Capacity, uint64_t EpochLen)
+    : Slots(Capacity), EpochLen(EpochLen) {
+  assert(Capacity >= 2 && "a TNV table needs at least two slots");
+  assert(EpochLen >= 1 && "epoch length must be positive");
+}
+
+void ValueProfile::record(uint64_t Value) {
+  ++Samples;
+
+  Slot *Free = nullptr;
+  Slot *Min = nullptr;
+  for (Slot &S : Slots) {
+    if (S.Occupied && S.Value == Value) {
+      ++S.Count;
+      goto epoch;
+    }
+    if (!S.Occupied && !Free)
+      Free = &S;
+    if (S.Occupied && (!Min || S.Count < Min->Count))
+      Min = &S;
+  }
+
+  if (Free) {
+    Free->Occupied = true;
+    Free->Value = Value;
+    Free->Count = 1;
+  } else if (Min && Min->Count == 0) {
+    // A cleared slot's ghost: steal it.
+    Min->Value = Value;
+    Min->Count = 1;
+  }
+  // Otherwise the value is dropped; it gets another chance after the next
+  // epoch clearing.
+
+epoch:
+  if (++SinceEpoch >= EpochLen) {
+    SinceEpoch = 0;
+    clearLowerHalf();
+  }
+}
+
+void ValueProfile::clearLowerHalf() {
+  // Keep the hotter half of the occupied slots, evict the rest — even when
+  // counts tie, half the table must open up or a saturated table could
+  // never admit a newly-hot value.
+  std::vector<Slot *> Occupied;
+  for (Slot &S : Slots)
+    if (S.Occupied)
+      Occupied.push_back(&S);
+  if (Occupied.size() < 2)
+    return;
+  std::sort(Occupied.begin(), Occupied.end(),
+            [](const Slot *A, const Slot *B) { return A->Count > B->Count; });
+  for (size_t I = Occupied.size() / 2; I < Occupied.size(); ++I)
+    Occupied[I]->Occupied = false;
+}
+
+uint64_t ValueProfile::topValue() const {
+  const Slot *Best = nullptr;
+  for (const Slot &S : Slots)
+    if (S.Occupied && (!Best || S.Count > Best->Count))
+      Best = &S;
+  return Best ? Best->Value : 0;
+}
+
+double ValueProfile::topValueFraction() const {
+  if (Samples == 0)
+    return 0.0;
+  uint64_t Best = 0;
+  for (const Slot &S : Slots)
+    if (S.Occupied)
+      Best = std::max(Best, S.Count);
+  return static_cast<double>(Best) / static_cast<double>(Samples);
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> ValueProfile::entries() const {
+  std::vector<std::pair<uint64_t, uint64_t>> Out;
+  for (const Slot &S : Slots)
+    if (S.Occupied)
+      Out.emplace_back(S.Value, S.Count);
+  std::sort(Out.begin(), Out.end(), [](const auto &A, const auto &B) {
+    if (A.second != B.second)
+      return A.second > B.second;
+    return A.first < B.first;
+  });
+  return Out;
+}

@@ -1,0 +1,73 @@
+//===- profile/ValueProfile.h - Top-N-value tables for value profiling ---===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value profiling is the paper's canonical example of expensive
+/// instrumentation (Section 1 cites slowdowns up to 10x for Calder et
+/// al.'s value profiler; Section 2 lists it among the profiles sampling
+/// handles well). This file implements the classic top-N-value (TNV)
+/// table used by those profilers: a small table of (value, count) pairs
+/// tracking the most frequent values observed at a site, with periodic
+/// clearing of the lower half so newly-hot values can displace stale ones.
+///
+/// Combined with a sampling policy (one TNV record per *sampled* site
+/// visit), this is exactly the kind of client a brr-based framework makes
+/// affordable in production.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_PROFILE_VALUEPROFILE_H
+#define BOR_PROFILE_VALUEPROFILE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bor {
+
+/// A top-N-value table for one instrumentation site.
+class ValueProfile {
+public:
+  /// \p Capacity entries; every \p EpochLen recorded values, the lower
+  /// half of the table (by count) is cleared to admit newly-hot values.
+  explicit ValueProfile(size_t Capacity = 8, uint64_t EpochLen = 1024);
+
+  /// Records one observed value.
+  void record(uint64_t Value);
+
+  /// Total values recorded (including ones that never earned a slot).
+  uint64_t samples() const { return Samples; }
+
+  /// The hottest tracked value; only meaningful once samples() > 0.
+  uint64_t topValue() const;
+
+  /// Fraction of all recorded samples attributed to the hottest tracked
+  /// value — the "invariance" of the site (1.0 = the value never varies).
+  double topValueFraction() const;
+
+  /// Tracked (value, count) pairs, hottest first.
+  std::vector<std::pair<uint64_t, uint64_t>> entries() const;
+
+  size_t capacity() const { return Slots.size(); }
+
+private:
+  struct Slot {
+    uint64_t Value = 0;
+    uint64_t Count = 0;
+    bool Occupied = false;
+  };
+
+  void clearLowerHalf();
+
+  std::vector<Slot> Slots;
+  uint64_t EpochLen;
+  uint64_t SinceEpoch = 0;
+  uint64_t Samples = 0;
+};
+
+} // namespace bor
+
+#endif // BOR_PROFILE_VALUEPROFILE_H

@@ -1,0 +1,190 @@
+//===- sim/Interpreter.cpp - Functional BOR-RISC execution ---------------===//
+
+#include "sim/Interpreter.h"
+
+using namespace bor;
+
+Interpreter::Interpreter(const Program &P, Machine &M, BrrDecider &Decider)
+    : Prog(P), Mach(M), Decider(Decider) {
+  // Establish the program image (data segment, PC) so a fresh machine is
+  // immediately runnable; reloading an already-loaded machine is benign.
+  Mach.loadProgram(P);
+}
+
+ExecRecord Interpreter::step() {
+  assert(!Mach.halted() && "stepping a halted machine");
+
+  ExecRecord R;
+  R.Pc = Mach.pc();
+  size_t Index = Prog.indexForPc(R.Pc);
+  const Inst &I = Prog.at(Index);
+  R.I = I;
+  R.NextPc = R.Pc + 4;
+
+  auto Reg = [this](unsigned Idx) { return Mach.readReg(Idx); };
+  auto BranchTarget = [&] {
+    return R.Pc + 4 * static_cast<int64_t>(I.Imm);
+  };
+
+  switch (I.Op) {
+  case Opcode::Nop:
+    break;
+  case Opcode::Halt:
+    Mach.setHalted();
+    R.NextPc = R.Pc;
+    break;
+
+  case Opcode::Add:
+    Mach.writeReg(I.Rd, Reg(I.Rs1) + Reg(I.Rs2));
+    break;
+  case Opcode::Sub:
+    Mach.writeReg(I.Rd, Reg(I.Rs1) - Reg(I.Rs2));
+    break;
+  case Opcode::And:
+    Mach.writeReg(I.Rd, Reg(I.Rs1) & Reg(I.Rs2));
+    break;
+  case Opcode::Or:
+    Mach.writeReg(I.Rd, Reg(I.Rs1) | Reg(I.Rs2));
+    break;
+  case Opcode::Xor:
+    Mach.writeReg(I.Rd, Reg(I.Rs1) ^ Reg(I.Rs2));
+    break;
+  case Opcode::Sll:
+    Mach.writeReg(I.Rd, Reg(I.Rs1) << (Reg(I.Rs2) & 63));
+    break;
+  case Opcode::Srl:
+    Mach.writeReg(I.Rd, Reg(I.Rs1) >> (Reg(I.Rs2) & 63));
+    break;
+  case Opcode::Mul:
+    Mach.writeReg(I.Rd, Reg(I.Rs1) * Reg(I.Rs2));
+    break;
+  case Opcode::Slt:
+    Mach.writeReg(I.Rd, static_cast<int64_t>(Reg(I.Rs1)) <
+                                static_cast<int64_t>(Reg(I.Rs2))
+                            ? 1
+                            : 0);
+    break;
+  case Opcode::Sltu:
+    Mach.writeReg(I.Rd, Reg(I.Rs1) < Reg(I.Rs2) ? 1 : 0);
+    break;
+
+  case Opcode::Addi:
+    Mach.writeReg(I.Rd, Reg(I.Rs1) + static_cast<int64_t>(I.Imm));
+    break;
+  case Opcode::Andi:
+    Mach.writeReg(I.Rd, Reg(I.Rs1) & static_cast<uint64_t>(
+                                         static_cast<int64_t>(I.Imm)));
+    break;
+  case Opcode::Ori:
+    Mach.writeReg(I.Rd, Reg(I.Rs1) | static_cast<uint64_t>(
+                                         static_cast<int64_t>(I.Imm)));
+    break;
+  case Opcode::Xori:
+    Mach.writeReg(I.Rd, Reg(I.Rs1) ^ static_cast<uint64_t>(
+                                         static_cast<int64_t>(I.Imm)));
+    break;
+  case Opcode::Slli:
+    Mach.writeReg(I.Rd, Reg(I.Rs1) << (I.Imm & 63));
+    break;
+  case Opcode::Srli:
+    Mach.writeReg(I.Rd, Reg(I.Rs1) >> (I.Imm & 63));
+    break;
+  case Opcode::Slti:
+    Mach.writeReg(I.Rd, static_cast<int64_t>(Reg(I.Rs1)) <
+                                static_cast<int64_t>(I.Imm)
+                            ? 1
+                            : 0);
+    break;
+
+  case Opcode::Ld:
+    R.MemAddr = Reg(I.Rs1) + static_cast<int64_t>(I.Imm);
+    Mach.writeReg(I.Rd, Mach.memory().readU64(R.MemAddr));
+    ++Stats.Loads;
+    break;
+  case Opcode::Ldb:
+    R.MemAddr = Reg(I.Rs1) + static_cast<int64_t>(I.Imm);
+    Mach.writeReg(I.Rd, Mach.memory().readU8(R.MemAddr));
+    ++Stats.Loads;
+    break;
+  case Opcode::St:
+    R.MemAddr = Reg(I.Rs1) + static_cast<int64_t>(I.Imm);
+    Mach.memory().writeU64(R.MemAddr, Reg(I.Rs2));
+    ++Stats.Stores;
+    break;
+  case Opcode::Stb:
+    R.MemAddr = Reg(I.Rs1) + static_cast<int64_t>(I.Imm);
+    Mach.memory().writeU8(R.MemAddr, static_cast<uint8_t>(Reg(I.Rs2)));
+    ++Stats.Stores;
+    break;
+
+  case Opcode::Beq:
+    R.Taken = Reg(I.Rs1) == Reg(I.Rs2);
+    goto condBranch;
+  case Opcode::Bne:
+    R.Taken = Reg(I.Rs1) != Reg(I.Rs2);
+    goto condBranch;
+  case Opcode::Blt:
+    R.Taken = static_cast<int64_t>(Reg(I.Rs1)) <
+              static_cast<int64_t>(Reg(I.Rs2));
+    goto condBranch;
+  case Opcode::Bge:
+    R.Taken = static_cast<int64_t>(Reg(I.Rs1)) >=
+              static_cast<int64_t>(Reg(I.Rs2));
+  condBranch:
+    ++Stats.CondBranches;
+    if (R.Taken) {
+      ++Stats.CondTaken;
+      R.NextPc = BranchTarget();
+    }
+    break;
+
+  case Opcode::Jmp:
+    R.Taken = true;
+    R.NextPc = BranchTarget();
+    break;
+  case Opcode::Jal:
+    Mach.writeReg(I.Rd, R.Pc + 4);
+    R.Taken = true;
+    R.NextPc = BranchTarget();
+    break;
+  case Opcode::Jalr: {
+    uint64_t Target = Reg(I.Rs1);
+    Mach.writeReg(I.Rd, R.Pc + 4);
+    R.Taken = true;
+    R.NextPc = Target;
+    break;
+  }
+
+  case Opcode::Brr:
+    ++Stats.BrrExecuted;
+    R.Taken = Decider.decide(FreqCode(I.Freq));
+    if (R.Taken) {
+      ++Stats.BrrTaken;
+      R.NextPc = BranchTarget();
+    }
+    break;
+
+  case Opcode::Marker:
+    if (MarkerHook)
+      MarkerHook(I.Imm);
+    break;
+
+  case Opcode::RdLfsr:
+    Mach.writeReg(I.Rd, Decider.readAndStep());
+    break;
+  }
+
+  Mach.setPc(R.NextPc);
+  ++Stats.Insts;
+  return R;
+}
+
+RunStats Interpreter::run(uint64_t MaxSteps, bool RequireHalt) {
+  for (uint64_t N = 0; N != MaxSteps && !Mach.halted(); ++N)
+    step();
+  assert((!RequireHalt || Mach.halted()) &&
+         "program did not halt within the step budget");
+  (void)RequireHalt;
+  Stats.Halted = Mach.halted();
+  return Stats;
+}

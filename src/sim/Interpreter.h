@@ -1,0 +1,83 @@
+//===- sim/Interpreter.h - Functional BOR-RISC execution -----------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The functional interpreter executes a Program against a Machine one
+/// instruction at a time, producing an ExecRecord per instruction with the
+/// facts a timing model needs (next PC, branch outcome, memory address).
+/// It is used directly for the accuracy experiments — mirroring the paper's
+/// full-speed SIGILL-based functional emulation (Section 4.1) — and as the
+/// correct-path oracle of the timing-first pipeline model (Section 5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_SIM_INTERPRETER_H
+#define BOR_SIM_INTERPRETER_H
+
+#include "sim/Machine.h"
+
+#include <functional>
+
+namespace bor {
+
+/// Everything a timing model needs to know about one executed instruction.
+struct ExecRecord {
+  uint64_t Pc = 0;
+  Inst I;
+  uint64_t NextPc = 0;
+  /// For control instructions: did it redirect (conditional taken, brr
+  /// taken; always true for jumps)?
+  bool Taken = false;
+  /// For loads/stores: the effective address.
+  uint64_t MemAddr = 0;
+};
+
+/// Aggregate execution statistics.
+struct RunStats {
+  uint64_t Insts = 0;
+  uint64_t CondBranches = 0;
+  uint64_t CondTaken = 0;
+  uint64_t BrrExecuted = 0;
+  uint64_t BrrTaken = 0;
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  bool Halted = false;
+};
+
+/// Functional executor. The decider resolves brr outcomes; markers invoke
+/// the optional callback.
+class Interpreter {
+public:
+  Interpreter(const Program &P, Machine &M, BrrDecider &Decider);
+
+  bool halted() const { return Mach.halted(); }
+
+  /// Executes exactly one instruction. Must not be called once halted.
+  ExecRecord step();
+
+  /// Runs until halt or until \p MaxSteps instructions retire. Asserts the
+  /// program halts within the budget when \p RequireHalt is set.
+  RunStats run(uint64_t MaxSteps, bool RequireHalt = true);
+
+  /// Invoked with the marker id each time a marker executes.
+  void setMarkerHook(std::function<void(int32_t)> Hook) {
+    MarkerHook = std::move(Hook);
+  }
+
+  const RunStats &stats() const { return Stats; }
+  Machine &machine() { return Mach; }
+
+private:
+  const Program &Prog;
+  Machine &Mach;
+  BrrDecider &Decider;
+  RunStats Stats;
+  std::function<void(int32_t)> MarkerHook;
+};
+
+} // namespace bor
+
+#endif // BOR_SIM_INTERPRETER_H

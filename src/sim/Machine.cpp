@@ -1,0 +1,66 @@
+//===- sim/Machine.cpp - Architectural state of a BOR-RISC machine -------===//
+
+#include "sim/Machine.h"
+
+using namespace bor;
+
+BrrDecider::~BrrDecider() = default;
+
+Memory::Page &Memory::pageFor(uint64_t Addr) {
+  uint64_t Base = Addr / PageBytes;
+  std::unique_ptr<Page> &Slot = Pages[Base];
+  if (!Slot) {
+    Slot = std::make_unique<Page>();
+    Slot->fill(0);
+  }
+  return *Slot;
+}
+
+const Memory::Page *Memory::pageForRead(uint64_t Addr) const {
+  auto It = Pages.find(Addr / PageBytes);
+  if (It == Pages.end())
+    return nullptr;
+  return It->second.get();
+}
+
+uint8_t Memory::readU8(uint64_t Addr) const {
+  const Page *P = pageForRead(Addr);
+  if (!P)
+    return 0;
+  return (*P)[Addr % PageBytes];
+}
+
+void Memory::writeU8(uint64_t Addr, uint8_t Value) {
+  pageFor(Addr)[Addr % PageBytes] = Value;
+}
+
+uint64_t Memory::readU64(uint64_t Addr) const {
+  assert(Addr % 8 == 0 && "64-bit loads must be 8-byte aligned");
+  const Page *P = pageForRead(Addr);
+  if (!P)
+    return 0;
+  uint64_t Offset = Addr % PageBytes;
+  uint64_t Value = 0;
+  for (unsigned I = 0; I != 8; ++I)
+    Value |= static_cast<uint64_t>((*P)[Offset + I]) << (8 * I);
+  return Value;
+}
+
+void Memory::writeU64(uint64_t Addr, uint64_t Value) {
+  assert(Addr % 8 == 0 && "64-bit stores must be 8-byte aligned");
+  Page &P = pageFor(Addr);
+  uint64_t Offset = Addr % PageBytes;
+  for (unsigned I = 0; I != 8; ++I)
+    P[Offset + I] = static_cast<uint8_t>(Value >> (8 * I));
+}
+
+Machine::Machine() { Regs.fill(0); }
+
+void Machine::loadProgram(const Program &P) {
+  const std::vector<uint8_t> &Data = P.data();
+  for (size_t I = 0; I != Data.size(); ++I)
+    if (Data[I] != 0)
+      Mem.writeU8(P.dataBase() + I, Data[I]);
+  Pc = 0;
+  Halted = false;
+}

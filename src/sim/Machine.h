@@ -1,0 +1,141 @@
+//===- sim/Machine.h - Architectural state of a BOR-RISC machine ---------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Architectural state (registers, sparse paged memory, PC) plus the
+/// BrrDecider interface through which an executing program's branch-on-
+/// random instructions are resolved. Deciders wrap the hardware models of
+/// src/core/ (LFSR unit, deterministic hardware counter) or trivial
+/// always/never policies for tests — reflecting Section 3.2's point that
+/// the ISA promises only asymptotic frequency, not any particular sequence,
+/// so *any* decider is an architecturally valid implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_SIM_MACHINE_H
+#define BOR_SIM_MACHINE_H
+
+#include "core/BrrUnit.h"
+#include "core/DeterministicBrr.h"
+#include "isa/Program.h"
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+
+namespace bor {
+
+/// Sparse, paged simulated memory. 64-bit accesses must be 8-byte aligned
+/// (all generated code allocates data with that alignment).
+class Memory {
+public:
+  uint8_t readU8(uint64_t Addr) const;
+  void writeU8(uint64_t Addr, uint8_t Value);
+  uint64_t readU64(uint64_t Addr) const;
+  void writeU64(uint64_t Addr, uint64_t Value);
+
+  /// Number of distinct pages touched (for tests).
+  size_t numPages() const { return Pages.size(); }
+
+private:
+  static constexpr uint64_t PageBytes = 4096;
+  using Page = std::array<uint8_t, PageBytes>;
+
+  Page &pageFor(uint64_t Addr);
+  const Page *pageForRead(uint64_t Addr) const;
+
+  std::unordered_map<uint64_t, std::unique_ptr<Page>> Pages;
+};
+
+/// Resolves branch-on-random outcomes for an executing program.
+class BrrDecider {
+public:
+  virtual ~BrrDecider();
+  /// Returns true if this dynamic brr instance is taken.
+  virtual bool decide(FreqCode Freq) = 0;
+  /// Implements the rdlfsr instruction (Section 3.4's software-readable
+  /// LFSR): returns the generator's current state and advances it.
+  /// Implementations without an LFSR return 0.
+  virtual uint64_t readAndStep() { return 0; }
+};
+
+/// The proposed hardware: an LFSR-based BrrUnit (Section 3.3).
+class BrrUnitDecider : public BrrDecider {
+public:
+  explicit BrrUnitDecider(const BrrUnitConfig &Config = BrrUnitConfig())
+      : Unit(Config) {}
+  bool decide(FreqCode Freq) override { return Unit.evaluate(Freq); }
+  uint64_t readAndStep() override {
+    uint64_t State = Unit.lfsr().state();
+    Unit.lfsr().step();
+    return State;
+  }
+  const BrrUnit &unit() const { return Unit; }
+
+private:
+  BrrUnit Unit;
+};
+
+/// Deterministic fixed-interval implementation (Section 4.1's "hardware
+/// counter").
+class HwCounterDecider : public BrrDecider {
+public:
+  explicit HwCounterDecider(uint64_t Phase = 0) : Unit(Phase) {}
+  bool decide(FreqCode Freq) override { return Unit.evaluate(Freq); }
+
+private:
+  HwCounterUnit Unit;
+};
+
+/// Never-taken (e.g. to measure framework-only code paths in tests).
+class NeverTakenDecider : public BrrDecider {
+public:
+  bool decide(FreqCode) override { return false; }
+};
+
+/// Always-taken (for exercising instrumentation paths deterministically).
+class AlwaysTakenDecider : public BrrDecider {
+public:
+  bool decide(FreqCode) override { return true; }
+};
+
+/// Architectural machine state.
+class Machine {
+public:
+  Machine();
+
+  /// Copies \p P's data segment into memory and resets PC to 0.
+  void loadProgram(const Program &P);
+
+  uint64_t readReg(unsigned R) const {
+    assert(R < 32 && "register index out of range");
+    return Regs[R];
+  }
+  void writeReg(unsigned R, uint64_t Value) {
+    assert(R < 32 && "register index out of range");
+    if (R != RegZero)
+      Regs[R] = Value;
+  }
+
+  uint64_t pc() const { return Pc; }
+  void setPc(uint64_t NewPc) { Pc = NewPc; }
+
+  bool halted() const { return Halted; }
+  void setHalted() { Halted = true; }
+
+  Memory &memory() { return Mem; }
+  const Memory &memory() const { return Mem; }
+
+private:
+  std::array<uint64_t, 32> Regs;
+  uint64_t Pc = 0;
+  bool Halted = false;
+  Memory Mem;
+};
+
+} // namespace bor
+
+#endif // BOR_SIM_MACHINE_H

@@ -1,0 +1,90 @@
+//===- support/Rng.cpp - Deterministic RNG for workload synthesis --------===//
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace bor;
+
+uint64_t SplitMix64::next() {
+  uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+Xoshiro256::Xoshiro256(uint64_t Seed) {
+  SplitMix64 Seeder(Seed);
+  for (uint64_t &Word : State)
+    Word = Seeder.next();
+}
+
+static inline uint64_t rotl64(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+uint64_t Xoshiro256::next() {
+  uint64_t Result = rotl64(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl64(State[3], 45);
+  return Result;
+}
+
+double Xoshiro256::nextDouble() {
+  // 53 high bits give a uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Xoshiro256::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow requires a nonzero bound");
+  // Rejection sampling to avoid modulo bias; the retry probability is
+  // negligible for the bounds used in workload synthesis.
+  uint64_t Threshold = (0 - Bound) % Bound;
+  for (;;) {
+    uint64_t R = next();
+    if (R >= Threshold)
+      return R % Bound;
+  }
+}
+
+bool Xoshiro256::nextBool(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return nextDouble() < P;
+}
+
+ZipfSampler::ZipfSampler(size_t N, double S) {
+  assert(N > 0 && "Zipf distribution needs at least one rank");
+  Cdf.resize(N);
+  double Sum = 0.0;
+  for (size_t K = 0; K != N; ++K) {
+    Sum += 1.0 / std::pow(static_cast<double>(K + 1), S);
+    Cdf[K] = Sum;
+  }
+  for (double &V : Cdf)
+    V /= Sum;
+  Cdf.back() = 1.0;
+}
+
+size_t ZipfSampler::sample(Xoshiro256 &Rng) const {
+  double U = Rng.nextDouble();
+  auto It = std::lower_bound(Cdf.begin(), Cdf.end(), U);
+  if (It == Cdf.end())
+    return Cdf.size() - 1;
+  return static_cast<size_t>(It - Cdf.begin());
+}
+
+double ZipfSampler::probability(size_t K) const {
+  assert(K < Cdf.size() && "rank out of range");
+  if (K == 0)
+    return Cdf[0];
+  return Cdf[K] - Cdf[K - 1];
+}

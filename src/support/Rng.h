@@ -1,0 +1,82 @@
+//===- support/Rng.h - Deterministic RNG for workload synthesis ----------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generators used to *synthesize
+/// workloads* (text, call traces, program shapes). These are deliberately
+/// separate from the LFSR in src/lfsr/: the LFSR models the proposed
+/// hardware, whereas these generators model the environment the hardware is
+/// evaluated in. Keeping them apart ensures experiments never accidentally
+/// correlate the workload with the sampling hardware.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_SUPPORT_RNG_H
+#define BOR_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bor {
+
+/// SplitMix64: tiny, fast generator mainly used to seed Xoshiro256 and to
+/// derive independent sub-streams from a single experiment seed.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next();
+
+private:
+  uint64_t State;
+};
+
+/// Xoshiro256**: the workhorse generator for workload synthesis. Seeded via
+/// SplitMix64 so that any 64-bit seed yields a well-mixed state.
+class Xoshiro256 {
+public:
+  explicit Xoshiro256(uint64_t Seed);
+
+  uint64_t next();
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble();
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P);
+
+private:
+  uint64_t State[4];
+};
+
+/// Samples from a Zipf distribution over ranks {0, ..., N-1} with skew
+/// parameter S (probability of rank k proportional to 1/(k+1)^S). Used to
+/// model hot-method distributions in synthetic managed-runtime workloads.
+///
+/// Sampling is O(log N) via binary search on the precomputed CDF.
+class ZipfSampler {
+public:
+  ZipfSampler(size_t N, double S);
+
+  size_t sample(Xoshiro256 &Rng) const;
+
+  /// Exact probability of rank \p K under this distribution.
+  double probability(size_t K) const;
+
+  size_t size() const { return Cdf.size(); }
+
+private:
+  std::vector<double> Cdf;
+};
+
+} // namespace bor
+
+#endif // BOR_SUPPORT_RNG_H

@@ -1,0 +1,66 @@
+//===- support/Stats.cpp - Streaming statistics helpers ------------------===//
+
+#include "support/Stats.h"
+
+#include <cmath>
+
+using namespace bor;
+
+void RunningStat::add(double X) {
+  ++N;
+  if (N == 1) {
+    Mean = Min = Max = X;
+    M2 = 0.0;
+    return;
+  }
+  double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+  if (X < Min)
+    Min = X;
+  if (X > Max)
+    Max = X;
+}
+
+double RunningStat::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / static_cast<double>(N - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::ci95HalfWidth() const {
+  if (N < 2)
+    return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(N));
+}
+
+double bor::percent(double Part, double Whole) {
+  if (Whole == 0.0)
+    return 0.0;
+  return 100.0 * Part / Whole;
+}
+
+GapHistogram::GapHistogram(size_t NumBuckets) : Buckets(NumBuckets, 0) {}
+
+void GapHistogram::add(uint64_t Gap) {
+  ++Total;
+  SumGaps += static_cast<double>(Gap);
+  if (Gap < Buckets.size()) {
+    ++Buckets[Gap];
+    return;
+  }
+  ++Overflow;
+}
+
+uint64_t GapHistogram::bucket(size_t I) const {
+  assert(I < Buckets.size() && "bucket index out of range");
+  return Buckets[I];
+}
+
+double GapHistogram::meanGap() const {
+  if (Total == 0)
+    return 0.0;
+  return SumGaps / static_cast<double>(Total);
+}

@@ -1,0 +1,80 @@
+//===- support/Stats.h - Streaming statistics helpers --------------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small statistics utilities used by the accuracy experiments and the
+/// benchmark harness: streaming mean/variance (Welford), ratio helpers, and
+/// a fixed-bucket histogram for inter-sample-gap analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_SUPPORT_STATS_H
+#define BOR_SUPPORT_STATS_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bor {
+
+/// Streaming mean / variance accumulator (Welford's algorithm).
+class RunningStat {
+public:
+  void add(double X);
+
+  size_t count() const { return N; }
+  double mean() const { return N ? Mean : 0.0; }
+
+  /// Sample variance (divides by N-1); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  /// Half-width of an approximate 95% confidence interval on the mean
+  /// (normal approximation, 1.96 * stderr); 0 for fewer than two samples.
+  double ci95HalfWidth() const;
+
+  double min() const { return N ? Min : 0.0; }
+  double max() const { return N ? Max : 0.0; }
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Percentage helper: 100 * Part / Whole, 0 when Whole == 0.
+double percent(double Part, double Whole);
+
+/// Histogram with unit-width integer buckets [0, NumBuckets) plus an
+/// overflow bucket; used to characterize gaps between taken samples.
+class GapHistogram {
+public:
+  explicit GapHistogram(size_t NumBuckets);
+
+  void add(uint64_t Gap);
+
+  uint64_t bucket(size_t I) const;
+  uint64_t overflow() const { return Overflow; }
+  uint64_t total() const { return Total; }
+
+  /// Mean of all recorded gaps (overflow gaps contribute their true value).
+  double meanGap() const;
+
+  size_t numBuckets() const { return Buckets.size(); }
+
+private:
+  std::vector<uint64_t> Buckets;
+  uint64_t Overflow = 0;
+  uint64_t Total = 0;
+  double SumGaps = 0.0;
+};
+
+} // namespace bor
+
+#endif // BOR_SUPPORT_STATS_H

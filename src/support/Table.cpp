@@ -1,0 +1,54 @@
+//===- support/Table.cpp - Column-aligned text tables --------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+using namespace bor;
+
+void Table::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+std::string Table::fmt(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string Table::fmt(uint64_t Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, Value);
+  return Buf;
+}
+
+void Table::print(std::FILE *Out) const {
+  if (Rows.empty())
+    return;
+
+  size_t NumCols = 0;
+  for (const auto &Row : Rows)
+    NumCols = std::max(NumCols, Row.size());
+
+  std::vector<size_t> Widths(NumCols, 0);
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto printRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != NumCols; ++C) {
+      const std::string Cell = C < Row.size() ? Row[C] : "";
+      std::fprintf(Out, "%-*s", static_cast<int>(Widths[C] + 2), Cell.c_str());
+    }
+    std::fprintf(Out, "\n");
+  };
+
+  printRow(Rows.front());
+  size_t RuleWidth = 0;
+  for (size_t W : Widths)
+    RuleWidth += W + 2;
+  std::fprintf(Out, "%s\n", std::string(RuleWidth, '-').c_str());
+  for (size_t R = 1; R < Rows.size(); ++R)
+    printRow(Rows[R]);
+}

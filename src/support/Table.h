@@ -1,0 +1,45 @@
+//===- support/Table.h - Column-aligned text tables for bench output -----===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal column-aligned table printer. The benchmark harness uses it to
+/// print the rows/series corresponding to each figure of the paper so that
+/// results can be diffed against EXPERIMENTS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_SUPPORT_TABLE_H
+#define BOR_SUPPORT_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bor {
+
+/// Accumulates rows of string cells and prints them with columns padded to
+/// the widest cell. The first row added is treated as the header.
+class Table {
+public:
+  void addRow(std::vector<std::string> Cells);
+
+  /// Convenience: formats a double with \p Precision digits after the point.
+  static std::string fmt(double Value, int Precision = 2);
+  static std::string fmt(uint64_t Value);
+
+  /// Renders the table to \p Out (defaults to stdout) with a separator rule
+  /// under the header row.
+  void print(std::FILE *Out = stdout) const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace bor
+
+#endif // BOR_SUPPORT_TABLE_H

@@ -1,0 +1,99 @@
+//===- uarch/BranchPredictor.cpp - Tournament predictor ------------------===//
+
+#include "uarch/BranchPredictor.h"
+
+#include <bit>
+#include <cassert>
+
+using namespace bor;
+
+TournamentPredictor::TournamentPredictor(const PredictorConfig &Config)
+    : Config(Config) {
+  assert(Config.HistoryBits >= 1 && Config.HistoryBits <= 32);
+  assert(std::has_single_bit(Config.BimodalEntries));
+  assert(std::has_single_bit(Config.ChooserEntries));
+  HistoryMask = Config.HistoryBits == 32
+                    ? ~0u
+                    : ((1u << Config.HistoryBits) - 1);
+  // Weakly not-taken start for the direction tables; weakly-prefer-gshare
+  // for the chooser.
+  Gshare.assign(1u << Config.HistoryBits, 1);
+  Bimodal.assign(Config.BimodalEntries, 1);
+  Chooser.assign(Config.ChooserEntries, 2);
+}
+
+unsigned TournamentPredictor::gshareIndex(uint64_t Pc, uint32_t Hist) const {
+  return static_cast<unsigned>(((Pc >> 2) ^ Hist) & HistoryMask);
+}
+
+unsigned TournamentPredictor::bimodalIndex(uint64_t Pc) const {
+  return static_cast<unsigned>((Pc >> 2) & (Config.BimodalEntries - 1));
+}
+
+unsigned TournamentPredictor::chooserIndex(uint64_t Pc) const {
+  return static_cast<unsigned>((Pc >> 2) & (Config.ChooserEntries - 1));
+}
+
+BranchPrediction TournamentPredictor::predict(uint64_t Pc) {
+  BranchPrediction P;
+  P.HistBefore = History;
+
+  bool GsharePred = Gshare[gshareIndex(Pc, History)] >= 2;
+  bool BimodalPred = Bimodal[bimodalIndex(Pc)] >= 2;
+  switch (Config.Kind) {
+  case PredictorKind::Tournament:
+    P.Taken = Chooser[chooserIndex(Pc)] >= 2 ? GsharePred : BimodalPred;
+    break;
+  case PredictorKind::GshareOnly:
+    P.Taken = GsharePred;
+    break;
+  case PredictorKind::BimodalOnly:
+    P.Taken = BimodalPred;
+    break;
+  }
+
+  // Speculative history update with the *predicted* outcome; repaired on a
+  // misprediction by repairHistory().
+  History = ((History << 1) | (P.Taken ? 1 : 0)) & HistoryMask;
+  ++Stats.Predictions;
+  return P;
+}
+
+void TournamentPredictor::train(uint8_t &Counter, bool Taken) {
+  if (Taken) {
+    if (Counter < 3)
+      ++Counter;
+    return;
+  }
+  if (Counter > 0)
+    --Counter;
+}
+
+void TournamentPredictor::resolve(uint64_t Pc, uint32_t HistBefore,
+                                  bool PredictedTaken, bool Taken) {
+  uint8_t &G = Gshare[gshareIndex(Pc, HistBefore)];
+  uint8_t &B = Bimodal[bimodalIndex(Pc)];
+  bool GshareWasRight = (G >= 2) == Taken;
+  bool BimodalWasRight = (B >= 2) == Taken;
+
+  // The chooser trains only when the components disagree (and only
+  // matters in tournament mode).
+  if (Config.Kind == PredictorKind::Tournament &&
+      GshareWasRight != BimodalWasRight)
+    train(Chooser[chooserIndex(Pc)], GshareWasRight);
+
+  train(G, Taken);
+  train(B, Taken);
+
+  if (PredictedTaken != Taken)
+    ++Stats.Mispredictions;
+}
+
+void TournamentPredictor::repairHistory(uint32_t HistBefore, bool Taken) {
+  History = ((HistBefore << 1) | (Taken ? 1 : 0)) & HistoryMask;
+}
+
+uint64_t TournamentPredictor::stateBits() const {
+  return 2ull * (Gshare.size() + Bimodal.size() + Chooser.size()) +
+         Config.HistoryBits;
+}

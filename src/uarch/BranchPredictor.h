@@ -1,0 +1,105 @@
+//===- uarch/BranchPredictor.h - Tournament predictor (Section 5.1) ------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's front end uses a tournament predictor combining a 16-bit
+/// gshare with a 64K-entry bimodal predictor. Global history is updated
+/// speculatively at prediction time and repaired on mispredictions.
+///
+/// Two of the paper's overhead sources live here (Section 2, item 6):
+/// sampling branches from a counter-based framework enter these tables,
+/// (a) diluting the useful global history with low-entropy outcomes and
+/// (b) aliasing destructively with program branches. Branch-on-random
+/// instructions never touch the predictor at all (Section 3.3), which is
+/// modelled simply by the pipeline never calling into it for brr.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_UARCH_BRANCHPREDICTOR_H
+#define BOR_UARCH_BRANCHPREDICTOR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace bor {
+
+/// Which direction predictor the front end uses. The paper's machine is a
+/// tournament (gshare + bimodal); the single-component variants exist for
+/// sensitivity studies of the framework-pollution effects (Section 2,
+/// item 6), which hit history-based predictors hardest.
+enum class PredictorKind {
+  Tournament,
+  GshareOnly,
+  BimodalOnly,
+};
+
+struct PredictorConfig {
+  PredictorKind Kind = PredictorKind::Tournament;
+  unsigned HistoryBits = 16;      ///< gshare history length / table index.
+  unsigned BimodalEntries = 1u << 16; ///< 64K-entry bimodal.
+  unsigned ChooserEntries = 1u << 16;
+};
+
+struct PredictorStats {
+  uint64_t Predictions = 0;
+  uint64_t Mispredictions = 0;
+};
+
+/// A prediction plus the pre-prediction global history, which the pipeline
+/// keeps with the in-flight branch so tables can be updated with the
+/// history that produced the prediction and history can be repaired on a
+/// squash.
+struct BranchPrediction {
+  bool Taken = false;
+  uint32_t HistBefore = 0;
+};
+
+/// gshare + bimodal tournament predictor with 2-bit counters throughout.
+class TournamentPredictor {
+public:
+  explicit TournamentPredictor(
+      const PredictorConfig &Config = PredictorConfig());
+
+  /// Predicts the branch at \p Pc and speculatively shifts the prediction
+  /// into the global history.
+  BranchPrediction predict(uint64_t Pc);
+
+  /// Trains tables for a resolved branch: \p HistBefore must be the value
+  /// captured by predict(), \p PredictedTaken its output, \p Taken the
+  /// actual outcome.
+  void resolve(uint64_t Pc, uint32_t HistBefore, bool PredictedTaken,
+               bool Taken);
+
+  /// Restores history after a misprediction flush: everything younger than
+  /// the branch is squashed and the branch's actual outcome is shifted in.
+  void repairHistory(uint32_t HistBefore, bool Taken);
+
+  uint32_t history() const { return History; }
+  const PredictorStats &stats() const { return Stats; }
+  const PredictorConfig &config() const { return Config; }
+
+  /// Storage bits across all tables (for reporting).
+  uint64_t stateBits() const;
+
+private:
+  static void train(uint8_t &Counter, bool Taken);
+
+  unsigned gshareIndex(uint64_t Pc, uint32_t Hist) const;
+  unsigned bimodalIndex(uint64_t Pc) const;
+  unsigned chooserIndex(uint64_t Pc) const;
+
+  PredictorConfig Config;
+  uint32_t History = 0;
+  uint32_t HistoryMask;
+  std::vector<uint8_t> Gshare;  ///< 2-bit counters.
+  std::vector<uint8_t> Bimodal; ///< 2-bit counters.
+  std::vector<uint8_t> Chooser; ///< 2-bit counters; >=2 selects gshare.
+  PredictorStats Stats;
+};
+
+} // namespace bor
+
+#endif // BOR_UARCH_BRANCHPREDICTOR_H

@@ -1,0 +1,25 @@
+//===- uarch/MemoryHierarchy.cpp - L1I/L1D/L2/memory latencies -----------===//
+
+#include "uarch/MemoryHierarchy.h"
+
+using namespace bor;
+
+MemoryHierarchy::MemoryHierarchy(const MemHierConfig &Config)
+    : Config(Config), L1I(Config.L1I), L1D(Config.L1D), L2(Config.L2) {}
+
+unsigned MemoryHierarchy::fetchAccess(uint64_t Addr) {
+  if (L1I.access(Addr))
+    return 0;
+  if (L2.access(Addr))
+    return Config.L2HitCycles;
+  return Config.MemCycles;
+}
+
+unsigned MemoryHierarchy::dataAccess(uint64_t Addr, bool IsWrite) {
+  (void)IsWrite; // Write-allocate: reads and writes fill identically.
+  if (L1D.access(Addr))
+    return Config.L1DHitCycles;
+  if (L2.access(Addr))
+    return Config.L1DHitCycles + Config.L2HitCycles;
+  return Config.L1DHitCycles + Config.MemCycles;
+}

@@ -1,0 +1,59 @@
+//===- uarch/MemoryHierarchy.h - L1I/L1D/L2/memory latencies -------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 5.1 memory system: 32KB 4-way 64B-line L1 caches, a shared
+/// 1MB 8-way L2 responding in 8 cycles, and 140-cycle memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_UARCH_MEMORYHIERARCHY_H
+#define BOR_UARCH_MEMORYHIERARCHY_H
+
+#include "uarch/Cache.h"
+
+namespace bor {
+
+struct MemHierConfig {
+  CacheConfig L1I = {32 * 1024, 4, 64};
+  CacheConfig L1D = {32 * 1024, 4, 64};
+  CacheConfig L2 = {1024 * 1024, 8, 64};
+  /// Load-to-use latency on an L1D hit.
+  unsigned L1DHitCycles = 2;
+  /// Additional latency when the L1 misses but the L2 hits.
+  unsigned L2HitCycles = 8;
+  /// Additional latency when the L2 misses.
+  unsigned MemCycles = 140;
+};
+
+/// Two-level hierarchy with split L1s over a shared L2.
+class MemoryHierarchy {
+public:
+  explicit MemoryHierarchy(const MemHierConfig &Config = MemHierConfig());
+
+  /// Instruction-fetch access for the line containing \p Addr. Returns the
+  /// stall cycles this access adds to fetch: 0 on an L1I hit.
+  unsigned fetchAccess(uint64_t Addr);
+
+  /// Data access (load or store) for \p Addr. Returns the total access
+  /// latency in cycles (L1DHitCycles on a hit).
+  unsigned dataAccess(uint64_t Addr, bool IsWrite);
+
+  const Cache &l1i() const { return L1I; }
+  const Cache &l1d() const { return L1D; }
+  const Cache &l2() const { return L2; }
+  const MemHierConfig &config() const { return Config; }
+
+private:
+  MemHierConfig Config;
+  Cache L1I;
+  Cache L1D;
+  Cache L2;
+};
+
+} // namespace bor
+
+#endif // BOR_UARCH_MEMORYHIERARCHY_H

@@ -1,0 +1,307 @@
+//===- uarch/Pipeline.cpp - Out-of-order timing model ---------------------===//
+
+#include "uarch/Pipeline.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+using namespace bor;
+
+std::string bor::describeStats(const PipelineStats &S) {
+  char Buf[1024];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "cycles              %" PRIu64 "\n"
+      "instructions        %" PRIu64 " (IPC %.2f)\n"
+      "cond branches       %" PRIu64 " (%" PRIu64 " mispredicted)\n"
+      "indirect branches   %" PRIu64 " (%" PRIu64 " mispredicted)\n"
+      "direct jumps        %" PRIu64 " (%" PRIu64 " decode redirects)\n"
+      "brr executed        %" PRIu64 " (%" PRIu64 " taken)\n"
+      "fetch stalls        icache %" PRIu64 ", backend flush %" PRIu64
+      ", frontend flush %" PRIu64 "\n",
+      S.Cycles, S.Insts, S.ipc(), S.CondBranches, S.CondMispredicts,
+      S.IndirectBranches, S.IndirectMispredicts, S.DirectJumps,
+      S.DirectJumpDecodeRedirects, S.BrrExecuted, S.BrrTaken,
+      S.FetchIcacheStallCycles, S.BackendFlushCycles,
+      S.FrontendFlushCycles);
+  return Buf;
+}
+
+Pipeline::Pipeline(const Program &P, const PipelineConfig &Config,
+                   BrrDecider *Decider)
+    : Prog(P), Config(Config),
+      OwnedDecider(Decider ? nullptr
+                           : std::make_unique<BrrUnitDecider>(Config.Brr)),
+      Oracle(P, Mach, Decider ? *Decider : *OwnedDecider),
+      MemHier(Config.MemHier), Predictor(Config.Predictor),
+      TargetBuffer(Config.BtbCfg), Ras(Config.RasEntries),
+      DecodeStage(Config.DecodeWidth), DispatchStage(Config.DecodeWidth),
+      CommitStage(Config.CommitWidth),
+      RobSlotFree(Config.RobEntries, 0) {
+  RegReady.fill(0); // the Oracle's constructor loads the program image
+}
+
+uint64_t Pipeline::fetchInstruction(const ExecRecord &R) {
+  if (RedirectPending) {
+    if (RedirectCycle > FetchCycle) {
+      uint64_t Lost = RedirectCycle - FetchCycle;
+      if (RedirectIsFrontend)
+        Stats.FrontendFlushCycles += Lost;
+      else
+        Stats.BackendFlushCycles += Lost;
+      FetchCycle = RedirectCycle;
+    }
+    FetchedThisCycle = 0;
+    FetchBreak = false;
+    RedirectPending = false;
+  } else if (FetchBreak) {
+    ++FetchCycle;
+    FetchedThisCycle = 0;
+    FetchBreak = false;
+  } else if (FetchedThisCycle >= Config.FetchWidth) {
+    ++FetchCycle;
+    FetchedThisCycle = 0;
+  }
+
+  // One I-cache probe per distinct line; a miss stalls fetch for the fill.
+  uint64_t Line = R.Pc & ~static_cast<uint64_t>(Config.MemHier.L1I.LineBytes - 1);
+  if (Line != LastFetchLine) {
+    unsigned Stall = MemHier.fetchAccess(R.Pc);
+    if (Stall != 0) {
+      Stats.FetchIcacheStallCycles += Stall;
+      FetchCycle += Stall;
+      FetchedThisCycle = 0;
+    }
+    LastFetchLine = Line;
+  }
+
+  ++FetchedThisCycle;
+  if (FetchedThisCycle == Config.FetchWidth)
+    ++Stats.FullWidthFetchCycles;
+  return FetchCycle;
+}
+
+uint64_t Pipeline::placeIssue(uint64_t Earliest) {
+  uint64_t C = Earliest;
+  for (;;) {
+    unsigned &Used = IssueCount[C];
+    if (Used < Config.IssueWidth) {
+      ++Used;
+      break;
+    }
+    ++C;
+  }
+  if ((Stats.Insts & 0x3fff) == 0 && LastCommitCycle > 1024)
+    trimIssueWindow(LastCommitCycle - 1024);
+  return C;
+}
+
+void Pipeline::trimIssueWindow(uint64_t Frontier) {
+  IssueCount.erase(IssueCount.begin(), IssueCount.lower_bound(Frontier));
+}
+
+uint64_t Pipeline::completeExecution(const ExecRecord &R, uint64_t Issue) {
+  if (R.I.isLoad()) {
+    uint64_t Done = Issue + MemHier.dataAccess(R.MemAddr, /*IsWrite=*/false);
+    // Store-to-load forwarding: data from an in-flight store to the same
+    // word is available one cycle after the store produces it.
+    auto It = StoreReady.find(R.MemAddr & ~7ULL);
+    if (It != StoreReady.end() &&
+        It->second + Config.StoreForwardDelay > Done)
+      Done = It->second + Config.StoreForwardDelay;
+    return Done;
+  }
+  if (R.I.isStore()) {
+    // Stores retire from a store buffer; the cache access is charged for
+    // hit-rate accounting but does not delay commit.
+    MemHier.dataAccess(R.MemAddr, /*IsWrite=*/true);
+    uint64_t Done = Issue + 1;
+    StoreReady[R.MemAddr & ~7ULL] = Done;
+    return Done;
+  }
+  if (R.I.Op == Opcode::Mul)
+    return Issue + Config.MulLatency;
+  return Issue + 1;
+}
+
+PipelineStats Pipeline::run(uint64_t MaxInsts, bool RequireHalt) {
+  while (!Oracle.halted() && Stats.Insts < MaxInsts) {
+    ExecRecord R = Oracle.step();
+    uint64_t F = fetchInstruction(R);
+
+    // --- Fetch-time prediction and control classification. -------------
+    bool PredictedTakenAtFetch = false; ///< fetch break, no bubble.
+    bool DecodeRedirect = false;        ///< resolved in decode, short flush.
+    bool BackendRedirect = false;       ///< resolved at execute, full flush.
+
+    bool TreatAsCondBranch =
+        R.I.isCondBranch() || (R.I.isBrr() && Config.BrrAsBackendBranch);
+
+    if (Config.PerfectBranchPrediction) {
+      // Oracle front end: count the control instructions, redirect with
+      // zero penalty, never touch the real predictor structures.
+      if (R.I.isBrr()) {
+        ++Stats.BrrExecuted;
+        if (R.Taken)
+          ++Stats.BrrTaken;
+      } else if (R.I.isCondBranch()) {
+        ++Stats.CondBranches;
+      } else if (R.I.isDirectJump()) {
+        ++Stats.DirectJumps;
+      } else if (R.I.isIndirect()) {
+        ++Stats.IndirectBranches;
+      }
+      if (R.Taken && R.I.isControl() && R.I.Op != Opcode::Halt)
+        PredictedTakenAtFetch = true;
+    } else if (TreatAsCondBranch) {
+      BranchPrediction Pred = Predictor.predict(R.Pc);
+      bool BtbHit = TargetBuffer.lookup(R.Pc).has_value();
+      bool Effective = Pred.Taken && BtbHit;
+      if (R.I.isBrr()) {
+        ++Stats.BrrExecuted;
+        if (R.Taken)
+          ++Stats.BrrTaken;
+      } else {
+        ++Stats.CondBranches;
+      }
+      Predictor.resolve(R.Pc, Pred.HistBefore, Effective, R.Taken);
+      if (Effective != R.Taken) {
+        Predictor.repairHistory(Pred.HistBefore, R.Taken);
+        if (!R.I.isBrr())
+          ++Stats.CondMispredicts;
+        BackendRedirect = true;
+      } else if (Effective) {
+        PredictedTakenAtFetch = true;
+      }
+      if (R.Taken)
+        TargetBuffer.insert(R.Pc, R.NextPc);
+    } else if (R.I.isBrr()) {
+      // The real design: always predicted not-taken, invisible to the
+      // predictor and BTB, resolved in decode. (Under trap emulation the
+      // redirect is scheduled below, after the decode cycle is known.)
+      ++Stats.BrrExecuted;
+      if (R.Taken)
+        ++Stats.BrrTaken;
+      if (R.Taken && Config.BrrTrapCycles == 0)
+        DecodeRedirect = true;
+    } else if (R.I.isDirectJump()) {
+      ++Stats.DirectJumps;
+      if (R.I.Op == Opcode::Jal && R.I.Rd != RegZero)
+        Ras.push(R.Pc + 4);
+      if (TargetBuffer.lookup(R.Pc)) {
+        PredictedTakenAtFetch = true;
+      } else {
+        ++Stats.DirectJumpDecodeRedirects;
+        DecodeRedirect = true;
+        TargetBuffer.insert(R.Pc, R.NextPc);
+      }
+    } else if (R.I.isIndirect()) {
+      ++Stats.IndirectBranches;
+      bool IsReturn = R.I.Rd == RegZero && R.I.Rs1 == RegLr;
+      uint64_t PredTarget;
+      if (IsReturn) {
+        PredTarget = Ras.pop();
+      } else {
+        std::optional<uint64_t> T = TargetBuffer.lookup(R.Pc);
+        PredTarget = T ? *T : ~0ULL;
+      }
+      if (R.I.Rd != RegZero)
+        Ras.push(R.Pc + 4);
+      if (PredTarget == R.NextPc) {
+        PredictedTakenAtFetch = true;
+      } else {
+        ++Stats.IndirectMispredicts;
+        BackendRedirect = true;
+      }
+      if (!IsReturn)
+        TargetBuffer.insert(R.Pc, R.NextPc);
+    }
+
+    // --- Timestamp the instruction through the stages. ------------------
+    uint64_t D = DecodeStage.place(F + Config.FetchToDecode);
+    uint64_t Done;
+    uint64_t C;
+    uint64_t Disp = 0;
+    uint64_t Issue = 0;
+
+    bool CommitsAtDecode = R.I.isBrr() && !Config.BrrAsBackendBranch &&
+                           Config.BrrCommitsAtDecode &&
+                           Config.BrrTrapCycles == 0;
+    if (CommitsAtDecode) {
+      // No ROB entry, no rename, no issue slot, no commit bandwidth: the
+      // instruction is architecturally complete once decode resolves it.
+      Done = D;
+      C = D;
+    } else {
+      uint64_t RobReady = 0;
+      if (RobAllocated >= Config.RobEntries)
+        RobReady = RobSlotFree[RobAllocated % Config.RobEntries] + 1;
+      Disp = DispatchStage.place(
+          std::max(D + Config.DecodeToDispatch, RobReady));
+
+      uint64_t Earliest = Disp + Config.DispatchToIssue;
+      uint8_t Srcs[2];
+      unsigned NumSrcs = R.I.sourceRegs(Srcs);
+      for (unsigned S = 0; S != NumSrcs; ++S)
+        Earliest = std::max(Earliest, RegReady[Srcs[S]]);
+
+      Issue = placeIssue(Earliest);
+      Done = completeExecution(R, Issue);
+      if (R.I.writesReg())
+        RegReady[R.I.Rd] = Done;
+
+      C = CommitStage.place(Done + 1);
+      RobSlotFree[RobAllocated % Config.RobEntries] = C;
+      ++RobAllocated;
+      LastCommitCycle = C;
+    }
+
+    if (Observer) {
+      InstTimestamps TS;
+      TS.Pc = R.Pc;
+      TS.I = R.I;
+      TS.Fetch = F;
+      TS.Decode = D;
+      TS.Dispatch = Disp;
+      TS.Issue = Issue;
+      TS.Done = Done;
+      TS.Commit = C;
+      TS.CommittedAtDecode = CommitsAtDecode;
+      TS.Mispredicted = BackendRedirect;
+      TS.FrontEndFlush = DecodeRedirect;
+      Observer(TS);
+    }
+
+    ++Stats.Insts;
+    Stats.Cycles = std::max({Stats.Cycles, C, D});
+
+    if (R.I.Op == Opcode::Marker)
+      Markers.push_back({R.I.Imm, C, Stats.Insts});
+
+    // --- Redirect scheduling. -------------------------------------------
+    if (R.I.isBrr() && Config.BrrTrapCycles != 0 &&
+        !Config.BrrAsBackendBranch) {
+      // Trap emulation: the invalid opcode excepts at decode; the handler
+      // emulates the LFSR and resumes at the fall-through or the target.
+      RedirectPending = true;
+      RedirectCycle = D + Config.BrrTrapCycles;
+      RedirectIsFrontend = false;
+    } else if (BackendRedirect) {
+      RedirectPending = true;
+      RedirectCycle = Done + Config.MispredictRedirect;
+      RedirectIsFrontend = false;
+    } else if (DecodeRedirect) {
+      RedirectPending = true;
+      RedirectCycle = D + Config.FrontEndRedirect;
+      RedirectIsFrontend = true;
+    } else if (PredictedTakenAtFetch && Config.FetchStopsAtTakenBranch) {
+      FetchBreak = true;
+    }
+  }
+
+  assert((!RequireHalt || Oracle.halted()) &&
+         "program did not halt within the instruction budget");
+  (void)RequireHalt;
+  return Stats;
+}

@@ -1,0 +1,215 @@
+//===- uarch/Pipeline.h - Out-of-order timing model -----------------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A timing-first out-of-order pipeline model in the spirit of the paper's
+/// simulator (Section 5.1): a functional interpreter acts as the golden
+/// model supplying the committed instruction stream, and this class assigns
+/// per-instruction fetch/decode/dispatch/issue/commit timestamps subject to
+/// the machine's structural constraints:
+///
+///  * fetch: FetchWidth per cycle, stops at a predicted-taken branch,
+///    stalls on L1I misses, and restarts after redirects;
+///  * in-order decode/dispatch bounded by DecodeWidth and ROB occupancy;
+///  * out-of-order issue bounded by IssueWidth, register dependences and
+///    load latencies from the cache hierarchy;
+///  * in-order commit bounded by CommitWidth.
+///
+/// Control flow:
+///  * conditional branches predict via the tournament predictor + BTB at
+///    fetch and resolve in the back end (minimum 11-cycle penalty);
+///  * direct jumps resolve in decode (BTB hit at fetch avoids the bubble);
+///  * returns predict via the RAS, other indirect jumps via the BTB;
+///  * branch-on-random is always predicted not-taken, never touches the
+///    predictor or BTB, resolves in decode, and (when taken) pays only the
+///    short front-end flush; a not-taken brr commits at decode and uses no
+///    back-end resources at all (Section 3.3).
+///
+/// Wrong-path instructions are modelled as lost fetch cycles (the redirect
+/// gap), not as occupants of back-end resources; docs/INTERNALS.md
+/// discusses this and the model's other approximations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_UARCH_PIPELINE_H
+#define BOR_UARCH_PIPELINE_H
+
+#include "sim/Interpreter.h"
+#include "uarch/PipelineConfig.h"
+#include "uarch/ReturnAddressStack.h"
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace bor {
+
+/// Cycle-level results of a timed execution.
+struct PipelineStats {
+  uint64_t Cycles = 0;
+  uint64_t Insts = 0;
+
+  uint64_t CondBranches = 0;
+  uint64_t CondMispredicts = 0;
+  uint64_t IndirectBranches = 0;
+  uint64_t IndirectMispredicts = 0;
+  uint64_t DirectJumps = 0;
+  uint64_t DirectJumpDecodeRedirects = 0; ///< BTB-miss bubbles.
+  uint64_t BrrExecuted = 0;
+  uint64_t BrrTaken = 0; ///< each costs one front-end flush.
+
+  uint64_t FetchIcacheStallCycles = 0;
+  uint64_t BackendFlushCycles = 0;  ///< fetch cycles lost to back-end redirects.
+  uint64_t FrontendFlushCycles = 0; ///< fetch cycles lost to decode redirects.
+
+  /// Cycles in which fetch delivered its full width (for the Section 5.3
+  /// baseline characterization).
+  uint64_t FullWidthFetchCycles = 0;
+
+  double ipc() const {
+    return Cycles ? static_cast<double>(Insts) / static_cast<double>(Cycles)
+                  : 0.0;
+  }
+};
+
+/// A committed marker instruction, used by the harness to delimit regions
+/// of interest exactly as the paper uses Simics magic instructions.
+struct MarkerEvent {
+  int32_t Id = 0;
+  uint64_t CommitCycle = 0;
+  uint64_t InstsRetired = 0;
+};
+
+/// Multi-line human-readable rendering of a run's statistics (used by the
+/// bor-run tool and available for ad-hoc debugging).
+std::string describeStats(const PipelineStats &S);
+
+/// Per-instruction stage timestamps, published to the observer callback.
+/// Useful for pipeline visualization and for property tests of the timing
+/// model's structural invariants (stage ordering, widths, ROB occupancy).
+struct InstTimestamps {
+  uint64_t Pc = 0;
+  Inst I;
+  uint64_t Fetch = 0;
+  uint64_t Decode = 0;
+  /// Dispatch/Issue are meaningful only when !CommittedAtDecode.
+  uint64_t Dispatch = 0;
+  uint64_t Issue = 0;
+  uint64_t Done = 0;
+  uint64_t Commit = 0;
+  /// brr fast path: no ROB entry, no issue slot (Section 3.3).
+  bool CommittedAtDecode = false;
+  /// Back-end misprediction (conditional or indirect) charged to this
+  /// instruction.
+  bool Mispredicted = false;
+  /// Decode-resolved redirect (taken brr or BTB-missing direct jump).
+  bool FrontEndFlush = false;
+};
+
+/// The timing model. Owns the machine state, functional oracle, branch
+/// predictor, BTB, RAS and cache hierarchy for one run.
+class Pipeline {
+public:
+  /// \p Decider resolves brr outcomes; pass nullptr to use an LFSR-based
+  /// BrrUnitDecider built from \p Config.Brr.
+  Pipeline(const Program &P, const PipelineConfig &Config = PipelineConfig(),
+           BrrDecider *Decider = nullptr);
+
+  /// Runs until the program halts or \p MaxInsts instructions commit.
+  /// Asserts that the program halts within the budget when \p RequireHalt.
+  PipelineStats run(uint64_t MaxInsts, bool RequireHalt = true);
+
+  const PipelineStats &stats() const { return Stats; }
+  const std::vector<MarkerEvent> &markerEvents() const { return Markers; }
+
+  /// Installs a per-instruction timestamp observer (nullptr to disable).
+  /// Invoked once per committed instruction, in program order.
+  void setObserver(std::function<void(const InstTimestamps &)> Callback) {
+    Observer = std::move(Callback);
+  }
+
+  const MemoryHierarchy &memHier() const { return MemHier; }
+  const TournamentPredictor &predictor() const { return Predictor; }
+  const Btb &btb() const { return TargetBuffer; }
+  Machine &machine() { return Mach; }
+
+private:
+  /// Bandwidth tracker for an in-order stage: places events at the earliest
+  /// cycle >= the requested one with spare width.
+  struct InOrderStage {
+    uint64_t Cycle = 0;
+    unsigned Used = 0;
+    unsigned Width;
+
+    explicit InOrderStage(unsigned Width) : Width(Width) {}
+
+    uint64_t place(uint64_t Earliest) {
+      if (Earliest > Cycle) {
+        Cycle = Earliest;
+        Used = 0;
+      }
+      if (Used == Width) {
+        ++Cycle;
+        Used = 0;
+      }
+      ++Used;
+      return Cycle;
+    }
+  };
+
+  uint64_t fetchInstruction(const ExecRecord &R);
+  uint64_t placeIssue(uint64_t Earliest);
+  void trimIssueWindow(uint64_t Frontier);
+  /// Completion cycle of \p R when it issues at \p Issue, including cache
+  /// latencies and store-to-load forwarding constraints.
+  uint64_t completeExecution(const ExecRecord &R, uint64_t Issue);
+
+  const Program &Prog;
+  PipelineConfig Config;
+
+  Machine Mach;
+  std::unique_ptr<BrrDecider> OwnedDecider;
+  Interpreter Oracle;
+
+  MemoryHierarchy MemHier;
+  TournamentPredictor Predictor;
+  Btb TargetBuffer;
+  ReturnAddressStack Ras;
+
+  // Front-end state.
+  uint64_t FetchCycle = 0;
+  unsigned FetchedThisCycle = 0;
+  bool FetchBreak = false;
+  bool RedirectPending = false;
+  uint64_t RedirectCycle = 0;
+  bool RedirectIsFrontend = false;
+  uint64_t LastFetchLine = ~0ULL;
+
+  // In-order stage trackers.
+  InOrderStage DecodeStage;
+  InOrderStage DispatchStage;
+  InOrderStage CommitStage;
+
+  // Back-end state.
+  std::array<uint64_t, 32> RegReady;
+  /// Store-to-load forwarding: cycle at which the youngest store to each
+  /// 8-byte-aligned address has produced its data. A later load to the
+  /// same address cannot complete before this (this is what serializes a
+  /// counter-based framework's load/decrement/store chain across sites).
+  std::unordered_map<uint64_t, uint64_t> StoreReady;
+  std::map<uint64_t, unsigned> IssueCount; ///< OoO issue-width tracking.
+  std::vector<uint64_t> RobSlotFree; ///< commit cycle per ROB slot (ring).
+  uint64_t RobAllocated = 0;
+  uint64_t LastCommitCycle = 0;
+
+  PipelineStats Stats;
+  std::vector<MarkerEvent> Markers;
+  std::function<void(const InstTimestamps &)> Observer;
+};
+
+} // namespace bor
+
+#endif // BOR_UARCH_PIPELINE_H

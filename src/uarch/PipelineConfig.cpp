@@ -1,0 +1,5 @@
+//===- uarch/PipelineConfig.cpp - Section 5.1 machine configuration ------===//
+
+#include "uarch/PipelineConfig.h"
+
+// Configuration is an aggregate; this file anchors the translation unit.

@@ -1,0 +1,98 @@
+//===- uarch/PipelineConfig.h - Section 5.1 machine configuration --------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration of the out-of-order timing model, defaulting to the
+/// paper's simulated machine (Section 5.1): 4-wide decode/execute/retire,
+/// 80-entry ROB, fetch of up to three instructions per cycle stopping at a
+/// predicted-taken branch, tournament predictor with 16-bit gshare and a
+/// 64K-entry bimodal table, 32-entry RAS, 1024-entry BTB, a minimum
+/// back-end misprediction penalty of 11 cycles, and branch-on-random
+/// resolved in the decode stage — the 5th pipeline stage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_UARCH_PIPELINECONFIG_H
+#define BOR_UARCH_PIPELINECONFIG_H
+
+#include "core/BrrUnit.h"
+#include "uarch/BranchPredictor.h"
+#include "uarch/Btb.h"
+#include "uarch/MemoryHierarchy.h"
+
+namespace bor {
+
+struct PipelineConfig {
+  // Widths.
+  unsigned FetchWidth = 3;
+  unsigned DecodeWidth = 4;
+  unsigned IssueWidth = 4;
+  unsigned CommitWidth = 4;
+  unsigned RobEntries = 80;
+
+  // Depths. Fetch occupies stages 1..FetchToDecode, so with the default of
+  // 4 the decode stage — where brr resolves — is stage 5, as in the paper.
+  unsigned FetchToDecode = 4;
+  unsigned DecodeToDispatch = 2; ///< rename + dispatch stages.
+  unsigned DispatchToIssue = 1;  ///< earliest wakeup after dispatch.
+
+  /// Extra cycles between back-end branch resolution and the first correct-
+  /// path fetch (flush + refetch). With the stage depths above this yields
+  /// the paper's minimum back-end misprediction penalty of 11 cycles.
+  unsigned MispredictRedirect = 3;
+
+  /// Cycles between decode-stage resolution (taken brr, BTB-missing direct
+  /// jump) and the first redirected fetch: the short "front-end
+  /// misprediction" of Section 3.3.
+  unsigned FrontEndRedirect = 1;
+
+  unsigned MulLatency = 3;
+  unsigned RasEntries = 32;
+
+  /// Section 5.1: "stops fetch at a predicted taken branch". Clearing this
+  /// models an ideal redirecting front end that keeps filling the fetch
+  /// group across taken branches (ablation for DESIGN.md decision 3).
+  bool FetchStopsAtTakenBranch = true;
+
+  /// Store-to-load forwarding delay: cycles after a store produces its
+  /// data before a dependent load can consume it (store-queue lookup and
+  /// forward). This is what makes a memory-resident sampling counter's
+  /// load/decrement/store chain expensive across closely-spaced sites.
+  unsigned StoreForwardDelay = 3;
+
+  /// brr commits at decode: it occupies no ROB entry, no issue slot and no
+  /// rename resources, because it has no side effects on data state
+  /// (Section 3.3, "Prediction and Expected Performance").
+  bool BrrCommitsAtDecode = true;
+
+  /// Ablation switch: treat brr like an ordinary conditional branch — it
+  /// consults and trains the predictor and BTB and resolves in the back
+  /// end. Used to quantify how much of brr's advantage comes from the
+  /// decode-stage design rather than from the instruction-count reduction.
+  bool BrrAsBackendBranch = false;
+
+  /// Ablation switch: oracle branch prediction. Every control instruction
+  /// (including brr and the sampling frameworks' check branches) redirects
+  /// fetch with zero penalty. Used to isolate how much of a framework's
+  /// overhead is branch-handling versus raw instruction bandwidth.
+  bool PerfectBranchPrediction = false;
+
+  /// Section 3.4's software fallback: treat brr as an invalid opcode that
+  /// traps to a handler emulating the LFSR in software (the paper's SIGILL
+  /// scheme for machines without the instruction). When nonzero, every brr
+  /// costs a full flush plus this many handler cycles. Architectural
+  /// outcomes are unchanged — only the timing differs.
+  unsigned BrrTrapCycles = 0;
+
+  MemHierConfig MemHier;
+  PredictorConfig Predictor;
+  BtbConfig BtbCfg;
+  BrrUnitConfig Brr;
+};
+
+} // namespace bor
+
+#endif // BOR_UARCH_PIPELINECONFIG_H

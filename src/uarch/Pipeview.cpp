@@ -1,0 +1,86 @@
+//===- uarch/Pipeview.cpp - Pipeline diagram rendering --------------------===//
+
+#include "uarch/Pipeview.h"
+
+#include "isa/Disasm.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace bor;
+
+void PipeviewRecorder::attach(Pipeline &Pipe) {
+  Pipe.setObserver([this](const InstTimestamps &TS) {
+    if (Seen++ < SkipInsts)
+      return;
+    if (Records.size() < MaxInsts)
+      Records.push_back(TS);
+  });
+}
+
+std::string PipeviewRecorder::render(size_t MaxColumns) const {
+  if (Records.empty())
+    return "";
+
+  uint64_t Base = Records.front().Fetch;
+  std::string Out;
+
+  for (const InstTimestamps &TS : Records) {
+    std::string Row(MaxColumns, ' ');
+    bool Truncated = false;
+
+    auto Put = [&](uint64_t Cycle, char Mark) {
+      if (Cycle < Base)
+        return; // can't happen, but stay safe
+      uint64_t Col = Cycle - Base;
+      if (Col >= MaxColumns) {
+        Truncated = true;
+        return;
+      }
+      // Later stages overwrite '.' fill but not other stage letters.
+      if (Row[Col] == ' ' || Row[Col] == '.')
+        Row[Col] = Mark;
+    };
+    auto Fill = [&](uint64_t From, uint64_t To) {
+      for (uint64_t Cycle = From + 1; Cycle < To; ++Cycle)
+        Put(Cycle, '.');
+    };
+
+    Put(TS.Fetch, 'F');
+    Fill(TS.Fetch, TS.Decode);
+    Put(TS.Decode, 'D');
+    if (!TS.CommittedAtDecode) {
+      Fill(TS.Decode, TS.Dispatch);
+      Put(TS.Dispatch, 'S');
+      Fill(TS.Dispatch, TS.Issue);
+      Put(TS.Issue, 'I');
+      Fill(TS.Issue, TS.Done);
+      Put(TS.Done, 'E');
+      Fill(TS.Done, TS.Commit);
+    }
+    Put(TS.Commit, 'C');
+
+    // Trim trailing spaces; mark truncation.
+    size_t Last = Row.find_last_not_of(' ');
+    Row.resize(Last == std::string::npos ? 0 : Last + 1);
+    if (Truncated)
+      Row += '+';
+
+    char Prefix[64];
+    std::snprintf(Prefix, sizeof(Prefix), "%6llu  ",
+                  static_cast<unsigned long long>(TS.Pc / 4));
+    Out += Prefix;
+    Out += Row;
+    // Right-annotate with the disassembly.
+    Out += "  | ";
+    Out += disassemble(TS.I);
+    Out += '\n';
+  }
+
+  char Header[128];
+  std::snprintf(Header, sizeof(Header),
+                " index  cycles %llu..  (F fetch, D decode, S dispatch, "
+                "I issue, E complete, C commit)\n",
+                static_cast<unsigned long long>(Base));
+  return std::string(Header) + Out;
+}

@@ -1,0 +1,58 @@
+//===- uarch/Pipeview.h - Pipeline diagram rendering ----------------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic pipeline ("pipeview") diagrams built from the Pipeline's
+/// per-instruction timestamp observer: one row per committed instruction,
+/// one column per cycle, with stage letters
+///
+///   F fetch   D decode   S dispatch   I issue   E execute-complete
+///   C commit  (a brr that commits at decode ends at its D column)
+///
+/// Used by the bor-pipeview tool and handy when debugging timing-model
+/// changes; the rendering itself is deterministic and unit-tested.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_UARCH_PIPEVIEW_H
+#define BOR_UARCH_PIPEVIEW_H
+
+#include "uarch/Pipeline.h"
+
+#include <string>
+#include <vector>
+
+namespace bor {
+
+/// Collects a bounded window of per-instruction timestamps from a Pipeline
+/// and renders them as a diagram.
+class PipeviewRecorder {
+public:
+  /// Records the first \p MaxInsts instructions after skipping
+  /// \p SkipInsts committed ones.
+  explicit PipeviewRecorder(size_t MaxInsts = 48, uint64_t SkipInsts = 0)
+      : MaxInsts(MaxInsts), SkipInsts(SkipInsts) {}
+
+  /// Installs this recorder as \p Pipe's observer. The recorder must
+  /// outlive the pipeline's run() call.
+  void attach(Pipeline &Pipe);
+
+  const std::vector<InstTimestamps> &records() const { return Records; }
+
+  /// Renders the diagram; empty string if nothing was recorded. Rows wider
+  /// than \p MaxColumns cycles are truncated with a '+' marker.
+  std::string render(size_t MaxColumns = 96) const;
+
+private:
+  size_t MaxInsts;
+  uint64_t SkipInsts;
+  uint64_t Seen = 0;
+  std::vector<InstTimestamps> Records;
+};
+
+} // namespace bor
+
+#endif // BOR_UARCH_PIPEVIEW_H

@@ -1,0 +1,20 @@
+//===- uarch/ReturnAddressStack.cpp - 32-entry RAS ------------------------===//
+
+#include "uarch/ReturnAddressStack.h"
+
+using namespace bor;
+
+void ReturnAddressStack::push(uint64_t ReturnAddr) {
+  Slots[Top] = ReturnAddr;
+  Top = (Top + 1) % Slots.size();
+  if (Depth < Slots.size())
+    ++Depth;
+}
+
+uint64_t ReturnAddressStack::pop() {
+  if (Depth == 0)
+    return 0;
+  Top = (Top + static_cast<unsigned>(Slots.size()) - 1) % Slots.size();
+  --Depth;
+  return Slots[Top];
+}

@@ -1,0 +1,44 @@
+//===- uarch/ReturnAddressStack.h - 32-entry RAS --------------------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A circular return-address stack (32 entries, Section 5.1): calls push
+/// their return address, returns pop a predicted target. Overflow wraps and
+/// silently overwrites the oldest entry; underflow predicts 0 (a guaranteed
+/// misprediction, as in real hardware with an empty RAS).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_UARCH_RETURNADDRESSSTACK_H
+#define BOR_UARCH_RETURNADDRESSSTACK_H
+
+#include <cstdint>
+#include <vector>
+
+namespace bor {
+
+class ReturnAddressStack {
+public:
+  explicit ReturnAddressStack(unsigned Entries = 32)
+      : Slots(Entries, 0) {}
+
+  void push(uint64_t ReturnAddr);
+
+  /// Pops the predicted return target; 0 when empty.
+  uint64_t pop();
+
+  unsigned depth() const { return Depth; }
+  unsigned capacity() const { return static_cast<unsigned>(Slots.size()); }
+
+private:
+  std::vector<uint64_t> Slots;
+  unsigned Top = 0;   ///< Index of the next free slot (mod capacity).
+  unsigned Depth = 0; ///< Live entries, saturating at capacity.
+};
+
+} // namespace bor
+
+#endif // BOR_UARCH_RETURNADDRESSSTACK_H

@@ -1,0 +1,294 @@
+//===- workloads/AppGen.cpp - Synthetic managed-runtime applications -----===//
+
+#include "workloads/AppGen.h"
+
+#include "instr/Sites.h"
+#include "support/Rng.h"
+#include "workloads/Microbench.h" // marker ids
+
+#include <algorithm>
+#include <array>
+#include <memory>
+
+using namespace bor;
+
+namespace {
+
+enum : uint8_t {
+  RSeq = 1,      ///< driver: call-sequence cursor.
+  RSeqEnd = 2,   ///< driver: sequence end.
+  RFptrs = 3,    ///< driver: function-table base.
+  RTarget = 4,   ///< driver: method id, then code address.
+  RBodyScratch = 14,
+  RIter = 16,    ///< method inner-loop counter.
+  RAcc1 = 17,    ///< method work accumulators (parallel chains).
+  RAcc2 = 18,
+  RMethodData = 19, ///< per-method data-slot table base.
+  RSlot = 20,
+  RAcc3 = 21,
+  RAcc4 = 22,
+};
+
+/// Per-method shape decisions, fixed by the seed so every framework variant
+/// of an application has identical non-framework code.
+struct MethodShape {
+  int32_t Child = -1; ///< callee method id, or -1 for none.
+};
+
+void emitMethodBody(ProgramBuilder &B, unsigned InnerIters,
+                    uint32_t Method, const MethodShape &Shape,
+                    const std::vector<ProgramBuilder::LabelId> &Entries) {
+  // Inner work loop: parallel ALU chains, so the baseline keeps the fetch
+  // and issue slots busy and framework instructions have a real cost (a
+  // serial chain would hide them in idle slots).
+  B.emit(Inst::li(RIter, static_cast<int32_t>(InnerIters)));
+  ProgramBuilder::LabelId Work = B.label();
+  B.bind(Work);
+  B.emit(Inst::add(RAcc1, RAcc1, RIter));
+  B.emit(Inst::alu(Opcode::Xor, RAcc2, RAcc2, RIter));
+  B.emit(Inst::addi(RAcc3, RAcc3, 3));
+  B.emit(Inst::alui(Opcode::Xori, RAcc4, RAcc4, 0x55));
+  B.emit(Inst::addi(RIter, RIter, -1));
+  B.emitBranch(Opcode::Bne, RIter, RegZero, Work);
+
+  // Touch this method's data slot.
+  B.emit(Inst::ld(RSlot, RMethodData, static_cast<int32_t>(8 * Method)));
+  B.emit(Inst::addi(RSlot, RSlot, 1));
+  B.emit(Inst::st(RSlot, RMethodData, static_cast<int32_t>(8 * Method)));
+
+  // Optional nested direct call (callee-save of the link register).
+  if (Shape.Child >= 0) {
+    B.emit(Inst::addi(RegSp, RegSp, -8));
+    B.emit(Inst::st(RegLr, RegSp, 0));
+    B.emitJal(RegLr, Entries[Shape.Child]);
+    B.emit(Inst::ld(RegLr, RegSp, 0));
+    B.emit(Inst::addi(RegSp, RegSp, 8));
+  }
+  B.emit(Inst::ret());
+}
+
+std::vector<uint32_t> generateCallSequence(const AppConfig &Config) {
+  Xoshiro256 Rng(Config.Seed);
+  ZipfSampler Zipf(Config.NumMethods, Config.ZipfSkew);
+  std::vector<uint32_t> Seq;
+  Seq.reserve(Config.NumTopCalls);
+  while (Seq.size() < Config.NumTopCalls) {
+    if (Rng.nextBool(Config.AlternatingFraction)) {
+      // An alternating two-method run (jython-style periodicity).
+      uint64_t Len = 200 + Rng.nextBelow(2000);
+      for (uint64_t I = 0; I != Len && Seq.size() < Config.NumTopCalls; ++I)
+        Seq.push_back(I % 2 == 0 ? 0 : 1);
+      continue;
+    }
+    Seq.push_back(static_cast<uint32_t>(Zipf.sample(Rng)));
+  }
+  return Seq;
+}
+
+} // namespace
+
+AppProgram bor::buildApp(const AppConfig &Config) {
+  assert(Config.NumMethods >= 4 && "applications need a few methods");
+  ProgramBuilder B;
+  AppProgram Out;
+  Out.NumMethods = Config.NumMethods;
+
+  // Method shapes: the lower (hotter) half of the id space may call a leaf
+  // in the upper half. Derived from a separate RNG stream so the shapes do
+  // not depend on the instrumentation configuration.
+  Xoshiro256 ShapeRng(Config.Seed ^ 0x5ca1ab1e);
+  std::vector<MethodShape> Shapes(Config.NumMethods);
+  uint32_t Half = Config.NumMethods / 2;
+  for (uint32_t M = 0; M != Half; ++M)
+    if (ShapeRng.nextBool(Config.CallFanoutProb))
+      Shapes[M].Child =
+          static_cast<int32_t>(Half + ShapeRng.nextBelow(Half));
+
+  assert((Config.MethodFramework.empty() ||
+          Config.Instr.Dup == DuplicationMode::NoDuplication) &&
+         "per-method framework overrides require No-Duplication");
+
+  // --- Data layout (small framework tables first). ----------------------
+  // One emitter per framework that appears (the default plus any
+  // per-method overrides), created up front so counter globals stay within
+  // displacement range of RegGlobals.
+  std::array<std::unique_ptr<SamplingFrameworkEmitter>, 4> Emitters;
+  auto EmitterFor =
+      [&](SamplingFramework F) -> SamplingFrameworkEmitter & {
+    auto &Slot = Emitters[static_cast<size_t>(F)];
+    assert(Slot && "framework emitter was not pre-created");
+    return *Slot;
+  };
+  {
+    auto Ensure = [&](SamplingFramework F) {
+      auto &Slot = Emitters[static_cast<size_t>(F)];
+      if (!Slot) {
+        InstrumentationConfig C = Config.Instr;
+        C.Framework = F;
+        Slot = std::make_unique<SamplingFrameworkEmitter>(B, C,
+                                                          DefaultDataBase);
+      }
+    };
+    Ensure(Config.Instr.Framework);
+    for (const auto &[Method, F] : Config.MethodFramework) {
+      assert(Method < Config.NumMethods && "override for unknown method");
+      Ensure(F);
+    }
+  }
+  SamplingFrameworkEmitter &Emitter = EmitterFor(Config.Instr.Framework);
+  ProfileTable Invocations(B, "invocations", Config.NumMethods);
+  Out.ProfileBase = Invocations.baseAddr();
+  uint64_t MethodData = B.allocData(8 * Config.NumMethods, 8);
+  B.nameData("methoddata", MethodData);
+  uint64_t FptrTable = B.allocData(8 * Config.NumMethods, 8);
+  B.nameData("fptrs", FptrTable);
+  uint64_t StackBase = B.allocData(16 * 1024, 8);
+  uint64_t StackTop = StackBase + 16 * 1024;
+
+  std::vector<uint32_t> Seq = generateCallSequence(Config);
+  uint64_t SeqBase = B.allocData(8 * Seq.size(), 8);
+  for (size_t I = 0; I != Seq.size(); ++I)
+    B.initDataU64(SeqBase + 8 * I, Seq[I]);
+  B.nameData("callseq", SeqBase);
+
+  Out.DynamicSiteVisits = 0;
+  for (uint32_t Id : Seq)
+    Out.DynamicSiteVisits += 1 + (Shapes[Id].Child >= 0 ? 1 : 0);
+
+  // --- Prologue. ---------------------------------------------------------
+  B.emitLoadConst(RegGlobals, DefaultDataBase);
+  B.emitLoadConst(RegProfBase, Invocations.baseAddr());
+  B.emitLoadConst(RMethodData, MethodData);
+  B.emitLoadConst(RegSp, StackTop);
+  B.emitLoadConst(RSeq, SeqBase);
+  B.emitLoadConst(RSeqEnd, SeqBase + 8 * Seq.size());
+  B.emitLoadConst(RFptrs, FptrTable);
+  B.emit(Inst::li(RAcc1, 0));
+  B.emit(Inst::li(RAcc2, 0));
+  for (auto &E : Emitters)
+    if (E)
+      E->emitSetup();
+  B.emit(Inst::marker(MarkerRoiBegin));
+
+  // --- Driver: replay the call sequence through the function table. ------
+  ProgramBuilder::LabelId Driver = B.label();
+  B.bind(Driver);
+  B.emit(Inst::ld(RTarget, RSeq, 0));
+  B.emit(Inst::alui(Opcode::Slli, RTarget, RTarget, 3));
+  B.emit(Inst::add(RTarget, RTarget, RFptrs));
+  B.emit(Inst::ld(RTarget, RTarget, 0));
+  B.emit(Inst::addi(RSeq, RSeq, 8));
+  B.emit(Inst::jalr(RegLr, RTarget));
+  B.emitBranch(Opcode::Bne, RSeq, RSeqEnd, Driver);
+
+  B.emit(Inst::marker(MarkerRoiEnd));
+  B.emit(Inst::halt());
+
+  // --- Methods. -----------------------------------------------------------
+  bool FullDup = Config.Instr.Dup == DuplicationMode::FullDuplication &&
+                 (Config.Instr.Framework == SamplingFramework::CounterBased ||
+                  Config.Instr.Framework == SamplingFramework::BrrBased);
+
+  std::vector<ProgramBuilder::LabelId> Entries;
+  Entries.reserve(Config.NumMethods);
+  for (uint32_t M = 0; M != Config.NumMethods; ++M)
+    Entries.push_back(B.label());
+
+  std::vector<bool> Optimized(Config.NumMethods, false);
+  for (uint32_t M : Config.OptimizedMethods) {
+    assert(M < Config.NumMethods && "optimized id out of range");
+    Optimized[M] = true;
+  }
+
+  std::vector<uint64_t> EntryAddrs(Config.NumMethods, 0);
+  for (uint32_t M = 0; M != Config.NumMethods; ++M) {
+    B.bind(Entries[M]);
+    EntryAddrs[M] = Program::pcForIndex(B.here());
+
+    auto SiteBody = [&](ProgramBuilder &PB) {
+      Invocations.emitIncrement(PB, M, RegProfBase,
+                                Invocations.baseAddr(), RBodyScratch);
+    };
+
+    auto OverrideIt = Config.MethodFramework.find(M);
+    SamplingFrameworkEmitter &MethodEmitter =
+        OverrideIt == Config.MethodFramework.end()
+            ? Emitter
+            : EmitterFor(OverrideIt->second);
+    // The "optimized" compile of a method does half the inner-loop work.
+    unsigned Iters = Optimized[M]
+                         ? std::max(1u, Config.InnerIters / 2)
+                         : Config.InnerIters;
+
+    if (FullDup) {
+      // Figure 11: a check at method entry selects the instrumented
+      // duplicate; the clean version carries zero instrumentation.
+      ProgramBuilder::LabelId Dup = B.label();
+      MethodEmitter.emitDuplicationCheck(Dup);
+      emitMethodBody(B, Iters, M, Shapes[M], Entries);
+      B.bind(Dup);
+      MethodEmitter.emitDupPrologue();
+      MethodEmitter.emitUnconditionalSite(SiteBody);
+      emitMethodBody(B, Iters, M, Shapes[M], Entries);
+    } else {
+      MethodEmitter.emitSite(SiteBody);
+      emitMethodBody(B, Iters, M, Shapes[M], Entries);
+    }
+    // Out-of-line uncommon blocks live at the end of their method, as in
+    // the Jikes implementation (Section 4.1).
+    MethodEmitter.flushOutOfLine();
+  }
+
+  for (uint32_t M = 0; M != Config.NumMethods; ++M)
+    B.initDataU64(FptrTable + 8 * M, EntryAddrs[M]);
+
+  Out.Prog = B.finish();
+  return Out;
+}
+
+std::vector<AppConfig> bor::dacapoAppAnalogues() {
+  std::vector<AppConfig> Apps(5);
+
+  Apps[0].Name = "bloat";
+  Apps[0].NumMethods = 64;
+  Apps[0].NumTopCalls = 36000;
+  Apps[0].InnerIters = 4;
+  Apps[0].CallFanoutProb = 0.55;
+  Apps[0].ZipfSkew = 1.0;
+  Apps[0].Seed = 0xb10a7;
+
+  Apps[1].Name = "fop";
+  Apps[1].NumMethods = 48;
+  Apps[1].NumTopCalls = 24000;
+  Apps[1].InnerIters = 5;
+  Apps[1].CallFanoutProb = 0.4;
+  Apps[1].ZipfSkew = 1.1;
+  Apps[1].Seed = 0xf0b7;
+
+  Apps[2].Name = "luindex";
+  Apps[2].NumMethods = 40;
+  Apps[2].NumTopCalls = 40000;
+  Apps[2].InnerIters = 3;
+  Apps[2].CallFanoutProb = 0.5;
+  Apps[2].ZipfSkew = 0.9;
+  Apps[2].Seed = 0x10d57;
+
+  Apps[3].Name = "lusearch";
+  Apps[3].NumMethods = 32;
+  Apps[3].NumTopCalls = 44000;
+  Apps[3].InnerIters = 3;
+  Apps[3].CallFanoutProb = 0.45;
+  Apps[3].ZipfSkew = 0.9;
+  Apps[3].Seed = 0x105ea;
+
+  Apps[4].Name = "jython";
+  Apps[4].NumMethods = 56;
+  Apps[4].NumTopCalls = 32000;
+  Apps[4].InnerIters = 4;
+  Apps[4].CallFanoutProb = 0.5;
+  Apps[4].ZipfSkew = 0.8;
+  Apps[4].AlternatingFraction = 0.3;
+  Apps[4].Seed = 0x94710;
+
+  return Apps;
+}

@@ -1,0 +1,80 @@
+//===- workloads/AppGen.h - Synthetic managed-runtime applications -------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic stand-ins for the DaCapo applications of the Figure-12
+/// overhead experiment: programs with many methods dispatched indirectly
+/// through a function table from a driver loop replaying a method-call
+/// sequence, with Zipf-skewed hot methods, nested direct calls, per-method
+/// data accesses and inner loops. Each method carries one instrumentation
+/// site at its entry (method execution frequency profiling — the same
+/// profile Jikes collects in Section 5.2), wrapped in the configured
+/// sampling framework: No-Duplication checks in front of every site, or
+/// Full-Duplication with a per-method clean/instrumented body pair chosen
+/// by a check at method entry (Figure 11).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_WORKLOADS_APPGEN_H
+#define BOR_WORKLOADS_APPGEN_H
+
+#include "instr/Transform.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bor {
+
+struct AppConfig {
+  std::string Name = "app";
+  uint32_t NumMethods = 48;
+  /// Length of the driver's indirect-call sequence (top-level invocations).
+  uint64_t NumTopCalls = 40000;
+  /// Iterations of each method's inner work loop.
+  unsigned InnerIters = 12;
+  /// Probability that a method (in the callers' half of the id space)
+  /// makes a direct call to a hotter child method.
+  double CallFanoutProb = 0.5;
+  /// Zipf skew of the top-level call distribution.
+  double ZipfSkew = 1.0;
+  /// Fraction of the top-level sequence emitted as alternating two-method
+  /// patterns (the jython-style periodicity; affects accuracy, not
+  /// overhead, but keeps the workloads structurally honest).
+  double AlternatingFraction = 0.0;
+  uint64_t Seed = 1;
+  InstrumentationConfig Instr;
+
+  // --- Adaptive-JIT scenario support (see examples/adaptive_jit.cpp) ---
+  /// Methods the "optimizing compiler" has recompiled: their bodies run
+  /// with half the inner-loop work (the speedup the JIT bought).
+  std::vector<uint32_t> OptimizedMethods;
+  /// Per-method instrumentation override (e.g. optimized methods keep brr
+  /// sampling while baseline-compiled ones stay fully instrumented).
+  /// Overrides require Instr.Dup == NoDuplication.
+  std::map<uint32_t, SamplingFramework> MethodFramework;
+};
+
+struct AppProgram {
+  Program Prog;
+  uint32_t NumMethods = 0;
+  /// Base of the per-method invocation-counter table.
+  uint64_t ProfileBase = 0;
+  /// Total method invocations the run will execute (driver calls plus
+  /// nested direct calls), i.e. dynamic instrumentation-site visits.
+  uint64_t DynamicSiteVisits = 0;
+};
+
+AppProgram buildApp(const AppConfig &Config);
+
+/// The five application models of Figure 12 (bloat, fop, luindex,
+/// lusearch, jython analogues), without instrumentation configured; the
+/// bench harness fills Instr per experiment arm.
+std::vector<AppConfig> dacapoAppAnalogues();
+
+} // namespace bor
+
+#endif // BOR_WORKLOADS_APPGEN_H

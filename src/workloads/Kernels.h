@@ -1,0 +1,79 @@
+//===- workloads/Kernels.h - A small suite of instrumentable kernels -----===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Five self-checking BOR-RISC kernels with very different pipeline
+/// personalities, used to test the sampling frameworks across code shapes
+/// beyond the Section 5.3 microbenchmark (supporting the paper's claim
+/// that with brr "programmers can exhaustively instrument their code with
+/// negligible impact on performance"):
+///
+///   crc32      bit-serial CRC-32: data-dependent branch per bit,
+///              branch-misprediction bound;
+///   sort       insertion sort: nested data-dependent loops, store heavy;
+///   strsearch  naive substring search: short inner loops, early exits;
+///   matmul     dense u64 matrix multiply: multiplier and ILP bound;
+///   listsum    pointer-chasing linked-list sum: load-latency bound.
+///
+/// Every kernel writes a checksum to the data symbol "result"; builders
+/// return the expected value (computed by an independent C++ reference on
+/// the same generated input), so any simulator or framework bug that
+/// perturbs semantics is caught by comparing one u64. Instrumentation
+/// sites sit on each kernel's interesting edges and are wrapped by the
+/// configured sampling framework.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_WORKLOADS_KERNELS_H
+#define BOR_WORKLOADS_KERNELS_H
+
+#include "instr/Transform.h"
+
+#include <string>
+#include <vector>
+
+namespace bor {
+
+enum class KernelKind {
+  Crc32,
+  Sort,
+  StrSearch,
+  MatMul,
+  ListSum,
+};
+
+const char *kernelName(KernelKind K);
+
+struct KernelConfig {
+  KernelKind Kind = KernelKind::Crc32;
+  /// Problem size; interpretation is per-kernel (bytes, elements, text
+  /// length, matrix dimension, nodes). 0 = the kernel's default.
+  uint64_t Size = 0;
+  uint64_t Seed = 0x5eed;
+  InstrumentationConfig Instr;
+};
+
+struct KernelProgram {
+  std::string Name;
+  Program Prog;
+  /// Value the program must leave at the "result" symbol.
+  uint64_t ExpectedResult = 0;
+  /// Instrumentation-site visits executed in the region of interest.
+  uint64_t DynamicSiteVisits = 0;
+  /// Static instrumentation sites.
+  unsigned NumStaticSites = 0;
+};
+
+/// Builds one kernel.
+KernelProgram buildKernel(const KernelConfig &Config);
+
+/// Builds the whole suite with a common instrumentation configuration and
+/// default sizes.
+std::vector<KernelProgram> buildKernelSuite(const InstrumentationConfig &I);
+
+} // namespace bor
+
+#endif // BOR_WORKLOADS_KERNELS_H

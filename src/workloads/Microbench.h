@@ -1,0 +1,66 @@
+//===- workloads/Microbench.h - The Section 5.3 microbenchmark -----------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checksum/character-distribution microbenchmark of Section 5.3: a
+/// loop over a character buffer with three data-dependent execution paths
+/// (upper-case, lower-case, other), each updating its own checksum, plus a
+/// per-character distribution-table increment. One instrumentation site
+/// sits at the head of each class path (an edge profile, as in the paper).
+///
+/// All variants — baseline, full instrumentation, counter-based and
+/// brr-based sampling with No- or Full-Duplication — are generated from the
+/// same builder, so every binary shares its non-framework instructions,
+/// register usage and layout; only the sampling framework differs. This is
+/// the exact methodological guarantee of the paper's assembly
+/// post-processing.
+///
+/// The region of interest (the loop; prologue/epilogue excluded, as in the
+/// paper) is delimited by marker(1)/marker(2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_WORKLOADS_MICROBENCH_H
+#define BOR_WORKLOADS_MICROBENCH_H
+
+#include "instr/Transform.h"
+#include "workloads/TextGen.h"
+
+namespace bor {
+
+/// Marker ids delimiting the timed region.
+enum : int32_t { MarkerRoiBegin = 1, MarkerRoiEnd = 2 };
+
+struct MicrobenchConfig {
+  TextConfig Text;
+  InstrumentationConfig Instr;
+};
+
+/// A built microbenchmark image plus the metadata experiments need.
+struct MicrobenchProgram {
+  Program Prog;
+  /// Static instrumentation sites: the loop-entry edge, the three class
+  /// edges (upper/lower/other), and the rejoin edge — an edge profile of
+  /// the character-processing loop, as in Section 5.3.
+  unsigned NumStaticSites = 5;
+  /// Dynamic site visits in the region of interest (3 per character: the
+  /// entry edge, one class edge, and the rejoin edge).
+  uint64_t DynamicSiteVisits = 0;
+  /// Base of the 3-entry edge-profile counter table.
+  uint64_t ProfileBase = 0;
+  /// Base of the 3-u64 checksum result block (upper, lower, other), written
+  /// in the epilogue for cross-variant semantic checks.
+  uint64_t ResultBase = 0;
+  /// Byte PCs of the sampling-check branches (empty for baseline/full
+  /// instrumentation); see SamplingFrameworkEmitter::checkBranchPcs().
+  std::vector<uint64_t> CheckBranchPcs;
+};
+
+MicrobenchProgram buildMicrobench(const MicrobenchConfig &Config);
+
+} // namespace bor
+
+#endif // BOR_WORKLOADS_MICROBENCH_H

@@ -1,0 +1,48 @@
+//===- workloads/TextGen.cpp - Synthetic character-stream generator ------===//
+
+#include "workloads/TextGen.h"
+
+#include "support/Rng.h"
+
+using namespace bor;
+
+std::vector<uint8_t> bor::generateText(const TextConfig &Config) {
+  std::vector<uint8_t> Text;
+  Text.reserve(Config.NumChars);
+  Xoshiro256 Rng(Config.Seed);
+  // Word lengths weighted toward short words, as in English prose.
+  ZipfSampler LengthDist(10, 0.9);
+
+  static const char Punct[] = {'.', ',', ';', '!', '?', '\'', '-',
+                               '0', '1', '7', '9', '\n'};
+
+  while (Text.size() < Config.NumChars) {
+    bool Upper = Rng.nextBool(Config.UpperWordProb);
+    size_t Len = 2 + LengthDist.sample(Rng);
+    for (size_t I = 0; I != Len && Text.size() < Config.NumChars; ++I) {
+      uint8_t Base = Upper ? 'A' : 'a';
+      Text.push_back(static_cast<uint8_t>(Base + Rng.nextBelow(26)));
+    }
+    if (Text.size() >= Config.NumChars)
+      break;
+    if (Rng.nextBool(Config.OtherCharProb))
+      Text.push_back(
+          static_cast<uint8_t>(Punct[Rng.nextBelow(sizeof(Punct))]));
+    else
+      Text.push_back(' ');
+  }
+  return Text;
+}
+
+TextStats bor::classifyText(const std::vector<uint8_t> &Text) {
+  TextStats S;
+  for (uint8_t C : Text) {
+    if (C >= 'A' && C <= 'Z')
+      ++S.Upper;
+    else if (C >= 'a' && C <= 'z')
+      ++S.Lower;
+    else
+      ++S.Other;
+  }
+  return S;
+}

@@ -1,0 +1,139 @@
+//===- tests/RandomProgramGen.h - Shared random-program generator ---------===//
+//
+// Structured random BOR-RISC programs used by the differential simulator
+// tests and the assembler fuzzing tests: a counted loop whose body mixes
+// ALU ops, scratch-buffer memory traffic, data-dependent forward branches,
+// brr skips, and calls to a leaf helper. Always terminates.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_TESTS_RANDOMPROGRAMGEN_H
+#define BOR_TESTS_RANDOMPROGRAMGEN_H
+
+#include "isa/ProgramBuilder.h"
+#include "support/Rng.h"
+
+namespace bor {
+namespace testgen {
+
+constexpr uint8_t FirstTemp = 3, LastTemp = 12; // r3..r12 fair game
+constexpr uint8_t RBuf = 20;                    // scratch buffer base
+constexpr size_t BufBytes = 1024;
+
+inline uint8_t randTemp(Xoshiro256 &Rng) {
+  return static_cast<uint8_t>(FirstTemp +
+                              Rng.nextBelow(LastTemp - FirstTemp + 1));
+}
+
+/// Emits one random body instruction (possibly a short guarded block).
+inline void emitRandomInst(ProgramBuilder &B, Xoshiro256 &Rng,
+                           ProgramBuilder::LabelId Helper) {
+  switch (Rng.nextBelow(8)) {
+  case 0:
+  case 1: { // register-register ALU
+    static const Opcode Ops[] = {Opcode::Add, Opcode::Sub, Opcode::And,
+                                 Opcode::Or,  Opcode::Xor, Opcode::Mul,
+                                 Opcode::Slt, Opcode::Sltu};
+    B.emit(Inst::alu(Ops[Rng.nextBelow(8)], randTemp(Rng), randTemp(Rng),
+                     randTemp(Rng)));
+    return;
+  }
+  case 2: { // register-immediate ALU
+    static const Opcode Ops[] = {Opcode::Addi, Opcode::Andi, Opcode::Ori,
+                                 Opcode::Xori, Opcode::Slti};
+    int32_t Imm = static_cast<int32_t>(Rng.nextBelow(65536)) - 32768;
+    B.emit(Inst::alui(Ops[Rng.nextBelow(5)], randTemp(Rng), randTemp(Rng),
+                      Imm));
+    return;
+  }
+  case 3: { // shifts with a legal shamt
+    Opcode Op = Rng.nextBool(0.5) ? Opcode::Slli : Opcode::Srli;
+    B.emit(Inst::alui(Op, randTemp(Rng), randTemp(Rng),
+                      static_cast<int32_t>(Rng.nextBelow(64))));
+    return;
+  }
+  case 4: { // 64-bit memory traffic within the scratch buffer
+    int32_t Offset = static_cast<int32_t>(8 * Rng.nextBelow(BufBytes / 8));
+    if (Rng.nextBool(0.5))
+      B.emit(Inst::ld(randTemp(Rng), RBuf, Offset));
+    else
+      B.emit(Inst::st(randTemp(Rng), RBuf, Offset));
+    return;
+  }
+  case 5: { // byte memory traffic
+    int32_t Offset = static_cast<int32_t>(Rng.nextBelow(BufBytes));
+    if (Rng.nextBool(0.5))
+      B.emit(Inst::ldb(randTemp(Rng), RBuf, Offset));
+    else
+      B.emit(Inst::stb(randTemp(Rng), RBuf, Offset));
+    return;
+  }
+  case 6: { // data-dependent forward branch over a short block
+    static const Opcode Ops[] = {Opcode::Beq, Opcode::Bne, Opcode::Blt,
+                                 Opcode::Bge};
+    ProgramBuilder::LabelId Skip = B.label();
+    B.emitBranch(Ops[Rng.nextBelow(4)], randTemp(Rng), randTemp(Rng),
+                 Skip);
+    unsigned Len = 1 + Rng.nextBelow(3);
+    for (unsigned I = 0; I != Len; ++I)
+      B.emit(Inst::add(randTemp(Rng), randTemp(Rng), randTemp(Rng)));
+    B.bind(Skip);
+    return;
+  }
+  case 7: { // brr over a short block, a helper call, or an LFSR read
+    if (Rng.nextBool(0.2)) {
+      B.emitJal(RegLr, Helper);
+      return;
+    }
+    if (Rng.nextBool(0.15)) {
+      B.emit(Inst::rdlfsr(randTemp(Rng)));
+      return;
+    }
+    ProgramBuilder::LabelId Skip = B.label();
+    FreqCode Freq(static_cast<unsigned>(Rng.nextBelow(4))); // 1/2..1/16
+    B.emitBrr(Freq, Skip);
+    unsigned Len = 1 + Rng.nextBelow(3);
+    for (unsigned I = 0; I != Len; ++I)
+      B.emit(Inst::alui(Opcode::Xori, randTemp(Rng), randTemp(Rng), 0x5a));
+    B.bind(Skip);
+    return;
+  }
+  }
+}
+
+/// A complete, halting random program. The scratch buffer is named "buf".
+inline Program randomProgram(uint64_t Seed, uint64_t OuterIters = 40) {
+  Xoshiro256 Rng(Seed);
+  ProgramBuilder B;
+  uint64_t Buf = B.allocData(BufBytes, 8);
+  B.nameData("buf", Buf);
+
+  ProgramBuilder::LabelId Helper = B.label();
+
+  B.emitLoadConst(RBuf, Buf);
+  for (uint8_t R = FirstTemp; R <= LastTemp; ++R)
+    B.emit(Inst::li(R, static_cast<int32_t>(Rng.nextBelow(1000))));
+  B.emitLoadConst(2, OuterIters);
+
+  ProgramBuilder::LabelId Loop = B.label();
+  B.bind(Loop);
+  unsigned BodyLen = 20 + static_cast<unsigned>(Rng.nextBelow(40));
+  for (unsigned I = 0; I != BodyLen; ++I)
+    emitRandomInst(B, Rng, Helper);
+  B.emit(Inst::addi(2, 2, -1));
+  B.emitBranch(Opcode::Bne, 2, 0, Loop);
+  B.emit(Inst::halt());
+
+  // The helper: a small leaf function.
+  B.bind(Helper);
+  B.emit(Inst::add(FirstTemp, FirstTemp, LastTemp));
+  B.emit(Inst::alui(Opcode::Xori, LastTemp, LastTemp, 0x77));
+  B.emit(Inst::ret());
+
+  return B.finish();
+}
+
+} // namespace testgen
+} // namespace bor
+
+#endif // BOR_TESTS_RANDOMPROGRAMGEN_H

@@ -1,0 +1,101 @@
+//===- tests/test_accuracy.cpp - Overlap-percentage metric tests ----------===//
+
+#include "profile/Accuracy.h"
+
+#include <gtest/gtest.h>
+
+using namespace bor;
+
+namespace {
+
+MethodProfile fromCounts(std::vector<uint64_t> V) {
+  return MethodProfile::fromCounts(V);
+}
+
+} // namespace
+
+TEST(MethodProfile, RecordAndFractions) {
+  MethodProfile P(3);
+  P.record(0);
+  P.record(0);
+  P.record(2);
+  P.record(1);
+  EXPECT_EQ(P.total(), 4u);
+  EXPECT_EQ(P.count(0), 2u);
+  EXPECT_DOUBLE_EQ(P.fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(P.fraction(1), 0.25);
+}
+
+TEST(MethodProfile, EmptyFractionsAreZero) {
+  MethodProfile P(2);
+  EXPECT_DOUBLE_EQ(P.fraction(0), 0.0);
+}
+
+TEST(MethodProfile, FromCountsRoundTrip) {
+  MethodProfile P = fromCounts({5, 0, 15});
+  EXPECT_EQ(P.total(), 20u);
+  EXPECT_DOUBLE_EQ(P.fraction(2), 0.75);
+  EXPECT_EQ(P.numMethods(), 3u);
+}
+
+TEST(Accuracy, IdenticalProfilesGive100) {
+  MethodProfile Full = fromCounts({10, 20, 30, 40});
+  EXPECT_DOUBLE_EQ(overlapAccuracy(Full, Full), 100.0);
+}
+
+TEST(Accuracy, ScaledProfilesGive100) {
+  // Sampling that preserves proportions exactly is perfect, regardless of
+  // sample count.
+  MethodProfile Full = fromCounts({100, 200, 300});
+  MethodProfile Sampled = fromCounts({1, 2, 3});
+  EXPECT_DOUBLE_EQ(overlapAccuracy(Full, Sampled), 100.0);
+}
+
+TEST(Accuracy, DisjointProfilesGiveZero) {
+  MethodProfile Full = fromCounts({10, 0, 0});
+  MethodProfile Sampled = fromCounts({0, 5, 5});
+  EXPECT_DOUBLE_EQ(overlapAccuracy(Full, Sampled), 0.0);
+}
+
+TEST(Accuracy, PaperWorkedExample) {
+  // Section 4.1: a method with 50% of the true profile reported as 60% by
+  // sampling contributes 50 points; the over-count necessarily
+  // under-counts the rest.
+  MethodProfile Full = fromCounts({50, 50});
+  MethodProfile Sampled = fromCounts({60, 40});
+  EXPECT_DOUBLE_EQ(overlapAccuracy(Full, Sampled), 90.0);
+}
+
+TEST(Accuracy, EmptySampledProfileGivesZero) {
+  MethodProfile Full = fromCounts({1, 2});
+  MethodProfile Sampled(2);
+  EXPECT_DOUBLE_EQ(overlapAccuracy(Full, Sampled), 0.0);
+}
+
+TEST(Accuracy, MetricIsSymmetric) {
+  MethodProfile A = fromCounts({10, 30, 60});
+  MethodProfile B = fromCounts({20, 20, 60});
+  EXPECT_DOUBLE_EQ(overlapAccuracy(A, B), overlapAccuracy(B, A));
+}
+
+TEST(Accuracy, BoundedBetween0And100) {
+  MethodProfile A = fromCounts({1, 5, 3, 9, 2});
+  MethodProfile B = fromCounts({9, 1, 0, 4, 4});
+  double Acc = overlapAccuracy(A, B);
+  EXPECT_GE(Acc, 0.0);
+  EXPECT_LE(Acc, 100.0);
+}
+
+TEST(Accuracy, MissingOneMethodCostsItsWeight) {
+  // A sampler that never sees a 10%-weight method loses exactly up to 10
+  // points (the mass is redistributed across over-counted methods).
+  MethodProfile Full = fromCounts({90, 10});
+  MethodProfile Sampled = fromCounts({100, 0});
+  EXPECT_DOUBLE_EQ(overlapAccuracy(Full, Sampled), 90.0);
+}
+
+TEST(AccuracyDeath, MismatchedUniversesAssert) {
+  MethodProfile A = fromCounts({1, 2});
+  MethodProfile B = fromCounts({1, 2, 3});
+  EXPECT_DEATH((void)overlapAccuracy(A, B), "universes");
+}

@@ -1,0 +1,93 @@
+//===- tests/test_bitselection.cpp - AND-input selection tests ------------===//
+
+#include "core/BitSelection.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace bor;
+
+TEST(BitSelection, ContiguousIsPrefix) {
+  for (unsigned K = 1; K <= 16; ++K) {
+    std::vector<unsigned> Bits =
+        selectAndBits(BitSelectPolicy::Contiguous, K, 20);
+    ASSERT_EQ(Bits.size(), K);
+    for (unsigned I = 0; I != K; ++I)
+      EXPECT_EQ(Bits[I], I);
+  }
+}
+
+TEST(BitSelection, SpacedMatchesPaperExample) {
+  // Section 3.3: "selecting bits 0, 2, 5, and 9 to compute a 6.25%
+  // probability" (6.25% = 4 random bits).
+  std::vector<unsigned> Bits = selectAndBits(BitSelectPolicy::Spaced, 4, 20);
+  EXPECT_EQ(Bits, (std::vector<unsigned>{0, 2, 5, 9}));
+}
+
+TEST(BitSelection, SpacedSingleBitIsBitZero) {
+  EXPECT_EQ(selectAndBits(BitSelectPolicy::Spaced, 1, 20),
+            (std::vector<unsigned>{0}));
+}
+
+struct SelectionCase {
+  BitSelectPolicy Policy;
+  unsigned NumBits;
+  unsigned Width;
+};
+
+class BitSelectionProperty : public ::testing::TestWithParam<SelectionCase> {
+};
+
+TEST_P(BitSelectionProperty, DistinctSortedInRange) {
+  const SelectionCase &C = GetParam();
+  std::vector<unsigned> Bits = selectAndBits(C.Policy, C.NumBits, C.Width);
+  ASSERT_EQ(Bits.size(), C.NumBits);
+  std::set<unsigned> Unique(Bits.begin(), Bits.end());
+  EXPECT_EQ(Unique.size(), C.NumBits) << "duplicate bit selected";
+  for (unsigned B : Bits)
+    EXPECT_LT(B, C.Width);
+  for (size_t I = 1; I < Bits.size(); ++I)
+    EXPECT_LT(Bits[I - 1], Bits[I]) << "not sorted";
+}
+
+TEST_P(BitSelectionProperty, MaskMatchesBits) {
+  const SelectionCase &C = GetParam();
+  uint64_t Mask = selectAndMask(C.Policy, C.NumBits, C.Width);
+  std::vector<unsigned> Bits = selectAndBits(C.Policy, C.NumBits, C.Width);
+  uint64_t Expected = 0;
+  for (unsigned B : Bits)
+    Expected |= 1ULL << B;
+  EXPECT_EQ(Mask, Expected);
+}
+
+static std::vector<SelectionCase> allCases() {
+  std::vector<SelectionCase> Cases;
+  for (BitSelectPolicy P :
+       {BitSelectPolicy::Contiguous, BitSelectPolicy::Spaced})
+    for (unsigned Width : {16u, 20u, 32u})
+      for (unsigned K = 1; K <= 16; ++K)
+        Cases.push_back({P, K, Width});
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BitSelectionProperty, ::testing::ValuesIn(allCases()),
+    [](const auto &Info) {
+      const SelectionCase &C = Info.param;
+      return std::string(bitSelectPolicyName(C.Policy)) + "_k" +
+             std::to_string(C.NumBits) + "_w" + std::to_string(C.Width);
+    });
+
+TEST(BitSelection, SixteenBitsInSixteenWideUsesAll) {
+  std::vector<unsigned> Bits =
+      selectAndBits(BitSelectPolicy::Spaced, 16, 16);
+  for (unsigned I = 0; I != 16; ++I)
+    EXPECT_EQ(Bits[I], I);
+}
+
+TEST(BitSelection, PolicyNames) {
+  EXPECT_STREQ(bitSelectPolicyName(BitSelectPolicy::Contiguous),
+               "contiguous");
+  EXPECT_STREQ(bitSelectPolicyName(BitSelectPolicy::Spaced), "spaced");
+}

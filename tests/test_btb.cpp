@@ -1,0 +1,75 @@
+//===- tests/test_btb.cpp - Branch target buffer tests --------------------===//
+
+#include "uarch/Btb.h"
+
+#include <gtest/gtest.h>
+
+using namespace bor;
+
+TEST(Btb, MissThenHitAfterInsert) {
+  Btb B;
+  EXPECT_FALSE(B.lookup(0x40).has_value());
+  B.insert(0x40, 0x100);
+  auto T = B.lookup(0x40);
+  ASSERT_TRUE(T.has_value());
+  EXPECT_EQ(*T, 0x100u);
+}
+
+TEST(Btb, InsertUpdatesExistingEntry) {
+  Btb B;
+  B.insert(0x40, 0x100);
+  B.insert(0x40, 0x200);
+  EXPECT_EQ(*B.lookup(0x40), 0x200u);
+}
+
+TEST(Btb, TagsDisambiguateAliasedPcs) {
+  BtbConfig Cfg{16, 2}; // 8 sets
+  Btb B(Cfg);
+  uint64_t PcA = 0x0;
+  uint64_t PcB = PcA + 8 * 4 * 1; // same set (sets indexed by pc>>2)
+  B.insert(PcA, 0x111);
+  B.insert(PcB, 0x222);
+  EXPECT_EQ(*B.lookup(PcA), 0x111u);
+  EXPECT_EQ(*B.lookup(PcB), 0x222u);
+}
+
+TEST(Btb, LruEvictionWithinSet) {
+  BtbConfig Cfg{16, 2}; // 8 sets, 2 ways
+  Btb B(Cfg);
+  uint64_t A = 0x0, C = 8 * 4, X = 16 * 4; // all map to set 0
+  B.insert(A, 1);
+  B.insert(C, 2);
+  B.lookup(A); // A most recently used
+  B.insert(X, 3); // evicts C
+  EXPECT_TRUE(B.lookup(A).has_value());
+  EXPECT_FALSE(B.lookup(C).has_value());
+  EXPECT_TRUE(B.lookup(X).has_value());
+}
+
+TEST(Btb, StatsCountHitsAndInserts) {
+  Btb B;
+  B.lookup(0x40);
+  B.insert(0x40, 1);
+  B.lookup(0x40);
+  EXPECT_EQ(B.stats().Lookups, 2u);
+  EXPECT_EQ(B.stats().Hits, 1u);
+  EXPECT_EQ(B.stats().Inserts, 1u);
+}
+
+TEST(Btb, PaperDefaultIs1024Entries) {
+  Btb B;
+  EXPECT_EQ(B.config().Entries, 1024u);
+}
+
+TEST(Btb, CapacityThrashing) {
+  // More hot branches than entries: lookups keep missing.
+  BtbConfig Cfg{16, 2};
+  Btb B(Cfg);
+  for (int Round = 0; Round != 3; ++Round)
+    for (uint64_t Pc = 0; Pc != 64 * 4; Pc += 4)
+      B.insert(Pc, Pc + 100);
+  unsigned Present = 0;
+  for (uint64_t Pc = 0; Pc != 64 * 4; Pc += 4)
+    Present += B.lookup(Pc).has_value();
+  EXPECT_LE(Present, 16u);
+}

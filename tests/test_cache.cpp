@@ -1,0 +1,97 @@
+//===- tests/test_cache.cpp - Cache model tests ---------------------------===//
+
+#include "uarch/Cache.h"
+
+#include <gtest/gtest.h>
+
+using namespace bor;
+
+TEST(Cache, ColdMissThenHit) {
+  Cache C({1024, 2, 64});
+  EXPECT_FALSE(C.access(0x100));
+  EXPECT_TRUE(C.access(0x100));
+  EXPECT_TRUE(C.access(0x13f)); // same 64B line
+  EXPECT_FALSE(C.access(0x140)); // next line
+  EXPECT_EQ(C.stats().Accesses, 4u);
+  EXPECT_EQ(C.stats().Misses, 2u);
+}
+
+TEST(Cache, GeometryDerivedFromConfig) {
+  Cache C({32 * 1024, 4, 64});
+  EXPECT_EQ(C.numSets(), 128u);
+}
+
+TEST(Cache, AssociativityHoldsConflictingLines) {
+  // 2-way, 8 sets of 64B lines: addresses 64*8 apart map to the same set.
+  Cache C({1024, 2, 64});
+  uint64_t A = 0, B = 8 * 64;
+  C.access(A);
+  C.access(B);
+  EXPECT_TRUE(C.access(A));
+  EXPECT_TRUE(C.access(B));
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  Cache C({1024, 2, 64});
+  uint64_t A = 0, B = 8 * 64, X = 16 * 64; // all same set
+  C.access(A);
+  C.access(B);
+  C.access(A);    // A most recent
+  C.access(X);    // evicts B
+  EXPECT_TRUE(C.contains(A));
+  EXPECT_FALSE(C.contains(B));
+  EXPECT_TRUE(C.contains(X));
+}
+
+TEST(Cache, ContainsDoesNotDisturbState) {
+  Cache C({1024, 2, 64});
+  C.access(0);
+  uint64_t Accesses = C.stats().Accesses;
+  EXPECT_TRUE(C.contains(0));
+  EXPECT_FALSE(C.contains(4096));
+  EXPECT_EQ(C.stats().Accesses, Accesses);
+}
+
+TEST(Cache, DirectMappedConflicts) {
+  Cache C({512, 1, 64}); // 8 sets, direct mapped
+  C.access(0);
+  C.access(8 * 64); // same set -> evicts
+  EXPECT_FALSE(C.contains(0));
+}
+
+TEST(Cache, FullyAssociativeNeverConflictsUnderCapacity) {
+  Cache C({512, 8, 64}); // one set of 8 ways
+  for (unsigned I = 0; I != 8; ++I)
+    C.access(I * 64);
+  for (unsigned I = 0; I != 8; ++I)
+    EXPECT_TRUE(C.contains(I * 64));
+}
+
+TEST(Cache, HitRateStat) {
+  Cache C({1024, 2, 64});
+  C.access(0);
+  C.access(0);
+  C.access(0);
+  C.access(0);
+  EXPECT_DOUBLE_EQ(C.stats().hitRate(), 0.75);
+  C.resetStats();
+  EXPECT_EQ(C.stats().Accesses, 0u);
+  EXPECT_DOUBLE_EQ(C.stats().hitRate(), 1.0);
+}
+
+TEST(Cache, WorkingSetLargerThanCacheThrashes) {
+  Cache C({1024, 2, 64});
+  // Stream over 4 KiB repeatedly: every access misses after warmup.
+  for (int Round = 0; Round != 3; ++Round)
+    for (uint64_t Addr = 0; Addr < 4096; Addr += 64)
+      C.access(Addr);
+  EXPECT_GT(C.stats().Misses, 64u);
+}
+
+TEST(PaperConfig, Section51CacheShapes) {
+  // 32KB 4-way 64B L1s; 1MB 8-way L2.
+  Cache L1({32 * 1024, 4, 64});
+  Cache L2({1024 * 1024, 8, 64});
+  EXPECT_EQ(L1.numSets() * 4 * 64, 32u * 1024);
+  EXPECT_EQ(L2.numSets() * 8 * 64, 1024u * 1024);
+}

@@ -1,0 +1,192 @@
+//===- tests/test_convergent.cpp - Convergent profiling tests -------------===//
+
+#include "profile/Convergent.h"
+
+#include "support/Rng.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace bor;
+
+namespace {
+
+/// Visits the profiler with methods drawn from a fixed two-mode
+/// distribution: mode 0 favours method 0, mode 1 favours method 1.
+void drive(ConvergentProfiler &CP, Xoshiro256 &Rng, int Mode,
+           uint64_t Visits) {
+  for (uint64_t I = 0; I != Visits; ++I) {
+    uint32_t Hot = Mode == 0 ? 0 : 1;
+    uint32_t Method = Rng.nextBool(0.8) ? Hot : 2 + Rng.nextBelow(6);
+    CP.visit(Method);
+  }
+}
+
+} // namespace
+
+TEST(ConvergentProfiler, StartsAtConfiguredFrequency) {
+  ConvergentConfig C;
+  C.InitialFreqRaw = 5;
+  ConvergentProfiler CP(8, C);
+  EXPECT_EQ(CP.currentFreq().raw(), 5u);
+}
+
+TEST(ConvergentProfiler, LowersRateOnStationaryBehaviour) {
+  ConvergentConfig C;
+  C.InitialFreqRaw = 2;
+  C.MaxFreqRaw = 10;
+  C.EpochSamples = 256;
+  ConvergentProfiler CP(8, C);
+  Xoshiro256 Rng(1);
+  drive(CP, Rng, 0, 2000000);
+  // A stable distribution converges: the rate walks down to the floor.
+  EXPECT_GT(CP.currentFreq().raw(), 6u);
+  EXPECT_FALSE(CP.history().empty());
+}
+
+TEST(ConvergentProfiler, RaisesRateOnBehaviourShift) {
+  ConvergentConfig C;
+  C.InitialFreqRaw = 2;
+  C.MaxFreqRaw = 6; // interval 128: epochs stay short after convergence
+  C.EpochSamples = 256;
+  ConvergentProfiler CP(8, C);
+  Xoshiro256 Rng(2);
+  drive(CP, Rng, 0, 1000000);
+  unsigned Converged = CP.currentFreq().raw();
+  ASSERT_GT(Converged, 3u) << "profiler should have converged first";
+  drive(CP, Rng, 1, 400000); // phase change
+  // At least one epoch during the shift must have re-raised the rate.
+  unsigned MinSeen = 15;
+  for (const auto &E : CP.history())
+    if (E.VisitsSoFar > 1000000)
+      MinSeen = std::min(MinSeen, E.FreqRaw);
+  EXPECT_LT(MinSeen, Converged);
+}
+
+TEST(ConvergentProfiler, SamplesFarFewerThanVisits) {
+  ConvergentConfig C;
+  C.InitialFreqRaw = 4;
+  ConvergentProfiler CP(8, C);
+  Xoshiro256 Rng(3);
+  drive(CP, Rng, 0, 500000);
+  EXPECT_LT(CP.samples(), CP.visits() / 8);
+  EXPECT_GT(CP.samples(), 0u);
+}
+
+TEST(ConvergentProfiler, ProfileTracksTrueHotMethod) {
+  ConvergentConfig C;
+  ConvergentProfiler CP(8, C);
+  Xoshiro256 Rng(4);
+  drive(CP, Rng, 0, 1000000);
+  const MethodProfile &P = CP.profile();
+  for (size_t I = 1; I != P.numMethods(); ++I)
+    EXPECT_GT(P.count(0), P.count(I));
+}
+
+TEST(ConvergentProfiler, FrequencyStaysWithinBand) {
+  ConvergentConfig C;
+  C.InitialFreqRaw = 3;
+  C.MinFreqRaw = 2;
+  C.MaxFreqRaw = 6;
+  ConvergentProfiler CP(8, C);
+  Xoshiro256 Rng(5);
+  // Alternate behaviour modes to push the controller around.
+  for (int Phase = 0; Phase != 20; ++Phase)
+    drive(CP, Rng, Phase % 2, 50000);
+  for (const auto &E : CP.history()) {
+    EXPECT_GE(E.FreqRaw, C.MinFreqRaw);
+    EXPECT_LE(E.FreqRaw, C.MaxFreqRaw);
+  }
+}
+
+TEST(ConvergentProfiler, EpochHistoryIsOrdered) {
+  ConvergentConfig C;
+  C.EpochSamples = 128;
+  ConvergentProfiler CP(8, C);
+  Xoshiro256 Rng(6);
+  drive(CP, Rng, 0, 300000);
+  const auto &H = CP.history();
+  ASSERT_GT(H.size(), 2u);
+  for (size_t I = 1; I != H.size(); ++I)
+    EXPECT_GT(H[I].VisitsSoFar, H[I - 1].VisitsSoFar);
+}
+
+TEST(ConvergentProfiler, NoiseFloorEstimateMatchesEmpirical) {
+  // Draw epochs from a known distribution and compare the analytic noise
+  // floor against the measured epoch-vs-truth total variation.
+  const size_t K = 32;
+  const uint64_t N = 512;
+  MethodProfile Truth(K);
+  Xoshiro256 Rng(77);
+  ZipfSampler Zipf(K, 1.1);
+  for (int I = 0; I != 2000000; ++I)
+    Truth.record(Zipf.sample(Rng));
+
+  double Predicted = ConvergentProfiler::expectedSamplingNoise(Truth, N);
+
+  RunningStat Empirical;
+  for (int Trial = 0; Trial != 40; ++Trial) {
+    MethodProfile Epoch(K);
+    for (uint64_t I = 0; I != N; ++I)
+      Epoch.record(Zipf.sample(Rng));
+    double Tv = 0;
+    for (size_t M = 0; M != K; ++M)
+      Tv += std::abs(Epoch.fraction(M) - Truth.fraction(M));
+    Empirical.add(0.5 * Tv);
+  }
+  EXPECT_NEAR(Predicted, Empirical.mean(), 0.3 * Empirical.mean());
+}
+
+TEST(ConvergentProfiler, AdaptiveThresholdsConvergeWithoutTuning) {
+  // The fixed default thresholds fail on wide, noisy distributions; the
+  // adaptive mode self-calibrates and still backs off.
+  ConvergentConfig Cfg;
+  Cfg.InitialFreqRaw = 2;
+  Cfg.MaxFreqRaw = 9;
+  Cfg.EpochSamples = 512;
+  Cfg.AdaptiveThresholds = true;
+  ConvergentProfiler CP(64, Cfg);
+
+  Xoshiro256 Rng(5);
+  ZipfSampler Zipf(64, 1.2);
+  for (int I = 0; I != 3000000; ++I)
+    CP.visit(static_cast<uint32_t>(Zipf.sample(Rng)));
+  EXPECT_GE(CP.currentFreq().raw(), 7u) << "should have backed off";
+}
+
+TEST(ConvergentProfiler, AdaptiveModeRecharacterizesAfterShift) {
+  ConvergentConfig Cfg;
+  Cfg.InitialFreqRaw = 2;
+  Cfg.MaxFreqRaw = 9;
+  Cfg.EpochSamples = 256;
+  Cfg.AdaptiveThresholds = true;
+  ConvergentProfiler CP(64, Cfg);
+
+  Xoshiro256 Rng(6);
+  ZipfSampler Zipf(64, 1.2);
+  for (int I = 0; I != 2000000; ++I)
+    CP.visit(static_cast<uint32_t>(Zipf.sample(Rng)));
+  unsigned Converged = CP.currentFreq().raw();
+  ASSERT_GE(Converged, 6u);
+
+  // Rotate the distribution: a permanent behaviour change.
+  for (int I = 0; I != 2000000; ++I)
+    CP.visit(static_cast<uint32_t>((Zipf.sample(Rng) + 13) % 64));
+
+  // The rate must have been re-raised at some point after the shift, and
+  // the re-characterized profile should rank the new hot method first.
+  unsigned MinAfterShift = 15;
+  for (const auto &E : CP.history())
+    if (E.VisitsSoFar > 2000000)
+      MinAfterShift = std::min(MinAfterShift, E.FreqRaw);
+  EXPECT_LT(MinAfterShift, Converged);
+
+  const MethodProfile &P = CP.profile();
+  for (size_t M = 0; M != 64; ++M) {
+    if (M == 13)
+      continue;
+    EXPECT_GE(P.count(13), P.count(M)) << "m" << M;
+  }
+}

@@ -1,0 +1,56 @@
+//===- tests/test_disasm.cpp - Disassembler tests -------------------------===//
+
+#include "isa/Disasm.h"
+
+#include "isa/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace bor;
+
+TEST(Disasm, AluForms) {
+  EXPECT_EQ(disassemble(Inst::add(3, 1, 2)), "add r3, r1, r2");
+  EXPECT_EQ(disassemble(Inst::addi(4, 5, -7)), "addi r4, r5, -7");
+}
+
+TEST(Disasm, MemoryForms) {
+  EXPECT_EQ(disassemble(Inst::ld(1, 2, 16)), "ld r1, 16(r2)");
+  EXPECT_EQ(disassemble(Inst::st(3, 4, -8)), "st r3, -8(r4)");
+}
+
+TEST(Disasm, BranchShowsOffsetAndTarget) {
+  std::string S = disassemble(Inst::branch(Opcode::Beq, 1, 2, -3), 10);
+  EXPECT_EQ(S, "beq r1, r2, -3 (-> 7)");
+}
+
+TEST(Disasm, BranchWithoutIndexShowsOffsetOnly) {
+  EXPECT_EQ(disassemble(Inst::branch(Opcode::Bne, 1, 2, 5)),
+            "bne r1, r2, +5");
+}
+
+TEST(Disasm, BrrShowsFrequencyAsInterval) {
+  std::string S = disassemble(Inst::brr(FreqCode(9), 4), 0);
+  EXPECT_EQ(S, "brr 1/1024, +4 (-> 4)");
+}
+
+TEST(Disasm, SpecialForms) {
+  EXPECT_EQ(disassemble(Inst::nop()), "nop");
+  EXPECT_EQ(disassemble(Inst::halt()), "halt");
+  EXPECT_EQ(disassemble(Inst::marker(7)), "marker 7");
+  EXPECT_EQ(disassemble(Inst::ret()), "jalr r0, r31");
+}
+
+TEST(Disasm, WholeProgramHasOneLinePerInst) {
+  ProgramBuilder B;
+  B.emit(Inst::nop());
+  B.emit(Inst::add(1, 2, 3));
+  B.emit(Inst::halt());
+  Program P = B.finish();
+  std::string S = disassemble(P);
+  size_t Lines = 0;
+  for (char C : S)
+    Lines += C == '\n';
+  EXPECT_EQ(Lines, 3u);
+  EXPECT_NE(S.find("0:"), std::string::npos);
+  EXPECT_NE(S.find("add r1, r2, r3"), std::string::npos);
+}

@@ -1,0 +1,210 @@
+//===- tests/test_encoding.cpp - BOR-RISC binary encoding tests -----------===//
+
+#include "isa/Encoding.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace bor;
+
+namespace {
+
+/// One representative instruction per opcode, with nontrivial fields.
+std::vector<Inst> representativeInsts() {
+  return {
+      Inst::nop(),
+      Inst::halt(),
+      Inst::add(3, 1, 2),
+      Inst::sub(31, 30, 29),
+      Inst::alu(Opcode::And, 5, 6, 7),
+      Inst::alu(Opcode::Or, 8, 9, 10),
+      Inst::alu(Opcode::Xor, 11, 12, 13),
+      Inst::alu(Opcode::Sll, 14, 15, 16),
+      Inst::alu(Opcode::Srl, 17, 18, 19),
+      Inst::alu(Opcode::Mul, 20, 21, 22),
+      Inst::alu(Opcode::Slt, 23, 24, 25),
+      Inst::alu(Opcode::Sltu, 26, 27, 28),
+      Inst::addi(4, 5, -32768),
+      Inst::alui(Opcode::Andi, 6, 7, 32767),
+      Inst::alui(Opcode::Ori, 8, 9, 255),
+      Inst::alui(Opcode::Xori, 10, 11, -1),
+      Inst::alui(Opcode::Slli, 12, 13, 63),
+      Inst::alui(Opcode::Srli, 14, 15, 1),
+      Inst::alui(Opcode::Slti, 16, 17, -5),
+      Inst::ld(18, 19, 1000),
+      Inst::ldb(20, 21, -1000),
+      Inst::st(22, 23, 8),
+      Inst::stb(24, 25, -8),
+      Inst::branch(Opcode::Beq, 1, 2, -100),
+      Inst::branch(Opcode::Bne, 3, 4, 100),
+      Inst::branch(Opcode::Blt, 5, 6, 32767),
+      Inst::branch(Opcode::Bge, 7, 8, -32768),
+      Inst::jmp(1 << 20),
+      Inst::jal(31, -(1 << 20)),
+      Inst::jalr(31, 4),
+      Inst::brr(FreqCode(9), 12345),
+      Inst::brr(FreqCode(15), -(1 << 21)),
+      Inst::marker(42),
+      Inst::rdlfsr(13),
+  };
+}
+
+} // namespace
+
+TEST(Encoding, RoundTripsEveryOpcode) {
+  std::set<Opcode> Covered;
+  for (const Inst &I : representativeInsts()) {
+    Covered.insert(I.Op);
+    uint32_t Word = encode(I);
+    Inst Back = decode(Word);
+    EXPECT_EQ(Back, I) << "opcode " << opcodeName(I.Op);
+  }
+  EXPECT_EQ(Covered.size(), NumOpcodes)
+      << "representative set must cover the whole ISA";
+}
+
+TEST(Encoding, BrrFormatMatchesFigure5) {
+  // Figure 5: opcode | 4-bit freq | target. Check field packing.
+  Inst I = Inst::brr(FreqCode(9), 100);
+  uint32_t Word = encode(I);
+  EXPECT_EQ(Word >> 26, static_cast<uint32_t>(Opcode::Brr));
+  EXPECT_EQ((Word >> 22) & 15, 9u);
+  EXPECT_EQ(Word & ((1u << 22) - 1), 100u);
+}
+
+TEST(Encoding, BrrCarriesNoRegisterFields) {
+  Inst I = Inst::brr(FreqCode(3), -4);
+  EXPECT_FALSE(I.writesReg());
+  uint8_t Srcs[2];
+  EXPECT_EQ(I.sourceRegs(Srcs), 0u)
+      << "brr must not read registers: that is what lets decode resolve it";
+}
+
+TEST(Encoding, ImmediateFitsBoundaries) {
+  EXPECT_TRUE(immediateFits(Inst::addi(1, 2, 32767)));
+  EXPECT_TRUE(immediateFits(Inst::addi(1, 2, -32768)));
+  EXPECT_FALSE(immediateFits(Inst::addi(1, 2, 32768)));
+  EXPECT_FALSE(immediateFits(Inst::addi(1, 2, -32769)));
+
+  EXPECT_TRUE(immediateFits(Inst::brr(FreqCode(0), (1 << 21) - 1)));
+  EXPECT_FALSE(immediateFits(Inst::brr(FreqCode(0), 1 << 21)));
+
+  EXPECT_TRUE(immediateFits(Inst::jmp((1 << 25) - 1)));
+  EXPECT_FALSE(immediateFits(Inst::jmp(1 << 25)));
+
+  EXPECT_TRUE(immediateFits(Inst::jal(31, -(1 << 20))));
+  EXPECT_FALSE(immediateFits(Inst::jal(31, -(1 << 20) - 1)));
+}
+
+TEST(Encoding, NegativeImmediatesSignExtend) {
+  for (int32_t Imm : {-1, -2, -32768, -12345}) {
+    Inst I = Inst::ld(1, 2, Imm);
+    EXPECT_EQ(decode(encode(I)).Imm, Imm);
+  }
+}
+
+TEST(Encoding, ProgramRoundTrip) {
+  std::vector<Inst> Code = representativeInsts();
+  std::vector<uint32_t> Words = encodeProgram(Code);
+  std::vector<Inst> Back = decodeProgram(Words);
+  ASSERT_EQ(Back.size(), Code.size());
+  for (size_t I = 0; I != Code.size(); ++I)
+    EXPECT_EQ(Back[I], Code[I]);
+}
+
+TEST(Encoding, OpcodeNamesAreUnique) {
+  std::set<std::string> Names;
+  for (unsigned Op = 0; Op != NumOpcodes; ++Op)
+    Names.insert(opcodeName(static_cast<Opcode>(Op)));
+  EXPECT_EQ(Names.size(), NumOpcodes);
+}
+
+TEST(Inst, ClassificationPredicates) {
+  EXPECT_TRUE(Inst::branch(Opcode::Beq, 1, 2, 0).isCondBranch());
+  EXPECT_TRUE(Inst::brr(FreqCode(0), 0).isBrr());
+  EXPECT_FALSE(Inst::brr(FreqCode(0), 0).isCondBranch());
+  EXPECT_TRUE(Inst::jmp(0).isDirectJump());
+  EXPECT_TRUE(Inst::jal(31, 0).isDirectJump());
+  EXPECT_TRUE(Inst::jalr(0, 31).isIndirect());
+  EXPECT_TRUE(Inst::halt().isControl());
+  EXPECT_TRUE(Inst::brr(FreqCode(0), 0).isControl());
+  EXPECT_TRUE(Inst::ld(1, 2, 0).isLoad());
+  EXPECT_TRUE(Inst::st(1, 2, 0).isStore());
+  EXPECT_TRUE(Inst::ldb(1, 2, 0).isMem());
+  EXPECT_FALSE(Inst::add(1, 2, 3).isMem());
+  EXPECT_FALSE(Inst::add(1, 2, 3).isControl());
+}
+
+TEST(Inst, WritesRegRespectsR0) {
+  EXPECT_TRUE(Inst::add(1, 2, 3).writesReg());
+  EXPECT_FALSE(Inst::add(0, 2, 3).writesReg());
+  EXPECT_FALSE(Inst::ret().writesReg()); // jalr r0, lr
+  EXPECT_TRUE(Inst::jalr(31, 4).writesReg());
+  EXPECT_FALSE(Inst::st(1, 2, 0).writesReg());
+  EXPECT_FALSE(Inst::marker(1).writesReg());
+}
+
+TEST(Inst, SourceRegsTable) {
+  uint8_t Srcs[2];
+  EXPECT_EQ(Inst::add(1, 2, 3).sourceRegs(Srcs), 2u);
+  EXPECT_EQ(Srcs[0], 2);
+  EXPECT_EQ(Srcs[1], 3);
+
+  EXPECT_EQ(Inst::addi(1, 2, 5).sourceRegs(Srcs), 1u);
+  EXPECT_EQ(Srcs[0], 2);
+
+  EXPECT_EQ(Inst::st(7, 8, 0).sourceRegs(Srcs), 2u);
+  EXPECT_EQ(Srcs[0], 8); // address base
+  EXPECT_EQ(Srcs[1], 7); // stored value
+
+  EXPECT_EQ(Inst::jmp(4).sourceRegs(Srcs), 0u);
+  EXPECT_EQ(Inst::marker(1).sourceRegs(Srcs), 0u);
+}
+
+TEST(EncodingDeath, OversizedImmediateAsserts) {
+  EXPECT_DEATH(encode(Inst::addi(1, 2, 40000)), "does not fit");
+}
+
+TEST(EncodingFuzz, RandomValidFieldsRoundTrip) {
+  // Exhaustive-ish randomized coverage of the encoding space: for every
+  // format, random legal register/immediate fields must round-trip.
+  Xoshiro256 Rng(0xfeed);
+  auto Reg = [&Rng] { return static_cast<uint8_t>(Rng.nextBelow(32)); };
+  auto Imm = [&Rng](unsigned Bits) {
+    int64_t Span = 1LL << Bits;
+    return static_cast<int32_t>(
+        static_cast<int64_t>(Rng.nextBelow(Span)) - Span / 2);
+  };
+
+  for (int Trial = 0; Trial != 4000; ++Trial) {
+    Inst I;
+    switch (Rng.nextBelow(7)) {
+    case 0:
+      I = Inst::alu(Opcode::Add, Reg(), Reg(), Reg());
+      break;
+    case 1:
+      I = Inst::alui(Opcode::Xori, Reg(), Reg(), Imm(16));
+      break;
+    case 2:
+      I = Inst::ld(Reg(), Reg(), Imm(16));
+      break;
+    case 3:
+      I = Inst::st(Reg(), Reg(), Imm(16));
+      break;
+    case 4:
+      I = Inst::branch(Opcode::Blt, Reg(), Reg(), Imm(16));
+      break;
+    case 5:
+      I = Inst::jal(Reg(), Imm(21));
+      break;
+    case 6:
+      I = Inst::brr(FreqCode(static_cast<unsigned>(Rng.nextBelow(16))),
+                    Imm(22));
+      break;
+    }
+    ASSERT_EQ(decode(encode(I)), I) << "trial " << Trial;
+  }
+}

@@ -1,0 +1,118 @@
+//===- tests/test_machine.cpp - Machine state tests -----------------------===//
+
+#include "sim/Machine.h"
+
+#include "isa/ProgramBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace bor;
+
+TEST(Memory, ByteReadWriteRoundTrip) {
+  Memory M;
+  M.writeU8(100, 0xab);
+  EXPECT_EQ(M.readU8(100), 0xab);
+  EXPECT_EQ(M.readU8(101), 0); // untouched memory reads zero
+}
+
+TEST(Memory, U64ReadWriteRoundTrip) {
+  Memory M;
+  M.writeU64(0x1000, 0x0123456789abcdefULL);
+  EXPECT_EQ(M.readU64(0x1000), 0x0123456789abcdefULL);
+}
+
+TEST(Memory, U64IsLittleEndianOverBytes) {
+  Memory M;
+  M.writeU64(0x2000, 0x1122334455667788ULL);
+  EXPECT_EQ(M.readU8(0x2000), 0x88);
+  EXPECT_EQ(M.readU8(0x2007), 0x11);
+}
+
+TEST(Memory, BytesComposeIntoU64) {
+  Memory M;
+  for (unsigned I = 0; I != 8; ++I)
+    M.writeU8(0x3000 + I, static_cast<uint8_t>(I + 1));
+  EXPECT_EQ(M.readU64(0x3000), 0x0807060504030201ULL);
+}
+
+TEST(Memory, SparsePagesAllocateOnWrite) {
+  Memory M;
+  EXPECT_EQ(M.numPages(), 0u);
+  (void)M.readU64(0x10000); // reads do not allocate
+  EXPECT_EQ(M.numPages(), 0u);
+  M.writeU8(0x10000, 1);
+  M.writeU8(0x10000 + 4096, 1);
+  EXPECT_EQ(M.numPages(), 2u);
+}
+
+TEST(Memory, DistantAddressesDoNotInterfere) {
+  Memory M;
+  M.writeU64(0x0, 1);
+  M.writeU64(0x40000000, 2);
+  EXPECT_EQ(M.readU64(0x0), 1u);
+  EXPECT_EQ(M.readU64(0x40000000), 2u);
+}
+
+TEST(MemoryDeath, MisalignedU64Asserts) {
+  Memory M;
+  EXPECT_DEATH(M.writeU64(3, 1), "aligned");
+  EXPECT_DEATH((void)M.readU64(9), "aligned");
+}
+
+TEST(Machine, RegistersStartZero) {
+  Machine M;
+  for (unsigned R = 0; R != 32; ++R)
+    EXPECT_EQ(M.readReg(R), 0u);
+}
+
+TEST(Machine, R0IsHardwiredZero) {
+  Machine M;
+  M.writeReg(RegZero, 12345);
+  EXPECT_EQ(M.readReg(RegZero), 0u);
+  M.writeReg(1, 12345);
+  EXPECT_EQ(M.readReg(1), 12345u);
+}
+
+TEST(Machine, LoadProgramCopiesDataSegment) {
+  ProgramBuilder B;
+  uint64_t Addr = B.allocData(16, 8);
+  B.initDataU64(Addr, 0xfeedface);
+  B.initDataU64(Addr + 8, 42);
+  B.emit(Inst::halt());
+  Program P = B.finish();
+
+  Machine M;
+  M.loadProgram(P);
+  EXPECT_EQ(M.memory().readU64(Addr), 0xfeedfaceULL);
+  EXPECT_EQ(M.memory().readU64(Addr + 8), 42u);
+  EXPECT_EQ(M.pc(), 0u);
+  EXPECT_FALSE(M.halted());
+}
+
+TEST(BrrDeciders, TrivialDeciders) {
+  NeverTakenDecider Never;
+  AlwaysTakenDecider Always;
+  for (unsigned Raw = 0; Raw != FreqCode::NumValues; ++Raw) {
+    EXPECT_FALSE(Never.decide(FreqCode(Raw)));
+    EXPECT_TRUE(Always.decide(FreqCode(Raw)));
+  }
+}
+
+TEST(BrrDeciders, UnitDeciderMatchesUnitRate) {
+  BrrUnitConfig C;
+  BrrUnitDecider D(C);
+  uint64_t Taken = 0;
+  const int N = 100000;
+  for (int I = 0; I != N; ++I)
+    Taken += D.decide(FreqCode(3)); // 1/16
+  EXPECT_NEAR(static_cast<double>(Taken) / N, 1.0 / 16, 0.005);
+}
+
+TEST(BrrDeciders, HwCounterDeciderIsPeriodic) {
+  HwCounterDecider D;
+  int FirstFire = -1;
+  for (int I = 0; I != 8; ++I)
+    if (D.decide(FreqCode(1)) && FirstFire < 0)
+      FirstFire = I;
+  EXPECT_EQ(FirstFire, 3); // every 4th evaluation
+}

@@ -1,0 +1,70 @@
+//===- tests/test_memhier.cpp - Memory hierarchy tests --------------------===//
+
+#include "uarch/MemoryHierarchy.h"
+
+#include <gtest/gtest.h>
+
+using namespace bor;
+
+TEST(MemoryHierarchy, FetchLatencyLevels) {
+  MemoryHierarchy H;
+  // Cold: L1I and L2 both miss -> memory latency.
+  EXPECT_EQ(H.fetchAccess(0x0), H.config().MemCycles);
+  // Warm L1I: free.
+  EXPECT_EQ(H.fetchAccess(0x0), 0u);
+}
+
+TEST(MemoryHierarchy, DataLatencyLevels) {
+  MemoryHierarchy H;
+  unsigned Cold = H.dataAccess(0x4000, false);
+  EXPECT_EQ(Cold, H.config().L1DHitCycles + H.config().MemCycles);
+  unsigned Warm = H.dataAccess(0x4000, false);
+  EXPECT_EQ(Warm, H.config().L1DHitCycles);
+}
+
+TEST(MemoryHierarchy, L2HitAfterL1Eviction) {
+  MemHierConfig Cfg;
+  Cfg.L1D = {1024, 2, 64}; // tiny L1D so we can evict easily
+  MemoryHierarchy H(Cfg);
+
+  H.dataAccess(0x0, false); // miss everywhere; fills L2 + L1
+  // Evict 0x0 from L1D (same set, 2 ways): lines 8*64 and 16*64.
+  H.dataAccess(8 * 64, false);
+  H.dataAccess(16 * 64, false);
+  EXPECT_FALSE(H.l1d().contains(0x0));
+  EXPECT_TRUE(H.l2().contains(0x0));
+  unsigned Lat = H.dataAccess(0x0, false);
+  EXPECT_EQ(Lat, Cfg.L1DHitCycles + Cfg.L2HitCycles);
+}
+
+TEST(MemoryHierarchy, L2IsSharedBetweenInstAndData) {
+  MemoryHierarchy H;
+  H.fetchAccess(0x8000);     // fills L2 line via the I-side
+  unsigned Lat = H.dataAccess(0x8000, false); // L1D miss, L2 hit
+  EXPECT_EQ(Lat, H.config().L1DHitCycles + H.config().L2HitCycles);
+}
+
+TEST(MemoryHierarchy, WritesFillLikeReads) {
+  MemoryHierarchy H;
+  H.dataAccess(0x9000, true);
+  EXPECT_EQ(H.dataAccess(0x9000, false), H.config().L1DHitCycles);
+}
+
+TEST(MemoryHierarchy, StatsAccumulatePerLevel) {
+  MemoryHierarchy H;
+  H.dataAccess(0x100, false);
+  H.dataAccess(0x100, false);
+  EXPECT_EQ(H.l1d().stats().Accesses, 2u);
+  EXPECT_EQ(H.l1d().stats().Misses, 1u);
+  EXPECT_EQ(H.l2().stats().Accesses, 1u);
+}
+
+TEST(MemoryHierarchy, PaperDefaultLatencies) {
+  MemHierConfig Cfg;
+  EXPECT_EQ(Cfg.L2HitCycles, 8u);   // "responds in 8 cycles"
+  EXPECT_EQ(Cfg.MemCycles, 140u);   // "memory responds in 140 cycles"
+  EXPECT_EQ(Cfg.L1I.SizeBytes, 32u * 1024);
+  EXPECT_EQ(Cfg.L1D.Assoc, 4u);
+  EXPECT_EQ(Cfg.L2.SizeBytes, 1024u * 1024);
+  EXPECT_EQ(Cfg.L2.Assoc, 8u);
+}

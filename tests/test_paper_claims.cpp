@@ -1,0 +1,187 @@
+//===- tests/test_paper_claims.cpp - The paper's claims, as assertions ----===//
+//
+// Each test here encodes a specific quantitative or structural claim from
+// the paper's text and verifies it against this implementation. The
+// section/figure is cited in each test; together they act as an executable
+// index into the paper.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BitSelection.h"
+#include "core/BrrUnit.h"
+#include "core/HwCostModel.h"
+#include "lfsr/TapCatalog.h"
+#include "profile/SamplingPolicy.h"
+#include "uarch/PipelineConfig.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace bor;
+
+// §3.2: "This provides a wide range of frequencies from 50% ((1/2)^1) to
+// .0015% ((1/2)^16)."
+TEST(PaperClaims, Sec32FrequencyRange) {
+  EXPECT_DOUBLE_EQ(FreqCode(0).probability(), 0.5);
+  EXPECT_NEAR(100.0 * FreqCode(15).probability(), 0.0015, 0.0002);
+}
+
+// §3.2: "Adding 1 to the encoded value, freq, avoids re-encoding
+// unconditional jumps (branching 100% ((1/2)^0) of the time)."
+TEST(PaperClaims, Sec32NoEncodingIsAlwaysTaken) {
+  for (unsigned Raw = 0; Raw != FreqCode::NumValues; ++Raw)
+    EXPECT_LT(FreqCode(Raw).probability(), 1.0);
+}
+
+// Figure 6: "A 4-bit LFSR cycles through 15 possible values except 0."
+TEST(PaperClaims, Fig6FourBitPeriodIs15) {
+  Lfsr L = Lfsr::fromPolynomial(4, {4, 3}, 1);
+  EXPECT_EQ(L.measurePeriod(), 15u);
+}
+
+// §3.3 footnote 2: "An n-bit LFSR actually goes through 2^n - 1 values,
+// with each bit set to 1 for 2^(n-1) of the values. Thus, the likelihood
+// for any bit to be 1 is 2^(n-1)/(2^n - 1). With n=16, the probability is
+// 0.5000076." Verified EXACTLY over one full period.
+TEST(PaperClaims, Sec33Footnote2ExactBitBias) {
+  Lfsr L = defaultTapSet(16).makeLfsr(1);
+  uint64_t Period = (1u << 16) - 1;
+  uint64_t Ones = 0;
+  for (uint64_t I = 0; I != Period; ++I) {
+    Ones += L.bit(0);
+    L.step();
+  }
+  EXPECT_EQ(Ones, 1u << 15); // each bit is 1 in exactly 2^(n-1) states
+  double Bias = static_cast<double>(Ones) / static_cast<double>(Period);
+  EXPECT_NEAR(Bias, 0.5000076, 0.0000001);
+}
+
+// §3.3: "the probability of x bits being all set to 1 is (1/2)^x" —
+// exactly (2^(n-x))/(2^n - 1) over a full period, close to (1/2)^x.
+TEST(PaperClaims, Sec33AndOfBitsGivesPowerOfTwoProbability) {
+  BrrUnitConfig Cfg;
+  Cfg.LfsrWidth = 16;
+  Cfg.Policy = BitSelectPolicy::Spaced;
+  BrrUnit Unit(Cfg);
+  // Count takens over one full LFSR period for freq = 3 (4 AND inputs).
+  uint64_t Period = (1u << 16) - 1;
+  uint64_t Taken = 0;
+  for (uint64_t I = 0; I != Period; ++I)
+    Taken += Unit.evaluate(FreqCode(3));
+  // Exactly 2^(16-4) = 4096 of the 65535 states have all four bits set.
+  EXPECT_EQ(Taken, 1u << 12);
+}
+
+// §3.3: "while ANDing two adjacent LFSR bits will correctly result in the
+// branch being taken 25% of the time, the conditional probability of
+// taking the branch given that the previous (25% frequency) branch was
+// taken is 50%".
+TEST(PaperClaims, Sec33AdjacentBitCorrelationIsExactlyHalf) {
+  BrrUnitConfig Cfg;
+  Cfg.LfsrWidth = 16;
+  Cfg.Policy = BitSelectPolicy::Contiguous;
+  BrrUnit Unit(Cfg);
+  uint64_t Period = (1u << 16) - 1;
+  uint64_t PrevTaken = 0, BothTaken = 0;
+  bool Prev = Unit.evaluate(FreqCode(1));
+  for (uint64_t I = 0; I != Period; ++I) {
+    bool Cur = Unit.evaluate(FreqCode(1));
+    if (Prev) {
+      ++PrevTaken;
+      BothTaken += Cur;
+    }
+    Prev = Cur;
+  }
+  double Conditional =
+      static_cast<double>(BothTaken) / static_cast<double>(PrevTaken);
+  EXPECT_NEAR(Conditional, 0.5, 0.001);
+}
+
+// §3.3: the paper's mitigation example — "selecting bits 0, 2, 5, and 9 to
+// compute a 6.25% probability".
+TEST(PaperClaims, Sec33SpacedSelectionExample) {
+  EXPECT_EQ(selectAndBits(BitSelectPolicy::Spaced, 4, 20),
+            (std::vector<unsigned>{0, 2, 5, 9}));
+  EXPECT_DOUBLE_EQ(FreqCode(3).probability(), 0.0625);
+}
+
+// §3.3 Summary: "15 AND gates, one of each size from 2 to 16 inputs" and
+// "a 16-input multiplexer".
+TEST(PaperClaims, Sec33SummaryAndGateSizes) {
+  for (unsigned Size = 2; Size <= 16; ++Size)
+    EXPECT_EQ(selectAndBits(BitSelectPolicy::Spaced, Size, 20).size(),
+              Size);
+  EXPECT_EQ(FreqCode::NumValues, 16u);
+}
+
+// Abstract: "for simple processors ... 20 bits of state and less than 100
+// gates; for aggressive superscalars, this grows to less than 100 bits of
+// state and at most a few hundred gates."
+TEST(PaperClaims, AbstractHardwareBudgets) {
+  HwCostInputs Single;
+  HwCostEstimate E1 = estimateBrrCost(Single);
+  EXPECT_EQ(E1.StateBits, 20u);
+  EXPECT_LT(E1.MacroGates, 100u);
+
+  HwCostInputs Wide;
+  Wide.DecodeWidth = 4;
+  HwCostEstimate E4 = estimateBrrCost(Wide);
+  EXPECT_LT(E4.StateBits, 100u);
+  EXPECT_LT(E4.MacroGates, 400u);
+}
+
+// §4.2 footnote 7: "for an interval of 2, if the first method is sampled,
+// the second method will not ... the next [sample] happens to be the first
+// method again" — the resonance mechanism, stated for interval 2.
+TEST(PaperClaims, Sec42Footnote7IntervalTwoResonance) {
+  SwCounterPolicy Counter(2);
+  // A loop invoking methods A (even positions) and B (odd positions).
+  uint64_t SampledA = 0, SampledB = 0;
+  for (int I = 0; I != 10000; ++I) {
+    if (Counter.sample())
+      ++SampledA;
+    if (Counter.sample())
+      ++SampledB;
+  }
+  EXPECT_TRUE(SampledA == 0 || SampledB == 0);
+  EXPECT_EQ(SampledA + SampledB, 10000u);
+}
+
+// §3.4: deterministic recovery needs only "additional storage for the bits
+// that would have shifted off the end of the LFSR (one additional bit per
+// speculative branch-on-random allowed)".
+TEST(PaperClaims, Sec34OneRecoveryBitPerInflightBrr) {
+  HwCostInputs Base;
+  for (unsigned InFlight : {1u, 2u, 4u, 8u}) {
+    HwCostInputs Det = Base;
+    Det.Deterministic = true;
+    Det.MaxInFlight = InFlight;
+    unsigned CounterBits = 0;
+    for (unsigned V = InFlight; V; V >>= 1)
+      ++CounterBits; // ceil(log2(InFlight+1))
+    EXPECT_EQ(estimateBrrCost(Det).StateBits,
+              estimateBrrCost(Base).StateBits + InFlight + CounterBits);
+  }
+}
+
+// §5.1: the simulated machine's headline parameters.
+TEST(PaperClaims, Sec51MachineParameters) {
+  PipelineConfig C;
+  EXPECT_EQ(C.FetchWidth, 3u);
+  EXPECT_EQ(C.DecodeWidth, 4u);
+  EXPECT_EQ(C.RobEntries, 80u);
+  EXPECT_EQ(C.Predictor.HistoryBits, 16u);
+  EXPECT_EQ(C.Predictor.BimodalEntries, 1u << 16);
+  EXPECT_EQ(C.BtbCfg.Entries, 1024u);
+  EXPECT_EQ(C.RasEntries, 32u);
+  EXPECT_EQ(C.MemHier.L2HitCycles, 8u);
+  EXPECT_EQ(C.MemHier.MemCycles, 140u);
+  // Decode (where brr resolves) is the 5th stage.
+  EXPECT_EQ(C.FetchToDecode + 1, 5u);
+  // Minimum back-end misprediction penalty ~11 cycles: depth to resolve
+  // (fetch pipe + decode->dispatch + issue + execute) plus the redirect.
+  unsigned MinPenalty = C.FetchToDecode + C.DecodeToDispatch +
+                        C.DispatchToIssue + 1 + C.MispredictRedirect;
+  EXPECT_EQ(MinPenalty, 11u);
+}

@@ -1,0 +1,65 @@
+//===- tests/test_ras.cpp - Return address stack tests --------------------===//
+
+#include "uarch/ReturnAddressStack.h"
+
+#include <gtest/gtest.h>
+
+using namespace bor;
+
+TEST(Ras, LifoOrder) {
+  ReturnAddressStack R(8);
+  R.push(0x10);
+  R.push(0x20);
+  R.push(0x30);
+  EXPECT_EQ(R.pop(), 0x30u);
+  EXPECT_EQ(R.pop(), 0x20u);
+  EXPECT_EQ(R.pop(), 0x10u);
+}
+
+TEST(Ras, UnderflowReturnsZero) {
+  ReturnAddressStack R(4);
+  EXPECT_EQ(R.pop(), 0u);
+  R.push(0x10);
+  R.pop();
+  EXPECT_EQ(R.pop(), 0u);
+}
+
+TEST(Ras, OverflowWrapsAndLosesOldest) {
+  ReturnAddressStack R(4);
+  for (uint64_t I = 1; I <= 6; ++I)
+    R.push(I * 0x10);
+  // Capacity 4: entries 3..6 survive; depth saturates.
+  EXPECT_EQ(R.depth(), 4u);
+  EXPECT_EQ(R.pop(), 0x60u);
+  EXPECT_EQ(R.pop(), 0x50u);
+  EXPECT_EQ(R.pop(), 0x40u);
+  EXPECT_EQ(R.pop(), 0x30u);
+  EXPECT_EQ(R.pop(), 0u); // oldest two were overwritten
+}
+
+TEST(Ras, DepthTracksPushPop) {
+  ReturnAddressStack R(8);
+  EXPECT_EQ(R.depth(), 0u);
+  R.push(1);
+  R.push(2);
+  EXPECT_EQ(R.depth(), 2u);
+  R.pop();
+  EXPECT_EQ(R.depth(), 1u);
+}
+
+TEST(Ras, PaperDefaultCapacity) {
+  ReturnAddressStack R;
+  EXPECT_EQ(R.capacity(), 32u); // Section 5.1: 32-entry RAS
+}
+
+TEST(Ras, InterleavedCallReturnPattern) {
+  ReturnAddressStack R(32);
+  // Nested call chains behave like a real program's call stack.
+  for (int Outer = 0; Outer != 100; ++Outer) {
+    R.push(0x1000 + Outer);
+    R.push(0x2000 + Outer);
+    EXPECT_EQ(R.pop(), static_cast<uint64_t>(0x2000 + Outer));
+    EXPECT_EQ(R.pop(), static_cast<uint64_t>(0x1000 + Outer));
+  }
+  EXPECT_EQ(R.depth(), 0u);
+}

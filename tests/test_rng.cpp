@@ -1,0 +1,133 @@
+//===- tests/test_rng.cpp - Workload-synthesis RNG tests ------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace bor;
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 A(1), B(2);
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(SplitMix64, ZeroSeedProducesNonzeroStream) {
+  SplitMix64 G(0);
+  bool SawNonzero = false;
+  for (int I = 0; I != 10; ++I)
+    SawNonzero |= G.next() != 0;
+  EXPECT_TRUE(SawNonzero);
+}
+
+TEST(Xoshiro256, IsDeterministic) {
+  Xoshiro256 A(7), B(7);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 G(9);
+  for (int I = 0; I != 10000; ++I) {
+    double D = G.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Xoshiro256, DoubleMeanIsNearHalf) {
+  Xoshiro256 G(11);
+  double Sum = 0;
+  const int N = 100000;
+  for (int I = 0; I != N; ++I)
+    Sum += G.nextDouble();
+  EXPECT_NEAR(Sum / N, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 G(13);
+  for (uint64_t Bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int I = 0; I != 1000; ++I)
+      EXPECT_LT(G.nextBelow(Bound), Bound);
+  }
+}
+
+TEST(Xoshiro256, NextBelowCoversAllResidues) {
+  Xoshiro256 G(17);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I != 1000; ++I)
+    Seen.insert(G.nextBelow(7));
+  EXPECT_EQ(Seen.size(), 7u);
+}
+
+TEST(Xoshiro256, NextBoolEdgeProbabilities) {
+  Xoshiro256 G(19);
+  for (int I = 0; I != 100; ++I) {
+    EXPECT_FALSE(G.nextBool(0.0));
+    EXPECT_TRUE(G.nextBool(1.0));
+    EXPECT_FALSE(G.nextBool(-1.0));
+    EXPECT_TRUE(G.nextBool(2.0));
+  }
+}
+
+TEST(Xoshiro256, NextBoolRateMatches) {
+  Xoshiro256 G(23);
+  int Hits = 0;
+  const int N = 100000;
+  for (int I = 0; I != N; ++I)
+    Hits += G.nextBool(0.25);
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.25, 0.01);
+}
+
+TEST(ZipfSampler, ProbabilitiesSumToOne) {
+  ZipfSampler Z(100, 1.0);
+  double Sum = 0;
+  for (size_t K = 0; K != Z.size(); ++K)
+    Sum += Z.probability(K);
+  EXPECT_NEAR(Sum, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, RankZeroIsHottest) {
+  ZipfSampler Z(50, 1.2);
+  for (size_t K = 1; K != Z.size(); ++K)
+    EXPECT_GT(Z.probability(0), Z.probability(K));
+}
+
+TEST(ZipfSampler, ProbabilityDecreasesMonotonically) {
+  ZipfSampler Z(64, 0.8);
+  for (size_t K = 1; K != Z.size(); ++K)
+    EXPECT_GE(Z.probability(K - 1), Z.probability(K));
+}
+
+TEST(ZipfSampler, EmpiricalMatchesAnalytic) {
+  ZipfSampler Z(20, 1.0);
+  Xoshiro256 G(31);
+  std::vector<uint64_t> Counts(20, 0);
+  const int N = 200000;
+  for (int I = 0; I != N; ++I)
+    ++Counts[Z.sample(G)];
+  for (size_t K = 0; K != 20; ++K) {
+    double Emp = static_cast<double>(Counts[K]) / N;
+    EXPECT_NEAR(Emp, Z.probability(K), 0.01) << "rank " << K;
+  }
+}
+
+TEST(ZipfSampler, SkewZeroIsUniform) {
+  ZipfSampler Z(10, 0.0);
+  for (size_t K = 0; K != 10; ++K)
+    EXPECT_NEAR(Z.probability(K), 0.1, 1e-9);
+}
+
+TEST(ZipfSampler, SingleRankAlwaysSampled) {
+  ZipfSampler Z(1, 1.0);
+  Xoshiro256 G(37);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(Z.sample(G), 0u);
+}

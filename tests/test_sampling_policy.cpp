@@ -1,0 +1,132 @@
+//===- tests/test_sampling_policy.cpp - Trace-level policy tests ----------===//
+
+#include "profile/SamplingPolicy.h"
+
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace bor;
+
+// Property: both deterministic counters fire exactly every Interval-th
+// visit, for a sweep of intervals.
+class DeterministicPolicyInterval
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeterministicPolicyInterval, SwCounterExactPeriod) {
+  uint64_t Interval = GetParam();
+  SwCounterPolicy P(Interval);
+  uint64_t Since = 0;
+  for (uint64_t I = 0; I != Interval * 6; ++I) {
+    ++Since;
+    if (P.sample()) {
+      EXPECT_EQ(Since, Interval);
+      Since = 0;
+    }
+  }
+}
+
+TEST_P(DeterministicPolicyInterval, HwCounterExactPeriod) {
+  uint64_t Interval = GetParam();
+  HwCounterPolicy P(Interval);
+  uint64_t Since = 0;
+  for (uint64_t I = 0; I != Interval * 6; ++I) {
+    ++Since;
+    if (P.sample()) {
+      EXPECT_EQ(Since, Interval);
+      Since = 0;
+    }
+  }
+}
+
+TEST_P(DeterministicPolicyInterval, SwAndHwAgree) {
+  uint64_t Interval = GetParam();
+  SwCounterPolicy Sw(Interval);
+  HwCounterPolicy Hw(Interval);
+  for (uint64_t I = 0; I != Interval * 4; ++I)
+    EXPECT_EQ(Sw.sample(), Hw.sample());
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, DeterministicPolicyInterval,
+                         ::testing::Values(2, 4, 8, 64, 1024, 8192),
+                         [](const auto &Info) {
+                           return "i" + std::to_string(Info.param);
+                         });
+
+TEST(BrrPolicy, RateConvergesToInterval) {
+  for (uint64_t Interval : {4ull, 64ull, 1024ull}) {
+    BrrPolicy P(Interval);
+    uint64_t Samples = 0;
+    uint64_t N = Interval * 2000;
+    for (uint64_t I = 0; I != N; ++I)
+      Samples += P.sample();
+    double Rate = static_cast<double>(Samples) / static_cast<double>(N);
+    double Expected = 1.0 / static_cast<double>(Interval);
+    EXPECT_NEAR(Rate, Expected, 5 * std::sqrt(Expected / N) + 1e-9)
+        << "interval " << Interval;
+  }
+}
+
+TEST(BrrPolicy, GapsAreIrregular) {
+  // The whole point of pseudo-random sampling: inter-sample gaps vary,
+  // unlike a counter's fixed interval.
+  BrrPolicy P(16);
+  GapHistogram H(256);
+  uint64_t Since = 0;
+  for (int I = 0; I != 200000; ++I) {
+    ++Since;
+    if (P.sample()) {
+      H.add(Since);
+      Since = 0;
+    }
+  }
+  // Mean gap approximates the interval, but with spread: both shorter and
+  // longer gaps occur.
+  EXPECT_NEAR(H.meanGap(), 16.0, 1.0);
+  uint64_t Short = 0, Long = 0;
+  for (size_t G = 0; G != 8; ++G)
+    Short += H.bucket(G);
+  for (size_t G = 32; G != 256; ++G)
+    Long += H.bucket(G);
+  EXPECT_GT(Short, H.total() / 10);
+  EXPECT_GT(Long, H.total() / 50);
+}
+
+TEST(SwCounterPolicy, CounterGapsAreConstant) {
+  SwCounterPolicy P(16);
+  GapHistogram H(64);
+  uint64_t Since = 0;
+  for (int I = 0; I != 16000; ++I) {
+    ++Since;
+    if (P.sample()) {
+      H.add(Since);
+      Since = 0;
+    }
+  }
+  EXPECT_EQ(H.bucket(16), H.total());
+}
+
+TEST(SamplingPolicy, Names) {
+  SwCounterPolicy Sw(4);
+  HwCounterPolicy Hw(4);
+  BrrPolicy Brr(4);
+  EXPECT_EQ(Sw.name(), "sw-count");
+  EXPECT_EQ(Hw.name(), "hw-count");
+  EXPECT_EQ(Brr.name(), "brr-random");
+}
+
+TEST(BrrPolicy, SeedsDecorrelateStreams) {
+  BrrUnitConfig A, B;
+  A.Seed = 0xaaaa;
+  B.Seed = 0x5555;
+  BrrPolicy PA(8, A), PB(8, B);
+  int Agreements = 0;
+  const int N = 10000;
+  for (int I = 0; I != N; ++I)
+    Agreements += PA.sample() == PB.sample();
+  // Independent 1/8 streams agree when both say "no": ~ (7/8)^2 + (1/8)^2.
+  double Expected = (7.0 / 8) * (7.0 / 8) + (1.0 / 8) * (1.0 / 8);
+  EXPECT_NEAR(static_cast<double>(Agreements) / N, Expected, 0.02);
+}

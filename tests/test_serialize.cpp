@@ -1,0 +1,131 @@
+//===- tests/test_serialize.cpp - BORB container tests --------------------===//
+
+#include "isa/Serialize.h"
+
+#include "sim/Interpreter.h"
+#include "workloads/Microbench.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace bor;
+
+namespace {
+
+void expectEqualPrograms(const Program &A, const Program &B) {
+  ASSERT_EQ(A.numInsts(), B.numInsts());
+  for (size_t I = 0; I != A.numInsts(); ++I)
+    EXPECT_EQ(A.at(I), B.at(I)) << "instruction " << I;
+  EXPECT_EQ(A.dataBase(), B.dataBase());
+  EXPECT_EQ(A.data(), B.data());
+  EXPECT_EQ(A.symbols(), B.symbols());
+}
+
+} // namespace
+
+TEST(Serialize, RoundTripsEmptyProgram) {
+  Program Empty;
+  LoadResult R = deserializeProgram(serializeProgram(Empty));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  expectEqualPrograms(Empty, R.Prog);
+}
+
+TEST(Serialize, RoundTripsMicrobenchmark) {
+  // A real program with code, initialized data and symbols.
+  MicrobenchConfig C;
+  C.Text.NumChars = 5000;
+  C.Instr.Framework = SamplingFramework::BrrBased;
+  C.Instr.Interval = 64;
+  MicrobenchProgram MB = buildMicrobench(C);
+
+  LoadResult R = deserializeProgram(serializeProgram(MB.Prog));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  expectEqualPrograms(MB.Prog, R.Prog);
+}
+
+TEST(Serialize, DeserializedProgramExecutesIdentically) {
+  MicrobenchConfig C;
+  C.Text.NumChars = 5000;
+  MicrobenchProgram MB = buildMicrobench(C);
+  LoadResult R = deserializeProgram(serializeProgram(MB.Prog));
+  ASSERT_TRUE(R.Ok);
+
+  auto Run = [](const Program &P) {
+    Machine M;
+    NeverTakenDecider D;
+    Interpreter I(P, M, D);
+    I.run(1ULL << 24);
+    return M.memory().readU64(P.symbol("results"));
+  };
+  EXPECT_EQ(Run(MB.Prog), Run(R.Prog));
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::vector<uint8_t> Bytes = serializeProgram(Program());
+  Bytes[0] = 'X';
+  LoadResult R = deserializeProgram(Bytes);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("magic"), std::string::npos);
+}
+
+TEST(Serialize, RejectsWrongVersion) {
+  std::vector<uint8_t> Bytes = serializeProgram(Program());
+  Bytes[4] = 99;
+  LoadResult R = deserializeProgram(Bytes);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("version"), std::string::npos);
+}
+
+TEST(Serialize, RejectsTruncation) {
+  ProgramBuilder B;
+  B.emit(Inst::add(1, 2, 3));
+  B.emit(Inst::halt());
+  std::vector<uint8_t> Bytes = serializeProgram(B.finish());
+  for (size_t Cut : {size_t(2), Bytes.size() / 2, Bytes.size() - 1}) {
+    std::vector<uint8_t> Truncated(Bytes.begin(), Bytes.begin() + Cut);
+    EXPECT_FALSE(deserializeProgram(Truncated).Ok) << "cut at " << Cut;
+  }
+}
+
+TEST(Serialize, RejectsTrailingBytes) {
+  std::vector<uint8_t> Bytes = serializeProgram(Program());
+  Bytes.push_back(0);
+  LoadResult R = deserializeProgram(Bytes);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("trailing"), std::string::npos);
+}
+
+TEST(Serialize, RejectsInvalidOpcodeBits) {
+  ProgramBuilder B;
+  B.emit(Inst::halt());
+  std::vector<uint8_t> Bytes = serializeProgram(B.finish());
+  // The single code word starts at offset 4+4+4+8+8+4 = 32; set opcode
+  // bits to an out-of-range value.
+  Bytes[32 + 3] = 0xff;
+  LoadResult R = deserializeProgram(Bytes);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("opcode"), std::string::npos);
+}
+
+TEST(Serialize, FileSaveAndLoad) {
+  ProgramBuilder B;
+  uint64_t Addr = B.allocData(8, 8);
+  B.initDataU64(Addr, 777);
+  B.nameData("x", Addr);
+  B.emit(Inst::halt());
+  Program P = B.finish();
+
+  std::string Path = testing::TempDir() + "/bor_serialize_test.borb";
+  ASSERT_TRUE(saveProgram(P, Path));
+  LoadResult R = loadProgramFile(Path);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  expectEqualPrograms(P, R.Prog);
+  std::remove(Path.c_str());
+}
+
+TEST(Serialize, LoadMissingFileFails) {
+  LoadResult R = loadProgramFile("/nonexistent/path/x.borb");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("cannot open"), std::string::npos);
+}

@@ -1,0 +1,85 @@
+//===- tests/test_stats.cpp - Statistics helper tests ---------------------===//
+
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace bor;
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.variance(), 0.0);
+  EXPECT_EQ(S.ci95HalfWidth(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat S;
+  S.add(5.0);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_EQ(S.mean(), 5.0);
+  EXPECT_EQ(S.variance(), 0.0);
+  EXPECT_EQ(S.min(), 5.0);
+  EXPECT_EQ(S.max(), 5.0);
+}
+
+TEST(RunningStat, KnownMeanAndVariance) {
+  RunningStat S;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(X);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  // Sample variance with N-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(S.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStat, MinMaxTracked) {
+  RunningStat S;
+  for (double X : {3.0, -1.0, 10.0, 2.0})
+    S.add(X);
+  EXPECT_EQ(S.min(), -1.0);
+  EXPECT_EQ(S.max(), 10.0);
+}
+
+TEST(RunningStat, CiShrinksWithSamples) {
+  RunningStat Small, Large;
+  for (int I = 0; I != 10; ++I)
+    Small.add(I % 2);
+  for (int I = 0; I != 1000; ++I)
+    Large.add(I % 2);
+  EXPECT_GT(Small.ci95HalfWidth(), Large.ci95HalfWidth());
+}
+
+TEST(Percent, Basics) {
+  EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+  EXPECT_DOUBLE_EQ(percent(0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(percent(4, 4), 100.0);
+  EXPECT_DOUBLE_EQ(percent(1, 0), 0.0);
+}
+
+TEST(GapHistogram, BucketsAndOverflow) {
+  GapHistogram H(4);
+  H.add(0);
+  H.add(1);
+  H.add(1);
+  H.add(3);
+  H.add(10);
+  EXPECT_EQ(H.bucket(0), 1u);
+  EXPECT_EQ(H.bucket(1), 2u);
+  EXPECT_EQ(H.bucket(2), 0u);
+  EXPECT_EQ(H.bucket(3), 1u);
+  EXPECT_EQ(H.overflow(), 1u);
+  EXPECT_EQ(H.total(), 5u);
+}
+
+TEST(GapHistogram, MeanIncludesOverflow) {
+  GapHistogram H(2);
+  H.add(0);
+  H.add(10);
+  EXPECT_DOUBLE_EQ(H.meanGap(), 5.0);
+}
+
+TEST(GapHistogram, EmptyMeanIsZero) {
+  GapHistogram H(2);
+  EXPECT_DOUBLE_EQ(H.meanGap(), 0.0);
+}

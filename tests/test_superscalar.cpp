@@ -1,0 +1,89 @@
+//===- tests/test_superscalar.cpp - Wide-decode brr tests -----------------===//
+
+#include "core/SuperscalarBrr.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace bor;
+
+TEST(SuperscalarBrr, ReplicatedHasOneLfsrPerDecoder) {
+  SuperscalarBrrUnit U(SuperscalarBrrDesign::ReplicatedPerDecoder, 4);
+  EXPECT_EQ(U.numLfsrs(), 4u);
+}
+
+TEST(SuperscalarBrr, SharedHasSingleLfsr) {
+  SuperscalarBrrUnit U(SuperscalarBrrDesign::SharedArbitrated, 4);
+  EXPECT_EQ(U.numLfsrs(), 1u);
+}
+
+TEST(SuperscalarBrr, ReplicatedUnitsStartDecoupled) {
+  SuperscalarBrrUnit U(SuperscalarBrrDesign::ReplicatedPerDecoder, 4);
+  // Distinct derived seeds: no two decoders march in lockstep.
+  for (unsigned I = 0; I != 4; ++I)
+    for (unsigned J = I + 1; J != 4; ++J)
+      EXPECT_NE(U.unit(I).lfsr().state(), U.unit(J).lfsr().state());
+}
+
+TEST(SuperscalarBrr, ReplicatedGroupDecodesInOneCycle) {
+  SuperscalarBrrUnit U(SuperscalarBrrDesign::ReplicatedPerDecoder, 4);
+  std::vector<FreqCode> Freqs = {FreqCode(0), FreqCode(1), FreqCode(2),
+                                 FreqCode(3)};
+  BrrGroupResult R = U.evaluateGroup(Freqs);
+  EXPECT_EQ(R.Taken.size(), 4u);
+  EXPECT_EQ(R.DecodeCycles, 1u);
+}
+
+TEST(SuperscalarBrr, SharedGroupSplitsFetchPacket) {
+  // Footnote 3: more brrs than LFSRs split the packet, one extra cycle per
+  // additional brr.
+  SuperscalarBrrUnit U(SuperscalarBrrDesign::SharedArbitrated, 4);
+  BrrGroupResult One = U.evaluateGroup({FreqCode(0)});
+  EXPECT_EQ(One.DecodeCycles, 1u);
+  BrrGroupResult Three =
+      U.evaluateGroup({FreqCode(0), FreqCode(0), FreqCode(0)});
+  EXPECT_EQ(Three.DecodeCycles, 3u);
+}
+
+TEST(SuperscalarBrr, EmptyGroupStillTakesACycle) {
+  SuperscalarBrrUnit U(SuperscalarBrrDesign::SharedArbitrated, 4);
+  BrrGroupResult R = U.evaluateGroup({});
+  EXPECT_EQ(R.DecodeCycles, 1u);
+  EXPECT_TRUE(R.Taken.empty());
+}
+
+class SuperscalarConvergence
+    : public ::testing::TestWithParam<SuperscalarBrrDesign> {};
+
+TEST_P(SuperscalarConvergence, GroupOutcomesMatchFrequency) {
+  SuperscalarBrrUnit U(GetParam(), 4);
+  FreqCode F(2); // 1/8
+  uint64_t Taken = 0, Total = 0;
+  for (int I = 0; I != 100000; ++I) {
+    BrrGroupResult R = U.evaluateGroup({F, F, F, F});
+    for (bool T : R.Taken)
+      Taken += T;
+    Total += 4;
+  }
+  double P = F.probability();
+  double Sigma = std::sqrt(P * (1 - P) / static_cast<double>(Total));
+  EXPECT_NEAR(static_cast<double>(Taken) / static_cast<double>(Total), P,
+              6 * Sigma);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothDesigns, SuperscalarConvergence,
+    ::testing::Values(SuperscalarBrrDesign::ReplicatedPerDecoder,
+                      SuperscalarBrrDesign::SharedArbitrated),
+    [](const auto &Info) {
+      return Info.param == SuperscalarBrrDesign::ReplicatedPerDecoder
+                 ? "replicated"
+                 : "shared";
+    });
+
+TEST(SuperscalarBrrDeath, OversizedGroupAsserts) {
+  SuperscalarBrrUnit U(SuperscalarBrrDesign::ReplicatedPerDecoder, 2);
+  EXPECT_DEATH(U.evaluateGroup({FreqCode(0), FreqCode(0), FreqCode(0)}),
+               "decode slots");
+}

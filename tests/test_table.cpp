@@ -1,0 +1,66 @@
+//===- tests/test_table.cpp - Table printer tests -------------------------===//
+
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace bor;
+
+TEST(Table, FormatDouble) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(Table::fmt(0.0, 1), "0.0");
+}
+
+TEST(Table, FormatUnsigned) {
+  EXPECT_EQ(Table::fmt(uint64_t(0)), "0");
+  EXPECT_EQ(Table::fmt(uint64_t(123456789)), "123456789");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table T;
+  T.addRow({"name", "value"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer-name", "23"});
+  EXPECT_EQ(T.numRows(), 3u);
+
+  char Buf[4096] = {};
+  std::FILE *F = fmemopen(Buf, sizeof(Buf), "w");
+  ASSERT_NE(F, nullptr);
+  T.print(F);
+  std::fclose(F);
+
+  std::string Out(Buf);
+  // Header, rule, two data rows.
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("longer-name"), std::string::npos);
+  EXPECT_NE(Out.find("---"), std::string::npos);
+  // All data lines start at column 0 and values align on the same column.
+  size_t HeaderVal = Out.find("value");
+  ASSERT_NE(HeaderVal, std::string::npos);
+  // The value column starts at the same offset in every line.
+  size_t Line3 = Out.find("x ");
+  ASSERT_NE(Line3, std::string::npos);
+}
+
+TEST(Table, EmptyPrintsNothing) {
+  Table T;
+  char Buf[64] = {};
+  std::FILE *F = fmemopen(Buf, sizeof(Buf), "w");
+  ASSERT_NE(F, nullptr);
+  T.print(F);
+  std::fclose(F);
+  EXPECT_STREQ(Buf, "");
+}
+
+TEST(Table, RaggedRowsPadded) {
+  Table T;
+  T.addRow({"a", "b", "c"});
+  T.addRow({"only-one"});
+  char Buf[1024] = {};
+  std::FILE *F = fmemopen(Buf, sizeof(Buf), "w");
+  ASSERT_NE(F, nullptr);
+  T.print(F);
+  std::fclose(F);
+  EXPECT_NE(std::string(Buf).find("only-one"), std::string::npos);
+}

@@ -1,0 +1,77 @@
+//===- tests/test_textgen.cpp - Synthetic text generator tests ------------===//
+
+#include "workloads/TextGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace bor;
+
+TEST(TextGen, ExactLength) {
+  TextConfig C;
+  C.NumChars = 12345;
+  EXPECT_EQ(generateText(C).size(), 12345u);
+}
+
+TEST(TextGen, Deterministic) {
+  TextConfig C;
+  C.NumChars = 5000;
+  EXPECT_EQ(generateText(C), generateText(C));
+  TextConfig C2 = C;
+  C2.Seed = C.Seed + 1;
+  EXPECT_NE(generateText(C), generateText(C2));
+}
+
+TEST(TextGen, ClassMixIsPlausible) {
+  TextConfig C;
+  C.NumChars = 200000;
+  TextStats S = classifyText(generateText(C));
+  double Total = static_cast<double>(C.NumChars);
+  // Mostly lower-case words, a solid minority of upper-case, and the
+  // space/punctuation separators.
+  EXPECT_GT(S.Lower / Total, 0.45);
+  EXPECT_GT(S.Upper / Total, 0.08);
+  EXPECT_LT(S.Upper / Total, 0.40);
+  EXPECT_GT(S.Other / Total, 0.05);
+  EXPECT_LT(S.Other / Total, 0.35);
+}
+
+TEST(TextGen, AllBytesAreClassifiable) {
+  TextConfig C;
+  C.NumChars = 50000;
+  TextStats S = classifyText(generateText(C));
+  EXPECT_EQ(S.Upper + S.Lower + S.Other, C.NumChars);
+}
+
+TEST(TextGen, WordsAreCaseCoherent) {
+  // Within a run of letters, all characters share one case — the property
+  // that shapes the paper's branch behaviour.
+  TextConfig C;
+  C.NumChars = 50000;
+  std::vector<uint8_t> Text = generateText(C);
+  bool InWord = false;
+  bool WordIsUpper = false;
+  for (uint8_t Ch : Text) {
+    bool Upper = Ch >= 'A' && Ch <= 'Z';
+    bool Lower = Ch >= 'a' && Ch <= 'z';
+    if (!Upper && !Lower) {
+      InWord = false;
+      continue;
+    }
+    if (!InWord) {
+      InWord = true;
+      WordIsUpper = Upper;
+      continue;
+    }
+    EXPECT_EQ(Upper, WordIsUpper) << "mixed-case word in generated text";
+  }
+}
+
+TEST(TextGen, UpperProbabilityShiftsMix) {
+  TextConfig Lo, Hi;
+  Lo.NumChars = Hi.NumChars = 100000;
+  Lo.UpperWordProb = 0.05;
+  Hi.UpperWordProb = 0.6;
+  TextStats SLo = classifyText(generateText(Lo));
+  TextStats SHi = classifyText(generateText(Hi));
+  EXPECT_GT(SHi.Upper, 3 * SLo.Upper);
+}

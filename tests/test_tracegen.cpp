@@ -1,0 +1,164 @@
+//===- tests/test_tracegen.cpp - Invocation-stream generator tests --------===//
+
+#include "profile/TraceGen.h"
+
+#include "profile/Accuracy.h"
+#include "profile/SamplingPolicy.h"
+
+#include <gtest/gtest.h>
+
+using namespace bor;
+
+namespace {
+
+BenchmarkModel tinyModel() {
+  BenchmarkModel M;
+  M.Name = "tiny";
+  M.Invocations = 100000;
+  M.NumMethods = 64;
+  M.Seed = 0x7777;
+  return M;
+}
+
+} // namespace
+
+TEST(InvocationStream, EmitsExactlyTotal) {
+  BenchmarkModel M = tinyModel();
+  InvocationStream S(M);
+  uint64_t N = 0;
+  while (!S.done()) {
+    S.next();
+    ++N;
+  }
+  EXPECT_EQ(N, M.Invocations);
+  EXPECT_EQ(S.emitted(), M.Invocations);
+}
+
+TEST(InvocationStream, MethodIdsInRange) {
+  BenchmarkModel M = tinyModel();
+  InvocationStream S(M);
+  while (!S.done())
+    EXPECT_LT(S.next(), M.NumMethods);
+}
+
+TEST(InvocationStream, DeterministicPerSeed) {
+  BenchmarkModel M = tinyModel();
+  InvocationStream A(M), B(M);
+  for (int I = 0; I != 10000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+
+  BenchmarkModel M2 = tinyModel();
+  M2.Seed = 0x8888;
+  InvocationStream C(M), D(M2);
+  int Diff = 0;
+  for (int I = 0; I != 10000; ++I)
+    Diff += C.next() != D.next();
+  EXPECT_GT(Diff, 100);
+}
+
+TEST(InvocationStream, HotMethodsDominate) {
+  BenchmarkModel M = tinyModel();
+  M.ZipfSkew = 1.1;
+  InvocationStream S(M);
+  MethodProfile P(M.NumMethods);
+  while (!S.done())
+    P.record(S.next());
+  // The 8 hottest ids (tuples + Zipf head both live there) carry most mass.
+  double HotMass = 0;
+  for (size_t I = 0; I != 8; ++I)
+    HotMass += P.fraction(I);
+  EXPECT_GT(HotMass, 0.4);
+}
+
+TEST(InvocationStream, ResonantFractionControlsLoopMass) {
+  BenchmarkModel NoLoops = tinyModel();
+  NoLoops.ResonantFraction = 0.0;
+  BenchmarkModel AllLoops = tinyModel();
+  AllLoops.ResonantFraction = 1.0;
+  AllLoops.TuplePeriods = {2};
+  AllLoops.LoopItersMin = AllLoops.LoopItersMax = 1000;
+
+  InvocationStream S(AllLoops);
+  // With period-2 tuples from the first 16 ids, consecutive pairs repeat.
+  uint32_t A = S.next(), B = S.next();
+  EXPECT_EQ(S.next(), A);
+  EXPECT_EQ(S.next(), B);
+  (void)NoLoops;
+}
+
+TEST(DacapoAnalogues, PaperOrderingPreserved) {
+  std::vector<BenchmarkModel> Models = dacapoAnalogues();
+  ASSERT_EQ(Models.size(), 8u);
+  EXPECT_EQ(Models.front().Name, "fop");
+  EXPECT_EQ(Models.back().Name, "luindex");
+  for (size_t I = 1; I != Models.size(); ++I)
+    EXPECT_LE(Models[I - 1].Invocations, Models[I].Invocations)
+        << "paper sorts benchmarks by invocation count";
+  EXPECT_EQ(Models[5].Name, "jython");
+  // jython models the period-2 resonance pathology.
+  EXPECT_EQ(Models[5].TuplePeriods, (std::vector<unsigned>{2}));
+}
+
+TEST(DacapoAnalogues, ScaleDivisorScalesCounts) {
+  std::vector<BenchmarkModel> At25 = dacapoAnalogues(25);
+  std::vector<BenchmarkModel> At50 = dacapoAnalogues(50);
+  for (size_t I = 0; I != At25.size(); ++I)
+    EXPECT_NEAR(static_cast<double>(At25[I].Invocations),
+                2.0 * At50[I].Invocations, 2.0);
+}
+
+// The headline accuracy mechanism: on a resonant (period-2) stream, a
+// power-of-two deterministic counter samples only one phase; brr does not.
+TEST(TraceGenAccuracy, CounterResonatesBrrDoesNot) {
+  BenchmarkModel M = tinyModel();
+  M.Invocations = 2000000;
+  M.ResonantFraction = 0.5;
+  M.TuplePeriods = {2};
+  M.LoopItersMin = 200000;
+  M.LoopItersMax = 400000;
+
+  MethodProfile Full(M.NumMethods);
+  MethodProfile CounterSampled(M.NumMethods);
+  MethodProfile BrrSampled(M.NumMethods);
+  SwCounterPolicy Counter(64);
+  BrrPolicy Brr(64);
+
+  InvocationStream S(M);
+  while (!S.done()) {
+    uint32_t Id = S.next();
+    Full.record(Id);
+    if (Counter.sample())
+      CounterSampled.record(Id);
+    if (Brr.sample())
+      BrrSampled.record(Id);
+  }
+
+  double CounterAcc = overlapAccuracy(Full, CounterSampled);
+  double BrrAcc = overlapAccuracy(Full, BrrSampled);
+  EXPECT_GT(BrrAcc, CounterAcc + 5.0)
+      << "brr must avoid the counter's phase-locking on period-2 loops";
+  EXPECT_GT(BrrAcc, 90.0);
+}
+
+TEST(TraceGenAccuracy, OddPeriodsDoNotResonate) {
+  BenchmarkModel M = tinyModel();
+  M.Invocations = 2000000;
+  M.ResonantFraction = 0.5;
+  M.TuplePeriods = {3};
+  M.LoopItersMin = 200000;
+  M.LoopItersMax = 400000;
+
+  MethodProfile Full(M.NumMethods);
+  MethodProfile CounterSampled(M.NumMethods);
+  SwCounterPolicy Counter(64);
+
+  InvocationStream S(M);
+  while (!S.done()) {
+    uint32_t Id = S.next();
+    Full.record(Id);
+    if (Counter.sample())
+      CounterSampled.record(Id);
+  }
+  // A 64-interval counter walks all 3 phases of a period-3 loop: accurate.
+  EXPECT_GT(overlapAccuracy(Full, CounterSampled), 90.0);
+}

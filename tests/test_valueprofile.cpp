@@ -1,0 +1,101 @@
+//===- tests/test_valueprofile.cpp - TNV table tests ----------------------===//
+
+#include "profile/ValueProfile.h"
+
+#include "profile/SamplingPolicy.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace bor;
+
+TEST(ValueProfile, EmptyTable) {
+  ValueProfile V;
+  EXPECT_EQ(V.samples(), 0u);
+  EXPECT_DOUBLE_EQ(V.topValueFraction(), 0.0);
+  EXPECT_TRUE(V.entries().empty());
+}
+
+TEST(ValueProfile, SingleInvariantValue) {
+  ValueProfile V;
+  for (int I = 0; I != 1000; ++I)
+    V.record(42);
+  EXPECT_EQ(V.topValue(), 42u);
+  EXPECT_DOUBLE_EQ(V.topValueFraction(), 1.0);
+  EXPECT_EQ(V.samples(), 1000u);
+}
+
+TEST(ValueProfile, TracksCountsPerValue) {
+  ValueProfile V(8, 1 << 20); // epoch large enough to never clear
+  for (int I = 0; I != 30; ++I)
+    V.record(1);
+  for (int I = 0; I != 20; ++I)
+    V.record(2);
+  for (int I = 0; I != 10; ++I)
+    V.record(3);
+  auto E = V.entries();
+  ASSERT_EQ(E.size(), 3u);
+  EXPECT_EQ(E[0], (std::pair<uint64_t, uint64_t>{1, 30}));
+  EXPECT_EQ(E[1], (std::pair<uint64_t, uint64_t>{2, 20}));
+  EXPECT_EQ(E[2], (std::pair<uint64_t, uint64_t>{3, 10}));
+}
+
+TEST(ValueProfile, SemiInvariantFraction) {
+  ValueProfile V;
+  Xoshiro256 Rng(7);
+  for (int I = 0; I != 10000; ++I)
+    V.record(Rng.nextBool(0.8) ? 99 : Rng.next());
+  EXPECT_EQ(V.topValue(), 99u);
+  EXPECT_NEAR(V.topValueFraction(), 0.8, 0.03);
+}
+
+TEST(ValueProfile, EpochClearingAdmitsNewHotValue) {
+  // Fill the table with 8 early values, then switch the stream to a new
+  // dominant value: without clearing it could never enter a full table.
+  ValueProfile V(8, 256);
+  for (int I = 0; I != 400; ++I)
+    V.record(I % 8); // occupy all slots
+  for (int I = 0; I != 4000; ++I)
+    V.record(777);
+  EXPECT_EQ(V.topValue(), 777u);
+  EXPECT_GT(V.topValueFraction(), 0.5);
+}
+
+TEST(ValueProfile, FullTableDropsColdValuesGracefully) {
+  ValueProfile V(4, 1 << 20);
+  for (int I = 0; I != 100; ++I) {
+    V.record(1);
+    V.record(2);
+    V.record(3);
+    V.record(4);
+    V.record(static_cast<uint64_t>(1000 + I)); // never fits
+  }
+  auto E = V.entries();
+  ASSERT_EQ(E.size(), 4u);
+  EXPECT_EQ(V.samples(), 500u);
+  for (const auto &[Value, Count] : E)
+    EXPECT_LE(Value, 4u);
+}
+
+TEST(ValueProfile, SampledProfileAgreesWithFullProfile) {
+  // The paper's premise applied to value profiling: sampling at 1/64 via
+  // brr preserves the dominant value and its approximate invariance.
+  Xoshiro256 Rng(21);
+  ValueProfile Full(8, 1024);
+  ValueProfile Sampled(8, 1024);
+  BrrPolicy Brr(64);
+  for (int I = 0; I != 400000; ++I) {
+    uint64_t Value = Rng.nextBool(0.7) ? 5 : Rng.nextBelow(1000);
+    Full.record(Value);
+    if (Brr.sample())
+      Sampled.record(Value);
+  }
+  EXPECT_EQ(Full.topValue(), Sampled.topValue());
+  EXPECT_NEAR(Full.topValueFraction(), Sampled.topValueFraction(), 0.05);
+  EXPECT_LT(Sampled.samples(), Full.samples() / 32);
+}
+
+TEST(ValueProfileDeath, DegenerateConfigsAssert) {
+  EXPECT_DEATH(ValueProfile(1, 10), "two slots");
+  EXPECT_DEATH(ValueProfile(4, 0), "positive");
+}

@@ -1,0 +1,123 @@
+# Smoke test for the CLI toolchain: assemble a sample program, disassemble
+# it, and run it on both simulators, checking outputs end-to-end.
+#
+# Invoked by ctest with:
+#   -DAS=<bor-as> -DDIS=<bor-dis> -DRUN=<bor-run> -DPIPEVIEW=<bor-pipeview>
+#   -DWORKDIR=<scratch dir>
+
+file(MAKE_DIRECTORY ${WORKDIR})
+set(SRC ${WORKDIR}/smoke.s)
+set(IMG ${WORKDIR}/smoke.borb)
+
+file(WRITE ${SRC} "
+; toolchain smoke test: count 1/16-sampled iterations
+.alloc hits 8 8
+        lc r28, @hits
+        lc r2, 4096
+loop:
+        brr 1/16, sample
+back:
+        addi r2, r2, -1
+        bne r2, r0, loop
+        halt
+sample:
+        ld r15, 0(r28)
+        addi r15, r15, 1
+        st r15, 0(r28)
+        jmp back
+")
+
+function(must_run outvar)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE RC
+                  OUTPUT_VARIABLE OUT
+                  ERROR_VARIABLE ERR)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "command failed (${RC}): ${ARGN}\n${OUT}\n${ERR}")
+  endif()
+  set(${outvar} "${OUT}${ERR}" PARENT_SCOPE)
+endfunction()
+
+# Assemble.
+must_run(AS_OUT ${AS} ${SRC} -o ${IMG})
+if(NOT AS_OUT MATCHES "instructions")
+  message(FATAL_ERROR "bor-as output unexpected: ${AS_OUT}")
+endif()
+
+# Disassemble: must show the brr and the symbol.
+must_run(DIS_OUT ${DIS} ${IMG})
+if(NOT DIS_OUT MATCHES "brr 1/16")
+  message(FATAL_ERROR "bor-dis missing brr: ${DIS_OUT}")
+endif()
+if(NOT DIS_OUT MATCHES "hits")
+  message(FATAL_ERROR "bor-dis missing symbol: ${DIS_OUT}")
+endif()
+
+# Functional run with the deterministic decider: exactly 4096/16 samples.
+must_run(RUN_OUT ${RUN} ${IMG} --decider=counter --dump-sym=hits)
+if(NOT RUN_OUT MATCHES "hits = 256")
+  message(FATAL_ERROR "bor-run functional count wrong: ${RUN_OUT}")
+endif()
+
+# Timing run: prints cycles and the same sample count.
+must_run(TIMING_OUT ${RUN} ${IMG} --timing --decider=counter --dump-sym=hits)
+if(NOT TIMING_OUT MATCHES "cycles")
+  message(FATAL_ERROR "bor-run --timing missing stats: ${TIMING_OUT}")
+endif()
+if(NOT TIMING_OUT MATCHES "hits = 256")
+  message(FATAL_ERROR "bor-run --timing count wrong: ${TIMING_OUT}")
+endif()
+
+# Pipeview: renders stage letters.
+must_run(PV_OUT ${PIPEVIEW} ${IMG} --insts=12)
+if(NOT PV_OUT MATCHES "F fetch")
+  message(FATAL_ERROR "bor-pipeview missing header: ${PV_OUT}")
+endif()
+if(NOT PV_OUT MATCHES "brr")
+  message(FATAL_ERROR "bor-pipeview missing brr row: ${PV_OUT}")
+endif()
+
+# Error paths: bad assembly and a corrupt image must fail loudly.
+execute_process(COMMAND ${AS} ${WORKDIR}/does-not-exist.s
+                RESULT_VARIABLE RC OUTPUT_QUIET ERROR_QUIET)
+if(RC EQUAL 0)
+  message(FATAL_ERROR "bor-as accepted a missing input")
+endif()
+
+file(WRITE ${WORKDIR}/corrupt.borb "NOTB0RB!")
+execute_process(COMMAND ${RUN} ${WORKDIR}/corrupt.borb
+                RESULT_VARIABLE RC OUTPUT_QUIET ERROR_QUIET)
+if(RC EQUAL 0)
+  message(FATAL_ERROR "bor-run accepted a corrupt image")
+endif()
+
+# bor-gen: generate a kernel and run it to its expected result.
+must_run(GEN_OUT ${GEN} kernel:crc32 --framework=brr --interval=64
+         --size=2000 -o ${WORKDIR}/crc.borb)
+if(NOT GEN_OUT MATCHES "expected result ([0-9]+)")
+  message(FATAL_ERROR "bor-gen output unexpected: ${GEN_OUT}")
+endif()
+set(EXPECTED ${CMAKE_MATCH_1})
+must_run(GENRUN_OUT ${RUN} ${WORKDIR}/crc.borb --dump-sym=result)
+if(NOT GENRUN_OUT MATCHES "result = ${EXPECTED}")
+  message(FATAL_ERROR "generated kernel result mismatch: ${GENRUN_OUT}")
+endif()
+
+execute_process(COMMAND ${GEN} kernel:bogus
+                RESULT_VARIABLE RC OUTPUT_QUIET ERROR_QUIET)
+if(RC EQUAL 0)
+  message(FATAL_ERROR "bor-gen accepted an unknown kernel")
+endif()
+
+# The shipped assembly example must assemble and run to its known sum.
+must_run(EX_OUT ${AS} ${EXAMPLE_ASM} -o ${WORKDIR}/example.borb)
+must_run(EXRUN_OUT ${RUN} ${WORKDIR}/example.borb --decider=counter
+         --dump-sym=sum --dump-sym=hits)
+if(NOT EXRUN_OUT MATCHES "sum = 1250025000")
+  message(FATAL_ERROR "asm example sum wrong: ${EXRUN_OUT}")
+endif()
+if(NOT EXRUN_OUT MATCHES "hits = 781")
+  message(FATAL_ERROR "asm example hits wrong: ${EXRUN_OUT}")
+endif()
+
+message(STATUS "toolchain smoke test passed")

@@ -1,0 +1,71 @@
+//===- tools/bor-as.cpp - BOR-RISC assembler driver ------------------------===//
+//
+// Assembles a BOR-RISC text file into a BORB binary image:
+//
+//   bor-as input.s -o out.borb
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Assembler.h"
+#include "isa/Serialize.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace bor;
+
+static std::string readFile(const char *Path, bool &Ok) {
+  std::FILE *F = std::fopen(Path, "rb");
+  if (!F) {
+    Ok = false;
+    return "";
+  }
+  std::string Out;
+  char Buf[65536];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  std::fclose(F);
+  Ok = true;
+  return Out;
+}
+
+int main(int Argc, char **Argv) {
+  const char *Input = nullptr;
+  const char *Output = "a.borb";
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "-o") == 0 && I + 1 < Argc) {
+      Output = Argv[++I];
+    } else if (Argv[I][0] == '-') {
+      std::fprintf(stderr, "usage: bor-as input.s [-o out.borb]\n");
+      return 2;
+    } else {
+      Input = Argv[I];
+    }
+  }
+  if (!Input) {
+    std::fprintf(stderr, "usage: bor-as input.s [-o out.borb]\n");
+    return 2;
+  }
+
+  bool Ok = false;
+  std::string Source = readFile(Input, Ok);
+  if (!Ok) {
+    std::fprintf(stderr, "bor-as: error: cannot read '%s'\n", Input);
+    return 1;
+  }
+
+  AssemblyResult R = assemble(Source);
+  if (!R.Ok) {
+    std::fprintf(stderr, "bor-as: %s: %s\n", Input, R.Error.c_str());
+    return 1;
+  }
+  if (!saveProgram(R.Prog, Output)) {
+    std::fprintf(stderr, "bor-as: error: cannot write '%s'\n", Output);
+    return 1;
+  }
+  std::fprintf(stderr, "bor-as: %zu instructions, %zu data bytes -> %s\n",
+               R.Prog.numInsts(), R.Prog.data().size(), Output);
+  return 0;
+}

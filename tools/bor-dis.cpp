@@ -1,0 +1,36 @@
+//===- tools/bor-dis.cpp - BOR-RISC disassembler driver --------------------===//
+//
+// Disassembles a BORB image to stdout:
+//
+//   bor-dis program.borb
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Disasm.h"
+#include "isa/Serialize.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace bor;
+
+int main(int Argc, char **Argv) {
+  if (Argc != 2) {
+    std::fprintf(stderr, "usage: bor-dis program.borb\n");
+    return 2;
+  }
+  LoadResult R = loadProgramFile(Argv[1]);
+  if (!R.Ok) {
+    std::fprintf(stderr, "bor-dis: %s\n", R.Error.c_str());
+    return 1;
+  }
+  std::printf("%s", disassemble(R.Prog).c_str());
+  if (!R.Prog.symbols().empty()) {
+    std::printf("\nsymbols:\n");
+    for (const auto &[Name, Addr] : R.Prog.symbols())
+      std::printf("  %-24s 0x%" PRIx64 "\n", Name.c_str(), Addr);
+  }
+  std::printf("\ndata: %zu bytes at 0x%" PRIx64 "\n", R.Prog.data().size(),
+              R.Prog.dataBase());
+  return 0;
+}

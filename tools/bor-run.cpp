@@ -1,0 +1,152 @@
+//===- tools/bor-run.cpp - BOR-RISC simulator driver -----------------------===//
+//
+// Runs a BORB image on the functional simulator or the cycle-level
+// out-of-order timing model:
+//
+//   bor-run program.borb [options]
+//
+//   --timing               use the Section 5.1 timing model (default:
+//                          functional)
+//   --decider=lfsr|counter|never|always
+//                          how brr outcomes are resolved (default lfsr)
+//   --seed=N               LFSR seed for the lfsr decider
+//   --max-insts=N          instruction budget (default 1<<32)
+//   --trace=N              functional mode: print the first N executed
+//                          instructions with their PCs
+//   --dump-sym=NAME        after the run, print the u64 at data symbol NAME
+//
+// Exit status: 0 if the program halted, 1 otherwise.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Disasm.h"
+#include "isa/Serialize.h"
+#include "sim/Interpreter.h"
+#include "uarch/Pipeline.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace bor;
+
+namespace {
+
+struct Options {
+  const char *Input = nullptr;
+  bool Timing = false;
+  std::string Decider = "lfsr";
+  uint64_t Seed = 0x2c9277b5;
+  uint64_t MaxInsts = 1ULL << 32;
+  uint64_t Trace = 0;
+  std::vector<std::string> DumpSymbols;
+};
+
+bool parseArgs(int Argc, char **Argv, Options &Opt) {
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strcmp(A, "--timing") == 0) {
+      Opt.Timing = true;
+    } else if (std::strncmp(A, "--decider=", 10) == 0) {
+      Opt.Decider = A + 10;
+    } else if (std::strncmp(A, "--seed=", 7) == 0) {
+      Opt.Seed = std::strtoull(A + 7, nullptr, 0);
+    } else if (std::strncmp(A, "--max-insts=", 12) == 0) {
+      Opt.MaxInsts = std::strtoull(A + 12, nullptr, 0);
+    } else if (std::strncmp(A, "--trace=", 8) == 0) {
+      Opt.Trace = std::strtoull(A + 8, nullptr, 0);
+    } else if (std::strncmp(A, "--dump-sym=", 11) == 0) {
+      Opt.DumpSymbols.push_back(A + 11);
+    } else if (A[0] == '-') {
+      return false;
+    } else if (!Opt.Input) {
+      Opt.Input = A;
+    } else {
+      return false;
+    }
+  }
+  return Opt.Input != nullptr;
+}
+
+std::unique_ptr<BrrDecider> makeDecider(const Options &Opt) {
+  if (Opt.Decider == "lfsr") {
+    BrrUnitConfig Cfg;
+    Cfg.Seed = Opt.Seed;
+    return std::make_unique<BrrUnitDecider>(Cfg);
+  }
+  if (Opt.Decider == "counter")
+    return std::make_unique<HwCounterDecider>();
+  if (Opt.Decider == "never")
+    return std::make_unique<NeverTakenDecider>();
+  if (Opt.Decider == "always")
+    return std::make_unique<AlwaysTakenDecider>();
+  return nullptr;
+}
+
+void dumpSymbols(const Options &Opt, const Program &P, const Machine &M) {
+  for (const std::string &Name : Opt.DumpSymbols) {
+    if (!P.hasSymbol(Name)) {
+      std::printf("%s = <unknown symbol>\n", Name.c_str());
+      continue;
+    }
+    std::printf("%s = %" PRIu64 "\n", Name.c_str(),
+                M.memory().readU64(P.symbol(Name)));
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opt;
+  if (!parseArgs(Argc, Argv, Opt)) {
+    std::fprintf(stderr,
+                 "usage: bor-run program.borb [--timing] "
+                 "[--decider=lfsr|counter|never|always] [--seed=N] "
+                 "[--max-insts=N] [--dump-sym=NAME]...\n");
+    return 2;
+  }
+
+  LoadResult R = loadProgramFile(Opt.Input);
+  if (!R.Ok) {
+    std::fprintf(stderr, "bor-run: %s\n", R.Error.c_str());
+    return 1;
+  }
+
+  std::unique_ptr<BrrDecider> Decider = makeDecider(Opt);
+  if (!Decider) {
+    std::fprintf(stderr, "bor-run: unknown decider '%s'\n",
+                 Opt.Decider.c_str());
+    return 2;
+  }
+
+  if (Opt.Timing) {
+    Pipeline Pipe(R.Prog, PipelineConfig(), Decider.get());
+    PipelineStats S = Pipe.run(Opt.MaxInsts, /*RequireHalt=*/false);
+    std::printf("%s", describeStats(S).c_str());
+    for (const MarkerEvent &E : Pipe.markerEvents())
+      std::printf("marker %d at cycle %" PRIu64 " (inst %" PRIu64 ")\n",
+                  E.Id, E.CommitCycle, E.InstsRetired);
+    dumpSymbols(Opt, R.Prog, Pipe.machine());
+    return Pipe.machine().halted() ? 0 : 1;
+  }
+
+  Machine M;
+  Interpreter Interp(R.Prog, M, *Decider);
+  for (uint64_t I = 0; I != Opt.Trace && !Interp.halted(); ++I) {
+    ExecRecord Rec = Interp.step();
+    std::printf("%6" PRIu64 "  %s\n", Rec.Pc / 4,
+                disassemble(Rec.I, static_cast<int64_t>(Rec.Pc / 4))
+                    .c_str());
+  }
+  RunStats S = Interp.run(Opt.MaxInsts, /*RequireHalt=*/false);
+  std::printf("insts %" PRIu64 ", cond branches %" PRIu64 " (%" PRIu64
+              " taken), brr %" PRIu64 " (%" PRIu64 " taken), loads %" PRIu64
+              ", stores %" PRIu64 ", halted %s\n",
+              S.Insts, S.CondBranches, S.CondTaken, S.BrrExecuted,
+              S.BrrTaken, S.Loads, S.Stores, S.Halted ? "yes" : "no");
+  dumpSymbols(Opt, R.Prog, M);
+  return S.Halted ? 0 : 1;
+}
