@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_brr_design.dir/ablation_brr_design.cpp.o"
+  "CMakeFiles/ablation_brr_design.dir/ablation_brr_design.cpp.o.d"
+  "ablation_brr_design"
+  "ablation_brr_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_brr_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

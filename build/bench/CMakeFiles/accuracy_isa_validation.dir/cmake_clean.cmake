@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_isa_validation.dir/accuracy_isa_validation.cpp.o"
+  "CMakeFiles/accuracy_isa_validation.dir/accuracy_isa_validation.cpp.o.d"
+  "accuracy_isa_validation"
+  "accuracy_isa_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_isa_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

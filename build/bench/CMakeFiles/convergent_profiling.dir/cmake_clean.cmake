@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convergent_profiling.dir/convergent_profiling.cpp.o"
+  "CMakeFiles/convergent_profiling.dir/convergent_profiling.cpp.o.d"
+  "convergent_profiling"
+  "convergent_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convergent_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

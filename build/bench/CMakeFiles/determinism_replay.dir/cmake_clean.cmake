@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/determinism_replay.dir/determinism_replay.cpp.o"
+  "CMakeFiles/determinism_replay.dir/determinism_replay.cpp.o.d"
+  "determinism_replay"
+  "determinism_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/determinism_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

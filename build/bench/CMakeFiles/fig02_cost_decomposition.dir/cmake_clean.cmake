@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_cost_decomposition.dir/fig02_cost_decomposition.cpp.o"
+  "CMakeFiles/fig02_cost_decomposition.dir/fig02_cost_decomposition.cpp.o.d"
+  "fig02_cost_decomposition"
+  "fig02_cost_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_cost_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_accuracy_1k.dir/fig09_accuracy_1k.cpp.o"
+  "CMakeFiles/fig09_accuracy_1k.dir/fig09_accuracy_1k.cpp.o.d"
+  "fig09_accuracy_1k"
+  "fig09_accuracy_1k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_accuracy_1k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

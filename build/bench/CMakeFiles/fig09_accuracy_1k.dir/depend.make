@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_accuracy_1k.
+# This may be replaced when dependencies are built.

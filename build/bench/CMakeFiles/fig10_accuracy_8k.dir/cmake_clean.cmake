@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_accuracy_8k.dir/fig10_accuracy_8k.cpp.o"
+  "CMakeFiles/fig10_accuracy_8k.dir/fig10_accuracy_8k.cpp.o.d"
+  "fig10_accuracy_8k"
+  "fig10_accuracy_8k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_accuracy_8k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_overhead.dir/kernels_overhead.cpp.o"
+  "CMakeFiles/kernels_overhead.dir/kernels_overhead.cpp.o.d"
+  "kernels_overhead"
+  "kernels_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

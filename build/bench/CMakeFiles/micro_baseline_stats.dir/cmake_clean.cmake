@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_baseline_stats.dir/micro_baseline_stats.cpp.o"
+  "CMakeFiles/micro_baseline_stats.dir/micro_baseline_stats.cpp.o.d"
+  "micro_baseline_stats"
+  "micro_baseline_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_baseline_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_pollution.dir/predictor_pollution.cpp.o"
+  "CMakeFiles/predictor_pollution.dir/predictor_pollution.cpp.o.d"
+  "predictor_pollution"
+  "predictor_pollution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_pollution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

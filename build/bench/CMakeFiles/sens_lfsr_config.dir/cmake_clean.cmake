@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_lfsr_config.dir/sens_lfsr_config.cpp.o"
+  "CMakeFiles/sens_lfsr_config.dir/sens_lfsr_config.cpp.o.d"
+  "sens_lfsr_config"
+  "sens_lfsr_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_lfsr_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gil_scheduler.dir/gil_scheduler.cpp.o"
+  "CMakeFiles/gil_scheduler.dir/gil_scheduler.cpp.o.d"
+  "gil_scheduler"
+  "gil_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gil_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

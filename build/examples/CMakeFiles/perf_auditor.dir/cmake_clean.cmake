@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_auditor.dir/perf_auditor.cpp.o"
+  "CMakeFiles/perf_auditor.dir/perf_auditor.cpp.o.d"
+  "perf_auditor"
+  "perf_auditor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_auditor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiling_jvm.dir/profiling_jvm.cpp.o"
+  "CMakeFiles/profiling_jvm.dir/profiling_jvm.cpp.o.d"
+  "profiling_jvm"
+  "profiling_jvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiling_jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/BitSelection.cpp" "src/CMakeFiles/bor.dir/core/BitSelection.cpp.o" "gcc" "src/CMakeFiles/bor.dir/core/BitSelection.cpp.o.d"
+  "/root/repo/src/core/BrrUnit.cpp" "src/CMakeFiles/bor.dir/core/BrrUnit.cpp.o" "gcc" "src/CMakeFiles/bor.dir/core/BrrUnit.cpp.o.d"
+  "/root/repo/src/core/DeterministicBrr.cpp" "src/CMakeFiles/bor.dir/core/DeterministicBrr.cpp.o" "gcc" "src/CMakeFiles/bor.dir/core/DeterministicBrr.cpp.o.d"
+  "/root/repo/src/core/FreqCode.cpp" "src/CMakeFiles/bor.dir/core/FreqCode.cpp.o" "gcc" "src/CMakeFiles/bor.dir/core/FreqCode.cpp.o.d"
+  "/root/repo/src/core/HwCostModel.cpp" "src/CMakeFiles/bor.dir/core/HwCostModel.cpp.o" "gcc" "src/CMakeFiles/bor.dir/core/HwCostModel.cpp.o.d"
+  "/root/repo/src/core/SuperscalarBrr.cpp" "src/CMakeFiles/bor.dir/core/SuperscalarBrr.cpp.o" "gcc" "src/CMakeFiles/bor.dir/core/SuperscalarBrr.cpp.o.d"
+  "/root/repo/src/instr/BrrSampling.cpp" "src/CMakeFiles/bor.dir/instr/BrrSampling.cpp.o" "gcc" "src/CMakeFiles/bor.dir/instr/BrrSampling.cpp.o.d"
+  "/root/repo/src/instr/CounterSampling.cpp" "src/CMakeFiles/bor.dir/instr/CounterSampling.cpp.o" "gcc" "src/CMakeFiles/bor.dir/instr/CounterSampling.cpp.o.d"
+  "/root/repo/src/instr/FullInstrumentation.cpp" "src/CMakeFiles/bor.dir/instr/FullInstrumentation.cpp.o" "gcc" "src/CMakeFiles/bor.dir/instr/FullInstrumentation.cpp.o.d"
+  "/root/repo/src/instr/Sites.cpp" "src/CMakeFiles/bor.dir/instr/Sites.cpp.o" "gcc" "src/CMakeFiles/bor.dir/instr/Sites.cpp.o.d"
+  "/root/repo/src/instr/Transform.cpp" "src/CMakeFiles/bor.dir/instr/Transform.cpp.o" "gcc" "src/CMakeFiles/bor.dir/instr/Transform.cpp.o.d"
+  "/root/repo/src/isa/Assembler.cpp" "src/CMakeFiles/bor.dir/isa/Assembler.cpp.o" "gcc" "src/CMakeFiles/bor.dir/isa/Assembler.cpp.o.d"
+  "/root/repo/src/isa/Disasm.cpp" "src/CMakeFiles/bor.dir/isa/Disasm.cpp.o" "gcc" "src/CMakeFiles/bor.dir/isa/Disasm.cpp.o.d"
+  "/root/repo/src/isa/Encoding.cpp" "src/CMakeFiles/bor.dir/isa/Encoding.cpp.o" "gcc" "src/CMakeFiles/bor.dir/isa/Encoding.cpp.o.d"
+  "/root/repo/src/isa/Inst.cpp" "src/CMakeFiles/bor.dir/isa/Inst.cpp.o" "gcc" "src/CMakeFiles/bor.dir/isa/Inst.cpp.o.d"
+  "/root/repo/src/isa/Program.cpp" "src/CMakeFiles/bor.dir/isa/Program.cpp.o" "gcc" "src/CMakeFiles/bor.dir/isa/Program.cpp.o.d"
+  "/root/repo/src/isa/ProgramBuilder.cpp" "src/CMakeFiles/bor.dir/isa/ProgramBuilder.cpp.o" "gcc" "src/CMakeFiles/bor.dir/isa/ProgramBuilder.cpp.o.d"
+  "/root/repo/src/isa/Serialize.cpp" "src/CMakeFiles/bor.dir/isa/Serialize.cpp.o" "gcc" "src/CMakeFiles/bor.dir/isa/Serialize.cpp.o.d"
+  "/root/repo/src/lfsr/Lfsr.cpp" "src/CMakeFiles/bor.dir/lfsr/Lfsr.cpp.o" "gcc" "src/CMakeFiles/bor.dir/lfsr/Lfsr.cpp.o.d"
+  "/root/repo/src/lfsr/TapCatalog.cpp" "src/CMakeFiles/bor.dir/lfsr/TapCatalog.cpp.o" "gcc" "src/CMakeFiles/bor.dir/lfsr/TapCatalog.cpp.o.d"
+  "/root/repo/src/profile/Accuracy.cpp" "src/CMakeFiles/bor.dir/profile/Accuracy.cpp.o" "gcc" "src/CMakeFiles/bor.dir/profile/Accuracy.cpp.o.d"
+  "/root/repo/src/profile/Convergent.cpp" "src/CMakeFiles/bor.dir/profile/Convergent.cpp.o" "gcc" "src/CMakeFiles/bor.dir/profile/Convergent.cpp.o.d"
+  "/root/repo/src/profile/Profile.cpp" "src/CMakeFiles/bor.dir/profile/Profile.cpp.o" "gcc" "src/CMakeFiles/bor.dir/profile/Profile.cpp.o.d"
+  "/root/repo/src/profile/SamplingPolicy.cpp" "src/CMakeFiles/bor.dir/profile/SamplingPolicy.cpp.o" "gcc" "src/CMakeFiles/bor.dir/profile/SamplingPolicy.cpp.o.d"
+  "/root/repo/src/profile/TraceGen.cpp" "src/CMakeFiles/bor.dir/profile/TraceGen.cpp.o" "gcc" "src/CMakeFiles/bor.dir/profile/TraceGen.cpp.o.d"
+  "/root/repo/src/profile/ValueProfile.cpp" "src/CMakeFiles/bor.dir/profile/ValueProfile.cpp.o" "gcc" "src/CMakeFiles/bor.dir/profile/ValueProfile.cpp.o.d"
+  "/root/repo/src/sim/Interpreter.cpp" "src/CMakeFiles/bor.dir/sim/Interpreter.cpp.o" "gcc" "src/CMakeFiles/bor.dir/sim/Interpreter.cpp.o.d"
+  "/root/repo/src/sim/Machine.cpp" "src/CMakeFiles/bor.dir/sim/Machine.cpp.o" "gcc" "src/CMakeFiles/bor.dir/sim/Machine.cpp.o.d"
+  "/root/repo/src/support/Rng.cpp" "src/CMakeFiles/bor.dir/support/Rng.cpp.o" "gcc" "src/CMakeFiles/bor.dir/support/Rng.cpp.o.d"
+  "/root/repo/src/support/Stats.cpp" "src/CMakeFiles/bor.dir/support/Stats.cpp.o" "gcc" "src/CMakeFiles/bor.dir/support/Stats.cpp.o.d"
+  "/root/repo/src/support/Table.cpp" "src/CMakeFiles/bor.dir/support/Table.cpp.o" "gcc" "src/CMakeFiles/bor.dir/support/Table.cpp.o.d"
+  "/root/repo/src/uarch/BranchPredictor.cpp" "src/CMakeFiles/bor.dir/uarch/BranchPredictor.cpp.o" "gcc" "src/CMakeFiles/bor.dir/uarch/BranchPredictor.cpp.o.d"
+  "/root/repo/src/uarch/Btb.cpp" "src/CMakeFiles/bor.dir/uarch/Btb.cpp.o" "gcc" "src/CMakeFiles/bor.dir/uarch/Btb.cpp.o.d"
+  "/root/repo/src/uarch/Cache.cpp" "src/CMakeFiles/bor.dir/uarch/Cache.cpp.o" "gcc" "src/CMakeFiles/bor.dir/uarch/Cache.cpp.o.d"
+  "/root/repo/src/uarch/MemoryHierarchy.cpp" "src/CMakeFiles/bor.dir/uarch/MemoryHierarchy.cpp.o" "gcc" "src/CMakeFiles/bor.dir/uarch/MemoryHierarchy.cpp.o.d"
+  "/root/repo/src/uarch/Pipeline.cpp" "src/CMakeFiles/bor.dir/uarch/Pipeline.cpp.o" "gcc" "src/CMakeFiles/bor.dir/uarch/Pipeline.cpp.o.d"
+  "/root/repo/src/uarch/PipelineConfig.cpp" "src/CMakeFiles/bor.dir/uarch/PipelineConfig.cpp.o" "gcc" "src/CMakeFiles/bor.dir/uarch/PipelineConfig.cpp.o.d"
+  "/root/repo/src/uarch/Pipeview.cpp" "src/CMakeFiles/bor.dir/uarch/Pipeview.cpp.o" "gcc" "src/CMakeFiles/bor.dir/uarch/Pipeview.cpp.o.d"
+  "/root/repo/src/uarch/ReturnAddressStack.cpp" "src/CMakeFiles/bor.dir/uarch/ReturnAddressStack.cpp.o" "gcc" "src/CMakeFiles/bor.dir/uarch/ReturnAddressStack.cpp.o.d"
+  "/root/repo/src/workloads/AppGen.cpp" "src/CMakeFiles/bor.dir/workloads/AppGen.cpp.o" "gcc" "src/CMakeFiles/bor.dir/workloads/AppGen.cpp.o.d"
+  "/root/repo/src/workloads/Kernels.cpp" "src/CMakeFiles/bor.dir/workloads/Kernels.cpp.o" "gcc" "src/CMakeFiles/bor.dir/workloads/Kernels.cpp.o.d"
+  "/root/repo/src/workloads/Microbench.cpp" "src/CMakeFiles/bor.dir/workloads/Microbench.cpp.o" "gcc" "src/CMakeFiles/bor.dir/workloads/Microbench.cpp.o.d"
+  "/root/repo/src/workloads/TextGen.cpp" "src/CMakeFiles/bor.dir/workloads/TextGen.cpp.o" "gcc" "src/CMakeFiles/bor.dir/workloads/TextGen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bitselection.cpp" "tests/CMakeFiles/test_core.dir/test_bitselection.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_bitselection.cpp.o.d"
+  "/root/repo/tests/test_brrunit.cpp" "tests/CMakeFiles/test_core.dir/test_brrunit.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_brrunit.cpp.o.d"
+  "/root/repo/tests/test_deterministic_brr.cpp" "tests/CMakeFiles/test_core.dir/test_deterministic_brr.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_deterministic_brr.cpp.o.d"
+  "/root/repo/tests/test_freqcode.cpp" "tests/CMakeFiles/test_core.dir/test_freqcode.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_freqcode.cpp.o.d"
+  "/root/repo/tests/test_hwcost.cpp" "tests/CMakeFiles/test_core.dir/test_hwcost.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_hwcost.cpp.o.d"
+  "/root/repo/tests/test_lfsr.cpp" "tests/CMakeFiles/test_core.dir/test_lfsr.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_lfsr.cpp.o.d"
+  "/root/repo/tests/test_superscalar.cpp" "tests/CMakeFiles/test_core.dir/test_superscalar.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_superscalar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_bitselection.cpp.o"
+  "CMakeFiles/test_core.dir/test_bitselection.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_brrunit.cpp.o"
+  "CMakeFiles/test_core.dir/test_brrunit.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_deterministic_brr.cpp.o"
+  "CMakeFiles/test_core.dir/test_deterministic_brr.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_freqcode.cpp.o"
+  "CMakeFiles/test_core.dir/test_freqcode.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_hwcost.cpp.o"
+  "CMakeFiles/test_core.dir/test_hwcost.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_lfsr.cpp.o"
+  "CMakeFiles/test_core.dir/test_lfsr.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_superscalar.cpp.o"
+  "CMakeFiles/test_core.dir/test_superscalar.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instr.dir/test_appgen.cpp.o"
+  "CMakeFiles/test_instr.dir/test_appgen.cpp.o.d"
+  "CMakeFiles/test_instr.dir/test_countersampling.cpp.o"
+  "CMakeFiles/test_instr.dir/test_countersampling.cpp.o.d"
+  "CMakeFiles/test_instr.dir/test_kernels.cpp.o"
+  "CMakeFiles/test_instr.dir/test_kernels.cpp.o.d"
+  "CMakeFiles/test_instr.dir/test_microbench.cpp.o"
+  "CMakeFiles/test_instr.dir/test_microbench.cpp.o.d"
+  "CMakeFiles/test_instr.dir/test_textgen.cpp.o"
+  "CMakeFiles/test_instr.dir/test_textgen.cpp.o.d"
+  "CMakeFiles/test_instr.dir/test_transform.cpp.o"
+  "CMakeFiles/test_instr.dir/test_transform.cpp.o.d"
+  "test_instr"
+  "test_instr.pdb"
+  "test_instr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_assembler.cpp" "tests/CMakeFiles/test_isa.dir/test_assembler.cpp.o" "gcc" "tests/CMakeFiles/test_isa.dir/test_assembler.cpp.o.d"
+  "/root/repo/tests/test_disasm.cpp" "tests/CMakeFiles/test_isa.dir/test_disasm.cpp.o" "gcc" "tests/CMakeFiles/test_isa.dir/test_disasm.cpp.o.d"
+  "/root/repo/tests/test_encoding.cpp" "tests/CMakeFiles/test_isa.dir/test_encoding.cpp.o" "gcc" "tests/CMakeFiles/test_isa.dir/test_encoding.cpp.o.d"
+  "/root/repo/tests/test_interpreter.cpp" "tests/CMakeFiles/test_isa.dir/test_interpreter.cpp.o" "gcc" "tests/CMakeFiles/test_isa.dir/test_interpreter.cpp.o.d"
+  "/root/repo/tests/test_machine.cpp" "tests/CMakeFiles/test_isa.dir/test_machine.cpp.o" "gcc" "tests/CMakeFiles/test_isa.dir/test_machine.cpp.o.d"
+  "/root/repo/tests/test_program_builder.cpp" "tests/CMakeFiles/test_isa.dir/test_program_builder.cpp.o" "gcc" "tests/CMakeFiles/test_isa.dir/test_program_builder.cpp.o.d"
+  "/root/repo/tests/test_serialize.cpp" "tests/CMakeFiles/test_isa.dir/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/test_isa.dir/test_serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

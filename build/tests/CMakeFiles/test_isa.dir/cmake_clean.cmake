@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isa.dir/test_assembler.cpp.o"
+  "CMakeFiles/test_isa.dir/test_assembler.cpp.o.d"
+  "CMakeFiles/test_isa.dir/test_disasm.cpp.o"
+  "CMakeFiles/test_isa.dir/test_disasm.cpp.o.d"
+  "CMakeFiles/test_isa.dir/test_encoding.cpp.o"
+  "CMakeFiles/test_isa.dir/test_encoding.cpp.o.d"
+  "CMakeFiles/test_isa.dir/test_interpreter.cpp.o"
+  "CMakeFiles/test_isa.dir/test_interpreter.cpp.o.d"
+  "CMakeFiles/test_isa.dir/test_machine.cpp.o"
+  "CMakeFiles/test_isa.dir/test_machine.cpp.o.d"
+  "CMakeFiles/test_isa.dir/test_program_builder.cpp.o"
+  "CMakeFiles/test_isa.dir/test_program_builder.cpp.o.d"
+  "CMakeFiles/test_isa.dir/test_serialize.cpp.o"
+  "CMakeFiles/test_isa.dir/test_serialize.cpp.o.d"
+  "test_isa"
+  "test_isa.pdb"
+  "test_isa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

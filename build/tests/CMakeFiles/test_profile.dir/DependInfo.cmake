@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accuracy.cpp" "tests/CMakeFiles/test_profile.dir/test_accuracy.cpp.o" "gcc" "tests/CMakeFiles/test_profile.dir/test_accuracy.cpp.o.d"
+  "/root/repo/tests/test_convergent.cpp" "tests/CMakeFiles/test_profile.dir/test_convergent.cpp.o" "gcc" "tests/CMakeFiles/test_profile.dir/test_convergent.cpp.o.d"
+  "/root/repo/tests/test_sampling_policy.cpp" "tests/CMakeFiles/test_profile.dir/test_sampling_policy.cpp.o" "gcc" "tests/CMakeFiles/test_profile.dir/test_sampling_policy.cpp.o.d"
+  "/root/repo/tests/test_tracegen.cpp" "tests/CMakeFiles/test_profile.dir/test_tracegen.cpp.o" "gcc" "tests/CMakeFiles/test_profile.dir/test_tracegen.cpp.o.d"
+  "/root/repo/tests/test_valueprofile.cpp" "tests/CMakeFiles/test_profile.dir/test_valueprofile.cpp.o" "gcc" "tests/CMakeFiles/test_profile.dir/test_valueprofile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profile.dir/test_accuracy.cpp.o"
+  "CMakeFiles/test_profile.dir/test_accuracy.cpp.o.d"
+  "CMakeFiles/test_profile.dir/test_convergent.cpp.o"
+  "CMakeFiles/test_profile.dir/test_convergent.cpp.o.d"
+  "CMakeFiles/test_profile.dir/test_sampling_policy.cpp.o"
+  "CMakeFiles/test_profile.dir/test_sampling_policy.cpp.o.d"
+  "CMakeFiles/test_profile.dir/test_tracegen.cpp.o"
+  "CMakeFiles/test_profile.dir/test_tracegen.cpp.o.d"
+  "CMakeFiles/test_profile.dir/test_valueprofile.cpp.o"
+  "CMakeFiles/test_profile.dir/test_valueprofile.cpp.o.d"
+  "test_profile"
+  "test_profile.pdb"
+  "test_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

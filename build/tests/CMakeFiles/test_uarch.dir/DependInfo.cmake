@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_btb.cpp" "tests/CMakeFiles/test_uarch.dir/test_btb.cpp.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_btb.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/test_uarch.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_memhier.cpp" "tests/CMakeFiles/test_uarch.dir/test_memhier.cpp.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_memhier.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/test_uarch.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_pipeline_invariants.cpp" "tests/CMakeFiles/test_uarch.dir/test_pipeline_invariants.cpp.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_pipeline_invariants.cpp.o.d"
+  "/root/repo/tests/test_pipeline_scaling.cpp" "tests/CMakeFiles/test_uarch.dir/test_pipeline_scaling.cpp.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_pipeline_scaling.cpp.o.d"
+  "/root/repo/tests/test_pipeview.cpp" "tests/CMakeFiles/test_uarch.dir/test_pipeview.cpp.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_pipeview.cpp.o.d"
+  "/root/repo/tests/test_predictor.cpp" "tests/CMakeFiles/test_uarch.dir/test_predictor.cpp.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_predictor.cpp.o.d"
+  "/root/repo/tests/test_ras.cpp" "tests/CMakeFiles/test_uarch.dir/test_ras.cpp.o" "gcc" "tests/CMakeFiles/test_uarch.dir/test_ras.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uarch.dir/test_btb.cpp.o"
+  "CMakeFiles/test_uarch.dir/test_btb.cpp.o.d"
+  "CMakeFiles/test_uarch.dir/test_cache.cpp.o"
+  "CMakeFiles/test_uarch.dir/test_cache.cpp.o.d"
+  "CMakeFiles/test_uarch.dir/test_memhier.cpp.o"
+  "CMakeFiles/test_uarch.dir/test_memhier.cpp.o.d"
+  "CMakeFiles/test_uarch.dir/test_pipeline.cpp.o"
+  "CMakeFiles/test_uarch.dir/test_pipeline.cpp.o.d"
+  "CMakeFiles/test_uarch.dir/test_pipeline_invariants.cpp.o"
+  "CMakeFiles/test_uarch.dir/test_pipeline_invariants.cpp.o.d"
+  "CMakeFiles/test_uarch.dir/test_pipeline_scaling.cpp.o"
+  "CMakeFiles/test_uarch.dir/test_pipeline_scaling.cpp.o.d"
+  "CMakeFiles/test_uarch.dir/test_pipeview.cpp.o"
+  "CMakeFiles/test_uarch.dir/test_pipeview.cpp.o.d"
+  "CMakeFiles/test_uarch.dir/test_predictor.cpp.o"
+  "CMakeFiles/test_uarch.dir/test_predictor.cpp.o.d"
+  "CMakeFiles/test_uarch.dir/test_ras.cpp.o"
+  "CMakeFiles/test_uarch.dir/test_ras.cpp.o.d"
+  "test_uarch"
+  "test_uarch.pdb"
+  "test_uarch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

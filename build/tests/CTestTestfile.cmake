@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_uarch[1]_include.cmake")
+include("/root/repo/build/tests/test_instr[1]_include.cmake")
+include("/root/repo/build/tests/test_profile[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+add_test(tools_smoke "/usr/bin/cmake" "-DAS=/root/repo/build/tools/bor-as" "-DDIS=/root/repo/build/tools/bor-dis" "-DRUN=/root/repo/build/tools/bor-run" "-DPIPEVIEW=/root/repo/build/tools/bor-pipeview" "-DGEN=/root/repo/build/tools/bor-gen" "-DEXAMPLE_ASM=/root/repo/tests/../examples/asm/sampling.s" "-DWORKDIR=/root/repo/build/tests/tools_smoke_work" "-P" "/root/repo/tests/tools_smoke.cmake")
+set_tests_properties(tools_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;72;add_test;/root/repo/tests/CMakeLists.txt;0;")

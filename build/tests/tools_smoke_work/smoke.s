@@ -1,0 +1,16 @@
+
+; toolchain smoke test: count 1/16-sampled iterations
+.alloc hits 8 8
+        lc r28, @hits
+        lc r2, 4096
+loop:
+        brr 1/16, sample
+back:
+        addi r2, r2, -1
+        bne r2, r0, loop
+        halt
+sample:
+        ld r15, 0(r28)
+        addi r15, r15, 1
+        st r15, 0(r28)
+        jmp back

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bor-as.dir/bor-as.cpp.o"
+  "CMakeFiles/bor-as.dir/bor-as.cpp.o.d"
+  "bor-as"
+  "bor-as.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bor-as.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

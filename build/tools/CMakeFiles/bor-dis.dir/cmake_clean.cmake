@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bor-dis.dir/bor-dis.cpp.o"
+  "CMakeFiles/bor-dis.dir/bor-dis.cpp.o.d"
+  "bor-dis"
+  "bor-dis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bor-dis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

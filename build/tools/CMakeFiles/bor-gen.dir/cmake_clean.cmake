@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bor-gen.dir/bor-gen.cpp.o"
+  "CMakeFiles/bor-gen.dir/bor-gen.cpp.o.d"
+  "bor-gen"
+  "bor-gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bor-gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bor-pipeview.dir/bor-pipeview.cpp.o"
+  "CMakeFiles/bor-pipeview.dir/bor-pipeview.cpp.o.d"
+  "bor-pipeview"
+  "bor-pipeview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bor-pipeview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

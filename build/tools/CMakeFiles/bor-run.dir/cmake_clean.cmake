@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bor-run.dir/bor-run.cpp.o"
+  "CMakeFiles/bor-run.dir/bor-run.cpp.o.d"
+  "bor-run"
+  "bor-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bor-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
