@@ -1,147 +1,15 @@
-//===- bench/ablation_brr_design.cpp - Why the decode-stage design wins ---===//
+//===- bench/ablation_brr_design.cpp - Design-ablation wrapper -----------===//
 //
-// Ablates the design decisions of Section 3.3 on the microbenchmark:
-//
-//  1. "brr (proposed)": resolved in decode, predicted not-taken, invisible
-//     to the predictor/BTB, commits at decode.
-//  2. "brr in back end": forced through the ordinary conditional-branch
-//     path (predictor + BTB lookup/insert, execute-time resolution). This
-//     is what an instruction with the same frequency semantics would cost
-//     without the paper's pipeline integration.
-//  3. "brr holds ROB": decode-resolved, but retaining a ROB entry and an
-//     issue slot like a normal instruction (ablates the early-commit
-//     optimization alone).
-//
-// A second table decomposes the counter-based framework's overhead with an
-// oracle branch predictor: the remainder under perfect prediction is pure
-// instruction-bandwidth/latency cost, and the difference is what the
-// paper's Section 2 items 5-6 (mispredictions, predictor pollution)
-// contribute.
+// Thin wrapper running the registered "ablation" experiment (Section 3.3
+// pipeline-integration arms, counter placement, and the oracle-prediction
+// decomposition). All grid/reporting logic lives in
+// src/exp/ExperimentsTiming.cpp; `bor-bench --experiment ablation` is the
+// same thing.
 //
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "exp/Driver.h"
 
-using namespace bor;
-using namespace bor::bench;
-
-namespace {
-
-uint64_t roiWithConfig(const InstrumentationConfig &Instr,
-                       const PipelineConfig &Machine) {
-  MicrobenchConfig C;
-  C.Text.NumChars = FigureChars;
-  C.Instr = Instr;
-  MicrobenchProgram MB = buildMicrobench(C);
-  Pipeline Pipe(MB.Prog, Machine);
-  Pipe.run(1ULL << 40);
-  const auto &Events = Pipe.markerEvents();
-  return Events[1].CommitCycle - Events[0].CommitCycle;
-}
-
-} // namespace
-
-int main() {
-  std::printf("Ablation - branch-on-random pipeline integration "
-              "(No-Duplication, framework-only, %zu chars)\n\n",
-              FigureChars);
-
-  PipelineConfig Default;
-  PipelineConfig Backend;
-  Backend.BrrAsBackendBranch = true;
-  PipelineConfig HoldsRob;
-  HoldsRob.BrrCommitsAtDecode = false;
-  PipelineConfig Trap;
-  Trap.BrrTrapCycles = 300; // Section 3.4's SIGILL emulation fallback
-
-  uint64_t Base = roiWithConfig(InstrumentationConfig(), Default);
-
-  Table T;
-  T.addRow({"design", "interval 16 %", "interval 1024 %"});
-  struct Arm {
-    const char *Name;
-    const PipelineConfig *Machine;
-  };
-  const Arm Arms[] = {
-      {"brr (proposed: decode-resolved)", &Default},
-      {"brr held in ROB until commit", &HoldsRob},
-      {"brr as back-end branch", &Backend},
-      {"brr trap-emulated (SIGILL, S3.4)", &Trap},
-  };
-  for (const Arm &A : Arms) {
-    auto Over = [&](uint64_t Interval) {
-      uint64_t Cycles = roiWithConfig(
-          microConfig(SamplingFramework::BrrBased,
-                      DuplicationMode::NoDuplication, Interval, false),
-          *A.Machine);
-      return 100.0 * (static_cast<double>(Cycles) - Base) / Base;
-    };
-    T.addRow({A.Name, Table::fmt(Over(16), 2), Table::fmt(Over(1024), 2)});
-  }
-  T.print();
-
-  std::printf("\nCounter placement (Section 2, items 3-4): memory vs a "
-              "pinned register vs brr\n\n");
-  Table CP;
-  CP.addRow({"framework", "interval 16 %", "interval 1024 %"});
-  {
-    InstrumentationConfig Mem = microConfig(
-        SamplingFramework::CounterBased, DuplicationMode::NoDuplication, 16,
-        false);
-    InstrumentationConfig Reg = Mem;
-    Reg.CounterPlacement = CounterHome::Register;
-    InstrumentationConfig Brr = microConfig(
-        SamplingFramework::BrrBased, DuplicationMode::NoDuplication, 16,
-        false);
-    auto Row = [&](const char *Name, InstrumentationConfig Cfg) {
-      auto Over = [&](uint64_t Interval) {
-        Cfg.Interval = Interval;
-        uint64_t Cycles = roiWithConfig(Cfg, Default);
-        return Table::fmt(
-            100.0 * (static_cast<double>(Cycles) - Base) / Base, 2);
-      };
-      CP.addRow({Name, Over(16), Over(1024)});
-    };
-    Row("cbs, counter in memory", Mem);
-    Row("cbs, counter in a register", Reg);
-    Row("brr (no counter at all)", Brr);
-  }
-  CP.print();
-  std::printf("\nthe register counter removes the memory chain but still "
-              "pays a check branch and a decrement at every site - and "
-              "permanently costs the program a register, which this "
-              "32-register ISA hides but the paper's x86 would not.\n");
-
-  std::printf("\nFramework overhead under oracle branch prediction "
-              "(added cycles per character):\n\n");
-  PipelineConfig Oracle;
-  Oracle.PerfectBranchPrediction = true;
-  uint64_t OracleBase = roiWithConfig(InstrumentationConfig(), Oracle);
-
-  Table D;
-  D.addRow({"framework / interval", "real machine", "oracle prediction"});
-  for (SamplingFramework F :
-       {SamplingFramework::CounterBased, SamplingFramework::BrrBased}) {
-    for (uint64_t Interval : {16ull, 1024ull}) {
-      InstrumentationConfig Cfg = microConfig(
-          F, DuplicationMode::NoDuplication, Interval, false);
-      double Real = (static_cast<double>(roiWithConfig(Cfg, Default)) -
-                     static_cast<double>(Base)) /
-                    FigureChars;
-      double Orac = (static_cast<double>(roiWithConfig(Cfg, Oracle)) -
-                     static_cast<double>(OracleBase)) /
-                    FigureChars;
-      D.addRow({std::string(frameworkName(F)) + " @ " +
-                    std::to_string(Interval),
-                Table::fmt(Real, 2), Table::fmt(Orac, 2)});
-    }
-  }
-  D.print();
-  std::printf(
-      "\nreading: with oracle prediction the baseline loses its mispredict\n"
-      "stalls, so the counter chain's serialization is *more* exposed -\n"
-      "cbs overhead is dominated by its memory-resident counter, not only\n"
-      "by branch effects; brr's residual cost is pure fetch bandwidth and\n"
-      "vanishes under the oracle at low rates (no front-end flushes).\n");
-  return 0;
+int main(int Argc, char **Argv) {
+  return bor::exp::experimentMain("ablation", Argc, Argv);
 }

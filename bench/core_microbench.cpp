@@ -81,7 +81,7 @@ static void BM_TimingPipeline(benchmark::State &State) {
   MicrobenchProgram MB = buildMicrobench(C);
   for (auto _ : State) {
     Pipeline Pipe(MB.Prog, PipelineConfig());
-    PipelineStats S = Pipe.run(1ULL << 40);
+    PipelineStats S = Pipe.run(1ULL << 40).Stats;
     State.SetItemsProcessed(State.items_processed() +
                             static_cast<int64_t>(S.Insts));
   }

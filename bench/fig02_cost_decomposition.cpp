@@ -1,56 +1,14 @@
-//===- bench/fig02_cost_decomposition.cpp - Figure 2: fixed vs variable --===//
+//===- bench/fig02_cost_decomposition.cpp - Figure 2 wrapper -------------===//
 //
-// Quantifies the conceptual Figure 2: total sampling overhead decomposes
-// into a fixed framework cost (independent of sampling rate - measured by
-// the framework-only runs at the largest interval) and a variable cost
-// proportional to the sampling rate (the instrumentation actually
-// executed). The counter-based framework's fixed cost dominates at low
-// rates - the "lower bound of overhead [that] is purely an artifact of the
-// sampling technique" - while branch-on-random drives the fixed cost to
-// nearly zero.
+// Thin wrapper running the registered "fig02" experiment (fixed vs
+// variable sampling-cost decomposition). All grid/reporting logic lives in
+// src/exp/ExperimentsTiming.cpp; `bor-bench --experiment fig02` is the
+// same thing.
 //
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "exp/Driver.h"
 
-using namespace bor;
-using namespace bor::bench;
-
-int main() {
-  std::printf("Figure 2 - fixed vs variable cost decomposition "
-              "(No-Duplication, %zu chars)\n\n", FigureChars);
-
-  uint64_t Base =
-      runMicrobench(InstrumentationConfig(), FigureChars).RoiCycles;
-
-  Table T;
-  T.addRow({"framework", "interval", "total %", "fixed (framework) %",
-            "variable (inst) %"});
-
-  for (SamplingFramework F :
-       {SamplingFramework::CounterBased, SamplingFramework::BrrBased}) {
-    for (uint64_t Interval : {16ull, 128ull, 1024ull}) {
-      uint64_t FwOnly =
-          runMicrobench(microConfig(F, DuplicationMode::NoDuplication,
-                                    Interval, false),
-                        FigureChars)
-              .RoiCycles;
-      uint64_t Total =
-          runMicrobench(microConfig(F, DuplicationMode::NoDuplication,
-                                    Interval, true),
-                        FigureChars)
-              .RoiCycles;
-      auto Pct = [Base](uint64_t Cycles) {
-        return 100.0 * (static_cast<double>(Cycles) - Base) / Base;
-      };
-      T.addRow({frameworkName(F), std::to_string(Interval),
-                Table::fmt(Pct(Total), 2), Table::fmt(Pct(FwOnly), 2),
-                Table::fmt(Pct(Total) - Pct(FwOnly), 2)});
-    }
-  }
-  T.print();
-  std::printf("\nthe variable component scales ~1/interval for both "
-              "frameworks; the fixed component is the framework artifact "
-              "brr eliminates.\n");
-  return 0;
+int main(int Argc, char **Argv) {
+  return bor::exp::experimentMain("fig02", Argc, Argv);
 }

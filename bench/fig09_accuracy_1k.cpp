@@ -1,22 +1,14 @@
-//===- bench/fig09_accuracy_1k.cpp - Figure 9: accuracy at 2^10 ----------===//
+//===- bench/fig09_accuracy_1k.cpp - Figure 9 wrapper --------------------===//
 //
-// Regenerates Figure 9: method-invocation profile accuracy (overlap
-// percentage vs the full profile) for software-counter, hardware-counter
-// and branch-on-random sampling at interval 1024 across the eight
-// DaCapo-analogue streams.
-//
-// Paper shape: all three techniques land in the 90s; fop/antlr are lower
-// (few samples); jython stands out with brr beating both counters by
-// several points because its period-2 loops resonate with deterministic
-// power-of-two intervals.
+// Thin wrapper running the registered "fig09" experiment (sampling
+// accuracy at interval 2^10). All grid/reporting logic lives in
+// src/exp/ExperimentsAccuracy.cpp; `bor-bench --experiment fig09` is the
+// same thing.
 //
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "exp/Driver.h"
 
-int main() {
-  bor::bench::printAccuracyFigure(
-      "Figure 9 - sampling accuracy at interval 2^10 (percent overlap)",
-      1024);
-  return 0;
+int main(int Argc, char **Argv) {
+  return bor::exp::experimentMain("fig09", Argc, Argv);
 }

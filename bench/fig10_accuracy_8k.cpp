@@ -1,17 +1,14 @@
-//===- bench/fig10_accuracy_8k.cpp - Figure 10: accuracy at 2^13 ---------===//
+//===- bench/fig10_accuracy_8k.cpp - Figure 10 wrapper -------------------===//
 //
-// Regenerates Figure 10: the Figure-9 experiment with 8x fewer samples
-// (interval 8192). Paper shape: same trends as Figure 9 but uniformly
-// lower; the counter techniques' resonance penalty shows on jython and
-// becomes visible on pmd as well.
+// Thin wrapper running the registered "fig10" experiment (sampling
+// accuracy at interval 2^13). All grid/reporting logic lives in
+// src/exp/ExperimentsAccuracy.cpp; `bor-bench --experiment fig10` is the
+// same thing.
 //
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "exp/Driver.h"
 
-int main() {
-  bor::bench::printAccuracyFigure(
-      "Figure 10 - sampling accuracy at interval 2^13 (percent overlap)",
-      8192);
-  return 0;
+int main(int Argc, char **Argv) {
+  return bor::exp::experimentMain("fig10", Argc, Argv);
 }

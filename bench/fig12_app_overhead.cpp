@@ -1,65 +1,14 @@
-//===- bench/fig12_app_overhead.cpp - Figure 12: application overhead ----===//
+//===- bench/fig12_app_overhead.cpp - Figure 12 wrapper ------------------===//
 //
-// Regenerates Figure 12: execution-time overhead of the two sampling
-// frameworks (both using Arnold-Ryder Full-Duplication, sampling period
-// 1024) on the five application analogues, in timing simulation, normalized
-// to an uninstrumented build of the same program.
-//
-// Paper shape: counter-based sampling averages ~5% overhead; the
-// branch-on-random framework averages ~0.64% - almost an order of
-// magnitude less.
+// Thin wrapper running the registered "fig12" experiment (framework
+// overhead on the application analogues). All grid/reporting logic lives
+// in src/exp/ExperimentsTiming.cpp; `bor-bench --experiment fig12` is the
+// same thing.
 //
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "exp/Driver.h"
 
-#include "workloads/AppGen.h"
-
-using namespace bor;
-using namespace bor::bench;
-
-namespace {
-
-uint64_t appRoiCycles(AppConfig C, SamplingFramework F) {
-  C.Instr.Framework = F;
-  C.Instr.Dup = DuplicationMode::FullDuplication;
-  C.Instr.Interval = 1024;
-  AppProgram P = buildApp(C);
-  Pipeline Pipe(P.Prog, PipelineConfig());
-  Pipe.run(1ULL << 40);
-  const auto &Events = Pipe.markerEvents();
-  return Events[1].CommitCycle - Events[0].CommitCycle;
-}
-
-} // namespace
-
-int main() {
-  std::printf("Figure 12 - sampling framework overhead on application "
-              "analogues\n");
-  std::printf("(Full-Duplication, sampling period 1024, timing "
-              "simulation; percent over uninstrumented baseline)\n\n");
-
-  Table T;
-  T.addRow({"benchmark", "baseline cycles", "counter-based %", "brr %"});
-  double CbsSum = 0, BrrSum = 0;
-  std::vector<AppConfig> Apps = dacapoAppAnalogues();
-  for (const AppConfig &App : Apps) {
-    uint64_t Base = appRoiCycles(App, SamplingFramework::None);
-    uint64_t Cbs = appRoiCycles(App, SamplingFramework::CounterBased);
-    uint64_t Brr = appRoiCycles(App, SamplingFramework::BrrBased);
-    double CbsOver = 100.0 * (static_cast<double>(Cbs) - Base) / Base;
-    double BrrOver = 100.0 * (static_cast<double>(Brr) - Base) / Base;
-    CbsSum += CbsOver;
-    BrrSum += BrrOver;
-    T.addRow({App.Name, Table::fmt(Base), Table::fmt(CbsOver, 2),
-              Table::fmt(BrrOver, 2)});
-  }
-  double N = static_cast<double>(Apps.size());
-  T.addRow({"average", "", Table::fmt(CbsSum / N, 2),
-            Table::fmt(BrrSum / N, 2)});
-  T.print();
-  std::printf("\npaper: cbs averages ~4.97%%, brr ~0.64%% on "
-              "weakly-optimized Jikes builds; the reproduction preserves "
-              "the ordering and the multi-x gap.\n");
-  return 0;
+int main(int Argc, char **Argv) {
+  return bor::exp::experimentMain("fig12", Argc, Argv);
 }

@@ -1,85 +1,14 @@
-//===- bench/fig13_micro_overhead.cpp - Figure 13: overhead vs interval --===//
+//===- bench/fig13_micro_overhead.cpp - Figure 13 wrapper ----------------===//
 //
-// Regenerates Figure 13: percent execution-time overhead of the four
-// framework combinations ({counter-based, brr} x {No-Duplication,
-// Full-Duplication}), each with and without the instrumentation bodies, as
-// the sampling interval sweeps 2..1024 on the Section 5.3 microbenchmark.
-//
-// Paper shape: all curves fall with the interval; both brr curves drop far
-// below the counter-based ones for intervals above ~64 (order of
-// magnitude); Full-Duplication lowers both frameworks.
+// Thin wrapper running the registered "fig13" experiment (microbenchmark
+// overhead vs sampling interval, eight framework arms). All grid/reporting
+// logic lives in src/exp/ExperimentsTiming.cpp; `bor-bench --experiment
+// fig13` is the same thing.
 //
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
-
-using namespace bor;
-using namespace bor::bench;
+#include "exp/Driver.h"
 
 int main(int Argc, char **Argv) {
-  bool Csv = Argc > 1 && std::string(Argv[1]) == "--csv";
-  std::printf("Figure 13 - microbenchmark overhead vs sampling interval\n");
-  std::printf("(percent over uninstrumented baseline; %zu characters; "
-              "'+inst' includes the instrumentation bodies)\n\n",
-              FigureChars);
-
-  uint64_t Base =
-      runMicrobench(InstrumentationConfig(), FigureChars).RoiCycles;
-
-  struct Arm {
-    const char *Name;
-    SamplingFramework F;
-    DuplicationMode Dup;
-    bool Body;
-  };
-  const Arm Arms[] = {
-      {"cbs+inst (no-dup)", SamplingFramework::CounterBased,
-       DuplicationMode::NoDuplication, true},
-      {"cbs (no-dup)", SamplingFramework::CounterBased,
-       DuplicationMode::NoDuplication, false},
-      {"cbs+inst (full-dup)", SamplingFramework::CounterBased,
-       DuplicationMode::FullDuplication, true},
-      {"cbs (full-dup)", SamplingFramework::CounterBased,
-       DuplicationMode::FullDuplication, false},
-      {"brr+inst (no-dup)", SamplingFramework::BrrBased,
-       DuplicationMode::NoDuplication, true},
-      {"brr (no-dup)", SamplingFramework::BrrBased,
-       DuplicationMode::NoDuplication, false},
-      {"brr+inst (full-dup)", SamplingFramework::BrrBased,
-       DuplicationMode::FullDuplication, true},
-      {"brr (full-dup)", SamplingFramework::BrrBased,
-       DuplicationMode::FullDuplication, false},
-  };
-
-  Table T;
-  {
-    std::vector<std::string> Header = {"series"};
-    for (uint64_t Interval : figureIntervals())
-      Header.push_back(std::to_string(Interval));
-    T.addRow(Header);
-  }
-
-  std::string CsvOut = "series,interval,overhead_pct\n";
-  for (const Arm &A : Arms) {
-    std::vector<std::string> Row = {A.Name};
-    for (uint64_t Interval : figureIntervals()) {
-      MicroRun Run = runMicrobench(microConfig(A.F, A.Dup, Interval, A.Body),
-                                   FigureChars);
-      double Over = 100.0 *
-                    (static_cast<double>(Run.RoiCycles) - Base) /
-                    static_cast<double>(Base);
-      Row.push_back(Table::fmt(Over, 1));
-      CsvOut += std::string(A.Name) + "," + std::to_string(Interval) +
-                "," + Table::fmt(Over, 3) + "\n";
-    }
-    T.addRow(Row);
-  }
-  if (Csv)
-    std::printf("%s", CsvOut.c_str());
-  else
-    T.print();
-  std::printf("\nbaseline: %llu cycles (%.2f cycles/char)\n",
-              static_cast<unsigned long long>(Base),
-              static_cast<double>(Base) / FigureChars);
-  return 0;
+  return bor::exp::experimentMain("fig13", Argc, Argv);
 }

@@ -1,85 +1,14 @@
-//===- bench/fig14_cycles_per_site.cpp - Figure 14: cost per site --------===//
+//===- bench/fig14_cycles_per_site.cpp - Figure 14 wrapper ---------------===//
 //
-// Regenerates Figure 14: average added cycles per dynamically-encountered
-// sampling site (net cycles over baseline divided by dynamic site visits),
-// for the Full-Duplication frameworks with and without instrumentation,
-// across the interval sweep. Also prints the paper's reference point: the
-// per-site cost of full (unsampled) instrumentation.
-//
-// Paper shape: brr's framework cost falls fast with the interval (50%
-// costs ~3.19 cycles/site, dominated by half a front-end flush plus the
-// two extra instructions); the counter framework's floor is far higher
-// because every site visit pays the counter work regardless of interval.
-// Above interval 64, brr is 10-20x cheaper per site.
+// Thin wrapper running the registered "fig14" experiment (average added
+// cycles per sampling site, plus the full-instrumentation reference). All
+// grid/reporting logic lives in src/exp/ExperimentsTiming.cpp; `bor-bench
+// --experiment fig14` is the same thing.
 //
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
-
-using namespace bor;
-using namespace bor::bench;
+#include "exp/Driver.h"
 
 int main(int Argc, char **Argv) {
-  bool Csv = Argc > 1 && std::string(Argv[1]) == "--csv";
-  std::printf("Figure 14 - average added cycles per sampling site "
-              "(Full-Duplication)\n\n");
-
-  MicroRun Baseline = runMicrobench(InstrumentationConfig(), FigureChars);
-  uint64_t Visits = Baseline.DynamicSiteVisits;
-
-  struct Arm {
-    const char *Name;
-    SamplingFramework F;
-    bool Body;
-  };
-  const Arm Arms[] = {
-      {"cbs+inst", SamplingFramework::CounterBased, true},
-      {"cbs", SamplingFramework::CounterBased, false},
-      {"brr+inst", SamplingFramework::BrrBased, true},
-      {"brr", SamplingFramework::BrrBased, false},
-  };
-
-  Table T;
-  {
-    std::vector<std::string> Header = {"series"};
-    for (uint64_t Interval : figureIntervals())
-      Header.push_back(std::to_string(Interval));
-    T.addRow(Header);
-  }
-
-  std::string CsvOut = "series,interval,cycles_per_site\n";
-  for (const Arm &A : Arms) {
-    std::vector<std::string> Row = {A.Name};
-    for (uint64_t Interval : figureIntervals()) {
-      MicroRun Run = runMicrobench(
-          microConfig(A.F, DuplicationMode::FullDuplication, Interval,
-                      A.Body),
-          FigureChars);
-      double PerSite = (static_cast<double>(Run.RoiCycles) -
-                        static_cast<double>(Baseline.RoiCycles)) /
-                       static_cast<double>(Visits);
-      Row.push_back(Table::fmt(PerSite, 2));
-      CsvOut += std::string(A.Name) + "," + std::to_string(Interval) +
-                "," + Table::fmt(PerSite, 4) + "\n";
-    }
-    T.addRow(Row);
-  }
-  if (Csv)
-    std::printf("%s", CsvOut.c_str());
-  else
-    T.print();
-
-  // Reference: full instrumentation without any sampling (paper: 4.3
-  // cycles added per site).
-  MicroRun Full = runMicrobench(
-      microConfig(SamplingFramework::Full, DuplicationMode::NoDuplication,
-                  1024, true),
-      FigureChars);
-  double FullPerSite = (static_cast<double>(Full.RoiCycles) -
-                        static_cast<double>(Baseline.RoiCycles)) /
-                       static_cast<double>(Visits);
-  std::printf("\nreference: full-instrumentation adds %.2f cycles/site "
-              "(paper: 4.3)\n",
-              FullPerSite);
-  return 0;
+  return bor::exp::experimentMain("fig14", Argc, Argv);
 }

@@ -32,9 +32,7 @@ uint64_t roiCycles(KernelKind Kind, SamplingFramework F) {
   C.Instr.Interval = 1024;
   KernelProgram K = buildKernel(C);
   Pipeline Pipe(K.Prog, PipelineConfig());
-  Pipe.run(1ULL << 40);
-  const auto &Events = Pipe.markerEvents();
-  return Events[1].CommitCycle - Events[0].CommitCycle;
+  return Pipe.run(1ULL << 40).roiCycles();
 }
 
 } // namespace

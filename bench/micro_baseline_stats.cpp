@@ -8,10 +8,13 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "exp/Harness.h"
+#include "support/Table.h"
+
+#include <cstdio>
 
 using namespace bor;
-using namespace bor::bench;
+using namespace bor::exp;
 
 int main() {
   std::printf("Section 5.3 - microbenchmark baseline characterization "
@@ -21,7 +24,7 @@ int main() {
   C.Text.NumChars = FigureChars;
   MicrobenchProgram MB = buildMicrobench(C);
   Pipeline Pipe(MB.Prog, PipelineConfig());
-  PipelineStats S = Pipe.run(1ULL << 40);
+  PipelineStats S = Pipe.run(1ULL << 40).Stats;
 
   double PredAcc =
       100.0 * (1.0 - static_cast<double>(Pipe.predictor().stats().Mispredictions) /

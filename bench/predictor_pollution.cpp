@@ -15,12 +15,14 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "exp/Harness.h"
+#include "support/Table.h"
 
+#include <cstdio>
 #include <unordered_set>
 
 using namespace bor;
-using namespace bor::bench;
+using namespace bor::exp;
 
 namespace {
 
@@ -49,9 +51,7 @@ MispredictSplit measure(const InstrumentationConfig &Instr,
     else
       ++Split.Program;
   });
-  Pipe.run(1ULL << 40);
-  const auto &Events = Pipe.markerEvents();
-  Split.RoiCycles = Events[1].CommitCycle - Events[0].CommitCycle;
+  Split.RoiCycles = Pipe.run(1ULL << 40).roiCycles();
   return Split;
 }
 

@@ -1,143 +1,14 @@
-//===- bench/sens_lfsr_config.cpp - Section 4.2 sensitivity analysis -----===//
+//===- bench/sens_lfsr_config.cpp - Section 4.2 sensitivity wrapper ------===//
 //
-// Regenerates the Section 4.2 sensitivity study:
-//
-//  1. Profile accuracy across the paper's four 32-bit LFSR tap selections
-//     (two four-tap, two six-tap), compared against the spread induced by
-//     seed choice alone. Paper result: the variation between tap sets is
-//     below the seed-to-seed noise, so the tap selection can be chosen for
-//     implementation convenience.
-//
-//  2. The AND-bit-selection ablation of Section 3.3: contiguous vs spaced
-//     AND inputs. The marginal taken-rate is identical, but adjacent bits
-//     make the conditional probability of back-to-back taken 25% branches
-//     ~50%; spaced bits restore near-independence. We also show that even
-//     the correlated selection does not measurably hurt this profiling
-//     workload (the paper's "data not shown" remark).
+// Thin wrapper running the registered "sens_lfsr" experiment (LFSR
+// tap/seed sensitivity and the AND-bit-selection correlation ablation).
+// All grid/reporting logic lives in src/exp/ExperimentsAccuracy.cpp;
+// `bor-bench --experiment sens_lfsr` is the same thing.
 //
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
+#include "exp/Driver.h"
 
-#include "lfsr/TapCatalog.h"
-#include "support/Stats.h"
-
-using namespace bor;
-using namespace bor::bench;
-
-namespace {
-
-/// Accuracy of brr sampling on the jython analogue with a caller-supplied
-/// unit configuration.
-double brrAccuracy(const BenchmarkModel &Model, uint64_t Interval,
-                   const BrrUnitConfig &Cfg) {
-  MethodProfile Full(Model.NumMethods);
-  MethodProfile Sampled(Model.NumMethods);
-  BrrPolicy Policy(Interval, Cfg);
-  InvocationStream Stream(Model);
-  while (!Stream.done()) {
-    uint32_t Id = Stream.next();
-    Full.record(Id);
-    if (Policy.sample())
-      Sampled.record(Id);
-  }
-  return overlapAccuracy(Full, Sampled);
-}
-
-} // namespace
-
-int main() {
-  const uint64_t Interval = 1024;
-  BenchmarkModel Jython = dacapoAnalogues()[5];
-  // A shorter stream keeps the seed sweep affordable.
-  Jython.Invocations /= 4;
-
-  std::printf("Section 4.2 - LFSR configuration sensitivity "
-              "(jython analogue, interval %llu)\n\n",
-              static_cast<unsigned long long>(Interval));
-
-  // --- Tap-set sweep (fixed seed) vs seed sweep (fixed taps). ----------
-  Table Taps;
-  Taps.addRow({"tap selection", "polynomial taps", "accuracy %"});
-  RunningStat TapSpread;
-  for (const TapSet &T : paperSensitivityTapSets()) {
-    BrrUnitConfig Cfg;
-    Cfg.LfsrWidth = 32;
-    Cfg.TapMask = T.makeLfsr().tapMask();
-    Cfg.Seed = 0xace1;
-    double Acc = brrAccuracy(Jython, Interval, Cfg);
-    TapSpread.add(Acc);
-    std::string Poly;
-    for (unsigned P : T.PolyTaps)
-      Poly += (Poly.empty() ? "" : ",") + std::to_string(P);
-    Taps.addRow({T.Name, Poly, Table::fmt(Acc, 3)});
-  }
-  Taps.print();
-  std::printf("tap-set spread (max-min): %.3f points\n\n",
-              TapSpread.max() - TapSpread.min());
-
-  Table Seeds;
-  Seeds.addRow({"seed", "accuracy %"});
-  RunningStat SeedSpread;
-  for (uint64_t Seed : {0xace1ull, 0xbeefull, 0x1234ull, 0x777ull,
-                        0xfedcull, 0x2c92ull}) {
-    BrrUnitConfig Cfg;
-    Cfg.LfsrWidth = 32;
-    Cfg.TapMask = paperSensitivityTapSets()[0].makeLfsr().tapMask();
-    Cfg.Seed = Seed;
-    double Acc = brrAccuracy(Jython, Interval, Cfg);
-    SeedSpread.add(Acc);
-    char Buf[32];
-    std::snprintf(Buf, sizeof(Buf), "0x%llx",
-                  static_cast<unsigned long long>(Seed));
-    Seeds.addRow({Buf, Table::fmt(Acc, 3)});
-  }
-  Seeds.print();
-  std::printf("seed spread (max-min): %.3f points\n", SeedSpread.max() -
-                                                           SeedSpread.min());
-  std::printf("paper claim: tap-set variation is within seed-to-seed "
-              "noise -> %s\n\n",
-              TapSpread.max() - TapSpread.min() <=
-                      SeedSpread.max() - SeedSpread.min() + 0.5
-                  ? "reproduced"
-                  : "NOT reproduced");
-
-  // --- AND-bit selection: correlation ablation. --------------------------
-  std::printf("Section 3.3 - AND-input selection (freq=25%%)\n\n");
-  Table Corr;
-  Corr.addRow({"policy", "marginal taken %", "P(taken | prev taken) %",
-               "accuracy %"});
-  for (BitSelectPolicy Policy :
-       {BitSelectPolicy::Contiguous, BitSelectPolicy::Spaced}) {
-    BrrUnitConfig Cfg;
-    Cfg.Policy = Policy;
-    BrrUnit Unit(Cfg);
-    FreqCode Quarter(1);
-    uint64_t Taken = 0, Pairs = 0, PairTaken = 0;
-    bool Prev = Unit.evaluate(Quarter);
-    const uint64_t N = 4000000;
-    for (uint64_t I = 0; I != N; ++I) {
-      bool Cur = Unit.evaluate(Quarter);
-      Taken += Cur;
-      if (Prev) {
-        ++Pairs;
-        PairTaken += Cur;
-      }
-      Prev = Cur;
-    }
-
-    BrrUnitConfig AccCfg;
-    AccCfg.Policy = Policy;
-    double Acc = brrAccuracy(Jython, Interval, AccCfg);
-
-    Corr.addRow({bitSelectPolicyName(Policy),
-                 Table::fmt(100.0 * Taken / N, 2),
-                 Table::fmt(100.0 * PairTaken / Pairs, 2),
-                 Table::fmt(Acc, 3)});
-  }
-  Corr.print();
-  std::printf("paper: adjacent bits give ~50%% conditional take; spacing "
-              "restores independence; profiling accuracy is robust to "
-              "either.\n");
-  return 0;
+int main(int Argc, char **Argv) {
+  return bor::exp::experimentMain("sens_lfsr", Argc, Argv);
 }

@@ -47,18 +47,17 @@ AppConfig baseApp(uint64_t Seed) {
   return C;
 }
 
-struct RunResult {
+struct JitRunResult {
   uint64_t RoiCycles = 0;
   std::vector<uint64_t> Profile;
 };
 
-RunResult run(const AppConfig &C) {
+JitRunResult run(const AppConfig &C) {
   AppProgram App = buildApp(C);
   Pipeline Pipe(App.Prog, PipelineConfig());
-  Pipe.run(1ULL << 40);
-  const auto &Events = Pipe.markerEvents();
-  RunResult R;
-  R.RoiCycles = Events[1].CommitCycle - Events[0].CommitCycle;
+  bor::RunResult Timed = Pipe.run(1ULL << 40);
+  JitRunResult R;
+  R.RoiCycles = Timed.roiCycles();
   for (uint32_t M = 0; M != App.NumMethods; ++M)
     R.Profile.push_back(
         Pipe.machine().memory().readU64(App.ProfileBase + 8 * M));
@@ -80,7 +79,7 @@ std::vector<uint32_t> ranking(const std::vector<uint64_t> &Counts) {
 int main() {
   // --- Phase 1: startup under the baseline compiler. ---------------------
   AppConfig Startup = baseApp(/*Seed=*/0x3a7);
-  RunResult P1 = run(Startup);
+  JitRunResult P1 = run(Startup);
   std::vector<uint32_t> Rank = ranking(P1.Profile);
   std::vector<uint32_t> HotSet(Rank.begin(), Rank.begin() + 6);
   std::sort(HotSet.begin(), HotSet.end());
@@ -101,14 +100,14 @@ int main() {
     return C;
   };
 
-  RunResult Blind = run(Recompiled(SamplingFramework::None));
-  RunResult Cbs = run(Recompiled(SamplingFramework::CounterBased));
-  RunResult Brr = run(Recompiled(SamplingFramework::BrrBased));
+  JitRunResult Blind = run(Recompiled(SamplingFramework::None));
+  JitRunResult Cbs = run(Recompiled(SamplingFramework::CounterBased));
+  JitRunResult Brr = run(Recompiled(SamplingFramework::BrrBased));
 
   Table T;
   T.addRow({"phase-2 policy for optimized code", "cycles",
             "speedup vs startup", "profiling cost vs blind %"});
-  auto Row = [&](const char *Name, const RunResult &R) {
+  auto Row = [&](const char *Name, const JitRunResult &R) {
     T.addRow({Name, Table::fmt(R.RoiCycles),
               Table::fmt(static_cast<double>(P1.RoiCycles) /
                              static_cast<double>(R.RoiCycles),
@@ -132,8 +131,8 @@ int main() {
     C.Seed = 0x77b2; // the program changed its behaviour
     return C;
   };
-  RunResult BlindShift = run(Shifted(SamplingFramework::None));
-  RunResult BrrShift = run(Shifted(SamplingFramework::BrrBased));
+  JitRunResult BlindShift = run(Shifted(SamplingFramework::None));
+  JitRunResult BrrShift = run(Shifted(SamplingFramework::BrrBased));
 
   uint64_t BlindSeen = 0, BrrSeen = 0;
   for (uint32_t M : HotSet) {

@@ -126,10 +126,9 @@ struct GilResult {
 GilResult run(GilStrategy Strategy) {
   GilProgram GP = buildInterpreter(Strategy);
   Pipeline Pipe(GP.Prog, PipelineConfig());
-  Pipe.run(1ULL << 40);
-  const auto &Events = Pipe.markerEvents();
+  RunResult Timed = Pipe.run(1ULL << 40);
   GilResult R;
-  R.RoiCycles = Events[1].CommitCycle - Events[0].CommitCycle;
+  R.RoiCycles = Timed.roiCycles();
   R.Releases = Pipe.machine().memory().readU64(GP.ReleaseCounter);
   return R;
 }

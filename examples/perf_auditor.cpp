@@ -99,10 +99,9 @@ struct Result {
 Result run(Variant V) {
   Program P = build(V);
   Pipeline Pipe(P, PipelineConfig());
-  Pipe.run(1ULL << 40);
-  const auto &Events = Pipe.markerEvents();
+  RunResult Timed = Pipe.run(1ULL << 40);
   Result R;
-  R.RoiCycles = Events[1].CommitCycle - Events[0].CommitCycle;
+  R.RoiCycles = Timed.roiCycles();
   R.Audits = Pipe.machine().memory().readU64(P.symbol("audits"));
   return R;
 }

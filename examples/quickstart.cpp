@@ -75,7 +75,7 @@ int main() {
 
   // --- 4. Timed run on the Section 5.1 machine. ---------------------------
   Pipeline Pipe(P, PipelineConfig());
-  PipelineStats TS = Pipe.run(1ULL << 40);
+  PipelineStats TS = Pipe.run(1ULL << 40).Stats;
   std::printf("timing: %llu cycles, IPC %.2f, %llu front-end flushes from "
               "taken brrs\n",
               static_cast<unsigned long long>(TS.Cycles), TS.ipc(),

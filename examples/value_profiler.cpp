@@ -93,9 +93,7 @@ uint64_t loopCycles(int Mode /*0=no inst, 1=full, 2=brr-sampled*/) {
 
   Program P = B.finish();
   Pipeline Pipe(P, PipelineConfig());
-  Pipe.run(1ULL << 40);
-  const auto &E = Pipe.markerEvents();
-  return E[1].CommitCycle - E[0].CommitCycle;
+  return Pipe.run(1ULL << 40).roiCycles();
 }
 
 } // namespace

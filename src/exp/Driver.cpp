@@ -1,0 +1,184 @@
+//===- exp/Driver.cpp - Command-line driver for registered experiments ---===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/Driver.h"
+
+#include "exp/Experiments.h"
+#include "exp/Runner.h"
+#include "exp/ThreadPool.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace bor {
+namespace exp {
+
+namespace {
+
+struct DriverOptions {
+  bool List = false;
+  bool All = false;
+  std::vector<std::string> Experiments;
+  unsigned Threads = ThreadPool::defaultThreads();
+  uint64_t Scale = 1;
+  std::string JsonPath; ///< empty = default BENCH_<name>.json
+  bool Json = true;
+  bool TableOut = true;
+};
+
+/// Accepts both "--flag value" and "--flag=value". Returns nullptr when
+/// \p Arg does not start with \p Flag; advances \p I past a detached
+/// value.
+const char *flagValue(const char *Flag, char **Argv, int Argc, int &I) {
+  const char *A = Argv[I];
+  size_t Len = std::strlen(Flag);
+  if (std::strncmp(A, Flag, Len) != 0)
+    return nullptr;
+  if (A[Len] == '=')
+    return A + Len + 1;
+  if (A[Len] == '\0' && I + 1 < Argc)
+    return Argv[++I];
+  return nullptr;
+}
+
+bool parseCommon(const char *A, char **Argv, int Argc, int &I,
+                 DriverOptions &Opt) {
+  if (const char *V = flagValue("--threads", Argv, Argc, I)) {
+    Opt.Threads = static_cast<unsigned>(std::strtoul(V, nullptr, 0));
+    return true;
+  }
+  if (const char *V = flagValue("--scale", Argv, Argc, I)) {
+    Opt.Scale = std::strtoull(V, nullptr, 0);
+    if (Opt.Scale == 0)
+      Opt.Scale = 1;
+    return true;
+  }
+  if (const char *V = flagValue("--json", Argv, Argc, I)) {
+    Opt.JsonPath = V;
+    return true;
+  }
+  if (std::strcmp(A, "--no-json") == 0) {
+    Opt.Json = false;
+    return true;
+  }
+  if (std::strcmp(A, "--no-table") == 0) {
+    Opt.TableOut = false;
+    return true;
+  }
+  return false;
+}
+
+/// Runs one registered experiment with the configured sinks. Returns 0 on
+/// success.
+int runOne(const std::string &Name, const DriverOptions &Opt) {
+  ExperimentRegistry &Registry = ExperimentRegistry::instance();
+  if (!Registry.contains(Name)) {
+    std::fprintf(stderr, "unknown experiment '%s' (try --list)\n",
+                 Name.c_str());
+    return 2;
+  }
+
+  ExperimentOptions ExpOpt;
+  ExpOpt.Scale = Opt.Scale;
+  ExperimentSpec Spec = Registry.create(Name, ExpOpt);
+
+  std::vector<ResultSink *> Sinks;
+  TableSink Table(stdout);
+  if (Opt.TableOut)
+    Sinks.push_back(&Table);
+  std::unique_ptr<JsonLinesSink> Json;
+  if (Opt.Json) {
+    std::string Path =
+        Opt.JsonPath.empty() ? "BENCH_" + Name + ".json" : Opt.JsonPath;
+    Json = JsonLinesSink::open(Path);
+    if (!Json)
+      return 1;
+    Sinks.push_back(Json.get());
+  }
+
+  runExperiment(Spec, Opt.Threads, Sinks);
+  return 0;
+}
+
+} // namespace
+
+int benchMain(int Argc, char **Argv) {
+  registerAllExperiments();
+  DriverOptions Opt;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strcmp(A, "--list") == 0) {
+      Opt.List = true;
+    } else if (std::strcmp(A, "--all") == 0) {
+      Opt.All = true;
+    } else if (const char *V = flagValue("--experiment", Argv, Argc, I)) {
+      Opt.Experiments.push_back(V);
+    } else if (!parseCommon(A, Argv, Argc, I, Opt)) {
+      std::fprintf(stderr,
+                   "usage: bor-bench --list\n"
+                   "       bor-bench --experiment NAME [--threads N] "
+                   "[--json PATH | --no-json]\n"
+                   "                 [--no-table] [--scale N]\n"
+                   "       bor-bench --all [same flags]\n");
+      return 2;
+    }
+  }
+
+  ExperimentRegistry &Registry = ExperimentRegistry::instance();
+  if (Opt.List) {
+    for (const auto &[Name, Description] : Registry.list())
+      std::printf("%-12s %s\n", Name.c_str(), Description.c_str());
+    return 0;
+  }
+  if (Opt.All) {
+    for (const auto &[Name, Description] : Registry.list())
+      Opt.Experiments.push_back(Name);
+  }
+  if (Opt.Experiments.empty()) {
+    std::fprintf(stderr,
+                 "bor-bench: nothing to do (--list, --experiment NAME or "
+                 "--all)\n");
+    return 2;
+  }
+  // An explicit --json path only makes sense for a single experiment.
+  if (!Opt.JsonPath.empty() && Opt.Experiments.size() > 1) {
+    std::fprintf(stderr,
+                 "bor-bench: --json PATH with multiple experiments would "
+                 "overwrite itself; drop it to get BENCH_<name>.json\n");
+    return 2;
+  }
+
+  for (size_t I = 0; I != Opt.Experiments.size(); ++I) {
+    if (I)
+      std::printf("\n");
+    if (int RC = runOne(Opt.Experiments[I], Opt))
+      return RC;
+  }
+  return 0;
+}
+
+int experimentMain(const char *Name, int Argc, char **Argv) {
+  registerAllExperiments();
+  DriverOptions Opt;
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (!parseCommon(A, Argv, Argc, I, Opt)) {
+      std::fprintf(stderr,
+                   "usage: %s [--threads N] [--json PATH | --no-json] "
+                   "[--no-table] [--scale N]\n",
+                   Argv[0]);
+      return 2;
+    }
+  }
+  return runOne(Name, Opt);
+}
+
+} // namespace exp
+} // namespace bor

@@ -1,0 +1,40 @@
+//===- exp/Driver.h - Command-line driver for registered experiments -----===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared command-line front end of the experiment runner. bor-bench
+/// is a thin main() around benchMain(); each per-figure binary is a thin
+/// main() around experimentMain("<name>", ...). Both accept the same
+/// per-run flags:
+///
+///   --threads N   worker threads (default: hardware concurrency)
+///   --json PATH   JSON-lines output path (default BENCH_<name>.json)
+///   --no-json     suppress the JSON-lines sink
+///   --no-table    suppress the human-readable table
+///   --scale N     divide workload sizes by N (quick runs, smoke tests)
+///
+/// and bor-bench additionally understands --list, --experiment NAME and
+/// --all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_EXP_DRIVER_H
+#define BOR_EXP_DRIVER_H
+
+namespace bor {
+namespace exp {
+
+/// Entry point of the bor-bench tool. Returns the process exit code.
+int benchMain(int Argc, char **Argv);
+
+/// Entry point of a single-experiment wrapper binary: runs \p Name with
+/// the per-run flags from the command line. Returns the process exit code.
+int experimentMain(const char *Name, int Argc, char **Argv);
+
+} // namespace exp
+} // namespace bor
+
+#endif // BOR_EXP_DRIVER_H

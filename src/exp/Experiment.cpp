@@ -1,0 +1,46 @@
+//===- exp/Experiment.cpp - The process-wide experiment registry ---------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/Experiment.h"
+
+#include <cassert>
+
+namespace bor {
+namespace exp {
+
+ExperimentRegistry &ExperimentRegistry::instance() {
+  static ExperimentRegistry R;
+  return R;
+}
+
+void ExperimentRegistry::add(std::string Name, std::string Description,
+                             Factory F) {
+  Entries[std::move(Name)] = Entry{std::move(Description), std::move(F)};
+}
+
+bool ExperimentRegistry::contains(const std::string &Name) const {
+  return Entries.count(Name) != 0;
+}
+
+ExperimentSpec ExperimentRegistry::create(
+    const std::string &Name, const ExperimentOptions &Options) const {
+  auto It = Entries.find(Name);
+  assert(It != Entries.end() && "unknown experiment");
+  ExperimentSpec Spec = It->second.Make(Options);
+  Spec.Name = Name;
+  return Spec;
+}
+
+std::vector<std::pair<std::string, std::string>>
+ExperimentRegistry::list() const {
+  std::vector<std::pair<std::string, std::string>> Out;
+  for (const auto &KV : Entries)
+    Out.emplace_back(KV.first, KV.second.Description);
+  return Out;
+}
+
+} // namespace exp
+} // namespace bor

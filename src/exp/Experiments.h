@@ -1,0 +1,29 @@
+//===- exp/Experiments.h - The paper's registered experiments ------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registration entry point for the paper's evaluation experiments
+/// (Figures 2/9/10/12/13/14, the design ablation and the Section 4.2
+/// sensitivity sweep). Call registerAllExperiments() once at startup --
+/// bor-bench and the thin per-figure wrapper binaries both do -- then
+/// drive any experiment through the ExperimentRegistry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_EXP_EXPERIMENTS_H
+#define BOR_EXP_EXPERIMENTS_H
+
+namespace bor {
+namespace exp {
+
+/// Registers every paper experiment with ExperimentRegistry::instance().
+/// Idempotent.
+void registerAllExperiments();
+
+} // namespace exp
+} // namespace bor
+
+#endif // BOR_EXP_EXPERIMENTS_H

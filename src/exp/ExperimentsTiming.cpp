@@ -1,0 +1,492 @@
+//===- exp/ExperimentsTiming.cpp - Timing-simulation experiments ---------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registered experiments whose cells run the cycle-level timing model:
+/// the Figure 2 cost decomposition, the Figure 12 application overheads,
+/// the Figure 13/14 interval sweeps, and the Section 3.3 design ablation.
+/// Each cell builds its own program and Pipeline, so cells parallelize
+/// freely; shared baselines are measured once in the serial Setup stage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exp/Experiment.h"
+#include "exp/Experiments.h"
+#include "exp/Harness.h"
+#include "workloads/AppGen.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace bor {
+namespace exp {
+
+void registerAccuracyExperiments(); // ExperimentsAccuracy.cpp
+
+namespace {
+
+size_t scaledChars(const ExperimentOptions &O) {
+  size_t Chars = FigureChars / O.Scale;
+  return Chars < 2000 ? 2000 : Chars;
+}
+
+double overheadPct(uint64_t Cycles, uint64_t Base) {
+  return 100.0 * (static_cast<double>(Cycles) - static_cast<double>(Base)) /
+         static_cast<double>(Base);
+}
+
+/// Appends the per-cell pipeline metrics the JSON trajectory captures for
+/// every timed run: total cycles, IPC, and the flush-cycle decomposition.
+void addPipelineMetrics(RunRecord &R, const MicroRun &Run) {
+  R.metric("roi_cycles", Run.RoiCycles);
+  R.metric("cycles", Run.Stats.Cycles);
+  R.metric("ipc", Run.Stats.ipc(), 2);
+  R.metric("frontend_flush_cycles", Run.Stats.FrontendFlushCycles);
+  R.metric("backend_flush_cycles", Run.Stats.BackendFlushCycles);
+  R.metric("icache_stall_cycles", Run.Stats.FetchIcacheStallCycles);
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 13: overhead vs sampling interval, eight framework arms.
+//===----------------------------------------------------------------------===//
+
+struct MicroArm {
+  const char *Name;
+  SamplingFramework F;
+  DuplicationMode Dup;
+  bool Body;
+};
+
+constexpr MicroArm Fig13Arms[] = {
+    {"cbs+inst (no-dup)", SamplingFramework::CounterBased,
+     DuplicationMode::NoDuplication, true},
+    {"cbs (no-dup)", SamplingFramework::CounterBased,
+     DuplicationMode::NoDuplication, false},
+    {"cbs+inst (full-dup)", SamplingFramework::CounterBased,
+     DuplicationMode::FullDuplication, true},
+    {"cbs (full-dup)", SamplingFramework::CounterBased,
+     DuplicationMode::FullDuplication, false},
+    {"brr+inst (no-dup)", SamplingFramework::BrrBased,
+     DuplicationMode::NoDuplication, true},
+    {"brr (no-dup)", SamplingFramework::BrrBased,
+     DuplicationMode::NoDuplication, false},
+    {"brr+inst (full-dup)", SamplingFramework::BrrBased,
+     DuplicationMode::FullDuplication, true},
+    {"brr (full-dup)", SamplingFramework::BrrBased,
+     DuplicationMode::FullDuplication, false},
+};
+
+ExperimentSpec makeFig13(const ExperimentOptions &O) {
+  const size_t Chars = scaledChars(O);
+  ExperimentSpec S;
+  char Title[256];
+  std::snprintf(Title, sizeof(Title),
+                "Figure 13 - microbenchmark overhead vs sampling interval\n"
+                "(percent over uninstrumented baseline; %zu characters; "
+                "'+inst' includes the instrumentation bodies)",
+                Chars);
+  S.Title = Title;
+  S.Notes = "paper shape: all curves fall with the interval; both brr "
+            "curves drop an order of\nmagnitude below the counter-based "
+            "ones above ~64; Full-Duplication lowers both.";
+
+  auto Base = std::make_shared<uint64_t>(0);
+  S.Setup = [Base, Chars] {
+    *Base = runMicrobench(InstrumentationConfig(), Chars).RoiCycles;
+  };
+
+  std::vector<uint64_t> Intervals = figureIntervals();
+  for (const MicroArm &A : Fig13Arms)
+    for (uint64_t Interval : Intervals)
+      S.Cells.push_back(
+          {{"series", A.Name}, {"interval", std::to_string(Interval)}});
+
+  size_t NumIntervals = Intervals.size();
+  S.Run = [Base, Chars, Intervals, NumIntervals](const ParamSet &,
+                                                 size_t Index) {
+    const MicroArm &A = Fig13Arms[Index / NumIntervals];
+    uint64_t Interval = Intervals[Index % NumIntervals];
+    MicroRun Run =
+        runMicrobench(microConfig(A.F, A.Dup, Interval, A.Body), Chars);
+    RunRecord R;
+    R.param("series", A.Name);
+    R.param("interval", std::to_string(Interval));
+    R.metric("overhead_pct", overheadPct(Run.RoiCycles, *Base), 1);
+    addPipelineMetrics(R, Run);
+    return R;
+  };
+
+  S.Summarize = [Base, Chars](const std::vector<RunRecord> &) {
+    RunRecord Baseline;
+    Baseline.param("series", "baseline (uninstrumented)");
+    Baseline.metric("roi_cycles", *Base);
+    Baseline.metric("cycles_per_char",
+                    static_cast<double>(*Base) / static_cast<double>(Chars),
+                    2);
+    return std::vector<RunRecord>{Baseline};
+  };
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 14: added cycles per dynamically-encountered sampling site.
+//===----------------------------------------------------------------------===//
+
+struct Fig14Arm {
+  const char *Name;
+  SamplingFramework F;
+  DuplicationMode Dup;
+  bool Body;
+  uint64_t FixedInterval; ///< 0 = sweep the figure intervals.
+};
+
+constexpr Fig14Arm Fig14Arms[] = {
+    {"cbs+inst", SamplingFramework::CounterBased,
+     DuplicationMode::FullDuplication, true, 0},
+    {"cbs", SamplingFramework::CounterBased,
+     DuplicationMode::FullDuplication, false, 0},
+    {"brr+inst", SamplingFramework::BrrBased,
+     DuplicationMode::FullDuplication, true, 0},
+    {"brr", SamplingFramework::BrrBased, DuplicationMode::FullDuplication,
+     false, 0},
+    // The paper's reference point: full (unsampled) instrumentation.
+    {"full-inst (reference)", SamplingFramework::Full,
+     DuplicationMode::NoDuplication, true, 1024},
+};
+
+ExperimentSpec makeFig14(const ExperimentOptions &O) {
+  const size_t Chars = scaledChars(O);
+  ExperimentSpec S;
+  S.Title = "Figure 14 - average added cycles per sampling site "
+            "(Full-Duplication)";
+  S.Notes = "paper shape: brr's per-site cost falls fast with the "
+            "interval (50% costs ~3.19\ncycles/site); the counter "
+            "framework's floor is far higher; above interval 64 brr\nis "
+            "10-20x cheaper per site. Reference: full instrumentation "
+            "adds ~4.3 cycles/site.";
+
+  auto Baseline = std::make_shared<MicroRun>();
+  S.Setup = [Baseline, Chars] {
+    *Baseline = runMicrobench(InstrumentationConfig(), Chars);
+  };
+
+  struct Def {
+    const Fig14Arm *Arm;
+    uint64_t Interval;
+  };
+  auto Defs = std::make_shared<std::vector<Def>>();
+  for (const Fig14Arm &A : Fig14Arms) {
+    if (A.FixedInterval) {
+      Defs->push_back({&A, A.FixedInterval});
+      continue;
+    }
+    for (uint64_t Interval : figureIntervals())
+      Defs->push_back({&A, Interval});
+  }
+  for (const Def &D : *Defs)
+    S.Cells.push_back({{"series", D.Arm->Name},
+                       {"interval", std::to_string(D.Interval)}});
+
+  S.Run = [Baseline, Chars, Defs](const ParamSet &, size_t Index) {
+    const Def &D = (*Defs)[Index];
+    const Fig14Arm &A = *D.Arm;
+    MicroRun Run =
+        runMicrobench(microConfig(A.F, A.Dup, D.Interval, A.Body), Chars);
+    double PerSite = (static_cast<double>(Run.RoiCycles) -
+                      static_cast<double>(Baseline->RoiCycles)) /
+                     static_cast<double>(Baseline->DynamicSiteVisits);
+    RunRecord R;
+    R.param("series", A.Name);
+    R.param("interval", std::to_string(D.Interval));
+    R.metric("cycles_per_site", PerSite, 2);
+    addPipelineMetrics(R, Run);
+    return R;
+  };
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 2: fixed (framework) vs variable (instrumentation) cost.
+//===----------------------------------------------------------------------===//
+
+ExperimentSpec makeFig02(const ExperimentOptions &O) {
+  const size_t Chars = scaledChars(O);
+  ExperimentSpec S;
+  char Title[160];
+  std::snprintf(Title, sizeof(Title),
+                "Figure 2 - fixed vs variable cost decomposition "
+                "(No-Duplication, %zu chars)",
+                Chars);
+  S.Title = Title;
+  S.Notes = "the variable component scales ~1/interval for both "
+            "frameworks; the fixed\ncomponent is the framework artifact "
+            "brr eliminates.";
+
+  auto Base = std::make_shared<uint64_t>(0);
+  S.Setup = [Base, Chars] {
+    *Base = runMicrobench(InstrumentationConfig(), Chars).RoiCycles;
+  };
+
+  const SamplingFramework Frameworks[] = {SamplingFramework::CounterBased,
+                                          SamplingFramework::BrrBased};
+  const uint64_t Intervals[] = {16, 128, 1024};
+  for (SamplingFramework F : Frameworks)
+    for (uint64_t Interval : Intervals)
+      S.Cells.push_back({{"framework", frameworkName(F)},
+                         {"interval", std::to_string(Interval)}});
+
+  S.Run = [Base, Chars](const ParamSet &, size_t Index) {
+    const SamplingFramework Frameworks[] = {SamplingFramework::CounterBased,
+                                            SamplingFramework::BrrBased};
+    const uint64_t Intervals[] = {16, 128, 1024};
+    SamplingFramework F = Frameworks[Index / 3];
+    uint64_t Interval = Intervals[Index % 3];
+    uint64_t FwOnly =
+        runMicrobench(
+            microConfig(F, DuplicationMode::NoDuplication, Interval, false),
+            Chars)
+            .RoiCycles;
+    MicroRun Total = runMicrobench(
+        microConfig(F, DuplicationMode::NoDuplication, Interval, true),
+        Chars);
+    double TotalPct = overheadPct(Total.RoiCycles, *Base);
+    double FixedPct = overheadPct(FwOnly, *Base);
+    RunRecord R;
+    R.param("framework", frameworkName(F));
+    R.param("interval", std::to_string(Interval));
+    R.metric("total_pct", TotalPct, 2);
+    R.metric("fixed_pct", FixedPct, 2);
+    R.metric("variable_pct", TotalPct - FixedPct, 2);
+    addPipelineMetrics(R, Total);
+    return R;
+  };
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 12: application-analogue overheads.
+//===----------------------------------------------------------------------===//
+
+struct AppRun {
+  uint64_t RoiCycles = 0;
+  PipelineStats Stats;
+};
+
+AppRun appRoi(AppConfig C, SamplingFramework F) {
+  C.Instr.Framework = F;
+  C.Instr.Dup = DuplicationMode::FullDuplication;
+  C.Instr.Interval = 1024;
+  AppProgram P = buildApp(C);
+  Pipeline Pipe(P.Prog, PipelineConfig());
+  RunResult Result = Pipe.run(1ULL << 40);
+  return {Result.roiCycles(), Result.Stats};
+}
+
+ExperimentSpec makeFig12(const ExperimentOptions &O) {
+  ExperimentSpec S;
+  S.Title = "Figure 12 - sampling framework overhead on application "
+            "analogues\n(Full-Duplication, sampling period 1024, timing "
+            "simulation; percent over\nuninstrumented baseline)";
+  S.Notes = "paper: cbs averages ~4.97%, brr ~0.64% on weakly-optimized "
+            "Jikes builds; the\nreproduction preserves the ordering and "
+            "the multi-x gap.";
+
+  auto Apps = std::make_shared<std::vector<AppConfig>>(dacapoAppAnalogues());
+  for (AppConfig &App : *Apps)
+    App.NumTopCalls = std::max<uint64_t>(App.NumTopCalls / O.Scale, 500);
+  for (const AppConfig &App : *Apps)
+    S.Cells.push_back({{"benchmark", App.Name}});
+
+  S.Run = [Apps](const ParamSet &, size_t Index) {
+    const AppConfig &App = (*Apps)[Index];
+    AppRun Base = appRoi(App, SamplingFramework::None);
+    AppRun Cbs = appRoi(App, SamplingFramework::CounterBased);
+    AppRun Brr = appRoi(App, SamplingFramework::BrrBased);
+    RunRecord R;
+    R.param("benchmark", App.Name);
+    R.metric("baseline_cycles", Base.RoiCycles);
+    R.metric("cbs_pct", overheadPct(Cbs.RoiCycles, Base.RoiCycles), 2);
+    R.metric("brr_pct", overheadPct(Brr.RoiCycles, Base.RoiCycles), 2);
+    R.metric("baseline_ipc", Base.Stats.ipc(), 2);
+    return R;
+  };
+
+  S.Summarize = [](const std::vector<RunRecord> &Cells) {
+    double Cbs = 0, Brr = 0;
+    for (const RunRecord &R : Cells) {
+      Cbs += R.findMetric("cbs_pct")->D;
+      Brr += R.findMetric("brr_pct")->D;
+    }
+    double N = static_cast<double>(Cells.size());
+    RunRecord Avg;
+    Avg.param("benchmark", "average");
+    Avg.metric("cbs_pct", Cbs / N, 2);
+    Avg.metric("brr_pct", Brr / N, 2);
+    return std::vector<RunRecord>{Avg};
+  };
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Section 3.3 ablation: pipeline integration, counter placement, oracle
+// prediction.
+//===----------------------------------------------------------------------===//
+
+ExperimentSpec makeAblation(const ExperimentOptions &O) {
+  const size_t Chars = scaledChars(O);
+  ExperimentSpec S;
+  S.Title = "Ablation - branch-on-random design decisions "
+            "(No-Duplication, framework-only)";
+  S.Notes =
+      "groups: 'design' forces brr through progressively less integrated "
+      "pipeline\npaths (Section 3.3); 'counter-placement' compares the "
+      "counter's home (Section 2\nitems 3-4); 'oracle' re-measures added "
+      "cycles/char under perfect branch\nprediction - the counter chain's "
+      "serialization is *more* exposed there, while\nbrr's residual cost "
+      "is pure fetch bandwidth and vanishes at low rates.";
+
+  struct Machines {
+    PipelineConfig Default;
+    PipelineConfig Backend;
+    PipelineConfig HoldsRob;
+    PipelineConfig Trap;
+    PipelineConfig Oracle;
+    uint64_t Base = 0;
+    uint64_t OracleBase = 0;
+  };
+  auto M = std::make_shared<Machines>();
+  M->Backend.BrrAsBackendBranch = true;
+  M->HoldsRob.BrrCommitsAtDecode = false;
+  M->Trap.BrrTrapCycles = 300; // Section 3.4's SIGILL emulation fallback
+  M->Oracle.PerfectBranchPrediction = true;
+
+  S.Setup = [M, Chars] {
+    M->Base = runMicrobench(InstrumentationConfig(), Chars, M->Default)
+                  .RoiCycles;
+    M->OracleBase =
+        runMicrobench(InstrumentationConfig(), Chars, M->Oracle).RoiCycles;
+  };
+
+  struct Def {
+    std::string Group;
+    std::string Arm;
+    uint64_t Interval;
+    InstrumentationConfig Instr;
+    const PipelineConfig *Machine; ///< offset into *M; set per cell below
+    bool PerChar;                  ///< report added cycles/char, not %
+    bool OracleBaseline;
+  };
+  auto Defs = std::make_shared<std::vector<Def>>();
+  const uint64_t Intervals[] = {16, 1024};
+
+  // Group 1: pipeline-integration design arms (brr framework-only).
+  const std::pair<const char *, const PipelineConfig *> DesignArms[] = {
+      {"brr (proposed: decode-resolved)", &M->Default},
+      {"brr held in ROB until commit", &M->HoldsRob},
+      {"brr as back-end branch", &M->Backend},
+      {"brr trap-emulated (SIGILL, S3.4)", &M->Trap},
+  };
+  for (const auto &[Name, Machine] : DesignArms)
+    for (uint64_t Interval : Intervals)
+      Defs->push_back({"design", Name, Interval,
+                       microConfig(SamplingFramework::BrrBased,
+                                   DuplicationMode::NoDuplication, Interval,
+                                   false),
+                       Machine, false, false});
+
+  // Group 2: counter placement (memory vs register vs none-at-all/brr).
+  for (uint64_t Interval : Intervals) {
+    InstrumentationConfig Mem =
+        microConfig(SamplingFramework::CounterBased,
+                    DuplicationMode::NoDuplication, Interval, false);
+    InstrumentationConfig Reg = Mem;
+    Reg.CounterPlacement = CounterHome::Register;
+    InstrumentationConfig Brr =
+        microConfig(SamplingFramework::BrrBased,
+                    DuplicationMode::NoDuplication, Interval, false);
+    Defs->push_back({"counter-placement", "cbs, counter in memory",
+                     Interval, Mem, &M->Default, false, false});
+    Defs->push_back({"counter-placement", "cbs, counter in a register",
+                     Interval, Reg, &M->Default, false, false});
+    Defs->push_back({"counter-placement", "brr (no counter at all)",
+                     Interval, Brr, &M->Default, false, false});
+  }
+
+  // Group 3: real machine vs oracle prediction, added cycles per char.
+  for (SamplingFramework F :
+       {SamplingFramework::CounterBased, SamplingFramework::BrrBased})
+    for (uint64_t Interval : Intervals)
+      for (bool Oracle : {false, true}) {
+        std::string Arm = std::string(frameworkName(F)) +
+                          (Oracle ? ", oracle prediction" : ", real machine");
+        Defs->push_back({"oracle", Arm, Interval,
+                         microConfig(F, DuplicationMode::NoDuplication,
+                                     Interval, false),
+                         Oracle ? &M->Oracle : &M->Default, true, Oracle});
+      }
+
+  for (const Def &D : *Defs)
+    S.Cells.push_back({{"group", D.Group},
+                       {"arm", D.Arm},
+                       {"interval", std::to_string(D.Interval)}});
+
+  S.Run = [M, Defs, Chars](const ParamSet &, size_t Index) {
+    const Def &D = (*Defs)[Index];
+    MicroRun Run = runMicrobench(D.Instr, Chars, *D.Machine);
+    uint64_t Base = D.OracleBaseline ? M->OracleBase : M->Base;
+    RunRecord R;
+    R.param("group", D.Group);
+    R.param("arm", D.Arm);
+    R.param("interval", std::to_string(D.Interval));
+    if (D.PerChar)
+      R.metric("added_cycles_per_char",
+               (static_cast<double>(Run.RoiCycles) -
+                static_cast<double>(Base)) /
+                   static_cast<double>(Chars),
+               2);
+    else
+      R.metric("overhead_pct", overheadPct(Run.RoiCycles, Base), 2);
+    addPipelineMetrics(R, Run);
+    return R;
+  };
+  return S;
+}
+
+} // namespace
+
+void registerAllExperiments() {
+  static bool Registered = false;
+  if (Registered)
+    return;
+  Registered = true;
+
+  registerAccuracyExperiments();
+
+  ExperimentRegistry &R = ExperimentRegistry::instance();
+  R.add("fig02",
+        "Figure 2: fixed vs variable sampling-cost decomposition on the "
+        "microbenchmark",
+        makeFig02);
+  R.add("fig12",
+        "Figure 12: framework overhead on the application analogues "
+        "(timing simulation)",
+        makeFig12);
+  R.add("fig13",
+        "Figure 13: microbenchmark overhead vs sampling interval, eight "
+        "framework arms",
+        makeFig13);
+  R.add("fig14",
+        "Figure 14: average added cycles per sampling site, plus the "
+        "full-instrumentation reference",
+        makeFig14);
+  R.add("ablation",
+        "Section 3.3 ablation: pipeline integration, counter placement, "
+        "oracle prediction",
+        makeAblation);
+}
+
+} // namespace exp
+} // namespace bor

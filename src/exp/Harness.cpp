@@ -1,0 +1,92 @@
+//===- exp/Harness.cpp - Shared drivers for the paper's experiments ------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/Harness.h"
+
+#include "profile/Accuracy.h"
+#include "profile/SamplingPolicy.h"
+#include "support/Rng.h"
+#include "support/Stats.h"
+
+namespace bor {
+namespace exp {
+
+AccuracyRow runAccuracy(const BenchmarkModel &Model, uint64_t Interval,
+                        uint64_t BrrSeed) {
+  constexpr unsigned NumSeeds = 3;
+  MethodProfile Full(Model.NumMethods);
+  MethodProfile Sw(Model.NumMethods);
+  MethodProfile Hw(Model.NumMethods);
+  std::vector<MethodProfile> Rand(NumSeeds, MethodProfile(Model.NumMethods));
+
+  SwCounterPolicy SwP(Interval);
+  HwCounterPolicy HwP(Interval);
+  std::vector<BrrPolicy> RandP;
+  SplitMix64 Seeder(BrrSeed);
+  for (unsigned I = 0; I != NumSeeds; ++I) {
+    BrrUnitConfig BrrCfg;
+    do {
+      BrrCfg.Seed = Seeder.next();
+    } while ((BrrCfg.Seed & ((1ULL << BrrCfg.LfsrWidth) - 1)) == 0);
+    RandP.emplace_back(Interval, BrrCfg);
+  }
+
+  InvocationStream Stream(Model);
+  while (!Stream.done()) {
+    uint32_t Id = Stream.next();
+    Full.record(Id);
+    if (SwP.sample())
+      Sw.record(Id);
+    if (HwP.sample())
+      Hw.record(Id);
+    for (unsigned I = 0; I != NumSeeds; ++I)
+      if (RandP[I].sample())
+        Rand[I].record(Id);
+  }
+
+  AccuracyRow Row;
+  Row.SwCount = overlapAccuracy(Full, Sw);
+  Row.HwCount = overlapAccuracy(Full, Hw);
+  RunningStat Stat;
+  for (const MethodProfile &P : Rand)
+    Stat.add(overlapAccuracy(Full, P));
+  Row.Random = Stat.mean();
+  Row.RandomSpread = Stat.max() - Stat.min();
+  return Row;
+}
+
+MicroRun runMicrobench(const InstrumentationConfig &Instr, size_t NumChars,
+                       const PipelineConfig &Machine) {
+  MicrobenchConfig C;
+  C.Text.NumChars = NumChars;
+  C.Instr = Instr;
+  MicrobenchProgram MB = buildMicrobench(C);
+  Pipeline Pipe(MB.Prog, Machine);
+  MicroRun Run;
+  RunResult Result = Pipe.run(1ULL << 40);
+  Run.Stats = Result.Stats;
+  if (Result.Markers.size() == 2)
+    Run.RoiCycles = Result.roiCycles();
+  Run.DynamicSiteVisits = MB.DynamicSiteVisits;
+  return Run;
+}
+
+InstrumentationConfig microConfig(SamplingFramework F, DuplicationMode Dup,
+                                  uint64_t Interval, bool IncludeBody) {
+  InstrumentationConfig C;
+  C.Framework = F;
+  C.Dup = Dup;
+  C.Interval = Interval;
+  C.IncludeBody = IncludeBody;
+  return C;
+}
+
+std::vector<uint64_t> figureIntervals() {
+  return {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+}
+
+} // namespace exp
+} // namespace bor

@@ -1,0 +1,71 @@
+//===- exp/Harness.h - Shared drivers for the paper's experiments --------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurement drivers shared by the registered experiments and the
+/// remaining standalone bench binaries: the accuracy-experiment driver
+/// (Figures 9/10 and the sensitivity study) and the timed-microbenchmark
+/// driver over the Section 5.3 workload (Figures 2/13/14 and the
+/// ablations). Formerly bench/BenchUtil.h; now part of the library so the
+/// experiment registry can use them.
+///
+/// Every function here is thread-safe: all state is constructed per call
+/// from the arguments, which is what lets the ParallelRunner fan cells out
+/// across cores.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_EXP_HARNESS_H
+#define BOR_EXP_HARNESS_H
+
+#include "profile/TraceGen.h"
+#include "uarch/Pipeline.h"
+#include "workloads/Microbench.h"
+
+#include <vector>
+
+namespace bor {
+namespace exp {
+
+/// Accuracy of the three Figure-9/10 sampling techniques on one benchmark
+/// stream. The LFSR technique is run with several seeds in the same pass
+/// so the tables can report its seed-to-seed spread (the counters are
+/// deterministic and need no such treatment).
+struct AccuracyRow {
+  double SwCount = 0;
+  double HwCount = 0;
+  double Random = 0;       ///< mean over seeds
+  double RandomSpread = 0; ///< max - min over seeds
+};
+
+AccuracyRow runAccuracy(const BenchmarkModel &Model, uint64_t Interval,
+                        uint64_t BrrSeed);
+
+/// Timed microbenchmark run: region-of-interest cycles plus the stats the
+/// figures report.
+struct MicroRun {
+  uint64_t RoiCycles = 0;
+  uint64_t DynamicSiteVisits = 0;
+  PipelineStats Stats;
+};
+
+MicroRun runMicrobench(const InstrumentationConfig &Instr, size_t NumChars,
+                       const PipelineConfig &Machine = PipelineConfig());
+
+InstrumentationConfig microConfig(SamplingFramework F, DuplicationMode Dup,
+                                  uint64_t Interval, bool IncludeBody);
+
+/// The character count used by the timing figures. The paper processes
+/// half a million characters; that is also affordable here.
+constexpr size_t FigureChars = 500000;
+
+/// The sampling-interval sweep of Figures 13/14.
+std::vector<uint64_t> figureIntervals();
+
+} // namespace exp
+} // namespace bor
+
+#endif // BOR_EXP_HARNESS_H

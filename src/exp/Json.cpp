@@ -1,0 +1,107 @@
+//===- exp/Json.cpp - Minimal JSON rendering for result records ----------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/Json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bor {
+namespace exp {
+
+std::string jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+std::string jsonNumber(uint64_t V) { return std::to_string(V); }
+
+std::string jsonNumber(double V) {
+  if (!std::isfinite(V))
+    return "null";
+  // Exact integers stay integers (cycle counts routinely flow through
+  // doubles and must not grow a ".0" or an exponent).
+  constexpr double ExactLimit = 9007199254740992.0; // 2^53
+  if (V == std::floor(V) && std::fabs(V) < ExactLimit) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(V));
+    return Buf;
+  }
+  // Shortest representation that round-trips.
+  char Buf[40];
+  for (int Precision = 15; Precision <= 17; ++Precision) {
+    std::snprintf(Buf, sizeof(Buf), "%.*g", Precision, V);
+    if (std::strtod(Buf, nullptr) == V)
+      break;
+  }
+  return Buf;
+}
+
+void JsonObjectWriter::comma() {
+  if (!First)
+    Buf += ',';
+  First = false;
+}
+
+void JsonObjectWriter::field(std::string_view Key, std::string_view Value) {
+  comma();
+  Buf += '"';
+  Buf += jsonEscape(Key);
+  Buf += "\":\"";
+  Buf += jsonEscape(Value);
+  Buf += '"';
+}
+
+void JsonObjectWriter::fieldRaw(std::string_view Key, std::string_view Raw) {
+  comma();
+  Buf += '"';
+  Buf += jsonEscape(Key);
+  Buf += "\":";
+  Buf += Raw;
+}
+
+std::string JsonObjectWriter::finish() {
+  Buf += '}';
+  return std::move(Buf);
+}
+
+} // namespace exp
+} // namespace bor

@@ -1,0 +1,63 @@
+//===- exp/Json.h - Minimal JSON rendering for result records ------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Just enough JSON to emit the experiment runner's machine-readable
+/// results: string escaping, deterministic number formatting, and a small
+/// single-object writer used to build one JSON-lines record at a time.
+/// There is deliberately no parser and no DOM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_EXP_JSON_H
+#define BOR_EXP_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bor {
+namespace exp {
+
+/// Escapes \p S for inclusion inside a JSON string literal (without the
+/// surrounding quotes): quote, backslash and control characters become
+/// their escape sequences; everything else passes through byte-for-byte.
+std::string jsonEscape(std::string_view S);
+
+/// Renders \p V as a JSON number. Integral values in the exactly-
+/// representable range print without a decimal point; other finite values
+/// print with the shortest precision that round-trips through strtod;
+/// non-finite values (which JSON cannot express) print as null.
+std::string jsonNumber(double V);
+
+/// Renders an unsigned integer as a JSON number (exact, never scientific).
+std::string jsonNumber(uint64_t V);
+
+/// Accumulates one flat JSON object, `field` by `field`, preserving
+/// insertion order. finish() closes the object and returns it.
+class JsonObjectWriter {
+public:
+  /// Adds "key": "value" with \p Value escaped and quoted.
+  void field(std::string_view Key, std::string_view Value);
+
+  /// Adds "key": <raw> where \p Raw is already valid JSON (a number, an
+  /// object, an array...).
+  void fieldRaw(std::string_view Key, std::string_view Raw);
+
+  /// Closes and returns the object. The writer must not be reused.
+  std::string finish();
+
+private:
+  void comma();
+
+  std::string Buf = "{";
+  bool First = true;
+};
+
+} // namespace exp
+} // namespace bor
+
+#endif // BOR_EXP_JSON_H

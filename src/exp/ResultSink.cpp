@@ -1,0 +1,139 @@
+//===- exp/ResultSink.cpp - Table and JSON-lines result sinks ------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/ResultSink.h"
+
+#include "exp/Json.h"
+#include "support/Table.h"
+
+#include <algorithm>
+
+namespace bor {
+namespace exp {
+
+//===----------------------------------------------------------------------===//
+// TableSink
+//===----------------------------------------------------------------------===//
+
+void TableSink::begin(const ExperimentSpec &Spec) {
+  Title = Spec.Title;
+  Notes = Spec.Notes;
+}
+
+void TableSink::record(const RunRecord &R, bool IsSummary) {
+  (void)IsSummary;
+  auto AddColumn = [this](const std::string &Name) {
+    if (std::find(Columns.begin(), Columns.end(), Name) == Columns.end())
+      Columns.push_back(Name);
+  };
+  for (const auto &KV : R.Params)
+    AddColumn(KV.first);
+  for (const auto &KV : R.Metrics)
+    AddColumn(KV.first);
+  Records.push_back(R);
+}
+
+void TableSink::end() {
+  if (!Title.empty())
+    std::fprintf(Out, "%s\n\n", Title.c_str());
+
+  Table T;
+  T.addRow(Columns);
+  for (const RunRecord &R : Records) {
+    std::vector<std::string> Row;
+    Row.reserve(Columns.size());
+    for (const std::string &Col : Columns) {
+      if (const std::string *P = R.findParam(Col)) {
+        Row.push_back(*P);
+        continue;
+      }
+      const Metric *M = R.findMetric(Col);
+      if (!M) {
+        Row.push_back("");
+        continue;
+      }
+      switch (M->K) {
+      case Metric::Kind::UInt:
+        Row.push_back(Table::fmt(M->U));
+        break;
+      case Metric::Kind::Real:
+        Row.push_back(Table::fmt(M->D, M->TablePrecision));
+        break;
+      case Metric::Kind::Text:
+        Row.push_back(M->S);
+        break;
+      }
+    }
+    T.addRow(std::move(Row));
+  }
+  T.print(Out);
+  if (!Notes.empty())
+    std::fprintf(Out, "\n%s\n", Notes.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// JsonLinesSink
+//===----------------------------------------------------------------------===//
+
+JsonLinesSink::~JsonLinesSink() {
+  if (Owned && Out)
+    std::fclose(Out);
+}
+
+std::unique_ptr<JsonLinesSink> JsonLinesSink::open(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", Path.c_str());
+    return nullptr;
+  }
+  return std::make_unique<JsonLinesSink>(F, /*Owned=*/true);
+}
+
+void JsonLinesSink::begin(const ExperimentSpec &Spec) {
+  Experiment = Spec.Name;
+  JsonObjectWriter W;
+  W.field("experiment", Spec.Name);
+  W.field("kind", "header");
+  W.field("title", Spec.Title);
+  W.fieldRaw("cells", jsonNumber(static_cast<uint64_t>(Spec.Cells.size())));
+  std::fprintf(Out, "%s\n", W.finish().c_str());
+}
+
+void JsonLinesSink::record(const RunRecord &R, bool IsSummary) {
+  JsonObjectWriter W;
+  W.field("experiment", Experiment);
+  W.field("kind", IsSummary ? "summary" : "cell");
+  if (!IsSummary)
+    W.fieldRaw("cell", jsonNumber(static_cast<uint64_t>(CellIndex++)));
+
+  JsonObjectWriter Params;
+  for (const auto &KV : R.Params)
+    Params.field(KV.first, KV.second);
+  W.fieldRaw("params", Params.finish());
+
+  JsonObjectWriter Metrics;
+  for (const auto &KV : R.Metrics) {
+    const Metric &M = KV.second;
+    switch (M.K) {
+    case Metric::Kind::UInt:
+      Metrics.fieldRaw(KV.first, jsonNumber(M.U));
+      break;
+    case Metric::Kind::Real:
+      Metrics.fieldRaw(KV.first, jsonNumber(M.D));
+      break;
+    case Metric::Kind::Text:
+      Metrics.field(KV.first, M.S);
+      break;
+    }
+  }
+  W.fieldRaw("metrics", Metrics.finish());
+
+  std::fprintf(Out, "%s\n", W.finish().c_str());
+  std::fflush(Out);
+}
+
+} // namespace exp
+} // namespace bor

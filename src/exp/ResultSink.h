@@ -1,0 +1,89 @@
+//===- exp/ResultSink.h - Where experiment results go --------------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ResultSink API: the runner feeds every RunRecord, in deterministic
+/// spec order, to any number of sinks. Two implementations ship:
+///
+///  * TableSink renders the records through support/Table for humans
+///    (columns = the union of parameter and metric names, in first-seen
+///    order);
+///  * JsonLinesSink writes one JSON object per record to a file -- the
+///    BENCH_<experiment>.json trajectory consumed by scripts. See
+///    docs/BENCHMARKING.md for the schema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_EXP_RESULTSINK_H
+#define BOR_EXP_RESULTSINK_H
+
+#include "exp/Experiment.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace bor {
+namespace exp {
+
+class ResultSink {
+public:
+  virtual ~ResultSink() = default;
+
+  /// Called once before any record.
+  virtual void begin(const ExperimentSpec &Spec) { (void)Spec; }
+
+  /// Called once per record, in spec order; per-cell records arrive
+  /// first (IsSummary false), then any summary records (IsSummary true).
+  virtual void record(const RunRecord &R, bool IsSummary) = 0;
+
+  /// Called once after the last record.
+  virtual void end() {}
+};
+
+/// Renders all records as one column-aligned table on \p Out, preceded by
+/// the spec's title and followed by its notes.
+class TableSink : public ResultSink {
+public:
+  explicit TableSink(std::FILE *Out = stdout) : Out(Out) {}
+
+  void begin(const ExperimentSpec &Spec) override;
+  void record(const RunRecord &R, bool IsSummary) override;
+  void end() override;
+
+private:
+  std::FILE *Out;
+  std::string Title;
+  std::string Notes;
+  std::vector<std::string> Columns;
+  std::vector<RunRecord> Records;
+};
+
+/// Writes one JSON object per record (JSON-lines). The first line is a
+/// header record describing the experiment.
+class JsonLinesSink : public ResultSink {
+public:
+  /// Takes ownership of \p Out when \p Owned (close on destruction).
+  JsonLinesSink(std::FILE *Out, bool Owned) : Out(Out), Owned(Owned) {}
+  ~JsonLinesSink() override;
+
+  /// Opens \p Path for writing; returns nullptr (with a message on
+  /// stderr) if the file cannot be created.
+  static std::unique_ptr<JsonLinesSink> open(const std::string &Path);
+
+  void begin(const ExperimentSpec &Spec) override;
+  void record(const RunRecord &R, bool IsSummary) override;
+
+private:
+  std::FILE *Out;
+  bool Owned;
+  std::string Experiment;
+  size_t CellIndex = 0;
+};
+
+} // namespace exp
+} // namespace bor
+
+#endif // BOR_EXP_RESULTSINK_H

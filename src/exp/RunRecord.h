@@ -1,0 +1,92 @@
+//===- exp/RunRecord.h - One experiment cell's structured result ---------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-readable result of running one cell of an experiment's
+/// parameter grid: the cell's coordinates (ordered string key/value
+/// parameters) plus its measured metrics (integers, reals or text).
+/// Insertion order is preserved everywhere so serialized output is
+/// deterministic and columns line up across records.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_EXP_RUNRECORD_H
+#define BOR_EXP_RUNRECORD_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bor {
+namespace exp {
+
+/// A single measured value. Reals carry the precision the human-readable
+/// table should round to; JSON output always keeps full precision.
+struct Metric {
+  enum class Kind { UInt, Real, Text };
+  Kind K = Kind::UInt;
+  uint64_t U = 0;
+  double D = 0;
+  std::string S;
+  int TablePrecision = 2;
+};
+
+/// One cell's parameters and metrics, in insertion order.
+struct RunRecord {
+  std::vector<std::pair<std::string, std::string>> Params;
+  std::vector<std::pair<std::string, Metric>> Metrics;
+
+  RunRecord &param(std::string Key, std::string Value) {
+    Params.emplace_back(std::move(Key), std::move(Value));
+    return *this;
+  }
+
+  RunRecord &metric(std::string Key, uint64_t Value) {
+    Metric M;
+    M.K = Metric::Kind::UInt;
+    M.U = Value;
+    Metrics.emplace_back(std::move(Key), std::move(M));
+    return *this;
+  }
+
+  RunRecord &metric(std::string Key, double Value, int TablePrecision = 2) {
+    Metric M;
+    M.K = Metric::Kind::Real;
+    M.D = Value;
+    M.TablePrecision = TablePrecision;
+    Metrics.emplace_back(std::move(Key), std::move(M));
+    return *this;
+  }
+
+  RunRecord &metric(std::string Key, std::string Value) {
+    Metric M;
+    M.K = Metric::Kind::Text;
+    M.S = std::move(Value);
+    Metrics.emplace_back(std::move(Key), std::move(M));
+    return *this;
+  }
+
+  const Metric *findMetric(std::string_view Key) const {
+    for (const auto &KV : Metrics)
+      if (KV.first == Key)
+        return &KV.second;
+    return nullptr;
+  }
+
+  const std::string *findParam(std::string_view Key) const {
+    for (const auto &KV : Params)
+      if (KV.first == Key)
+        return &KV.second;
+    return nullptr;
+  }
+};
+
+} // namespace exp
+} // namespace bor
+
+#endif // BOR_EXP_RUNRECORD_H

@@ -1,0 +1,55 @@
+//===- exp/Runner.cpp - Parallel, deterministic experiment execution -----===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/Runner.h"
+
+#include "exp/ThreadPool.h"
+
+#include <cassert>
+
+namespace bor {
+namespace exp {
+
+std::vector<RunRecord> runExperiment(const ExperimentSpec &Spec,
+                                     unsigned Threads,
+                                     const std::vector<ResultSink *> &Sinks) {
+  assert(Spec.Run && "experiment has no run functor");
+  if (Spec.Setup)
+    Spec.Setup();
+
+  std::vector<RunRecord> Results(Spec.Cells.size());
+  if (Threads <= 1 || Spec.Cells.size() <= 1) {
+    for (size_t I = 0; I != Spec.Cells.size(); ++I)
+      Results[I] = Spec.Run(Spec.Cells[I], I);
+  } else {
+    ThreadPool Pool(Threads);
+    for (size_t I = 0; I != Spec.Cells.size(); ++I)
+      Pool.submit([&Spec, &Results, I] {
+        Results[I] = Spec.Run(Spec.Cells[I], I);
+      });
+    Pool.wait();
+  }
+
+  std::vector<RunRecord> Summaries;
+  if (Spec.Summarize)
+    Summaries = Spec.Summarize(Results);
+
+  for (ResultSink *Sink : Sinks)
+    Sink->begin(Spec);
+  for (const RunRecord &R : Results)
+    for (ResultSink *Sink : Sinks)
+      Sink->record(R, /*IsSummary=*/false);
+  for (const RunRecord &R : Summaries)
+    for (ResultSink *Sink : Sinks)
+      Sink->record(R, /*IsSummary=*/true);
+  for (ResultSink *Sink : Sinks)
+    Sink->end();
+
+  return Results;
+}
+
+} // namespace exp
+} // namespace bor

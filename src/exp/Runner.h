@@ -1,0 +1,36 @@
+//===- exp/Runner.h - Parallel, deterministic experiment execution -------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes an ExperimentSpec's grid: Setup once, then every cell --
+/// concurrently on a fixed-size ThreadPool when Threads > 1, inline when
+/// Threads == 1 -- then the serial Summarize stage. Results are collected
+/// into spec order regardless of completion order, so the records a sink
+/// sees (and therefore the JSON written) are byte-identical for any thread
+/// count: parallelism is pure mechanism, never policy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_EXP_RUNNER_H
+#define BOR_EXP_RUNNER_H
+
+#include "exp/Experiment.h"
+#include "exp/ResultSink.h"
+
+namespace bor {
+namespace exp {
+
+/// Runs \p Spec with \p Threads workers and feeds every record to each of
+/// \p Sinks in deterministic spec order. Returns the per-cell records
+/// (without the summary records).
+std::vector<RunRecord> runExperiment(const ExperimentSpec &Spec,
+                                     unsigned Threads,
+                                     const std::vector<ResultSink *> &Sinks);
+
+} // namespace exp
+} // namespace bor
+
+#endif // BOR_EXP_RUNNER_H

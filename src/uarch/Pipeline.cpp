@@ -125,7 +125,7 @@ uint64_t Pipeline::completeExecution(const ExecRecord &R, uint64_t Issue) {
   return Issue + 1;
 }
 
-PipelineStats Pipeline::run(uint64_t MaxInsts, bool RequireHalt) {
+RunResult Pipeline::run(uint64_t MaxInsts, bool RequireHalt) {
   while (!Oracle.halted() && Stats.Insts < MaxInsts) {
     ExecRecord R = Oracle.step();
     uint64_t F = fetchInstruction(R);
@@ -303,5 +303,5 @@ PipelineStats Pipeline::run(uint64_t MaxInsts, bool RequireHalt) {
   assert((!RequireHalt || Oracle.halted()) &&
          "program did not halt within the instruction budget");
   (void)RequireHalt;
-  return Stats;
+  return {Stats, Markers};
 }

@@ -41,6 +41,7 @@
 #include "uarch/PipelineConfig.h"
 #include "uarch/ReturnAddressStack.h"
 
+#include <cassert>
 #include <map>
 #include <unordered_map>
 #include <vector>
@@ -83,6 +84,21 @@ struct MarkerEvent {
   uint64_t InstsRetired = 0;
 };
 
+/// Everything a timed execution produces: the cycle-level statistics and
+/// the committed region-of-interest markers, returned together so callers
+/// never have to reach back into the Pipeline for half the result.
+struct RunResult {
+  PipelineStats Stats;
+  std::vector<MarkerEvent> Markers;
+
+  /// Cycles between the first two markers (the harness convention for the
+  /// region of interest). Requires at least two committed markers.
+  uint64_t roiCycles() const {
+    assert(Markers.size() >= 2 && "run committed fewer than two markers");
+    return Markers[1].CommitCycle - Markers[0].CommitCycle;
+  }
+};
+
 /// Multi-line human-readable rendering of a run's statistics (used by the
 /// bor-run tool and available for ad-hoc debugging).
 std::string describeStats(const PipelineStats &S);
@@ -120,10 +136,9 @@ public:
 
   /// Runs until the program halts or \p MaxInsts instructions commit.
   /// Asserts that the program halts within the budget when \p RequireHalt.
-  PipelineStats run(uint64_t MaxInsts, bool RequireHalt = true);
+  RunResult run(uint64_t MaxInsts, bool RequireHalt = true);
 
   const PipelineStats &stats() const { return Stats; }
-  const std::vector<MarkerEvent> &markerEvents() const { return Markers; }
 
   /// Installs a per-instruction timestamp observer (nullptr to disable).
   /// Invoked once per committed instruction, in program order.

@@ -1,0 +1,36 @@
+# Determinism check for the experiment runner: bor-bench must write
+# byte-identical JSON regardless of how many worker threads execute the
+# grid. fig13 is the largest grid (eight arms x ten intervals), so it is
+# the one most likely to expose order-dependent collection.
+#
+# Invoked by ctest with:
+#   -DBENCH=<bor-bench> -DWORKDIR=<scratch dir>
+
+file(MAKE_DIRECTORY ${WORKDIR})
+set(SERIAL ${WORKDIR}/fig13_t1.json)
+set(PARALLEL ${WORKDIR}/fig13_t8.json)
+
+function(run_bench outfile threads)
+  execute_process(COMMAND ${BENCH} --experiment fig13 --scale 100
+                          --threads ${threads} --no-table --json ${outfile}
+                  RESULT_VARIABLE RC
+                  OUTPUT_VARIABLE OUT
+                  ERROR_VARIABLE ERR)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR
+            "bor-bench --threads ${threads} failed (${RC}):\n${OUT}\n${ERR}")
+  endif()
+endfunction()
+
+run_bench(${SERIAL} 1)
+run_bench(${PARALLEL} 8)
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${SERIAL} ${PARALLEL}
+                RESULT_VARIABLE DIFF)
+if(NOT DIFF EQUAL 0)
+  message(FATAL_ERROR
+          "fig13 JSON differs between --threads 1 and --threads 8: "
+          "${SERIAL} vs ${PARALLEL}")
+endif()
+
+message(STATUS "bench determinism test passed")

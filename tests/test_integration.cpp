@@ -28,8 +28,7 @@ uint64_t roiCycles(const InstrumentationConfig &Instr) {
   C.Instr = Instr;
   MicrobenchProgram MB = buildMicrobench(C);
   Pipeline Pipe(MB.Prog, PipelineConfig());
-  Pipe.run(100000000);
-  const auto &Events = Pipe.markerEvents();
+  const std::vector<MarkerEvent> Events = Pipe.run(100000000).Markers;
   EXPECT_EQ(Events.size(), 2u);
   return Events[1].CommitCycle - Events[0].CommitCycle;
 }
@@ -51,7 +50,7 @@ TEST(Integration, MicrobenchBaselineIpcIsPlausible) {
   C.Text.NumChars = TestChars;
   MicrobenchProgram MB = buildMicrobench(C);
   Pipeline Pipe(MB.Prog, PipelineConfig());
-  PipelineStats S = Pipe.run(100000000);
+  PipelineStats S = Pipe.run(100000000).Stats;
   // Data-dependent branches hold the baseline well under peak, but the
   // machine is not pathological either.
   EXPECT_GT(S.ipc(), 0.7);
@@ -138,8 +137,7 @@ TEST(Integration, AppOverheadOrderingMatchesFigure12) {
     C.Instr.Interval = 1024;
     AppProgram P = buildApp(C);
     Pipeline Pipe(P.Prog, PipelineConfig());
-    Pipe.run(200000000);
-    const auto &Events = Pipe.markerEvents();
+    const std::vector<MarkerEvent> Events = Pipe.run(200000000).Markers;
     EXPECT_EQ(Events.size(), 2u);
     return Events[1].CommitCycle - Events[0].CommitCycle;
   };

@@ -90,9 +90,9 @@ TEST_P(KernelCorrectness, RunsOnTheTimingModel) {
   C.Instr.Interval = 64;
   KernelProgram K = buildKernel(C);
   Pipeline Pipe(K.Prog, PipelineConfig());
-  PipelineStats S = Pipe.run(1ULL << 40);
-  EXPECT_GT(S.Cycles, 0u);
-  ASSERT_EQ(Pipe.markerEvents().size(), 2u) << K.Name;
+  RunResult R = Pipe.run(1ULL << 40);
+  EXPECT_GT(R.Stats.Cycles, 0u);
+  ASSERT_EQ(R.Markers.size(), 2u) << K.Name;
   EXPECT_EQ(Pipe.machine().memory().readU64(K.Prog.symbol("result")),
             K.ExpectedResult)
       << K.Name;
@@ -123,7 +123,7 @@ TEST(KernelSuite, KernelsHaveDistinctPersonalities) {
     C.Kind = Kind;
     KernelProgram K = buildKernel(C);
     Pipeline Pipe(K.Prog, PipelineConfig());
-    return Pipe.run(1ULL << 40).ipc();
+    return Pipe.run(1ULL << 40).Stats.ipc();
   };
   double ListIpc = Ipc(KernelKind::ListSum);
   double MatIpc = Ipc(KernelKind::MatMul);

@@ -29,7 +29,7 @@ Program loopProgram(uint64_t Iters,
 PipelineStats timeProgram(const Program &P, BrrDecider *D = nullptr,
                           uint64_t MaxInsts = 20000000) {
   Pipeline Pipe(P, PipelineConfig(), D);
-  return Pipe.run(MaxInsts);
+  return Pipe.run(MaxInsts).Stats;
 }
 
 } // namespace
@@ -219,7 +219,7 @@ TEST(Pipeline, BrrNeverTouchesPredictorOrBtb) {
   });
   BrrUnitDecider D;
   Pipeline Pipe(P, PipelineConfig(), &D);
-  PipelineStats S = Pipe.run(20000000);
+  PipelineStats S = Pipe.run(20000000).Stats;
   // Only the loop branch predicts/updates; the 5000 brrs are invisible.
   EXPECT_EQ(Pipe.predictor().stats().Predictions, S.CondBranches);
   // BTB entries: loop branch (+ nothing from brr). Taken brrs would have
@@ -246,8 +246,8 @@ TEST(Pipeline, BrrAsBackendBranchAblationIsSlower) {
   BrrUnitDecider D1, D2;
   Pipeline PipeFast(P, Fast, &D1);
   Pipeline PipeAblated(P, Ablated, &D2);
-  uint64_t FastCycles = PipeFast.run(20000000).Cycles;
-  uint64_t AblatedCycles = PipeAblated.run(20000000).Cycles;
+  uint64_t FastCycles = PipeFast.run(20000000).Stats.Cycles;
+  uint64_t AblatedCycles = PipeAblated.run(20000000).Stats.Cycles;
   EXPECT_GT(AblatedCycles, FastCycles + FastCycles / 10);
 }
 
@@ -260,8 +260,7 @@ TEST(Pipeline, MarkersRecordRegionOfInterest) {
   B.emit(Inst::halt());
   Program P = B.finish();
   Pipeline Pipe(P, PipelineConfig());
-  Pipe.run(1000);
-  const auto &Events = Pipe.markerEvents();
+  const std::vector<MarkerEvent> Events = Pipe.run(1000).Markers;
   ASSERT_EQ(Events.size(), 2u);
   EXPECT_EQ(Events[0].Id, 1);
   EXPECT_EQ(Events[1].Id, 2);
@@ -332,8 +331,8 @@ TEST(Pipeline, RobLimitsInflightMemoryMisses) {
   Program ProgBig = Build();
   Pipeline PSmall(ProgSmall, Small);
   Pipeline PBig(ProgBig, Big);
-  uint64_t CSmall = PSmall.run(20000000).Cycles;
-  uint64_t CBig = PBig.run(20000000).Cycles;
+  uint64_t CSmall = PSmall.run(20000000).Stats.Cycles;
+  uint64_t CBig = PBig.run(20000000).Stats.Cycles;
   EXPECT_GT(CSmall, CBig) << "a tiny ROB must hurt memory-level parallelism";
 }
 
@@ -361,8 +360,8 @@ TEST(Pipeline, PerfectPredictionRemovesBranchCosts) {
   BrrUnitDecider D1, D2;
   Pipeline Real(P, PipelineConfig(), &D1);
   Pipeline Perfect(P, Oracle, &D2);
-  PipelineStats SReal = Real.run(20000000);
-  PipelineStats SPerfect = Perfect.run(20000000);
+  PipelineStats SReal = Real.run(20000000).Stats;
+  PipelineStats SPerfect = Perfect.run(20000000).Stats;
 
   EXPECT_LT(SPerfect.Cycles, SReal.Cycles);
   EXPECT_EQ(SPerfect.CondMispredicts, 0u);
@@ -380,7 +379,7 @@ TEST(Pipeline, PerfectPredictionSameArchitecturalWork) {
   PipelineConfig Oracle;
   Oracle.PerfectBranchPrediction = true;
   Pipeline Perfect(P, Oracle);
-  PipelineStats S = Perfect.run(20000000);
+  PipelineStats S = Perfect.run(20000000).Stats;
   EXPECT_EQ(S.Insts, 1 + 1000 * 3 + 1u);
 }
 
@@ -391,7 +390,7 @@ TEST(Pipeline, DescribeStatsMentionsKeyFields) {
     B.bind(Skip);
   });
   Pipeline Pipe(P, PipelineConfig());
-  PipelineStats S = Pipe.run(1000000);
+  PipelineStats S = Pipe.run(1000000).Stats;
   std::string Text = describeStats(S);
   EXPECT_NE(Text.find("cycles"), std::string::npos);
   EXPECT_NE(Text.find("IPC"), std::string::npos);

@@ -74,7 +74,7 @@ TEST_P(PipelineInvariants, StageLawsHoldForEveryInstruction) {
   Pipe.setObserver([&Trace](const InstTimestamps &TS) {
     Trace.push_back(TS);
   });
-  PipelineStats S = Pipe.run(10000000);
+  PipelineStats S = Pipe.run(10000000).Stats;
   ASSERT_EQ(Trace.size(), S.Insts);
 
   std::map<uint64_t, unsigned> IssuePerCycle;
@@ -183,7 +183,7 @@ TEST(PipelineInvariantsConfig, NarrowMachineRespectsItsWidths) {
     if (!TS.CommittedAtDecode)
       ++CommitPerCycle[TS.Commit];
   });
-  PipelineStats S = Pipe.run(10000000);
+  PipelineStats S = Pipe.run(10000000).Stats;
   for (const auto &[Cycle, Count] : CommitPerCycle)
     EXPECT_LE(Count, 1u);
   EXPECT_LT(S.ipc(), 1.01);

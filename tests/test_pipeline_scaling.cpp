@@ -29,7 +29,7 @@ Program mixedProgram() {
 uint64_t cyclesWith(const Program &P, const PipelineConfig &Cfg) {
   HwCounterDecider D;
   Pipeline Pipe(P, Cfg, &D);
-  return Pipe.run(1ULL << 40).Cycles;
+  return Pipe.run(1ULL << 40).Stats.Cycles;
 }
 
 } // namespace
@@ -139,8 +139,8 @@ TEST(PipelineScaling, ArchitecturalWorkIsResourceIndependent) {
   HwCounterDecider D1, D2;
   Pipeline Wide(P, PipelineConfig(), &D1);
   Pipeline Thin(P, Narrow, &D2);
-  PipelineStats SW = Wide.run(1ULL << 40);
-  PipelineStats ST = Thin.run(1ULL << 40);
+  PipelineStats SW = Wide.run(1ULL << 40).Stats;
+  PipelineStats ST = Thin.run(1ULL << 40).Stats;
   EXPECT_EQ(SW.Insts, ST.Insts);
   EXPECT_EQ(SW.BrrExecuted, ST.BrrExecuted);
   EXPECT_EQ(SW.CondBranches, ST.CondBranches);

@@ -126,8 +126,8 @@ TEST(PipelineTrapEmulation, CostsFarMoreThanNativeBrr) {
   HwCounterDecider D1, D2;
   Pipeline NativePipe(P, Native, &D1);
   Pipeline TrapPipe(P, Trap, &D2);
-  PipelineStats SNative = NativePipe.run(10000000);
-  PipelineStats STrap = TrapPipe.run(10000000);
+  PipelineStats SNative = NativePipe.run(10000000).Stats;
+  PipelineStats STrap = TrapPipe.run(10000000).Stats;
 
   EXPECT_EQ(SNative.BrrExecuted, STrap.BrrExecuted);
   EXPECT_EQ(SNative.BrrTaken, STrap.BrrTaken);

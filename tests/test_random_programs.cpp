@@ -57,7 +57,7 @@ TEST_P(RandomProgramDifferential, PipelineMatchesInterpreter) {
 
   HwCounterDecider TimedDecider;
   Pipeline Timed(P, PipelineConfig(), &TimedDecider);
-  PipelineStats TimedStats = Timed.run(4000000);
+  PipelineStats TimedStats = Timed.run(4000000).Stats;
 
   ArchState A = captureState(FuncMachine, P, FuncStats.Insts);
   ArchState B = captureState(Timed.machine(), P, TimedStats.Insts);

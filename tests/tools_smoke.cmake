@@ -120,4 +120,64 @@ if(NOT EXRUN_OUT MATCHES "hits = 781")
   message(FATAL_ERROR "asm example hits wrong: ${EXRUN_OUT}")
 endif()
 
+# bor-bench: --list must show every registered experiment.
+must_run(LIST_OUT ${BENCH} --list)
+foreach(EXPERIMENT fig02 fig09 fig10 fig12 fig13 fig14 ablation sens_lfsr)
+  if(NOT LIST_OUT MATCHES "${EXPERIMENT}")
+    message(FATAL_ERROR "bor-bench --list missing ${EXPERIMENT}: ${LIST_OUT}")
+  endif()
+endforeach()
+
+# A scaled-down experiment run must emit JSON-lines that actually parse,
+# with the documented header/cell/summary structure.
+set(BENCH_JSON ${WORKDIR}/fig09.json)
+must_run(BENCH_OUT ${BENCH} --experiment fig09 --scale 100 --threads 2
+         --json ${BENCH_JSON})
+if(NOT BENCH_OUT MATCHES "Figure 9")
+  message(FATAL_ERROR "bor-bench table output unexpected: ${BENCH_OUT}")
+endif()
+if(NOT EXISTS ${BENCH_JSON})
+  message(FATAL_ERROR "bor-bench did not write ${BENCH_JSON}")
+endif()
+file(STRINGS ${BENCH_JSON} BENCH_LINES)
+list(LENGTH BENCH_LINES NUM_LINES)
+if(NUM_LINES LESS 3)
+  message(FATAL_ERROR "bor-bench JSON too short (${NUM_LINES} lines)")
+endif()
+list(GET BENCH_LINES 0 HEADER_LINE)
+string(JSON HEADER_KIND GET "${HEADER_LINE}" kind)
+if(NOT HEADER_KIND STREQUAL "header")
+  message(FATAL_ERROR "first JSON record is not a header: ${HEADER_LINE}")
+endif()
+string(JSON HEADER_NAME GET "${HEADER_LINE}" experiment)
+if(NOT HEADER_NAME STREQUAL "fig09")
+  message(FATAL_ERROR "header names wrong experiment: ${HEADER_LINE}")
+endif()
+list(GET BENCH_LINES 1 CELL_LINE)
+string(JSON CELL_KIND GET "${CELL_LINE}" kind)
+if(NOT CELL_KIND STREQUAL "cell")
+  message(FATAL_ERROR "second JSON record is not a cell: ${CELL_LINE}")
+endif()
+string(JSON CELL_BENCHMARK GET "${CELL_LINE}" params benchmark)
+if(CELL_BENCHMARK STREQUAL "")
+  message(FATAL_ERROR "cell record missing params.benchmark: ${CELL_LINE}")
+endif()
+string(JSON CELL_INVOCATIONS GET "${CELL_LINE}" metrics invocations)
+if(NOT CELL_INVOCATIONS GREATER 0)
+  message(FATAL_ERROR "cell record missing metrics.invocations: ${CELL_LINE}")
+endif()
+math(EXPR LAST_INDEX "${NUM_LINES} - 1")
+list(GET BENCH_LINES ${LAST_INDEX} SUMMARY_LINE)
+string(JSON SUMMARY_KIND GET "${SUMMARY_LINE}" kind)
+if(NOT SUMMARY_KIND STREQUAL "summary")
+  message(FATAL_ERROR "last JSON record is not a summary: ${SUMMARY_LINE}")
+endif()
+
+# Unknown experiment names must fail loudly.
+execute_process(COMMAND ${BENCH} --experiment fig99
+                RESULT_VARIABLE RC OUTPUT_QUIET ERROR_QUIET)
+if(RC EQUAL 0)
+  message(FATAL_ERROR "bor-bench accepted an unknown experiment")
+endif()
+
 message(STATUS "toolchain smoke test passed")

@@ -124,9 +124,9 @@ int main(int Argc, char **Argv) {
 
   if (Opt.Timing) {
     Pipeline Pipe(R.Prog, PipelineConfig(), Decider.get());
-    PipelineStats S = Pipe.run(Opt.MaxInsts, /*RequireHalt=*/false);
-    std::printf("%s", describeStats(S).c_str());
-    for (const MarkerEvent &E : Pipe.markerEvents())
+    RunResult Result = Pipe.run(Opt.MaxInsts, /*RequireHalt=*/false);
+    std::printf("%s", describeStats(Result.Stats).c_str());
+    for (const MarkerEvent &E : Result.Markers)
       std::printf("marker %d at cycle %" PRIu64 " (inst %" PRIu64 ")\n",
                   E.Id, E.CommitCycle, E.InstsRetired);
     dumpSymbols(Opt, R.Prog, Pipe.machine());
