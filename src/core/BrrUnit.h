@@ -69,6 +69,11 @@ public:
   /// Number of evaluations performed (LFSR clock ticks).
   uint64_t evaluationCount() const { return Evaluations; }
 
+  /// Checkpoint restore: re-installs an evaluation count captured together
+  /// with the LFSR state, so a resumed run's tick accounting continues
+  /// where the snapshotted run left off.
+  void restoreEvaluationCount(uint64_t Count) { Evaluations = Count; }
+
 protected:
   /// Advances the LFSR one tick, returning the shifted-out bit; the
   /// deterministic subclass records it for shift-back recovery.

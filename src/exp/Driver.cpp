@@ -10,6 +10,7 @@
 #include "exp/Runner.h"
 #include "exp/ThreadPool.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +31,8 @@ struct DriverOptions {
   std::string JsonPath; ///< empty = default BENCH_<name>.json
   bool Json = true;
   bool TableOut = true;
+  bool Sample = false;
+  SamplingPlan Plan;
 };
 
 /// Accepts both "--flag value" and "--flag=value". Returns nullptr when
@@ -47,16 +50,49 @@ const char *flagValue(const char *Flag, char **Argv, int Argc, int &I) {
   return nullptr;
 }
 
+/// Strict unsigned parse: the whole string must be a number. Returns false
+/// (leaving \p Out untouched) on empty input, trailing garbage, or
+/// overflow — the callers turn that into a usage error naming the flag,
+/// rather than silently running with a misread value.
+bool parseU64(const char *V, uint64_t &Out) {
+  if (!V || *V == '\0')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long Parsed = std::strtoull(V, &End, 0);
+  if (errno == ERANGE || End == V || *End != '\0')
+    return false;
+  Out = Parsed;
+  return true;
+}
+
+/// Shared flags of bor-bench and the per-figure wrappers. Returns false
+/// when \p A is not recognized; a recognized flag with a bad value prints
+/// a diagnostic and exits non-zero rather than running with defaults.
 bool parseCommon(const char *A, char **Argv, int Argc, int &I,
                  DriverOptions &Opt) {
   if (const char *V = flagValue("--threads", Argv, Argc, I)) {
-    Opt.Threads = static_cast<unsigned>(std::strtoul(V, nullptr, 0));
+    uint64_t N = 0;
+    if (!parseU64(V, N) || N == 0 || N > 4096) {
+      std::fprintf(stderr,
+                   "bor-bench: --threads needs a whole number >= 1, got "
+                   "'%s'\n",
+                   V);
+      std::exit(2);
+    }
+    Opt.Threads = static_cast<unsigned>(N);
     return true;
   }
   if (const char *V = flagValue("--scale", Argv, Argc, I)) {
-    Opt.Scale = std::strtoull(V, nullptr, 0);
-    if (Opt.Scale == 0)
-      Opt.Scale = 1;
+    uint64_t N = 0;
+    if (!parseU64(V, N) || N == 0) {
+      std::fprintf(stderr,
+                   "bor-bench: --scale needs a whole number >= 1, got "
+                   "'%s'\n",
+                   V);
+      std::exit(2);
+    }
+    Opt.Scale = N;
     return true;
   }
   if (const char *V = flagValue("--json", Argv, Argc, I)) {
@@ -71,7 +107,64 @@ bool parseCommon(const char *A, char **Argv, int Argc, int &I,
     Opt.TableOut = false;
     return true;
   }
+  if (std::strcmp(A, "--sample") == 0) {
+    Opt.Sample = true;
+    return true;
+  }
+  if (const char *V = flagValue("--sample-period", Argv, Argc, I)) {
+    if (!parseU64(V, Opt.Plan.PeriodInsts) || Opt.Plan.PeriodInsts == 0) {
+      std::fprintf(stderr,
+                   "bor-bench: --sample-period needs a whole number >= 1, "
+                   "got '%s'\n",
+                   V);
+      std::exit(2);
+    }
+    Opt.Sample = true;
+    return true;
+  }
+  if (const char *V = flagValue("--sample-warm", Argv, Argc, I)) {
+    if (!parseU64(V, Opt.Plan.WarmupInsts)) {
+      std::fprintf(stderr,
+                   "bor-bench: --sample-warm needs a whole number, got "
+                   "'%s'\n",
+                   V);
+      std::exit(2);
+    }
+    Opt.Sample = true;
+    return true;
+  }
+  if (const char *V = flagValue("--sample-measure", Argv, Argc, I)) {
+    if (!parseU64(V, Opt.Plan.MeasureInsts) || Opt.Plan.MeasureInsts == 0) {
+      std::fprintf(stderr,
+                   "bor-bench: --sample-measure needs a whole number >= 1, "
+                   "got '%s'\n",
+                   V);
+      std::exit(2);
+    }
+    Opt.Sample = true;
+    return true;
+  }
   return false;
+}
+
+/// Validates the assembled sampling plan once flags are parsed.
+int checkPlan(const DriverOptions &Opt) {
+  if (!Opt.Sample || Opt.Plan.valid())
+    return 0;
+  std::fprintf(stderr,
+               "bor-bench: invalid sampling plan: warm (%llu) + measure "
+               "(%llu) + pre-roll (%llu) must fit in the period (%llu)\n",
+               static_cast<unsigned long long>(Opt.Plan.WarmupInsts),
+               static_cast<unsigned long long>(Opt.Plan.MeasureInsts),
+               static_cast<unsigned long long>(Opt.Plan.DetailedWarmupInsts),
+               static_cast<unsigned long long>(Opt.Plan.PeriodInsts));
+  return 2;
+}
+
+void printRegisteredExperiments(std::FILE *Out) {
+  for (const auto &[Name, Description] :
+       ExperimentRegistry::instance().list())
+    std::fprintf(Out, "  %-12s %s\n", Name.c_str(), Description.c_str());
 }
 
 /// Runs one registered experiment with the configured sinks. Returns 0 on
@@ -79,13 +172,17 @@ bool parseCommon(const char *A, char **Argv, int Argc, int &I,
 int runOne(const std::string &Name, const DriverOptions &Opt) {
   ExperimentRegistry &Registry = ExperimentRegistry::instance();
   if (!Registry.contains(Name)) {
-    std::fprintf(stderr, "unknown experiment '%s' (try --list)\n",
+    std::fprintf(stderr,
+                 "unknown experiment '%s'; registered experiments:\n",
                  Name.c_str());
+    printRegisteredExperiments(stderr);
     return 2;
   }
 
   ExperimentOptions ExpOpt;
   ExpOpt.Scale = Opt.Scale;
+  ExpOpt.Sample = Opt.Sample;
+  ExpOpt.Plan = Opt.Plan;
   ExperimentSpec Spec = Registry.create(Name, ExpOpt);
 
   std::vector<ResultSink *> Sinks;
@@ -125,11 +222,15 @@ int benchMain(int Argc, char **Argv) {
                    "usage: bor-bench --list\n"
                    "       bor-bench --experiment NAME [--threads N] "
                    "[--json PATH | --no-json]\n"
-                   "                 [--no-table] [--scale N]\n"
+                   "                 [--no-table] [--scale N] [--sample]\n"
+                   "                 [--sample-period N] [--sample-warm N] "
+                   "[--sample-measure N]\n"
                    "       bor-bench --all [same flags]\n");
       return 2;
     }
   }
+  if (int RC = checkPlan(Opt))
+    return RC;
 
   ExperimentRegistry &Registry = ExperimentRegistry::instance();
   if (Opt.List) {
@@ -172,11 +273,15 @@ int experimentMain(const char *Name, int Argc, char **Argv) {
     if (!parseCommon(A, Argv, Argc, I, Opt)) {
       std::fprintf(stderr,
                    "usage: %s [--threads N] [--json PATH | --no-json] "
-                   "[--no-table] [--scale N]\n",
+                   "[--no-table] [--scale N]\n"
+                   "       [--sample] [--sample-period N] [--sample-warm N] "
+                   "[--sample-measure N]\n",
                    Argv[0]);
       return 2;
     }
   }
+  if (int RC = checkPlan(Opt))
+    return RC;
   return runOne(Name, Opt);
 }
 

@@ -19,6 +19,7 @@
 #define BOR_EXP_EXPERIMENT_H
 
 #include "exp/RunRecord.h"
+#include "sample/SamplingPlan.h"
 
 #include <functional>
 #include <map>
@@ -37,6 +38,16 @@ using ParamSet = std::vector<std::pair<std::string, std::string>>;
 /// records stay comparable across scales).
 struct ExperimentOptions {
   uint64_t Scale = 1;
+
+  /// Sampled-simulation mode (bor-bench --sample): timed cells run
+  /// through the SampledRunner under Plan instead of through a full
+  /// detailed Pipeline. Purely functional cells ignore it.
+  bool Sample = false;
+  SamplingPlan Plan;
+
+  /// The plan when sampling is on, nullptr otherwise — the form the
+  /// harness drivers take.
+  const SamplingPlan *samplePlan() const { return Sample ? &Plan : nullptr; }
 };
 
 /// One registered experiment, fully described.

@@ -1,0 +1,229 @@
+//===- exp/ExperimentsSample.cpp - Sampled-simulation validation ----------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `sample_error` experiment: for every Figure-13 framework arm it runs
+/// the identical instrumented microbenchmark twice — once through the full
+/// detailed Pipeline and once through the SampledRunner — and checks that
+/// the sampled IPC and brr-overhead estimates land within the sampler's
+/// own 95% confidence interval (plus a small bias margin for the interval
+/// cold-start ramp) of the full-run values, while timing both so the
+/// summary reports the sampled mode's wall-clock fraction. The two runs
+/// share one program and the same default decider seed, so they execute
+/// byte-identical instruction streams and differ only in how much of the
+/// stream is cycle-timed.
+///
+/// tests/sample_validation.cmake gates CI on this experiment's verdict.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exp/Experiment.h"
+#include "exp/Harness.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+namespace bor {
+namespace exp {
+
+namespace {
+
+/// Extra tolerance, in relative terms, beyond the sampler's CI: detailed
+/// intervals start from a drained pipeline, so even with the pre-roll a
+/// small systematic bias remains that no amount of sampling averages away.
+constexpr double BiasMargin = 0.025;
+
+struct SampleArm {
+  const char *Name;
+  SamplingFramework F;
+  DuplicationMode Dup;
+  bool Body;
+};
+
+constexpr SampleArm SampleArms[] = {
+    {"cbs+inst (no-dup)", SamplingFramework::CounterBased,
+     DuplicationMode::NoDuplication, true},
+    {"cbs (no-dup)", SamplingFramework::CounterBased,
+     DuplicationMode::NoDuplication, false},
+    {"cbs+inst (full-dup)", SamplingFramework::CounterBased,
+     DuplicationMode::FullDuplication, true},
+    {"cbs (full-dup)", SamplingFramework::CounterBased,
+     DuplicationMode::FullDuplication, false},
+    {"brr+inst (no-dup)", SamplingFramework::BrrBased,
+     DuplicationMode::NoDuplication, true},
+    {"brr (no-dup)", SamplingFramework::BrrBased,
+     DuplicationMode::NoDuplication, false},
+    {"brr+inst (full-dup)", SamplingFramework::BrrBased,
+     DuplicationMode::FullDuplication, true},
+    {"brr (full-dup)", SamplingFramework::BrrBased,
+     DuplicationMode::FullDuplication, false},
+};
+
+constexpr uint64_t SampleIntervals[] = {16, 1024};
+
+double nowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One workload measured both ways, program built once and timing taken
+/// around the runs only (both modes pay the same build cost, which is not
+/// part of the simulation-speed claim).
+struct Comparison {
+  double FullIpc = 0;
+  double SampledIpc = 0;
+  double IpcCi95 = 0;
+  uint64_t FullRoi = 0;
+  double SampledRoi = 0;
+  uint64_t Intervals = 0;
+  double FullMs = 0;
+  double SampledMs = 0;
+};
+
+Comparison compareRuns(const InstrumentationConfig &Instr, size_t Chars,
+                       const SamplingPlan &Plan) {
+  MicrobenchConfig C;
+  C.Text.NumChars = Chars;
+  C.Instr = Instr;
+  MicrobenchProgram MB = buildMicrobench(C);
+
+  Comparison Cmp;
+  double T0 = nowMs();
+  Pipeline Pipe(MB.Prog, PipelineConfig());
+  RunResult Full = Pipe.run(1ULL << 40);
+  double T1 = nowMs();
+  SampledResult SR = runSampled(MB.Prog, Plan, PipelineConfig());
+  double T2 = nowMs();
+
+  Cmp.FullMs = T1 - T0;
+  Cmp.SampledMs = T2 - T1;
+  Cmp.FullIpc = Full.Stats.ipc();
+  Cmp.SampledIpc = SR.ipcMean();
+  Cmp.IpcCi95 = SR.ipcCi95();
+  Cmp.Intervals = SR.NumIntervals;
+  if (Full.Markers.size() == 2)
+    Cmp.FullRoi = Full.roiCycles();
+  if (SR.Markers.size() >= 2)
+    Cmp.SampledRoi = SR.estimatedCycles(SR.roiInsts());
+  return Cmp;
+}
+
+ExperimentSpec makeSampleError(const ExperimentOptions &O) {
+  const size_t Chars = std::max<size_t>(FigureChars / O.Scale, 2000);
+  // Validation always compares against the sampled mode bor-bench would
+  // use: the user's --sample-* plan if given, else the defaults.
+  const SamplingPlan Plan = O.Plan;
+  ExperimentSpec S;
+  char Title[256];
+  std::snprintf(Title, sizeof(Title),
+                "sample_error - sampled vs full-run agreement on the "
+                "Figure 13 grid\n(%zu characters; period %llu, warm %llu, "
+                "measure %llu)",
+                Chars, static_cast<unsigned long long>(Plan.PeriodInsts),
+                static_cast<unsigned long long>(Plan.WarmupInsts),
+                static_cast<unsigned long long>(Plan.MeasureInsts));
+  S.Title = Title;
+  S.Notes = "ok flags: sampled estimate within the sampler's own 95% CI "
+            "(plus a 2.5% bias\nmargin) of the full run's value. The "
+            "summary verdict is PASS only when every\ncell agrees and the "
+            "sampled runs took <= 25% of the full runs' wall-clock.";
+
+  auto Base = std::make_shared<Comparison>();
+  S.Setup = [Base, Chars, Plan] {
+    *Base = compareRuns(InstrumentationConfig(), Chars, Plan);
+  };
+
+  for (const SampleArm &A : SampleArms)
+    for (uint64_t Interval : SampleIntervals)
+      S.Cells.push_back(
+          {{"series", A.Name}, {"interval", std::to_string(Interval)}});
+
+  constexpr size_t NumIntervals =
+      sizeof(SampleIntervals) / sizeof(SampleIntervals[0]);
+  S.Run = [Base, Chars, Plan](const ParamSet &, size_t Index) {
+    const SampleArm &A = SampleArms[Index / NumIntervals];
+    uint64_t Interval = SampleIntervals[Index % NumIntervals];
+    InstrumentationConfig Instr;
+    Instr.Framework = A.F;
+    Instr.Dup = A.Dup;
+    Instr.Interval = Interval;
+    Instr.IncludeBody = A.Body;
+    Comparison Cmp = compareRuns(Instr, Chars, Plan);
+
+    // IPC agreement: CI half-width plus the bias margin, both in IPC
+    // units.
+    double IpcTol = Cmp.IpcCi95 + BiasMargin * Cmp.FullIpc;
+    bool IpcOk = std::fabs(Cmp.SampledIpc - Cmp.FullIpc) <= IpcTol;
+
+    // Overhead agreement, in percentage points. Both the run's and the
+    // baseline's sampled ROI carry a relative error of about ci/ipc; the
+    // overhead ratio compounds them, so the tolerance propagates both
+    // plus the bias margin on each.
+    double FullOh = 100.0 * (static_cast<double>(Cmp.FullRoi) /
+                                 static_cast<double>(Base->FullRoi) -
+                             1.0);
+    double SampledOh = 100.0 * (Cmp.SampledRoi / Base->SampledRoi - 1.0);
+    double RelRun =
+        Cmp.SampledIpc > 0 ? Cmp.IpcCi95 / Cmp.SampledIpc + BiasMargin : 1;
+    double RelBase = Base->SampledIpc > 0
+                         ? Base->IpcCi95 / Base->SampledIpc + BiasMargin
+                         : 1;
+    double OhTol = 100.0 * (RelRun + RelBase) * (1.0 + FullOh / 100.0);
+    bool OhOk = std::fabs(SampledOh - FullOh) <= OhTol;
+
+    RunRecord R;
+    R.param("series", A.Name);
+    R.param("interval", std::to_string(Interval));
+    R.metric("full_ipc", Cmp.FullIpc, 3);
+    R.metric("sampled_ipc", Cmp.SampledIpc, 3);
+    R.metric("ipc_ci95", Cmp.IpcCi95, 4);
+    R.metric("ipc_ok", static_cast<uint64_t>(IpcOk));
+    R.metric("full_overhead_pct", FullOh, 2);
+    R.metric("sampled_overhead_pct", SampledOh, 2);
+    R.metric("overhead_tol_pp", OhTol, 2);
+    R.metric("overhead_ok", static_cast<uint64_t>(OhOk));
+    R.metric("sample_intervals", Cmp.Intervals);
+    R.metric("full_ms", Cmp.FullMs, 1);
+    R.metric("sampled_ms", Cmp.SampledMs, 1);
+    return R;
+  };
+
+  S.Summarize = [Base](const std::vector<RunRecord> &Cells) {
+    uint64_t Ok = 0;
+    double FullMs = Base->FullMs, SampledMs = Base->SampledMs;
+    for (const RunRecord &R : Cells) {
+      Ok += R.findMetric("ipc_ok")->U && R.findMetric("overhead_ok")->U;
+      FullMs += R.findMetric("full_ms")->D;
+      SampledMs += R.findMetric("sampled_ms")->D;
+    }
+    double WallPct = FullMs > 0 ? 100.0 * SampledMs / FullMs : 100.0;
+    bool Pass = Ok == Cells.size() && WallPct <= 25.0;
+    RunRecord V;
+    V.param("series", "summary");
+    V.metric("cells_ok", Ok);
+    V.metric("cells_total", static_cast<uint64_t>(Cells.size()));
+    V.metric("sampled_wallclock_pct", WallPct, 1);
+    V.metric("verdict", std::string(Pass ? "PASS" : "FAIL"));
+    return std::vector<RunRecord>{V};
+  };
+  return S;
+}
+
+} // namespace
+
+void registerSampleExperiments() {
+  ExperimentRegistry &R = ExperimentRegistry::instance();
+  R.add("sample_error",
+        "Sampled-simulation validation: sampled vs full-run IPC and "
+        "overhead on the Figure 13 grid, with wall-clock speedup",
+        makeSampleError);
+}
+
+} // namespace exp
+} // namespace bor

@@ -25,6 +25,7 @@ namespace bor {
 namespace exp {
 
 void registerAccuracyExperiments(); // ExperimentsAccuracy.cpp
+void registerSampleExperiments();   // ExperimentsSample.cpp
 
 namespace {
 
@@ -40,6 +41,9 @@ double overheadPct(uint64_t Cycles, uint64_t Base) {
 
 /// Appends the per-cell pipeline metrics the JSON trajectory captures for
 /// every timed run: total cycles, IPC, and the flush-cycle decomposition.
+/// Sampled runs additionally report the estimate's provenance (interval
+/// count and IPC confidence interval); full runs emit exactly the fields
+/// they always did.
 void addPipelineMetrics(RunRecord &R, const MicroRun &Run) {
   R.metric("roi_cycles", Run.RoiCycles);
   R.metric("cycles", Run.Stats.Cycles);
@@ -47,6 +51,10 @@ void addPipelineMetrics(RunRecord &R, const MicroRun &Run) {
   R.metric("frontend_flush_cycles", Run.Stats.FrontendFlushCycles);
   R.metric("backend_flush_cycles", Run.Stats.BackendFlushCycles);
   R.metric("icache_stall_cycles", Run.Stats.FetchIcacheStallCycles);
+  if (Run.Sampled) {
+    R.metric("sample_intervals", Run.SampleIntervals);
+    R.metric("ipc_ci95", Run.IpcCi95, 4);
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -81,6 +89,8 @@ constexpr MicroArm Fig13Arms[] = {
 
 ExperimentSpec makeFig13(const ExperimentOptions &O) {
   const size_t Chars = scaledChars(O);
+  const bool Sample = O.Sample;
+  const SamplingPlan Plan = O.Plan;
   ExperimentSpec S;
   char Title[256];
   std::snprintf(Title, sizeof(Title),
@@ -94,8 +104,10 @@ ExperimentSpec makeFig13(const ExperimentOptions &O) {
             "ones above ~64; Full-Duplication lowers both.";
 
   auto Base = std::make_shared<uint64_t>(0);
-  S.Setup = [Base, Chars] {
-    *Base = runMicrobench(InstrumentationConfig(), Chars).RoiCycles;
+  S.Setup = [Base, Chars, Sample, Plan] {
+    *Base = runMicrobench(InstrumentationConfig(), Chars, PipelineConfig(),
+                          Sample ? &Plan : nullptr)
+                .RoiCycles;
   };
 
   std::vector<uint64_t> Intervals = figureIntervals();
@@ -105,12 +117,13 @@ ExperimentSpec makeFig13(const ExperimentOptions &O) {
           {{"series", A.Name}, {"interval", std::to_string(Interval)}});
 
   size_t NumIntervals = Intervals.size();
-  S.Run = [Base, Chars, Intervals, NumIntervals](const ParamSet &,
-                                                 size_t Index) {
+  S.Run = [Base, Chars, Intervals, NumIntervals, Sample,
+           Plan](const ParamSet &, size_t Index) {
     const MicroArm &A = Fig13Arms[Index / NumIntervals];
     uint64_t Interval = Intervals[Index % NumIntervals];
     MicroRun Run =
-        runMicrobench(microConfig(A.F, A.Dup, Interval, A.Body), Chars);
+        runMicrobench(microConfig(A.F, A.Dup, Interval, A.Body), Chars,
+                      PipelineConfig(), Sample ? &Plan : nullptr);
     RunRecord R;
     R.param("series", A.Name);
     R.param("interval", std::to_string(Interval));
@@ -159,6 +172,8 @@ constexpr Fig14Arm Fig14Arms[] = {
 
 ExperimentSpec makeFig14(const ExperimentOptions &O) {
   const size_t Chars = scaledChars(O);
+  const bool Sample = O.Sample;
+  const SamplingPlan Plan = O.Plan;
   ExperimentSpec S;
   S.Title = "Figure 14 - average added cycles per sampling site "
             "(Full-Duplication)";
@@ -169,8 +184,9 @@ ExperimentSpec makeFig14(const ExperimentOptions &O) {
             "adds ~4.3 cycles/site.";
 
   auto Baseline = std::make_shared<MicroRun>();
-  S.Setup = [Baseline, Chars] {
-    *Baseline = runMicrobench(InstrumentationConfig(), Chars);
+  S.Setup = [Baseline, Chars, Sample, Plan] {
+    *Baseline = runMicrobench(InstrumentationConfig(), Chars,
+                              PipelineConfig(), Sample ? &Plan : nullptr);
   };
 
   struct Def {
@@ -190,11 +206,13 @@ ExperimentSpec makeFig14(const ExperimentOptions &O) {
     S.Cells.push_back({{"series", D.Arm->Name},
                        {"interval", std::to_string(D.Interval)}});
 
-  S.Run = [Baseline, Chars, Defs](const ParamSet &, size_t Index) {
+  S.Run = [Baseline, Chars, Defs, Sample, Plan](const ParamSet &,
+                                                size_t Index) {
     const Def &D = (*Defs)[Index];
     const Fig14Arm &A = *D.Arm;
     MicroRun Run =
-        runMicrobench(microConfig(A.F, A.Dup, D.Interval, A.Body), Chars);
+        runMicrobench(microConfig(A.F, A.Dup, D.Interval, A.Body), Chars,
+                      PipelineConfig(), Sample ? &Plan : nullptr);
     double PerSite = (static_cast<double>(Run.RoiCycles) -
                       static_cast<double>(Baseline->RoiCycles)) /
                      static_cast<double>(Baseline->DynamicSiteVisits);
@@ -214,6 +232,8 @@ ExperimentSpec makeFig14(const ExperimentOptions &O) {
 
 ExperimentSpec makeFig02(const ExperimentOptions &O) {
   const size_t Chars = scaledChars(O);
+  const bool Sample = O.Sample;
+  const SamplingPlan Plan = O.Plan;
   ExperimentSpec S;
   char Title[160];
   std::snprintf(Title, sizeof(Title),
@@ -226,8 +246,10 @@ ExperimentSpec makeFig02(const ExperimentOptions &O) {
             "brr eliminates.";
 
   auto Base = std::make_shared<uint64_t>(0);
-  S.Setup = [Base, Chars] {
-    *Base = runMicrobench(InstrumentationConfig(), Chars).RoiCycles;
+  S.Setup = [Base, Chars, Sample, Plan] {
+    *Base = runMicrobench(InstrumentationConfig(), Chars, PipelineConfig(),
+                          Sample ? &Plan : nullptr)
+                .RoiCycles;
   };
 
   const SamplingFramework Frameworks[] = {SamplingFramework::CounterBased,
@@ -238,20 +260,21 @@ ExperimentSpec makeFig02(const ExperimentOptions &O) {
       S.Cells.push_back({{"framework", frameworkName(F)},
                          {"interval", std::to_string(Interval)}});
 
-  S.Run = [Base, Chars](const ParamSet &, size_t Index) {
+  S.Run = [Base, Chars, Sample, Plan](const ParamSet &, size_t Index) {
     const SamplingFramework Frameworks[] = {SamplingFramework::CounterBased,
                                             SamplingFramework::BrrBased};
     const uint64_t Intervals[] = {16, 128, 1024};
     SamplingFramework F = Frameworks[Index / 3];
     uint64_t Interval = Intervals[Index % 3];
+    const SamplingPlan *P = Sample ? &Plan : nullptr;
     uint64_t FwOnly =
         runMicrobench(
             microConfig(F, DuplicationMode::NoDuplication, Interval, false),
-            Chars)
+            Chars, PipelineConfig(), P)
             .RoiCycles;
     MicroRun Total = runMicrobench(
         microConfig(F, DuplicationMode::NoDuplication, Interval, true),
-        Chars);
+        Chars, PipelineConfig(), P);
     double TotalPct = overheadPct(Total.RoiCycles, *Base);
     double FixedPct = overheadPct(FwOnly, *Base);
     RunRecord R;
@@ -275,17 +298,34 @@ struct AppRun {
   PipelineStats Stats;
 };
 
-AppRun appRoi(AppConfig C, SamplingFramework F) {
+AppRun appRoi(AppConfig C, SamplingFramework F,
+              const SamplingPlan *Plan = nullptr) {
   C.Instr.Framework = F;
   C.Instr.Dup = DuplicationMode::FullDuplication;
   C.Instr.Interval = 1024;
   AppProgram P = buildApp(C);
+  if (Plan) {
+    SampledResult SR = runSampled(P.Prog, *Plan);
+    if (SR.NumIntervals != 0 && SR.Markers.size() >= 2) {
+      AppRun R;
+      R.RoiCycles =
+          static_cast<uint64_t>(SR.estimatedCycles(SR.roiInsts()) + 0.5);
+      R.Stats = SR.Detailed;
+      R.Stats.Insts = SR.TotalInsts; // ipc() then reports the estimate
+      R.Stats.Cycles =
+          static_cast<uint64_t>(SR.estimatedCycles(SR.TotalInsts) + 0.5);
+      return R;
+    }
+    // Stream too short for a sample: fall through to a full run.
+  }
   Pipeline Pipe(P.Prog, PipelineConfig());
   RunResult Result = Pipe.run(1ULL << 40);
   return {Result.roiCycles(), Result.Stats};
 }
 
 ExperimentSpec makeFig12(const ExperimentOptions &O) {
+  const bool Sample = O.Sample;
+  const SamplingPlan Plan = O.Plan;
   ExperimentSpec S;
   S.Title = "Figure 12 - sampling framework overhead on application "
             "analogues\n(Full-Duplication, sampling period 1024, timing "
@@ -300,11 +340,12 @@ ExperimentSpec makeFig12(const ExperimentOptions &O) {
   for (const AppConfig &App : *Apps)
     S.Cells.push_back({{"benchmark", App.Name}});
 
-  S.Run = [Apps](const ParamSet &, size_t Index) {
+  S.Run = [Apps, Sample, Plan](const ParamSet &, size_t Index) {
     const AppConfig &App = (*Apps)[Index];
-    AppRun Base = appRoi(App, SamplingFramework::None);
-    AppRun Cbs = appRoi(App, SamplingFramework::CounterBased);
-    AppRun Brr = appRoi(App, SamplingFramework::BrrBased);
+    const SamplingPlan *P = Sample ? &Plan : nullptr;
+    AppRun Base = appRoi(App, SamplingFramework::None, P);
+    AppRun Cbs = appRoi(App, SamplingFramework::CounterBased, P);
+    AppRun Brr = appRoi(App, SamplingFramework::BrrBased, P);
     RunRecord R;
     R.param("benchmark", App.Name);
     R.metric("baseline_cycles", Base.RoiCycles);
@@ -337,6 +378,8 @@ ExperimentSpec makeFig12(const ExperimentOptions &O) {
 
 ExperimentSpec makeAblation(const ExperimentOptions &O) {
   const size_t Chars = scaledChars(O);
+  const bool Sample = O.Sample;
+  const SamplingPlan Plan = O.Plan;
   ExperimentSpec S;
   S.Title = "Ablation - branch-on-random design decisions "
             "(No-Duplication, framework-only)";
@@ -363,11 +406,13 @@ ExperimentSpec makeAblation(const ExperimentOptions &O) {
   M->Trap.BrrTrapCycles = 300; // Section 3.4's SIGILL emulation fallback
   M->Oracle.PerfectBranchPrediction = true;
 
-  S.Setup = [M, Chars] {
-    M->Base = runMicrobench(InstrumentationConfig(), Chars, M->Default)
+  S.Setup = [M, Chars, Sample, Plan] {
+    const SamplingPlan *P = Sample ? &Plan : nullptr;
+    M->Base = runMicrobench(InstrumentationConfig(), Chars, M->Default, P)
                   .RoiCycles;
     M->OracleBase =
-        runMicrobench(InstrumentationConfig(), Chars, M->Oracle).RoiCycles;
+        runMicrobench(InstrumentationConfig(), Chars, M->Oracle, P)
+            .RoiCycles;
   };
 
   struct Def {
@@ -433,9 +478,10 @@ ExperimentSpec makeAblation(const ExperimentOptions &O) {
                        {"arm", D.Arm},
                        {"interval", std::to_string(D.Interval)}});
 
-  S.Run = [M, Defs, Chars](const ParamSet &, size_t Index) {
+  S.Run = [M, Defs, Chars, Sample, Plan](const ParamSet &, size_t Index) {
     const Def &D = (*Defs)[Index];
-    MicroRun Run = runMicrobench(D.Instr, Chars, *D.Machine);
+    MicroRun Run =
+        runMicrobench(D.Instr, Chars, *D.Machine, Sample ? &Plan : nullptr);
     uint64_t Base = D.OracleBaseline ? M->OracleBase : M->Base;
     RunRecord R;
     R.param("group", D.Group);
@@ -464,6 +510,7 @@ void registerAllExperiments() {
   Registered = true;
 
   registerAccuracyExperiments();
+  registerSampleExperiments();
 
   ExperimentRegistry &R = ExperimentRegistry::instance();
   R.add("fig02",

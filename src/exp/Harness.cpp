@@ -58,19 +58,70 @@ AccuracyRow runAccuracy(const BenchmarkModel &Model, uint64_t Interval,
   return Row;
 }
 
+namespace {
+
+/// Scales the measured-window counters of a sampled run up to the full
+/// stream, so metric code written against full-run PipelineStats reads a
+/// sampled run identically. Insts is exact (every instruction executed);
+/// cycle and event counters are estimates.
+PipelineStats scaleSampledStats(const SampledResult &SR) {
+  PipelineStats S = SR.Detailed;
+  if (SR.MeasuredInsts == 0)
+    return S;
+  double K = static_cast<double>(SR.TotalInsts) /
+             static_cast<double>(SR.MeasuredInsts);
+  auto Scale = [K](uint64_t V) {
+    return static_cast<uint64_t>(static_cast<double>(V) * K + 0.5);
+  };
+  S.Insts = SR.TotalInsts;
+  S.Cycles = Scale(S.Cycles);
+  S.CondBranches = Scale(S.CondBranches);
+  S.CondMispredicts = Scale(S.CondMispredicts);
+  S.IndirectBranches = Scale(S.IndirectBranches);
+  S.IndirectMispredicts = Scale(S.IndirectMispredicts);
+  S.DirectJumps = Scale(S.DirectJumps);
+  S.DirectJumpDecodeRedirects = Scale(S.DirectJumpDecodeRedirects);
+  S.BrrExecuted = Scale(S.BrrExecuted);
+  S.BrrTaken = Scale(S.BrrTaken);
+  S.FetchIcacheStallCycles = Scale(S.FetchIcacheStallCycles);
+  S.BackendFlushCycles = Scale(S.BackendFlushCycles);
+  S.FrontendFlushCycles = Scale(S.FrontendFlushCycles);
+  S.FullWidthFetchCycles = Scale(S.FullWidthFetchCycles);
+  return S;
+}
+
+} // namespace
+
 MicroRun runMicrobench(const InstrumentationConfig &Instr, size_t NumChars,
-                       const PipelineConfig &Machine) {
+                       const PipelineConfig &Machine,
+                       const SamplingPlan *Plan) {
   MicrobenchConfig C;
   C.Text.NumChars = NumChars;
   C.Instr = Instr;
   MicrobenchProgram MB = buildMicrobench(C);
-  Pipeline Pipe(MB.Prog, Machine);
   MicroRun Run;
+  Run.DynamicSiteVisits = MB.DynamicSiteVisits;
+
+  if (Plan) {
+    SampledResult SR = runSampled(MB.Prog, *Plan, Machine);
+    if (SR.NumIntervals != 0) {
+      Run.Sampled = true;
+      Run.Stats = scaleSampledStats(SR);
+      Run.IpcCi95 = SR.ipcCi95();
+      Run.SampleIntervals = SR.NumIntervals;
+      if (SR.Markers.size() == 2)
+        Run.RoiCycles =
+            static_cast<uint64_t>(SR.estimatedCycles(SR.roiInsts()) + 0.5);
+      return Run;
+    }
+    // Stream too short for even one interval: fall through to a full run.
+  }
+
+  Pipeline Pipe(MB.Prog, Machine);
   RunResult Result = Pipe.run(1ULL << 40);
   Run.Stats = Result.Stats;
   if (Result.Markers.size() == 2)
     Run.RoiCycles = Result.roiCycles();
-  Run.DynamicSiteVisits = MB.DynamicSiteVisits;
   return Run;
 }
 

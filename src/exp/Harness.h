@@ -22,6 +22,7 @@
 #define BOR_EXP_HARNESS_H
 
 #include "profile/TraceGen.h"
+#include "sample/SampledRunner.h"
 #include "uarch/Pipeline.h"
 #include "workloads/Microbench.h"
 
@@ -45,15 +46,26 @@ AccuracyRow runAccuracy(const BenchmarkModel &Model, uint64_t Interval,
                         uint64_t BrrSeed);
 
 /// Timed microbenchmark run: region-of-interest cycles plus the stats the
-/// figures report.
+/// figures report. In sampled mode RoiCycles is an estimate (ROI
+/// instruction span over the sampled mean IPC) and Stats is synthesized by
+/// scaling the measured intervals' counters up to the full stream, so
+/// downstream metric code works identically; Sampled / IpcCi95 /
+/// SampleIntervals report the estimate's provenance and precision.
 struct MicroRun {
   uint64_t RoiCycles = 0;
   uint64_t DynamicSiteVisits = 0;
   PipelineStats Stats;
+  bool Sampled = false;
+  double IpcCi95 = 0;          ///< 95% CI half-width on the sampled IPC.
+  uint64_t SampleIntervals = 0; ///< detailed intervals behind the estimate.
 };
 
+/// Runs the microbenchmark through the full detailed Pipeline, or — when
+/// \p Plan is non-null — through the SampledRunner, which executes the
+/// same instruction stream but times only the plan's periodic intervals.
 MicroRun runMicrobench(const InstrumentationConfig &Instr, size_t NumChars,
-                       const PipelineConfig &Machine = PipelineConfig());
+                       const PipelineConfig &Machine = PipelineConfig(),
+                       const SamplingPlan *Plan = nullptr);
 
 InstrumentationConfig microConfig(SamplingFramework F, DuplicationMode Dup,
                                   uint64_t Interval, bool IncludeBody);

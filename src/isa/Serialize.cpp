@@ -12,7 +12,9 @@ using namespace bor;
 namespace {
 
 constexpr char Magic[4] = {'B', 'O', 'R', 'B'};
-constexpr uint32_t Version = 1;
+constexpr uint32_t VersionNoSections = 1;
+constexpr uint32_t VersionWithSections = 2;
+constexpr uint64_t MaxSectionBytes = 1ULL << 32; ///< corruption guard
 
 void putU32(std::vector<uint8_t> &Out, uint32_t V) {
   for (int I = 0; I != 4; ++I)
@@ -72,10 +74,12 @@ LoadResult fail(const std::string &Message) {
 
 } // namespace
 
-std::vector<uint8_t> bor::serializeProgram(const Program &P) {
+std::vector<uint8_t>
+bor::serializeProgram(const Program &P,
+                      const std::vector<ContainerSection> &Sections) {
   std::vector<uint8_t> Out;
   Out.insert(Out.end(), Magic, Magic + 4);
-  putU32(Out, Version);
+  putU32(Out, Sections.empty() ? VersionNoSections : VersionWithSections);
   putU32(Out, static_cast<uint32_t>(P.numInsts()));
   putU64(Out, P.dataBase());
   putU64(Out, P.data().size());
@@ -89,6 +93,14 @@ std::vector<uint8_t> bor::serializeProgram(const Program &P) {
     Out.insert(Out.end(), Name.begin(), Name.end());
     putU64(Out, Addr);
   }
+  if (!Sections.empty()) {
+    putU32(Out, static_cast<uint32_t>(Sections.size()));
+    for (const ContainerSection &S : Sections) {
+      Out.insert(Out.end(), S.Tag.begin(), S.Tag.end());
+      putU64(Out, S.Bytes.size());
+      Out.insert(Out.end(), S.Bytes.begin(), S.Bytes.end());
+    }
+  }
   return Out;
 }
 
@@ -98,7 +110,7 @@ LoadResult bor::deserializeProgram(const std::vector<uint8_t> &Bytes) {
   if (!R.bytes(Got, 4) || std::memcmp(Got, Magic, 4) != 0)
     return fail("not a BORB image (bad magic)");
   uint32_t Ver = R.u32();
-  if (Ver != Version)
+  if (Ver != VersionNoSections && Ver != VersionWithSections)
     return fail("unsupported BORB version " + std::to_string(Ver));
 
   uint32_t NumInsts = R.u32();
@@ -138,17 +150,38 @@ LoadResult bor::deserializeProgram(const std::vector<uint8_t> &Bytes) {
       return fail("truncated symbol address");
     P.setSymbol(Name, Addr);
   }
+
+  std::vector<ContainerSection> Sections;
+  if (Ver >= VersionWithSections) {
+    uint32_t NumSections = R.u32();
+    if (R.failed())
+      return fail("truncated section table");
+    for (uint32_t I = 0; I != NumSections; ++I) {
+      ContainerSection S;
+      if (!R.bytes(S.Tag.data(), 4))
+        return fail("truncated section tag");
+      uint64_t Size = R.u64();
+      if (R.failed() || Size > MaxSectionBytes)
+        return fail("bad section size");
+      S.Bytes.resize(Size);
+      if (Size != 0 && !R.bytes(S.Bytes.data(), Size))
+        return fail("truncated section payload");
+      Sections.push_back(std::move(S));
+    }
+  }
   if (!R.atEnd())
     return fail("trailing bytes after image");
 
   LoadResult Result;
   Result.Ok = true;
   Result.Prog = std::move(P);
+  Result.Sections = std::move(Sections);
   return Result;
 }
 
-bool bor::saveProgram(const Program &P, const std::string &Path) {
-  std::vector<uint8_t> Bytes = serializeProgram(P);
+bool bor::saveProgram(const Program &P, const std::string &Path,
+                      const std::vector<ContainerSection> &Sections) {
+  std::vector<uint8_t> Bytes = serializeProgram(P, Sections);
   std::FILE *F = std::fopen(Path.c_str(), "wb");
   if (!F)
     return false;

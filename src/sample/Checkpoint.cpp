@@ -1,0 +1,222 @@
+//===- sample/Checkpoint.cpp - Architectural state snapshots --------------===//
+
+#include "sample/Checkpoint.h"
+
+#include "isa/Serialize.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace bor;
+
+namespace {
+
+constexpr uint32_t CheckpointVersion = 1;
+constexpr char CheckpointTag[5] = "CKPT";
+constexpr uint32_t MaxDeciderKindLen = 64;
+constexpr uint32_t MaxDeciderWords = 64;
+
+void putU32(std::vector<uint8_t> &Out, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void putU64(std::vector<uint8_t> &Out, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+/// Bounds-checked little-endian reader (mirrors isa/Serialize.cpp's; the
+/// two formats are deliberately independent, so no shared header).
+class Reader {
+public:
+  Reader(const std::vector<uint8_t> &Bytes) : Bytes(Bytes) {}
+
+  bool failed() const { return Failed; }
+  bool atEnd() const { return Pos == Bytes.size(); }
+
+  uint32_t u32() { return static_cast<uint32_t>(uint(4)); }
+  uint64_t u64() { return uint(8); }
+  uint8_t u8() { return static_cast<uint8_t>(uint(1)); }
+
+  bool bytes(void *Dst, size_t N) {
+    if (Pos + N > Bytes.size()) {
+      Failed = true;
+      return false;
+    }
+    std::memcpy(Dst, Bytes.data() + Pos, N);
+    Pos += N;
+    return true;
+  }
+
+private:
+  uint64_t uint(unsigned N) {
+    if (Pos + N > Bytes.size()) {
+      Failed = true;
+      return 0;
+    }
+    uint64_t V = 0;
+    for (unsigned I = 0; I != N; ++I)
+      V |= static_cast<uint64_t>(Bytes[Pos + I]) << (8 * I);
+    Pos += N;
+    return V;
+  }
+
+  const std::vector<uint8_t> &Bytes;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+bool fail(std::string &Error, const std::string &Message) {
+  Error = Message;
+  return false;
+}
+
+} // namespace
+
+MachineCheckpoint bor::captureCheckpoint(const Machine &M,
+                                         const BrrDecider &Decider,
+                                         uint64_t InstsRetired) {
+  MachineCheckpoint C;
+  C.Pc = M.pc();
+  C.Halted = M.halted();
+  C.InstsRetired = InstsRetired;
+  for (unsigned R = 0; R != 32; ++R)
+    C.Regs[R] = M.readReg(R);
+  C.DeciderKind = Decider.checkpointKind();
+  C.DeciderWords = Decider.checkpointWords();
+
+  const uint64_t PageBytes = Memory::pageBytes();
+  M.memory().forEachPage([&](uint64_t Base, const uint8_t *Data) {
+    // Skip all-zero pages: a reset Machine reproduces them implicitly.
+    bool AllZero = true;
+    for (uint64_t I = 0; I != PageBytes; ++I)
+      if (Data[I] != 0) {
+        AllZero = false;
+        break;
+      }
+    if (AllZero)
+      return;
+    MachineCheckpoint::Page P;
+    P.Base = Base;
+    P.Data.assign(Data, Data + PageBytes);
+    C.Pages.push_back(std::move(P));
+  });
+  return C;
+}
+
+bool bor::restoreCheckpoint(const MachineCheckpoint &C, Machine &M,
+                            BrrDecider &Decider, std::string &Error) {
+  if (C.DeciderKind != Decider.checkpointKind())
+    return fail(Error, "checkpoint was taken with decider '" + C.DeciderKind +
+                           "' but resuming with '" +
+                           Decider.checkpointKind() + "'");
+  Decider.restoreCheckpointWords(C.DeciderWords);
+
+  M.memory().reset();
+  for (const MachineCheckpoint::Page &P : C.Pages)
+    M.memory().restorePage(P.Base, P.Data.data());
+  for (unsigned R = 1; R != 32; ++R) // r0 is hardwired zero
+    M.writeReg(R, C.Regs[R]);
+  M.setPc(C.Pc);
+  M.setHalted(C.Halted);
+  return true;
+}
+
+std::vector<uint8_t> bor::encodeCheckpoint(const MachineCheckpoint &C) {
+  std::vector<uint8_t> Out;
+  putU32(Out, CheckpointVersion);
+  putU64(Out, C.Pc);
+  Out.push_back(C.Halted ? 1 : 0);
+  putU64(Out, C.InstsRetired);
+  putU32(Out, static_cast<uint32_t>(C.DeciderKind.size()));
+  Out.insert(Out.end(), C.DeciderKind.begin(), C.DeciderKind.end());
+  putU32(Out, static_cast<uint32_t>(C.DeciderWords.size()));
+  for (uint64_t W : C.DeciderWords)
+    putU64(Out, W);
+  for (uint64_t R : C.Regs)
+    putU64(Out, R);
+  putU64(Out, C.Pages.size());
+  for (const MachineCheckpoint::Page &P : C.Pages) {
+    putU64(Out, P.Base);
+    Out.insert(Out.end(), P.Data.begin(), P.Data.end());
+  }
+  return Out;
+}
+
+bool bor::decodeCheckpoint(const std::vector<uint8_t> &Bytes,
+                           MachineCheckpoint &C, std::string &Error) {
+  const uint64_t PageBytes = Memory::pageBytes();
+  Reader R(Bytes);
+  uint32_t Ver = R.u32();
+  if (R.failed())
+    return fail(Error, "truncated checkpoint header");
+  if (Ver != CheckpointVersion)
+    return fail(Error,
+                "unsupported checkpoint version " + std::to_string(Ver));
+  C.Pc = R.u64();
+  C.Halted = R.u8() != 0;
+  C.InstsRetired = R.u64();
+
+  uint32_t KindLen = R.u32();
+  if (R.failed() || KindLen > MaxDeciderKindLen)
+    return fail(Error, "bad checkpoint decider kind");
+  C.DeciderKind.assign(KindLen, '\0');
+  if (KindLen != 0 && !R.bytes(C.DeciderKind.data(), KindLen))
+    return fail(Error, "truncated checkpoint decider kind");
+
+  uint32_t NumWords = R.u32();
+  if (R.failed() || NumWords > MaxDeciderWords)
+    return fail(Error, "bad checkpoint decider state");
+  C.DeciderWords.clear();
+  for (uint32_t I = 0; I != NumWords; ++I)
+    C.DeciderWords.push_back(R.u64());
+
+  for (unsigned I = 0; I != 32; ++I)
+    C.Regs[I] = R.u64();
+  if (R.failed())
+    return fail(Error, "truncated checkpoint registers");
+
+  uint64_t NumPages = R.u64();
+  if (R.failed() ||
+      NumPages > (Bytes.size() / PageBytes) + 1) // corruption guard
+    return fail(Error, "bad checkpoint page count");
+  C.Pages.clear();
+  C.Pages.reserve(NumPages);
+  for (uint64_t I = 0; I != NumPages; ++I) {
+    MachineCheckpoint::Page P;
+    P.Base = R.u64();
+    if (R.failed() || P.Base % PageBytes != 0)
+      return fail(Error, "bad checkpoint page base");
+    P.Data.resize(PageBytes);
+    if (!R.bytes(P.Data.data(), PageBytes))
+      return fail(Error, "truncated checkpoint page");
+    C.Pages.push_back(std::move(P));
+  }
+  if (!R.atEnd())
+    return fail(Error, "trailing bytes after checkpoint");
+  return true;
+}
+
+ContainerSection bor::checkpointSection(const MachineCheckpoint &C) {
+  return ContainerSection::make(CheckpointTag, encodeCheckpoint(C));
+}
+
+bool bor::saveCheckpointFile(const Program &P, const MachineCheckpoint &C,
+                             const std::string &Path) {
+  return saveProgram(P, Path, {checkpointSection(C)});
+}
+
+bool bor::loadCheckpointFile(const std::string &Path, Program &P,
+                             MachineCheckpoint &C, std::string &Error) {
+  LoadResult R = loadProgramFile(Path);
+  if (!R.Ok)
+    return fail(Error, R.Error);
+  const ContainerSection *S = R.findSection(CheckpointTag);
+  if (!S)
+    return fail(Error, "'" + Path + "' has no CKPT section");
+  if (!decodeCheckpoint(S->Bytes, C, Error))
+    return false;
+  P = std::move(R.Prog);
+  return true;
+}

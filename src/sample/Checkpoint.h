@@ -1,0 +1,104 @@
+//===- sample/Checkpoint.h - Architectural state snapshots ----------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Capture and restore of full architectural machine state — registers, PC,
+/// halt flag, retired-instruction count, every touched memory page, and the
+/// brr decider's internal state (LFSR word and evaluation count) — so a
+/// functional run can be suspended and resumed bit-identically, and so the
+/// sampled-simulation subsystem can fast-forward from a saved point instead
+/// of from reset.
+///
+/// On disk a checkpoint travels as a "CKPT" section of the BORB container
+/// (isa/Serialize.h): the image carries both the program and the state, so
+/// `bor-run --resume prog.ckpt.borb` needs no side files. The payload
+/// encoding is owned entirely by this file; the container treats it as
+/// opaque bytes.
+///
+/// Payload layout (little-endian):
+///   u32 version | u64 pc | u8 halted | u64 instsRetired
+///   | u32 deciderKindLen, kind bytes | u32 numDeciderWords, u64 words
+///   | 32 x u64 registers
+///   | u64 numPages | pages: (u64 base, 4096 data bytes)*
+///
+/// All-zero pages are skipped at capture: restoring into a reset Machine
+/// reproduces them implicitly, keeping checkpoints of sparse address
+/// spaces small.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_SAMPLE_CHECKPOINT_H
+#define BOR_SAMPLE_CHECKPOINT_H
+
+#include "sim/Machine.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bor {
+
+struct ContainerSection;
+class Program;
+
+/// A point-in-time snapshot of architectural state plus the decider state
+/// needed to reproduce the brr outcome stream from this point on.
+struct MachineCheckpoint {
+  uint64_t Pc = 0;
+  bool Halted = false;
+  /// Instructions the interpreter had retired when the snapshot was taken
+  /// (restored into the resuming interpreter so instruction budgets and
+  /// sampling schedules stay aligned with the original stream).
+  uint64_t InstsRetired = 0;
+  std::array<uint64_t, 32> Regs{};
+  /// Touched pages, sorted by base address; each entry is exactly
+  /// Memory::pageBytes() bytes. All-zero pages are omitted.
+  struct Page {
+    uint64_t Base = 0;
+    std::vector<uint8_t> Data;
+  };
+  std::vector<Page> Pages;
+  /// Decider identity and opaque state words (BrrDecider::checkpointKind /
+  /// checkpointWords). Restoring verifies the kind matches so an LFSR
+  /// checkpoint cannot silently resume under a counter decider.
+  std::string DeciderKind;
+  std::vector<uint64_t> DeciderWords;
+};
+
+/// Snapshots \p M and \p Decider. \p InstsRetired is the interpreter's
+/// retired count at the snapshot point.
+MachineCheckpoint captureCheckpoint(const Machine &M,
+                                    const BrrDecider &Decider,
+                                    uint64_t InstsRetired);
+
+/// Restores \p C into \p M (resetting memory first) and \p Decider.
+/// Returns false — leaving an error in \p Error — when the checkpoint's
+/// decider kind does not match \p Decider's.
+bool restoreCheckpoint(const MachineCheckpoint &C, Machine &M,
+                       BrrDecider &Decider, std::string &Error);
+
+/// Payload (de)serialization. decodeCheckpoint returns false and sets
+/// \p Error on malformed bytes.
+std::vector<uint8_t> encodeCheckpoint(const MachineCheckpoint &C);
+bool decodeCheckpoint(const std::vector<uint8_t> &Bytes, MachineCheckpoint &C,
+                      std::string &Error);
+
+/// The container-section tag carrying a checkpoint payload.
+ContainerSection checkpointSection(const MachineCheckpoint &C);
+
+/// Writes \p P plus \p C as a BORB v2 image at \p Path.
+bool saveCheckpointFile(const Program &P, const MachineCheckpoint &C,
+                        const std::string &Path);
+
+/// Loads a checkpoint image: program into \p P, state into \p C. Returns
+/// false with a diagnostic in \p Error for I/O errors, format errors, or
+/// images without a "CKPT" section.
+bool loadCheckpointFile(const std::string &Path, Program &P,
+                        MachineCheckpoint &C, std::string &Error);
+
+} // namespace bor
+
+#endif // BOR_SAMPLE_CHECKPOINT_H

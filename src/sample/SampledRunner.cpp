@@ -1,0 +1,171 @@
+//===- sample/SampledRunner.cpp - SMARTS-style sampled simulation ---------===//
+
+#include "sample/SampledRunner.h"
+
+#include "sample/Warmup.h"
+
+#include <algorithm>
+
+using namespace bor;
+
+namespace {
+
+/// Field-wise difference of two cumulative PipelineStats snapshots (After
+/// was taken later on the same Pipeline, so every counter is >= Before's).
+PipelineStats statsDelta(const PipelineStats &After,
+                         const PipelineStats &Before) {
+  PipelineStats D;
+  D.Cycles = After.Cycles - Before.Cycles;
+  D.Insts = After.Insts - Before.Insts;
+  D.CondBranches = After.CondBranches - Before.CondBranches;
+  D.CondMispredicts = After.CondMispredicts - Before.CondMispredicts;
+  D.IndirectBranches = After.IndirectBranches - Before.IndirectBranches;
+  D.IndirectMispredicts =
+      After.IndirectMispredicts - Before.IndirectMispredicts;
+  D.DirectJumps = After.DirectJumps - Before.DirectJumps;
+  D.DirectJumpDecodeRedirects =
+      After.DirectJumpDecodeRedirects - Before.DirectJumpDecodeRedirects;
+  D.BrrExecuted = After.BrrExecuted - Before.BrrExecuted;
+  D.BrrTaken = After.BrrTaken - Before.BrrTaken;
+  D.FetchIcacheStallCycles =
+      After.FetchIcacheStallCycles - Before.FetchIcacheStallCycles;
+  D.BackendFlushCycles = After.BackendFlushCycles - Before.BackendFlushCycles;
+  D.FrontendFlushCycles =
+      After.FrontendFlushCycles - Before.FrontendFlushCycles;
+  D.FullWidthFetchCycles =
+      After.FullWidthFetchCycles - Before.FullWidthFetchCycles;
+  return D;
+}
+
+void accumulate(PipelineStats &Sum, const PipelineStats &D) {
+  Sum.Cycles += D.Cycles;
+  Sum.Insts += D.Insts;
+  Sum.CondBranches += D.CondBranches;
+  Sum.CondMispredicts += D.CondMispredicts;
+  Sum.IndirectBranches += D.IndirectBranches;
+  Sum.IndirectMispredicts += D.IndirectMispredicts;
+  Sum.DirectJumps += D.DirectJumps;
+  Sum.DirectJumpDecodeRedirects += D.DirectJumpDecodeRedirects;
+  Sum.BrrExecuted += D.BrrExecuted;
+  Sum.BrrTaken += D.BrrTaken;
+  Sum.FetchIcacheStallCycles += D.FetchIcacheStallCycles;
+  Sum.BackendFlushCycles += D.BackendFlushCycles;
+  Sum.FrontendFlushCycles += D.FrontendFlushCycles;
+  Sum.FullWidthFetchCycles += D.FullWidthFetchCycles;
+}
+
+} // namespace
+
+SampledResult bor::runSampled(const Program &P, Machine &M,
+                              const SamplingPlan &Plan,
+                              const PipelineConfig &Config,
+                              BrrDecider &Decider, uint64_t MaxInsts,
+                              uint64_t StartInsts) {
+  assert(Plan.valid() && "invalid sampling plan");
+  SampledResult Result;
+  Result.Plan = Plan;
+
+  // One functional interpreter and one microarchitectural state bundle
+  // span the whole run; detailed intervals attach Pipelines to the same
+  // Machine, so every instruction retires exactly once.
+  Interpreter Fn(P, M, Decider, /*LoadImage=*/false);
+  MicroarchState Uarch(Config);
+  FunctionalWarmer Warmer(Uarch, Config);
+
+  uint64_t Global = StartInsts; // committed instructions, all phases
+  uint64_t Budget = MaxInsts;
+
+  auto observeMarker = [&](const ExecRecord &R) {
+    if (R.I.Op == Opcode::Marker)
+      Result.Markers.push_back({R.I.Imm, Global});
+  };
+
+  // Each period runs warm | measure | fast-forward, with the detailed
+  // interval at the period's head: the first interval then measures the
+  // program's true cold start (as a full detailed run would), and even a
+  // stream shorter than one period yields at least one sample.
+  while (!M.halted() && Result.TotalInsts < Budget) {
+    // --- Functional warming: same stream, structures trained. ----------
+    for (uint64_t I = 0;
+         I != Plan.WarmupInsts && !M.halted() && Result.TotalInsts < Budget;
+         ++I) {
+      ExecRecord R = Fn.step();
+      Warmer.observe(R);
+      ++Global;
+      ++Result.TotalInsts;
+      ++Result.WarmedInsts;
+      observeMarker(R);
+    }
+
+    if (M.halted() || Result.TotalInsts >= Budget)
+      break;
+
+    // --- Detailed interval: pre-roll (discarded) then measurement. -----
+    uint64_t IntervalBase = Global;
+    Pipeline Pipe(P, M, Uarch, Config, Decider);
+
+    uint64_t Remaining = Budget - Result.TotalInsts;
+    uint64_t PrerollTarget = std::min(Plan.DetailedWarmupInsts, Remaining);
+    Pipe.run(PrerollTarget, /*RequireHalt=*/false);
+    PipelineStats Before = Pipe.stats();
+
+    uint64_t MeasureTarget =
+        std::min(PrerollTarget + Plan.MeasureInsts, Remaining);
+    RunResult R = Pipe.run(MeasureTarget, /*RequireHalt=*/false);
+
+    uint64_t IntervalInsts = R.Stats.Insts;
+    Global += IntervalInsts;
+    Result.TotalInsts += IntervalInsts;
+    Result.PrerollInsts += Before.Insts;
+
+    for (const MarkerEvent &E : R.Markers)
+      Result.Markers.push_back({E.Id, IntervalBase + E.InstsRetired});
+
+    PipelineStats D = statsDelta(R.Stats, Before);
+    if (D.Insts != 0) {
+      Result.MeasuredInsts += D.Insts;
+      ++Result.NumIntervals;
+      accumulate(Result.Detailed, D);
+      if (D.Cycles != 0) {
+        Result.IpcSamples.add(static_cast<double>(D.Insts) /
+                              static_cast<double>(D.Cycles));
+        Result.FlushFracSamples.add(
+            static_cast<double>(D.BackendFlushCycles +
+                                D.FrontendFlushCycles) /
+            static_cast<double>(D.Cycles));
+      }
+      Result.BrrRateSamples.add(1000.0 * static_cast<double>(D.BrrExecuted) /
+                                static_cast<double>(D.Insts));
+    }
+
+    // --- Fast-forward: functional only, rest of the period. ------------
+    uint64_t FastForward = Plan.PeriodInsts - Plan.WarmupInsts -
+                           Plan.DetailedWarmupInsts - Plan.MeasureInsts;
+    for (uint64_t I = 0;
+         I != FastForward && !M.halted() && Result.TotalInsts < Budget;
+         ++I) {
+      ExecRecord R = Fn.step();
+      ++Global;
+      ++Result.TotalInsts;
+      ++Result.FastForwardInsts;
+      observeMarker(R);
+    }
+  }
+
+  Result.Halted = M.halted();
+  return Result;
+}
+
+SampledResult bor::runSampled(const Program &P, const SamplingPlan &Plan,
+                              const PipelineConfig &Config,
+                              BrrDecider *Decider, uint64_t MaxInsts) {
+  Machine M;
+  M.loadProgram(P);
+  std::unique_ptr<BrrDecider> Owned;
+  if (!Decider) {
+    Owned = std::make_unique<BrrUnitDecider>(Config.Brr);
+    Decider = Owned.get();
+  }
+  return runSampled(P, M, Plan, Config, *Decider, MaxInsts,
+                    /*StartInsts=*/0);
+}

@@ -1,0 +1,55 @@
+//===- sample/Warmup.h - Functional µarch warming -------------------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Functional warming for sampled simulation: drives the cache hierarchy,
+/// tournament predictor, BTB and RAS from the interpreter's committed
+/// instruction stream without computing any timing. Applied for the
+/// WarmupInsts instructions before each detailed interval, it removes the
+/// cold-structure bias that makes naively sampled IPC estimates wrong
+/// (docs/SAMPLING.md).
+///
+/// The update rules mirror Pipeline's exactly — same predictor train/
+/// repair sequence, same BTB insert conditions, same RAS push/pop, same
+/// one-probe-per-line I-cache rule — so structures warmed here are in the
+/// same state a detailed run would have left them in. Pipeline's comment
+/// discipline applies: brr never touches predictor or BTB (Section 3.3)
+/// unless the BrrAsBackendBranch ablation is on, and under
+/// PerfectBranchPrediction the predictor structures are never consulted,
+/// so only the caches warm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_SAMPLE_WARMUP_H
+#define BOR_SAMPLE_WARMUP_H
+
+#include "sim/Interpreter.h"
+#include "uarch/MicroarchState.h"
+
+namespace bor {
+
+class FunctionalWarmer {
+public:
+  FunctionalWarmer(MicroarchState &Uarch, const PipelineConfig &Config)
+      : Uarch(Uarch), Config(Config) {}
+
+  /// Feeds one committed instruction through the structure-update rules.
+  void observe(const ExecRecord &R);
+
+  /// Steps \p Oracle for up to \p Insts instructions (or until halt),
+  /// warming structures from each committed record. Returns the number of
+  /// instructions actually consumed.
+  uint64_t warm(Interpreter &Oracle, uint64_t Insts);
+
+private:
+  MicroarchState &Uarch;
+  const PipelineConfig &Config;
+  uint64_t LastFetchLine = ~0ULL;
+};
+
+} // namespace bor
+
+#endif // BOR_SAMPLE_WARMUP_H

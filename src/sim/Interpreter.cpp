@@ -4,11 +4,14 @@
 
 using namespace bor;
 
-Interpreter::Interpreter(const Program &P, Machine &M, BrrDecider &Decider)
+Interpreter::Interpreter(const Program &P, Machine &M, BrrDecider &Decider,
+                         bool LoadImage)
     : Prog(P), Mach(M), Decider(Decider) {
   // Establish the program image (data segment, PC) so a fresh machine is
-  // immediately runnable; reloading an already-loaded machine is benign.
-  Mach.loadProgram(P);
+  // immediately runnable. Attach mode (LoadImage == false) leaves the
+  // machine exactly as handed in, mid-execution state included.
+  if (LoadImage)
+    Mach.loadProgram(P);
 }
 
 ExecRecord Interpreter::step() {

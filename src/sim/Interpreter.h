@@ -51,7 +51,13 @@ struct RunStats {
 /// the optional callback.
 class Interpreter {
 public:
-  Interpreter(const Program &P, Machine &M, BrrDecider &Decider);
+  /// \p LoadImage: when set (the default) the constructor copies \p P's
+  /// data segment into \p M and resets the PC, so a fresh machine is
+  /// immediately runnable. Pass false to attach to a machine that is
+  /// already mid-execution (checkpoint resume, sampled simulation) --
+  /// the machine's PC, registers and memory are taken as-is.
+  Interpreter(const Program &P, Machine &M, BrrDecider &Decider,
+              bool LoadImage = true);
 
   bool halted() const { return Mach.halted(); }
 

@@ -2,6 +2,9 @@
 
 #include "sim/Machine.h"
 
+#include <algorithm>
+#include <cstring>
+
 using namespace bor;
 
 BrrDecider::~BrrDecider() = default;
@@ -52,6 +55,23 @@ void Memory::writeU64(uint64_t Addr, uint64_t Value) {
   uint64_t Offset = Addr % PageBytes;
   for (unsigned I = 0; I != 8; ++I)
     P[Offset + I] = static_cast<uint8_t>(Value >> (8 * I));
+}
+
+void Memory::forEachPage(
+    const std::function<void(uint64_t Base, const uint8_t *Data)> &Fn)
+    const {
+  std::vector<uint64_t> Bases;
+  Bases.reserve(Pages.size());
+  for (const auto &KV : Pages)
+    Bases.push_back(KV.first);
+  std::sort(Bases.begin(), Bases.end());
+  for (uint64_t Base : Bases)
+    Fn(Base * PageBytes, Pages.find(Base)->second->data());
+}
+
+void Memory::restorePage(uint64_t Base, const uint8_t *Data) {
+  assert(Base % PageBytes == 0 && "page base must be page-aligned");
+  std::memcpy(pageFor(Base).data(), Data, PageBytes);
 }
 
 Machine::Machine() { Regs.fill(0); }

@@ -23,8 +23,10 @@
 #include "isa/Program.h"
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 namespace bor {
 
@@ -39,6 +41,23 @@ public:
 
   /// Number of distinct pages touched (for tests).
   size_t numPages() const { return Pages.size(); }
+
+  /// Page granularity of the sparse backing store.
+  static constexpr uint64_t pageBytes() { return PageBytes; }
+
+  /// Visits every allocated page in ascending address order with its base
+  /// address and PageBytes of content. The deterministic order is what
+  /// makes checkpoint images byte-stable across runs.
+  void forEachPage(
+      const std::function<void(uint64_t Base, const uint8_t *Data)> &Fn)
+      const;
+
+  /// Overwrites the page containing \p Base (which must be page-aligned)
+  /// with \p Data (pageBytes() bytes). Used by checkpoint restore.
+  void restorePage(uint64_t Base, const uint8_t *Data);
+
+  /// Drops every page, returning memory to the all-zero state.
+  void reset() { Pages.clear(); }
 
 private:
   static constexpr uint64_t PageBytes = 4096;
@@ -60,6 +79,19 @@ public:
   /// LFSR): returns the generator's current state and advances it.
   /// Implementations without an LFSR return 0.
   virtual uint64_t readAndStep() { return 0; }
+
+  /// Checkpoint support. A decider is architectural state: resuming a
+  /// snapshotted execution must reproduce the exact outcome sequence the
+  /// uninterrupted run would have produced. kind() names the
+  /// implementation (a resume must re-create the same kind);
+  /// checkpointWords() returns the state as opaque words, and
+  /// restoreCheckpointWords() installs words captured from a decider of
+  /// the same kind. Stateless deciders need none of it.
+  virtual const char *checkpointKind() const { return "stateless"; }
+  virtual std::vector<uint64_t> checkpointWords() const { return {}; }
+  virtual void restoreCheckpointWords(const std::vector<uint64_t> &Words) {
+    (void)Words;
+  }
 };
 
 /// The proposed hardware: an LFSR-based BrrUnit (Section 3.3).
@@ -73,6 +105,15 @@ public:
     Unit.lfsr().step();
     return State;
   }
+  const char *checkpointKind() const override { return "lfsr"; }
+  std::vector<uint64_t> checkpointWords() const override {
+    return {Unit.lfsr().state(), Unit.evaluationCount()};
+  }
+  void restoreCheckpointWords(const std::vector<uint64_t> &Words) override {
+    assert(Words.size() == 2 && "malformed lfsr checkpoint");
+    Unit.lfsr().seed(Words[0]);
+    Unit.restoreEvaluationCount(Words[1]);
+  }
   const BrrUnit &unit() const { return Unit; }
 
 private:
@@ -85,6 +126,14 @@ class HwCounterDecider : public BrrDecider {
 public:
   explicit HwCounterDecider(uint64_t Phase = 0) : Unit(Phase) {}
   bool decide(FreqCode Freq) override { return Unit.evaluate(Freq); }
+  const char *checkpointKind() const override { return "counter"; }
+  std::vector<uint64_t> checkpointWords() const override {
+    return {Unit.evaluationCount()};
+  }
+  void restoreCheckpointWords(const std::vector<uint64_t> &Words) override {
+    assert(Words.size() == 1 && "malformed counter checkpoint");
+    Unit = HwCounterUnit(Words[0]);
+  }
 
 private:
   HwCounterUnit Unit;
@@ -124,7 +173,7 @@ public:
   void setPc(uint64_t NewPc) { Pc = NewPc; }
 
   bool halted() const { return Halted; }
-  void setHalted() { Halted = true; }
+  void setHalted(bool H = true) { Halted = H; }
 
   Memory &memory() { return Mem; }
   const Memory &memory() const { return Mem; }

@@ -1,0 +1,42 @@
+//===- uarch/MicroarchState.h - Pollutable µarch structures ---------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The microarchitectural state a timing run accumulates and a sampled
+/// simulation must keep warm between detailed intervals: the cache
+/// hierarchy, the tournament predictor, the BTB and the RAS. Pipeline owns
+/// one per cold run; the sampled-simulation subsystem constructs one per
+/// workload, warms it functionally between intervals, and lends it to each
+/// interval's Pipeline so detailed measurement starts from a trained
+/// front end rather than a cold one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_UARCH_MICROARCHSTATE_H
+#define BOR_UARCH_MICROARCHSTATE_H
+
+#include "uarch/PipelineConfig.h"
+#include "uarch/ReturnAddressStack.h"
+
+namespace bor {
+
+/// The non-architectural machine state that persists across a sampled
+/// run's intervals. Purely a state bundle: update policies live in
+/// Pipeline (timed) and FunctionalWarmer (untimed).
+struct MicroarchState {
+  MemoryHierarchy MemHier;
+  TournamentPredictor Predictor;
+  Btb TargetBuffer;
+  ReturnAddressStack Ras;
+
+  explicit MicroarchState(const PipelineConfig &Config = PipelineConfig())
+      : MemHier(Config.MemHier), Predictor(Config.Predictor),
+        TargetBuffer(Config.BtbCfg), Ras(Config.RasEntries) {}
+};
+
+} // namespace bor
+
+#endif // BOR_UARCH_MICROARCHSTATE_H

@@ -30,16 +30,26 @@ std::string bor::describeStats(const PipelineStats &S) {
 
 Pipeline::Pipeline(const Program &P, const PipelineConfig &Config,
                    BrrDecider *Decider)
-    : Prog(P), Config(Config),
+    : Prog(P), Config(Config), OwnedMach(std::make_unique<Machine>()),
+      OwnedUarch(std::make_unique<MicroarchState>(Config)),
+      Mach(*OwnedMach), Uarch(*OwnedUarch),
       OwnedDecider(Decider ? nullptr
                            : std::make_unique<BrrUnitDecider>(Config.Brr)),
       Oracle(P, Mach, Decider ? *Decider : *OwnedDecider),
-      MemHier(Config.MemHier), Predictor(Config.Predictor),
-      TargetBuffer(Config.BtbCfg), Ras(Config.RasEntries),
       DecodeStage(Config.DecodeWidth), DispatchStage(Config.DecodeWidth),
       CommitStage(Config.CommitWidth),
       RobSlotFree(Config.RobEntries, 0) {
   RegReady.fill(0); // the Oracle's constructor loads the program image
+}
+
+Pipeline::Pipeline(const Program &P, Machine &M, MicroarchState &Uarch,
+                   const PipelineConfig &Config, BrrDecider &Decider)
+    : Prog(P), Config(Config), Mach(M), Uarch(Uarch),
+      Oracle(P, Mach, Decider, /*LoadImage=*/false),
+      DecodeStage(Config.DecodeWidth), DispatchStage(Config.DecodeWidth),
+      CommitStage(Config.CommitWidth),
+      RobSlotFree(Config.RobEntries, 0) {
+  RegReady.fill(0);
 }
 
 uint64_t Pipeline::fetchInstruction(const ExecRecord &R) {
@@ -67,7 +77,7 @@ uint64_t Pipeline::fetchInstruction(const ExecRecord &R) {
   // One I-cache probe per distinct line; a miss stalls fetch for the fill.
   uint64_t Line = R.Pc & ~static_cast<uint64_t>(Config.MemHier.L1I.LineBytes - 1);
   if (Line != LastFetchLine) {
-    unsigned Stall = MemHier.fetchAccess(R.Pc);
+    unsigned Stall = Uarch.MemHier.fetchAccess(R.Pc);
     if (Stall != 0) {
       Stats.FetchIcacheStallCycles += Stall;
       FetchCycle += Stall;
@@ -103,7 +113,8 @@ void Pipeline::trimIssueWindow(uint64_t Frontier) {
 
 uint64_t Pipeline::completeExecution(const ExecRecord &R, uint64_t Issue) {
   if (R.I.isLoad()) {
-    uint64_t Done = Issue + MemHier.dataAccess(R.MemAddr, /*IsWrite=*/false);
+    uint64_t Done =
+        Issue + Uarch.MemHier.dataAccess(R.MemAddr, /*IsWrite=*/false);
     // Store-to-load forwarding: data from an in-flight store to the same
     // word is available one cycle after the store produces it.
     auto It = StoreReady.find(R.MemAddr & ~7ULL);
@@ -115,7 +126,7 @@ uint64_t Pipeline::completeExecution(const ExecRecord &R, uint64_t Issue) {
   if (R.I.isStore()) {
     // Stores retire from a store buffer; the cache access is charged for
     // hit-rate accounting but does not delay commit.
-    MemHier.dataAccess(R.MemAddr, /*IsWrite=*/true);
+    Uarch.MemHier.dataAccess(R.MemAddr, /*IsWrite=*/true);
     uint64_t Done = Issue + 1;
     StoreReady[R.MemAddr & ~7ULL] = Done;
     return Done;
@@ -155,8 +166,8 @@ RunResult Pipeline::run(uint64_t MaxInsts, bool RequireHalt) {
       if (R.Taken && R.I.isControl() && R.I.Op != Opcode::Halt)
         PredictedTakenAtFetch = true;
     } else if (TreatAsCondBranch) {
-      BranchPrediction Pred = Predictor.predict(R.Pc);
-      bool BtbHit = TargetBuffer.lookup(R.Pc).has_value();
+      BranchPrediction Pred = Uarch.Predictor.predict(R.Pc);
+      bool BtbHit = Uarch.TargetBuffer.lookup(R.Pc).has_value();
       bool Effective = Pred.Taken && BtbHit;
       if (R.I.isBrr()) {
         ++Stats.BrrExecuted;
@@ -165,9 +176,9 @@ RunResult Pipeline::run(uint64_t MaxInsts, bool RequireHalt) {
       } else {
         ++Stats.CondBranches;
       }
-      Predictor.resolve(R.Pc, Pred.HistBefore, Effective, R.Taken);
+      Uarch.Predictor.resolve(R.Pc, Pred.HistBefore, Effective, R.Taken);
       if (Effective != R.Taken) {
-        Predictor.repairHistory(Pred.HistBefore, R.Taken);
+        Uarch.Predictor.repairHistory(Pred.HistBefore, R.Taken);
         if (!R.I.isBrr())
           ++Stats.CondMispredicts;
         BackendRedirect = true;
@@ -175,7 +186,7 @@ RunResult Pipeline::run(uint64_t MaxInsts, bool RequireHalt) {
         PredictedTakenAtFetch = true;
       }
       if (R.Taken)
-        TargetBuffer.insert(R.Pc, R.NextPc);
+        Uarch.TargetBuffer.insert(R.Pc, R.NextPc);
     } else if (R.I.isBrr()) {
       // The real design: always predicted not-taken, invisible to the
       // predictor and BTB, resolved in decode. (Under trap emulation the
@@ -188,26 +199,26 @@ RunResult Pipeline::run(uint64_t MaxInsts, bool RequireHalt) {
     } else if (R.I.isDirectJump()) {
       ++Stats.DirectJumps;
       if (R.I.Op == Opcode::Jal && R.I.Rd != RegZero)
-        Ras.push(R.Pc + 4);
-      if (TargetBuffer.lookup(R.Pc)) {
+        Uarch.Ras.push(R.Pc + 4);
+      if (Uarch.TargetBuffer.lookup(R.Pc)) {
         PredictedTakenAtFetch = true;
       } else {
         ++Stats.DirectJumpDecodeRedirects;
         DecodeRedirect = true;
-        TargetBuffer.insert(R.Pc, R.NextPc);
+        Uarch.TargetBuffer.insert(R.Pc, R.NextPc);
       }
     } else if (R.I.isIndirect()) {
       ++Stats.IndirectBranches;
       bool IsReturn = R.I.Rd == RegZero && R.I.Rs1 == RegLr;
       uint64_t PredTarget;
       if (IsReturn) {
-        PredTarget = Ras.pop();
+        PredTarget = Uarch.Ras.pop();
       } else {
-        std::optional<uint64_t> T = TargetBuffer.lookup(R.Pc);
+        std::optional<uint64_t> T = Uarch.TargetBuffer.lookup(R.Pc);
         PredTarget = T ? *T : ~0ULL;
       }
       if (R.I.Rd != RegZero)
-        Ras.push(R.Pc + 4);
+        Uarch.Ras.push(R.Pc + 4);
       if (PredTarget == R.NextPc) {
         PredictedTakenAtFetch = true;
       } else {
@@ -215,7 +226,7 @@ RunResult Pipeline::run(uint64_t MaxInsts, bool RequireHalt) {
         BackendRedirect = true;
       }
       if (!IsReturn)
-        TargetBuffer.insert(R.Pc, R.NextPc);
+        Uarch.TargetBuffer.insert(R.Pc, R.NextPc);
     }
 
     // --- Timestamp the instruction through the stages. ------------------

@@ -38,6 +38,7 @@
 #define BOR_UARCH_PIPELINE_H
 
 #include "sim/Interpreter.h"
+#include "uarch/MicroarchState.h"
 #include "uarch/PipelineConfig.h"
 #include "uarch/ReturnAddressStack.h"
 
@@ -125,14 +126,28 @@ struct InstTimestamps {
   bool FrontEndFlush = false;
 };
 
-/// The timing model. Owns the machine state, functional oracle, branch
-/// predictor, BTB, RAS and cache hierarchy for one run.
+/// The timing model. In the classic (cold) form it owns the machine
+/// state, functional oracle, branch predictor, BTB, RAS and cache
+/// hierarchy for one run. In the attached form it borrows an existing
+/// Machine and MicroarchState, resuming execution from the machine's
+/// current PC with pre-warmed structures -- the detailed-interval mode of
+/// the sampled-simulation subsystem. Either way every committed
+/// instruction's architectural effects land in the (owned or borrowed)
+/// Machine, so state drains back to the caller naturally.
 class Pipeline {
 public:
-  /// \p Decider resolves brr outcomes; pass nullptr to use an LFSR-based
-  /// BrrUnitDecider built from \p Config.Brr.
+  /// Cold run over a fresh machine: loads \p P and starts at PC 0 with
+  /// empty caches and untrained predictors. \p Decider resolves brr
+  /// outcomes; pass nullptr to use an LFSR-based BrrUnitDecider built
+  /// from \p Config.Brr.
   Pipeline(const Program &P, const PipelineConfig &Config = PipelineConfig(),
            BrrDecider *Decider = nullptr);
+
+  /// Attached run: resumes \p M from its current PC (no image reload)
+  /// against the caller's \p Uarch structures, which are read AND trained
+  /// in place. \p M, \p Uarch and \p Decider must outlive the Pipeline.
+  Pipeline(const Program &P, Machine &M, MicroarchState &Uarch,
+           const PipelineConfig &Config, BrrDecider &Decider);
 
   /// Runs until the program halts or \p MaxInsts instructions commit.
   /// Asserts that the program halts within the budget when \p RequireHalt.
@@ -146,9 +161,9 @@ public:
     Observer = std::move(Callback);
   }
 
-  const MemoryHierarchy &memHier() const { return MemHier; }
-  const TournamentPredictor &predictor() const { return Predictor; }
-  const Btb &btb() const { return TargetBuffer; }
+  const MemoryHierarchy &memHier() const { return Uarch.MemHier; }
+  const TournamentPredictor &predictor() const { return Uarch.Predictor; }
+  const Btb &btb() const { return Uarch.TargetBuffer; }
   Machine &machine() { return Mach; }
 
 private:
@@ -185,14 +200,14 @@ private:
   const Program &Prog;
   PipelineConfig Config;
 
-  Machine Mach;
+  /// Owned in the cold-run form, null in the attached form; Mach/Uarch
+  /// reference whichever instance applies.
+  std::unique_ptr<Machine> OwnedMach;
+  std::unique_ptr<MicroarchState> OwnedUarch;
+  Machine &Mach;
+  MicroarchState &Uarch;
   std::unique_ptr<BrrDecider> OwnedDecider;
   Interpreter Oracle;
-
-  MemoryHierarchy MemHier;
-  TournamentPredictor Predictor;
-  Btb TargetBuffer;
-  ReturnAddressStack Ras;
 
   // Front-end state.
   uint64_t FetchCycle = 0;

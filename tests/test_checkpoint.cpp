@@ -1,0 +1,215 @@
+//===- tests/test_checkpoint.cpp - Machine checkpoint tests ---------------===//
+//
+// The checkpoint contract: save -> restore -> continue is indistinguishable
+// from never having stopped. That covers architectural state bit-for-bit
+// (registers, PC, every memory page) AND the brr decider's internal state,
+// since the resumed run must reproduce the exact outcome sequence the
+// uninterrupted run would have produced.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sample/Checkpoint.h"
+
+#include "isa/Serialize.h"
+#include "sim/Interpreter.h"
+#include "workloads/Microbench.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+
+using namespace bor;
+
+namespace {
+
+MicrobenchProgram brrProgram(size_t Chars = 4000) {
+  MicrobenchConfig C;
+  C.Text.NumChars = Chars;
+  C.Instr.Framework = SamplingFramework::BrrBased;
+  C.Instr.Interval = 16; // frequent brr -> LFSR state matters
+  return buildMicrobench(C);
+}
+
+/// Non-zero memory pages keyed by base address (zero pages are
+/// indistinguishable from unmapped ones by construction).
+std::map<uint64_t, std::vector<uint8_t>> nonZeroPages(const Machine &M) {
+  std::map<uint64_t, std::vector<uint8_t>> Pages;
+  M.memory().forEachPage([&](uint64_t Base, const uint8_t *Data) {
+    std::vector<uint8_t> Bytes(Data, Data + Memory::pageBytes());
+    for (uint8_t B : Bytes)
+      if (B != 0) {
+        Pages.emplace(Base, std::move(Bytes));
+        return;
+      }
+  });
+  return Pages;
+}
+
+void expectSameArchState(const Machine &A, const Machine &B) {
+  EXPECT_EQ(A.pc(), B.pc());
+  EXPECT_EQ(A.halted(), B.halted());
+  for (unsigned R = 0; R != 32; ++R)
+    EXPECT_EQ(A.readReg(R), B.readReg(R)) << "register " << R;
+  EXPECT_EQ(nonZeroPages(A), nonZeroPages(B));
+}
+
+} // namespace
+
+TEST(Checkpoint, EncodeDecodeRoundTripsBitExactly) {
+  MicrobenchProgram MB = brrProgram();
+  Machine M;
+  BrrUnitDecider D;
+  Interpreter I(MB.Prog, M, D);
+  I.run(5000, /*RequireHalt=*/false);
+
+  MachineCheckpoint C = captureCheckpoint(M, D, I.stats().Insts);
+  MachineCheckpoint Back;
+  std::string Err;
+  ASSERT_TRUE(decodeCheckpoint(encodeCheckpoint(C), Back, Err)) << Err;
+
+  EXPECT_EQ(Back.Pc, C.Pc);
+  EXPECT_EQ(Back.Halted, C.Halted);
+  EXPECT_EQ(Back.InstsRetired, C.InstsRetired);
+  EXPECT_EQ(Back.Regs, C.Regs);
+  EXPECT_EQ(Back.DeciderKind, C.DeciderKind);
+  EXPECT_EQ(Back.DeciderWords, C.DeciderWords);
+  ASSERT_EQ(Back.Pages.size(), C.Pages.size());
+  for (size_t I2 = 0; I2 != C.Pages.size(); ++I2) {
+    EXPECT_EQ(Back.Pages[I2].Base, C.Pages[I2].Base);
+    EXPECT_EQ(Back.Pages[I2].Data, C.Pages[I2].Data);
+  }
+}
+
+TEST(Checkpoint, RestoreReproducesArchitecturalState) {
+  MicrobenchProgram MB = brrProgram();
+  Machine M;
+  BrrUnitDecider D;
+  Interpreter I(MB.Prog, M, D);
+  I.run(5000, /*RequireHalt=*/false);
+  MachineCheckpoint C = captureCheckpoint(M, D, I.stats().Insts);
+
+  Machine M2;
+  BrrUnitDecider D2;
+  // Pollute the target machine first: restore must fully overwrite.
+  M2.writeReg(5, 0xdeadbeef);
+  M2.memory().writeU64(1 << 20, 42);
+  std::string Err;
+  ASSERT_TRUE(restoreCheckpoint(C, M2, D2, Err)) << Err;
+
+  expectSameArchState(M, M2);
+  EXPECT_EQ(D2.checkpointWords(), D.checkpointWords());
+}
+
+TEST(Checkpoint, ResumedRunMatchesUninterruptedRun) {
+  MicrobenchProgram MB = brrProgram();
+
+  // Uninterrupted reference run.
+  Machine Ref;
+  BrrUnitDecider RefD;
+  Interpreter RefI(MB.Prog, Ref, RefD);
+  RunStats RefStats = RefI.run(1ULL << 24);
+  ASSERT_TRUE(RefStats.Halted);
+
+  // Checkpointed run: stop mid-stream, snapshot, restore into entirely
+  // fresh objects (decider seeded differently so only the restored state
+  // can explain agreement), continue to completion.
+  Machine A;
+  BrrUnitDecider DA;
+  Interpreter IA(MB.Prog, A, DA);
+  IA.run(7777, /*RequireHalt=*/false);
+  MachineCheckpoint C = captureCheckpoint(A, DA, IA.stats().Insts);
+
+  Machine B;
+  BrrUnitConfig OtherSeed;
+  OtherSeed.Seed = 0x1234567;
+  BrrUnitDecider DB(OtherSeed);
+  std::string Err;
+  ASSERT_TRUE(restoreCheckpoint(C, B, DB, Err)) << Err;
+  Interpreter IB(MB.Prog, B, DB, /*LoadImage=*/false);
+  RunStats Tail = IB.run(1ULL << 24);
+  ASSERT_TRUE(Tail.Halted);
+
+  expectSameArchState(Ref, B);
+  EXPECT_EQ(C.InstsRetired + Tail.Insts, RefStats.Insts);
+  EXPECT_EQ(Ref.memory().readU64(MB.Prog.symbol("results")),
+            B.memory().readU64(MB.Prog.symbol("results")));
+  // The LFSR sequence continued exactly where the original left off.
+  EXPECT_EQ(DB.checkpointWords(), RefD.checkpointWords());
+}
+
+TEST(Checkpoint, FileRoundTripThroughBorbContainer) {
+  MicrobenchProgram MB = brrProgram();
+  Machine M;
+  BrrUnitDecider D;
+  Interpreter I(MB.Prog, M, D);
+  I.run(3000, /*RequireHalt=*/false);
+  MachineCheckpoint C = captureCheckpoint(M, D, I.stats().Insts);
+
+  std::string Path = testing::TempDir() + "ckpt_roundtrip.borb";
+  ASSERT_TRUE(saveCheckpointFile(MB.Prog, C, Path));
+
+  Program P;
+  MachineCheckpoint Back;
+  std::string Err;
+  ASSERT_TRUE(loadCheckpointFile(Path, P, Back, Err)) << Err;
+  EXPECT_EQ(P.numInsts(), MB.Prog.numInsts());
+  EXPECT_EQ(Back.Pc, C.Pc);
+  EXPECT_EQ(Back.InstsRetired, C.InstsRetired);
+  EXPECT_EQ(Back.DeciderWords, C.DeciderWords);
+
+  // And the image still loads as a plain program through the ordinary
+  // path, checkpoint section and all.
+  LoadResult R = loadProgramFile(Path);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_NE(R.findSection("CKPT"), nullptr);
+  std::remove(Path.c_str());
+}
+
+TEST(Checkpoint, RejectsDeciderKindMismatch) {
+  Machine M;
+  HwCounterDecider Counter;
+  MachineCheckpoint C = captureCheckpoint(M, Counter, 0);
+
+  Machine M2;
+  BrrUnitDecider Lfsr;
+  std::string Err;
+  EXPECT_FALSE(restoreCheckpoint(C, M2, Lfsr, Err));
+  EXPECT_NE(Err.find("counter"), std::string::npos);
+  EXPECT_NE(Err.find("lfsr"), std::string::npos);
+}
+
+TEST(Checkpoint, RejectsCorruptPayloads) {
+  Machine M;
+  BrrUnitDecider D;
+  MachineCheckpoint C = captureCheckpoint(M, D, 0);
+  std::vector<uint8_t> Bytes = encodeCheckpoint(C);
+
+  MachineCheckpoint Out;
+  std::string Err;
+  // Truncation anywhere must fail cleanly, never crash.
+  for (size_t Keep : {size_t(0), size_t(3), size_t(10), Bytes.size() - 1}) {
+    std::vector<uint8_t> Cut(Bytes.begin(), Bytes.begin() + Keep);
+    EXPECT_FALSE(decodeCheckpoint(Cut, Out, Err)) << "kept " << Keep;
+  }
+  // Trailing garbage is rejected too.
+  std::vector<uint8_t> Long = Bytes;
+  Long.push_back(0);
+  EXPECT_FALSE(decodeCheckpoint(Long, Out, Err));
+  // Unsupported version.
+  std::vector<uint8_t> BadVer = Bytes;
+  BadVer[0] = 0xff;
+  EXPECT_FALSE(decodeCheckpoint(BadVer, Out, Err));
+  EXPECT_NE(Err.find("version"), std::string::npos);
+}
+
+TEST(Checkpoint, SkipsAllZeroPages) {
+  Machine M;
+  M.memory().writeU64(0, 7);            // non-zero page at 0
+  M.memory().writeU64(1 << 20, 0);      // touched but all-zero page
+  NeverTakenDecider D;
+  MachineCheckpoint C = captureCheckpoint(M, D, 0);
+  ASSERT_EQ(C.Pages.size(), 1u);
+  EXPECT_EQ(C.Pages[0].Base, 0u);
+  EXPECT_EQ(C.DeciderKind, "stateless");
+}

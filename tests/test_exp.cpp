@@ -20,6 +20,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <thread>
 
 using namespace bor::exp;
@@ -263,6 +264,27 @@ TEST(RunnerTest, JsonIsByteIdenticalAcrossThreadCounts) {
   EXPECT_FALSE(Serial.empty());
   EXPECT_EQ(Serial, Parallel4);
   EXPECT_EQ(Serial, Parallel8);
+}
+
+TEST(RunnerTest, JsonSinkWritesNonFiniteMetricsAsNull) {
+  // End-to-end version of JsonTest.NonFiniteBecomesNull: an experiment
+  // whose metrics divide by zero must still produce parseable JSON.
+  ExperimentSpec S;
+  S.Name = "nonfinite";
+  S.Cells = {{{"cell", "0"}}};
+  S.Run = [](const ParamSet &, size_t) {
+    RunRecord R;
+    R.param("cell", "0");
+    R.metric("nan", std::nan(""), 3);
+    R.metric("inf", std::numeric_limits<double>::infinity(), 3);
+    R.metric("finite", 1.5, 3);
+    return R;
+  };
+  std::string Out = jsonOutput(S, 1);
+  EXPECT_NE(Out.find("\"nan\":null"), std::string::npos);
+  EXPECT_NE(Out.find("\"inf\":null"), std::string::npos);
+  EXPECT_NE(Out.find("\"finite\":1.5"), std::string::npos);
+  EXPECT_EQ(Out.find("nan("), std::string::npos);
 }
 
 TEST(RunnerTest, JsonCarriesHeaderCellsAndSummary) {

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 
 using namespace bor;
@@ -128,4 +129,66 @@ TEST(Serialize, LoadMissingFileFails) {
   LoadResult R = loadProgramFile("/nonexistent/path/x.borb");
   EXPECT_FALSE(R.Ok);
   EXPECT_NE(R.Error.find("cannot open"), std::string::npos);
+}
+
+TEST(Serialize, SectionsRoundTrip) {
+  ProgramBuilder B;
+  B.emit(Inst::halt());
+  Program P = B.finish();
+
+  std::vector<ContainerSection> Sections;
+  Sections.push_back(ContainerSection::make("CKPT", {1, 2, 3, 4, 5}));
+  Sections.push_back(ContainerSection::make("NOTE", {}));
+
+  LoadResult R = deserializeProgram(serializeProgram(P, Sections));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  expectEqualPrograms(P, R.Prog);
+  ASSERT_EQ(R.Sections.size(), 2u);
+  const ContainerSection *Ckpt = R.findSection("CKPT");
+  ASSERT_NE(Ckpt, nullptr);
+  EXPECT_EQ(Ckpt->Bytes, (std::vector<uint8_t>{1, 2, 3, 4, 5}));
+  const ContainerSection *Note = R.findSection("NOTE");
+  ASSERT_NE(Note, nullptr);
+  EXPECT_TRUE(Note->Bytes.empty());
+  EXPECT_EQ(R.findSection("ABSD"), nullptr);
+}
+
+TEST(Serialize, NoSectionsStaysVersionOne) {
+  // Backwards compatibility: a program without sections must serialize to
+  // the exact bytes previous revisions wrote (version 1, ending at the
+  // symbol table).
+  MicrobenchConfig C;
+  C.Text.NumChars = 200;
+  MicrobenchProgram MB = buildMicrobench(C);
+
+  std::vector<uint8_t> Bytes = serializeProgram(MB.Prog);
+  EXPECT_EQ(Bytes[4], 1); // u32 version, little-endian
+  std::vector<uint8_t> WithEmpty = serializeProgram(MB.Prog, {});
+  EXPECT_EQ(Bytes, WithEmpty);
+
+  std::vector<ContainerSection> Sections;
+  Sections.push_back(ContainerSection::make("CKPT", {9}));
+  std::vector<uint8_t> V2 = serializeProgram(MB.Prog, Sections);
+  EXPECT_EQ(V2[4], 2);
+  // The v2 image is the v1 image plus the section block.
+  ASSERT_GT(V2.size(), Bytes.size());
+  EXPECT_TRUE(std::equal(Bytes.begin() + 8, Bytes.end(), V2.begin() + 8));
+}
+
+TEST(Serialize, RejectsTruncatedSections) {
+  ProgramBuilder B;
+  B.emit(Inst::halt());
+  std::vector<ContainerSection> Sections;
+  Sections.push_back(ContainerSection::make("CKPT", {1, 2, 3, 4}));
+  std::vector<uint8_t> Bytes = serializeProgram(B.finish(), Sections);
+
+  // Cut inside the section block: count, header, payload.
+  for (size_t Keep : {Bytes.size() - 1, Bytes.size() - 4, Bytes.size() - 9}) {
+    std::vector<uint8_t> Cut(Bytes.begin(), Bytes.begin() + Keep);
+    EXPECT_FALSE(deserializeProgram(Cut).Ok) << "kept " << Keep;
+  }
+  // Corrupt the declared payload size to overrun the buffer.
+  std::vector<uint8_t> BadSize = Bytes;
+  BadSize[BadSize.size() - 4 - 8] = 0xff; // low byte of the u64 size
+  EXPECT_FALSE(deserializeProgram(BadSize).Ok);
 }

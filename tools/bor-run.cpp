@@ -14,6 +14,13 @@
 //   --trace=N              functional mode: print the first N executed
 //                          instructions with their PCs
 //   --dump-sym=NAME        after the run, print the u64 at data symbol NAME
+//   --checkpoint=PATH      functional mode: snapshot the architectural
+//                          state (registers, memory, decider) into a BORB
+//                          image at PATH, then keep running
+//   --checkpoint-at=N      take the checkpoint after N retired
+//                          instructions (default 0 = at the start)
+//   --resume               treat the input as a checkpoint image: restore
+//                          its state and continue (functional or --timing)
 //
 // Exit status: 0 if the program halted, 1 otherwise.
 //
@@ -21,6 +28,7 @@
 
 #include "isa/Disasm.h"
 #include "isa/Serialize.h"
+#include "sample/Checkpoint.h"
 #include "sim/Interpreter.h"
 #include "uarch/Pipeline.h"
 
@@ -43,6 +51,9 @@ struct Options {
   uint64_t MaxInsts = 1ULL << 32;
   uint64_t Trace = 0;
   std::vector<std::string> DumpSymbols;
+  std::string CheckpointPath;
+  uint64_t CheckpointAt = 0;
+  bool Resume = false;
 };
 
 bool parseArgs(int Argc, char **Argv, Options &Opt) {
@@ -60,6 +71,12 @@ bool parseArgs(int Argc, char **Argv, Options &Opt) {
       Opt.Trace = std::strtoull(A + 8, nullptr, 0);
     } else if (std::strncmp(A, "--dump-sym=", 11) == 0) {
       Opt.DumpSymbols.push_back(A + 11);
+    } else if (std::strncmp(A, "--checkpoint=", 13) == 0) {
+      Opt.CheckpointPath = A + 13;
+    } else if (std::strncmp(A, "--checkpoint-at=", 16) == 0) {
+      Opt.CheckpointAt = std::strtoull(A + 16, nullptr, 0);
+    } else if (std::strcmp(A, "--resume") == 0) {
+      Opt.Resume = true;
     } else if (A[0] == '-') {
       return false;
     } else if (!Opt.Input) {
@@ -97,6 +114,56 @@ void dumpSymbols(const Options &Opt, const Program &P, const Machine &M) {
   }
 }
 
+void printFunctionalStats(const RunStats &S) {
+  std::printf("insts %" PRIu64 ", cond branches %" PRIu64 " (%" PRIu64
+              " taken), brr %" PRIu64 " (%" PRIu64 " taken), loads %" PRIu64
+              ", stores %" PRIu64 ", halted %s\n",
+              S.Insts, S.CondBranches, S.CondTaken, S.BrrExecuted,
+              S.BrrTaken, S.Loads, S.Stores, S.Halted ? "yes" : "no");
+}
+
+/// --resume: the input is a checkpoint image; restore and continue under
+/// either model.
+int resumeMain(const Options &Opt) {
+  Program P;
+  MachineCheckpoint C;
+  std::string Err;
+  if (!loadCheckpointFile(Opt.Input, P, C, Err)) {
+    std::fprintf(stderr, "bor-run: %s\n", Err.c_str());
+    return 1;
+  }
+
+  std::unique_ptr<BrrDecider> Decider = makeDecider(Opt);
+  if (!Decider) {
+    std::fprintf(stderr, "bor-run: unknown decider '%s'\n",
+                 Opt.Decider.c_str());
+    return 2;
+  }
+  Machine M;
+  if (!restoreCheckpoint(C, M, *Decider, Err)) {
+    std::fprintf(stderr, "bor-run: %s (pass the matching --decider)\n",
+                 Err.c_str());
+    return 2;
+  }
+  std::printf("resumed at pc %" PRIu64 " after %" PRIu64 " insts\n", M.pc(),
+              C.InstsRetired);
+
+  if (Opt.Timing) {
+    MicroarchState Uarch((PipelineConfig()));
+    Pipeline Pipe(P, M, Uarch, PipelineConfig(), *Decider);
+    RunResult Result = Pipe.run(Opt.MaxInsts, /*RequireHalt=*/false);
+    std::printf("%s", describeStats(Result.Stats).c_str());
+    dumpSymbols(Opt, P, M);
+    return M.halted() ? 0 : 1;
+  }
+
+  Interpreter Interp(P, M, *Decider, /*LoadImage=*/false);
+  RunStats S = Interp.run(Opt.MaxInsts, /*RequireHalt=*/false);
+  printFunctionalStats(S);
+  dumpSymbols(Opt, P, M);
+  return S.Halted ? 0 : 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -105,9 +172,13 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr,
                  "usage: bor-run program.borb [--timing] "
                  "[--decider=lfsr|counter|never|always] [--seed=N] "
-                 "[--max-insts=N] [--dump-sym=NAME]...\n");
+                 "[--max-insts=N] [--dump-sym=NAME]...\n"
+                 "       [--checkpoint=PATH [--checkpoint-at=N]] "
+                 "[--resume]\n");
     return 2;
   }
+  if (Opt.Resume)
+    return resumeMain(Opt);
 
   LoadResult R = loadProgramFile(Opt.Input);
   if (!R.Ok) {
@@ -119,6 +190,13 @@ int main(int Argc, char **Argv) {
   if (!Decider) {
     std::fprintf(stderr, "bor-run: unknown decider '%s'\n",
                  Opt.Decider.c_str());
+    return 2;
+  }
+  if (!Opt.CheckpointPath.empty() && Opt.Timing) {
+    std::fprintf(stderr,
+                 "bor-run: --checkpoint snapshots architectural state and "
+                 "is a functional-mode feature; drop --timing (a later "
+                 "--resume --timing run times the rest)\n");
     return 2;
   }
 
@@ -141,12 +219,27 @@ int main(int Argc, char **Argv) {
                 disassemble(Rec.I, static_cast<int64_t>(Rec.Pc / 4))
                     .c_str());
   }
-  RunStats S = Interp.run(Opt.MaxInsts, /*RequireHalt=*/false);
-  std::printf("insts %" PRIu64 ", cond branches %" PRIu64 " (%" PRIu64
-              " taken), brr %" PRIu64 " (%" PRIu64 " taken), loads %" PRIu64
-              ", stores %" PRIu64 ", halted %s\n",
-              S.Insts, S.CondBranches, S.CondTaken, S.BrrExecuted,
-              S.BrrTaken, S.Loads, S.Stores, S.Halted ? "yes" : "no");
+
+  if (!Opt.CheckpointPath.empty()) {
+    uint64_t Already = Interp.stats().Insts;
+    if (Opt.CheckpointAt > Already)
+      Interp.run(Opt.CheckpointAt - Already, /*RequireHalt=*/false);
+    MachineCheckpoint C =
+        captureCheckpoint(M, *Decider, Interp.stats().Insts);
+    if (!saveCheckpointFile(R.Prog, C, Opt.CheckpointPath)) {
+      std::fprintf(stderr, "bor-run: cannot write checkpoint '%s'\n",
+                   Opt.CheckpointPath.c_str());
+      return 1;
+    }
+    std::printf("checkpoint written to %s at inst %" PRIu64 "\n",
+                Opt.CheckpointPath.c_str(), C.InstsRetired);
+  }
+
+  uint64_t Budget = Opt.MaxInsts > Interp.stats().Insts
+                        ? Opt.MaxInsts - Interp.stats().Insts
+                        : 0;
+  RunStats S = Interp.run(Budget, /*RequireHalt=*/false);
+  printFunctionalStats(S);
   dumpSymbols(Opt, R.Prog, M);
   return S.Halted ? 0 : 1;
 }
