@@ -9,13 +9,18 @@
 #include "exp/Experiments.h"
 #include "exp/Runner.h"
 #include "exp/ThreadPool.h"
+#include "telemetry/Counters.h"
+#include "telemetry/Telemetry.h"
 
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 namespace bor {
 namespace exp {
@@ -33,6 +38,9 @@ struct DriverOptions {
   bool TableOut = true;
   bool Sample = false;
   SamplingPlan Plan;
+  std::string TracePath;   ///< --trace: Chrome trace-event JSON output
+  bool Counters = false;   ///< --counters: render the snapshot to stdout
+  std::string CountersOut; ///< --counters-out: write the snapshot here
 };
 
 /// Accepts both "--flag value" and "--flag=value". Returns nullptr when
@@ -144,7 +152,59 @@ bool parseCommon(const char *A, char **Argv, int Argc, int &I,
     Opt.Sample = true;
     return true;
   }
+  if (const char *V = flagValue("--trace", Argv, Argc, I)) {
+    Opt.TracePath = V;
+    return true;
+  }
+  if (std::strcmp(A, "--counters") == 0) {
+    Opt.Counters = true;
+    return true;
+  }
+  if (const char *V = flagValue("--counters-out", Argv, Argc, I)) {
+    Opt.CountersOut = V;
+    return true;
+  }
   return false;
+}
+
+/// The heartbeat goes to stderr only when a human is watching it (or the
+/// BOR_HEARTBEAT environment knob forces it on, which is how the tests
+/// exercise it without a TTY).
+bool heartbeatEnabled() {
+  if (const char *Env = std::getenv("BOR_HEARTBEAT"))
+    return Env[0] != '\0' && Env[0] != '0';
+  return isatty(fileno(stderr)) != 0;
+}
+
+/// Finalizes telemetry once every requested experiment has run: the trace
+/// file, the counter snapshot to stdout and/or a file. Returns 0 on
+/// success.
+int writeTelemetryOutputs(const DriverOptions &Opt,
+                          telemetry::TraceWriter *Trace) {
+  if (Trace) {
+    std::string Err;
+    if (!Trace->writeTo(Opt.TracePath, Err)) {
+      std::fprintf(stderr, "bor-bench: --trace: %s\n", Err.c_str());
+      return 1;
+    }
+  }
+  if (!Opt.Counters && Opt.CountersOut.empty())
+    return 0;
+  std::string Rendered =
+      telemetry::CounterRegistry::instance().snapshot().render();
+  if (Opt.Counters)
+    std::fputs(Rendered.c_str(), stdout);
+  if (!Opt.CountersOut.empty()) {
+    std::FILE *F = std::fopen(Opt.CountersOut.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "bor-bench: cannot open '%s' for writing\n",
+                   Opt.CountersOut.c_str());
+      return 1;
+    }
+    std::fputs(Rendered.c_str(), F);
+    std::fclose(F);
+  }
+  return 0;
 }
 
 /// Validates the assembled sampling plan once flags are parsed.
@@ -169,7 +229,8 @@ void printRegisteredExperiments(std::FILE *Out) {
 
 /// Runs one registered experiment with the configured sinks. Returns 0 on
 /// success.
-int runOne(const std::string &Name, const DriverOptions &Opt) {
+int runOne(const std::string &Name, const DriverOptions &Opt,
+           const telemetry::TelemetrySink *Telemetry) {
   ExperimentRegistry &Registry = ExperimentRegistry::instance();
   if (!Registry.contains(Name)) {
     std::fprintf(stderr,
@@ -183,6 +244,7 @@ int runOne(const std::string &Name, const DriverOptions &Opt) {
   ExpOpt.Scale = Opt.Scale;
   ExpOpt.Sample = Opt.Sample;
   ExpOpt.Plan = Opt.Plan;
+  ExpOpt.Telemetry = Telemetry;
   ExperimentSpec Spec = Registry.create(Name, ExpOpt);
 
   std::vector<ResultSink *> Sinks;
@@ -199,8 +261,24 @@ int runOne(const std::string &Name, const DriverOptions &Opt) {
     Sinks.push_back(Json.get());
   }
 
-  runExperiment(Spec, Opt.Threads, Sinks);
+  RunnerHooks Hooks;
+  Hooks.Telemetry = Telemetry;
+  Hooks.Heartbeat = heartbeatEnabled();
+  telemetry::TraceSpan Span(Telemetry ? Telemetry->Trace : nullptr, Name,
+                            "experiment");
+  runExperiment(Spec, Opt.Threads, Sinks, Hooks);
   return 0;
+}
+
+/// Builds the sink the --trace/--counters flags ask for. The returned
+/// writer is null when tracing is off; counters are switched on globally.
+std::unique_ptr<telemetry::TraceWriter>
+setUpTelemetry(const DriverOptions &Opt) {
+  if (Opt.Counters || !Opt.CountersOut.empty())
+    telemetry::CounterRegistry::setEnabled(true);
+  if (Opt.TracePath.empty())
+    return nullptr;
+  return std::make_unique<telemetry::TraceWriter>();
 }
 
 } // namespace
@@ -225,6 +303,8 @@ int benchMain(int Argc, char **Argv) {
                    "                 [--no-table] [--scale N] [--sample]\n"
                    "                 [--sample-period N] [--sample-warm N] "
                    "[--sample-measure N]\n"
+                   "                 [--trace PATH] [--counters] "
+                   "[--counters-out PATH]\n"
                    "       bor-bench --all [same flags]\n");
       return 2;
     }
@@ -256,13 +336,17 @@ int benchMain(int Argc, char **Argv) {
     return 2;
   }
 
+  std::unique_ptr<telemetry::TraceWriter> Trace = setUpTelemetry(Opt);
+  telemetry::TelemetrySink Sink;
+  Sink.Trace = Trace.get();
+
   for (size_t I = 0; I != Opt.Experiments.size(); ++I) {
     if (I)
       std::printf("\n");
-    if (int RC = runOne(Opt.Experiments[I], Opt))
+    if (int RC = runOne(Opt.Experiments[I], Opt, Trace ? &Sink : nullptr))
       return RC;
   }
-  return 0;
+  return writeTelemetryOutputs(Opt, Trace.get());
 }
 
 int experimentMain(const char *Name, int Argc, char **Argv) {
@@ -275,14 +359,21 @@ int experimentMain(const char *Name, int Argc, char **Argv) {
                    "usage: %s [--threads N] [--json PATH | --no-json] "
                    "[--no-table] [--scale N]\n"
                    "       [--sample] [--sample-period N] [--sample-warm N] "
-                   "[--sample-measure N]\n",
+                   "[--sample-measure N]\n"
+                   "       [--trace PATH] [--counters] [--counters-out "
+                   "PATH]\n",
                    Argv[0]);
       return 2;
     }
   }
   if (int RC = checkPlan(Opt))
     return RC;
-  return runOne(Name, Opt);
+  std::unique_ptr<telemetry::TraceWriter> Trace = setUpTelemetry(Opt);
+  telemetry::TelemetrySink Sink;
+  Sink.Trace = Trace.get();
+  if (int RC = runOne(Name, Opt, Trace ? &Sink : nullptr))
+    return RC;
+  return writeTelemetryOutputs(Opt, Trace.get());
 }
 
 } // namespace exp

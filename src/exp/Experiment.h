@@ -27,6 +27,11 @@
 #include <vector>
 
 namespace bor {
+
+namespace telemetry {
+struct TelemetrySink;
+} // namespace telemetry
+
 namespace exp {
 
 /// The coordinates of one grid cell, as ordered key/value strings (they
@@ -44,6 +49,12 @@ struct ExperimentOptions {
   /// detailed Pipeline. Purely functional cells ignore it.
   bool Sample = false;
   SamplingPlan Plan;
+
+  /// Observability sink (bor-bench --trace): factories capture it into
+  /// their run functors and hand it down to the harness drivers, which
+  /// emit sampled-phase spans through it. Null when telemetry is off; the
+  /// sink must outlive every cell run.
+  const telemetry::TelemetrySink *Telemetry = nullptr;
 
   /// The plan when sampling is on, nullptr otherwise — the form the
   /// harness drivers take.

@@ -54,6 +54,11 @@ void addPipelineMetrics(RunRecord &R, const MicroRun &Run) {
   if (Run.Sampled) {
     R.metric("sample_intervals", Run.SampleIntervals);
     R.metric("ipc_ci95", Run.IpcCi95, 4);
+    // Self-profiling phase wall-clock (the only nondeterministic metrics
+    // in a record, and only in sampled mode — full runs stay byte-stable).
+    R.metric("ff_ms", Run.FfMs, 1);
+    R.metric("warm_ms", Run.WarmMs, 1);
+    R.metric("measure_ms", Run.MeasureMs, 1);
   }
 }
 
@@ -91,6 +96,7 @@ ExperimentSpec makeFig13(const ExperimentOptions &O) {
   const size_t Chars = scaledChars(O);
   const bool Sample = O.Sample;
   const SamplingPlan Plan = O.Plan;
+  const telemetry::TelemetrySink *Tel = O.Telemetry;
   ExperimentSpec S;
   char Title[256];
   std::snprintf(Title, sizeof(Title),
@@ -104,9 +110,9 @@ ExperimentSpec makeFig13(const ExperimentOptions &O) {
             "ones above ~64; Full-Duplication lowers both.";
 
   auto Base = std::make_shared<uint64_t>(0);
-  S.Setup = [Base, Chars, Sample, Plan] {
+  S.Setup = [Base, Chars, Sample, Plan, Tel] {
     *Base = runMicrobench(InstrumentationConfig(), Chars, PipelineConfig(),
-                          Sample ? &Plan : nullptr)
+                          Sample ? &Plan : nullptr, Tel)
                 .RoiCycles;
   };
 
@@ -117,13 +123,13 @@ ExperimentSpec makeFig13(const ExperimentOptions &O) {
           {{"series", A.Name}, {"interval", std::to_string(Interval)}});
 
   size_t NumIntervals = Intervals.size();
-  S.Run = [Base, Chars, Intervals, NumIntervals, Sample,
-           Plan](const ParamSet &, size_t Index) {
+  S.Run = [Base, Chars, Intervals, NumIntervals, Sample, Plan,
+           Tel](const ParamSet &, size_t Index) {
     const MicroArm &A = Fig13Arms[Index / NumIntervals];
     uint64_t Interval = Intervals[Index % NumIntervals];
     MicroRun Run =
         runMicrobench(microConfig(A.F, A.Dup, Interval, A.Body), Chars,
-                      PipelineConfig(), Sample ? &Plan : nullptr);
+                      PipelineConfig(), Sample ? &Plan : nullptr, Tel);
     RunRecord R;
     R.param("series", A.Name);
     R.param("interval", std::to_string(Interval));
@@ -174,6 +180,7 @@ ExperimentSpec makeFig14(const ExperimentOptions &O) {
   const size_t Chars = scaledChars(O);
   const bool Sample = O.Sample;
   const SamplingPlan Plan = O.Plan;
+  const telemetry::TelemetrySink *Tel = O.Telemetry;
   ExperimentSpec S;
   S.Title = "Figure 14 - average added cycles per sampling site "
             "(Full-Duplication)";
@@ -184,9 +191,10 @@ ExperimentSpec makeFig14(const ExperimentOptions &O) {
             "adds ~4.3 cycles/site.";
 
   auto Baseline = std::make_shared<MicroRun>();
-  S.Setup = [Baseline, Chars, Sample, Plan] {
+  S.Setup = [Baseline, Chars, Sample, Plan, Tel] {
     *Baseline = runMicrobench(InstrumentationConfig(), Chars,
-                              PipelineConfig(), Sample ? &Plan : nullptr);
+                              PipelineConfig(), Sample ? &Plan : nullptr,
+                              Tel);
   };
 
   struct Def {
@@ -206,13 +214,13 @@ ExperimentSpec makeFig14(const ExperimentOptions &O) {
     S.Cells.push_back({{"series", D.Arm->Name},
                        {"interval", std::to_string(D.Interval)}});
 
-  S.Run = [Baseline, Chars, Defs, Sample, Plan](const ParamSet &,
-                                                size_t Index) {
+  S.Run = [Baseline, Chars, Defs, Sample, Plan, Tel](const ParamSet &,
+                                                     size_t Index) {
     const Def &D = (*Defs)[Index];
     const Fig14Arm &A = *D.Arm;
     MicroRun Run =
         runMicrobench(microConfig(A.F, A.Dup, D.Interval, A.Body), Chars,
-                      PipelineConfig(), Sample ? &Plan : nullptr);
+                      PipelineConfig(), Sample ? &Plan : nullptr, Tel);
     double PerSite = (static_cast<double>(Run.RoiCycles) -
                       static_cast<double>(Baseline->RoiCycles)) /
                      static_cast<double>(Baseline->DynamicSiteVisits);
@@ -234,6 +242,7 @@ ExperimentSpec makeFig02(const ExperimentOptions &O) {
   const size_t Chars = scaledChars(O);
   const bool Sample = O.Sample;
   const SamplingPlan Plan = O.Plan;
+  const telemetry::TelemetrySink *Tel = O.Telemetry;
   ExperimentSpec S;
   char Title[160];
   std::snprintf(Title, sizeof(Title),
@@ -246,9 +255,9 @@ ExperimentSpec makeFig02(const ExperimentOptions &O) {
             "brr eliminates.";
 
   auto Base = std::make_shared<uint64_t>(0);
-  S.Setup = [Base, Chars, Sample, Plan] {
+  S.Setup = [Base, Chars, Sample, Plan, Tel] {
     *Base = runMicrobench(InstrumentationConfig(), Chars, PipelineConfig(),
-                          Sample ? &Plan : nullptr)
+                          Sample ? &Plan : nullptr, Tel)
                 .RoiCycles;
   };
 
@@ -260,7 +269,7 @@ ExperimentSpec makeFig02(const ExperimentOptions &O) {
       S.Cells.push_back({{"framework", frameworkName(F)},
                          {"interval", std::to_string(Interval)}});
 
-  S.Run = [Base, Chars, Sample, Plan](const ParamSet &, size_t Index) {
+  S.Run = [Base, Chars, Sample, Plan, Tel](const ParamSet &, size_t Index) {
     const SamplingFramework Frameworks[] = {SamplingFramework::CounterBased,
                                             SamplingFramework::BrrBased};
     const uint64_t Intervals[] = {16, 128, 1024};
@@ -270,11 +279,11 @@ ExperimentSpec makeFig02(const ExperimentOptions &O) {
     uint64_t FwOnly =
         runMicrobench(
             microConfig(F, DuplicationMode::NoDuplication, Interval, false),
-            Chars, PipelineConfig(), P)
+            Chars, PipelineConfig(), P, Tel)
             .RoiCycles;
     MicroRun Total = runMicrobench(
         microConfig(F, DuplicationMode::NoDuplication, Interval, true),
-        Chars, PipelineConfig(), P);
+        Chars, PipelineConfig(), P, Tel);
     double TotalPct = overheadPct(Total.RoiCycles, *Base);
     double FixedPct = overheadPct(FwOnly, *Base);
     RunRecord R;
@@ -299,13 +308,16 @@ struct AppRun {
 };
 
 AppRun appRoi(AppConfig C, SamplingFramework F,
-              const SamplingPlan *Plan = nullptr) {
+              const SamplingPlan *Plan = nullptr,
+              const telemetry::TelemetrySink *Tel = nullptr) {
   C.Instr.Framework = F;
   C.Instr.Dup = DuplicationMode::FullDuplication;
   C.Instr.Interval = 1024;
   AppProgram P = buildApp(C);
   if (Plan) {
-    SampledResult SR = runSampled(P.Prog, *Plan);
+    SampledResult SR = runSampled(P.Prog, *Plan, PipelineConfig(),
+                                  /*Decider=*/nullptr, /*MaxInsts=*/~0ULL,
+                                  Tel);
     if (SR.NumIntervals != 0 && SR.Markers.size() >= 2) {
       AppRun R;
       R.RoiCycles =
@@ -319,6 +331,7 @@ AppRun appRoi(AppConfig C, SamplingFramework F,
     // Stream too short for a sample: fall through to a full run.
   }
   Pipeline Pipe(P.Prog, PipelineConfig());
+  Pipe.setTelemetry(Tel);
   RunResult Result = Pipe.run(1ULL << 40);
   return {Result.roiCycles(), Result.Stats};
 }
@@ -326,6 +339,7 @@ AppRun appRoi(AppConfig C, SamplingFramework F,
 ExperimentSpec makeFig12(const ExperimentOptions &O) {
   const bool Sample = O.Sample;
   const SamplingPlan Plan = O.Plan;
+  const telemetry::TelemetrySink *Tel = O.Telemetry;
   ExperimentSpec S;
   S.Title = "Figure 12 - sampling framework overhead on application "
             "analogues\n(Full-Duplication, sampling period 1024, timing "
@@ -340,12 +354,12 @@ ExperimentSpec makeFig12(const ExperimentOptions &O) {
   for (const AppConfig &App : *Apps)
     S.Cells.push_back({{"benchmark", App.Name}});
 
-  S.Run = [Apps, Sample, Plan](const ParamSet &, size_t Index) {
+  S.Run = [Apps, Sample, Plan, Tel](const ParamSet &, size_t Index) {
     const AppConfig &App = (*Apps)[Index];
     const SamplingPlan *P = Sample ? &Plan : nullptr;
-    AppRun Base = appRoi(App, SamplingFramework::None, P);
-    AppRun Cbs = appRoi(App, SamplingFramework::CounterBased, P);
-    AppRun Brr = appRoi(App, SamplingFramework::BrrBased, P);
+    AppRun Base = appRoi(App, SamplingFramework::None, P, Tel);
+    AppRun Cbs = appRoi(App, SamplingFramework::CounterBased, P, Tel);
+    AppRun Brr = appRoi(App, SamplingFramework::BrrBased, P, Tel);
     RunRecord R;
     R.param("benchmark", App.Name);
     R.metric("baseline_cycles", Base.RoiCycles);
@@ -380,6 +394,7 @@ ExperimentSpec makeAblation(const ExperimentOptions &O) {
   const size_t Chars = scaledChars(O);
   const bool Sample = O.Sample;
   const SamplingPlan Plan = O.Plan;
+  const telemetry::TelemetrySink *Tel = O.Telemetry;
   ExperimentSpec S;
   S.Title = "Ablation - branch-on-random design decisions "
             "(No-Duplication, framework-only)";
@@ -406,12 +421,13 @@ ExperimentSpec makeAblation(const ExperimentOptions &O) {
   M->Trap.BrrTrapCycles = 300; // Section 3.4's SIGILL emulation fallback
   M->Oracle.PerfectBranchPrediction = true;
 
-  S.Setup = [M, Chars, Sample, Plan] {
+  S.Setup = [M, Chars, Sample, Plan, Tel] {
     const SamplingPlan *P = Sample ? &Plan : nullptr;
-    M->Base = runMicrobench(InstrumentationConfig(), Chars, M->Default, P)
-                  .RoiCycles;
+    M->Base =
+        runMicrobench(InstrumentationConfig(), Chars, M->Default, P, Tel)
+            .RoiCycles;
     M->OracleBase =
-        runMicrobench(InstrumentationConfig(), Chars, M->Oracle, P)
+        runMicrobench(InstrumentationConfig(), Chars, M->Oracle, P, Tel)
             .RoiCycles;
   };
 
@@ -478,10 +494,11 @@ ExperimentSpec makeAblation(const ExperimentOptions &O) {
                        {"arm", D.Arm},
                        {"interval", std::to_string(D.Interval)}});
 
-  S.Run = [M, Defs, Chars, Sample, Plan](const ParamSet &, size_t Index) {
+  S.Run = [M, Defs, Chars, Sample, Plan, Tel](const ParamSet &,
+                                              size_t Index) {
     const Def &D = (*Defs)[Index];
-    MicroRun Run =
-        runMicrobench(D.Instr, Chars, *D.Machine, Sample ? &Plan : nullptr);
+    MicroRun Run = runMicrobench(D.Instr, Chars, *D.Machine,
+                                 Sample ? &Plan : nullptr, Tel);
     uint64_t Base = D.OracleBaseline ? M->OracleBase : M->Base;
     RunRecord R;
     R.param("group", D.Group);

@@ -94,7 +94,8 @@ PipelineStats scaleSampledStats(const SampledResult &SR) {
 
 MicroRun runMicrobench(const InstrumentationConfig &Instr, size_t NumChars,
                        const PipelineConfig &Machine,
-                       const SamplingPlan *Plan) {
+                       const SamplingPlan *Plan,
+                       const telemetry::TelemetrySink *Telemetry) {
   MicrobenchConfig C;
   C.Text.NumChars = NumChars;
   C.Instr = Instr;
@@ -103,12 +104,17 @@ MicroRun runMicrobench(const InstrumentationConfig &Instr, size_t NumChars,
   Run.DynamicSiteVisits = MB.DynamicSiteVisits;
 
   if (Plan) {
-    SampledResult SR = runSampled(MB.Prog, *Plan, Machine);
+    SampledResult SR = runSampled(MB.Prog, *Plan, Machine,
+                                  /*Decider=*/nullptr, /*MaxInsts=*/~0ULL,
+                                  Telemetry);
     if (SR.NumIntervals != 0) {
       Run.Sampled = true;
       Run.Stats = scaleSampledStats(SR);
       Run.IpcCi95 = SR.ipcCi95();
       Run.SampleIntervals = SR.NumIntervals;
+      Run.FfMs = SR.FastForwardMs;
+      Run.WarmMs = SR.WarmMs;
+      Run.MeasureMs = SR.MeasureMs;
       if (SR.Markers.size() == 2)
         Run.RoiCycles =
             static_cast<uint64_t>(SR.estimatedCycles(SR.roiInsts()) + 0.5);
@@ -118,6 +124,7 @@ MicroRun runMicrobench(const InstrumentationConfig &Instr, size_t NumChars,
   }
 
   Pipeline Pipe(MB.Prog, Machine);
+  Pipe.setTelemetry(Telemetry);
   RunResult Result = Pipe.run(1ULL << 40);
   Run.Stats = Result.Stats;
   if (Result.Markers.size() == 2)

@@ -58,14 +58,23 @@ struct MicroRun {
   bool Sampled = false;
   double IpcCi95 = 0;          ///< 95% CI half-width on the sampled IPC.
   uint64_t SampleIntervals = 0; ///< detailed intervals behind the estimate.
+
+  /// Sampled mode only: wall-clock the run spent per phase (the sampler's
+  /// self-profiling timers; all zero in full-pipeline runs).
+  double FfMs = 0;
+  double WarmMs = 0;
+  double MeasureMs = 0;
 };
 
 /// Runs the microbenchmark through the full detailed Pipeline, or — when
 /// \p Plan is non-null — through the SampledRunner, which executes the
 /// same instruction stream but times only the plan's periodic intervals.
+/// \p Telemetry (optional) enables trace spans and detail events in
+/// whichever engine runs.
 MicroRun runMicrobench(const InstrumentationConfig &Instr, size_t NumChars,
                        const PipelineConfig &Machine = PipelineConfig(),
-                       const SamplingPlan *Plan = nullptr);
+                       const SamplingPlan *Plan = nullptr,
+                       const telemetry::TelemetrySink *Telemetry = nullptr);
 
 InstrumentationConfig microConfig(SamplingFramework F, DuplicationMode Dup,
                                   uint64_t Interval, bool IncludeBody);

@@ -103,5 +103,311 @@ std::string JsonObjectWriter::finish() {
   return std::move(Buf);
 }
 
+const JsonValue *JsonValue::find(std::string_view Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &F : Fields)
+    if (F.first == Key)
+      return &F.second;
+  return nullptr;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view. Errors report the byte
+/// offset of the offending character.
+class JsonParser {
+public:
+  JsonParser(std::string_view Text, std::string &Err)
+      : Text(Text), Err(Err) {}
+
+  bool parse(JsonValue &Out) {
+    skipWs();
+    if (!parseValue(Out, /*Depth=*/0))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters after JSON value");
+    return true;
+  }
+
+private:
+  static constexpr int MaxDepth = 64;
+
+  bool fail(const char *Msg) {
+    Err = "offset " + std::to_string(Pos) + ": " + Msg;
+    return false;
+  }
+
+  bool atEnd() const { return Pos == Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  void skipWs() {
+    while (!atEnd()) {
+      char C = Text[Pos];
+      if (C != ' ' && C != '\t' && C != '\n' && C != '\r')
+        break;
+      ++Pos;
+    }
+  }
+
+  bool expect(char C, const char *Msg) {
+    if (atEnd() || Text[Pos] != C)
+      return fail(Msg);
+    ++Pos;
+    return true;
+  }
+
+  bool literal(std::string_view Word, const char *Msg) {
+    if (Text.substr(Pos, Word.size()) != Word)
+      return fail(Msg);
+    Pos += Word.size();
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out, int Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    if (atEnd())
+      return fail("expected a JSON value");
+    switch (peek()) {
+    case 'n':
+      Out.K = JsonValue::Kind::Null;
+      return literal("null", "expected 'null'");
+    case 't':
+      Out.K = JsonValue::Kind::Bool;
+      Out.BoolVal = true;
+      return literal("true", "expected 'true'");
+    case 'f':
+      Out.K = JsonValue::Kind::Bool;
+      Out.BoolVal = false;
+      return literal("false", "expected 'false'");
+    case '"':
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.Str);
+    case '[':
+      return parseArray(Out, Depth);
+    case '{':
+      return parseObject(Out, Depth);
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseArray(JsonValue &Out, int Depth) {
+    ++Pos; // '['
+    Out.K = JsonValue::Kind::Array;
+    skipWs();
+    if (!atEnd() && peek() == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      Out.Elems.emplace_back();
+      if (!parseValue(Out.Elems.back(), Depth + 1))
+        return false;
+      skipWs();
+      if (atEnd())
+        return fail("unterminated array");
+      if (peek() == ']') {
+        ++Pos;
+        return true;
+      }
+      if (!expect(',', "expected ',' or ']' in array"))
+        return false;
+      skipWs();
+    }
+  }
+
+  bool parseObject(JsonValue &Out, int Depth) {
+    ++Pos; // '{'
+    Out.K = JsonValue::Kind::Object;
+    skipWs();
+    if (!atEnd() && peek() == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (atEnd() || peek() != '"')
+        return fail("expected a string key in object");
+      Out.Fields.emplace_back();
+      if (!parseString(Out.Fields.back().first))
+        return false;
+      skipWs();
+      if (!expect(':', "expected ':' after object key"))
+        return false;
+      skipWs();
+      if (!parseValue(Out.Fields.back().second, Depth + 1))
+        return false;
+      skipWs();
+      if (atEnd())
+        return fail("unterminated object");
+      if (peek() == '}') {
+        ++Pos;
+        return true;
+      }
+      if (!expect(',', "expected ',' or '}' in object"))
+        return false;
+    }
+  }
+
+  bool parseHex4(unsigned &Out) {
+    if (Pos + 4 > Text.size())
+      return fail("truncated \\u escape");
+    Out = 0;
+    for (int I = 0; I != 4; ++I) {
+      char C = Text[Pos + static_cast<size_t>(I)];
+      unsigned Digit;
+      if (C >= '0' && C <= '9')
+        Digit = static_cast<unsigned>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Digit = static_cast<unsigned>(C - 'a') + 10;
+      else if (C >= 'A' && C <= 'F')
+        Digit = static_cast<unsigned>(C - 'A') + 10;
+      else
+        return fail("bad hex digit in \\u escape");
+      Out = Out * 16 + Digit;
+    }
+    Pos += 4;
+    return true;
+  }
+
+  static void appendUtf8(std::string &Out, unsigned Cp) {
+    if (Cp < 0x80) {
+      Out += static_cast<char>(Cp);
+    } else if (Cp < 0x800) {
+      Out += static_cast<char>(0xc0 | (Cp >> 6));
+      Out += static_cast<char>(0x80 | (Cp & 0x3f));
+    } else if (Cp < 0x10000) {
+      Out += static_cast<char>(0xe0 | (Cp >> 12));
+      Out += static_cast<char>(0x80 | ((Cp >> 6) & 0x3f));
+      Out += static_cast<char>(0x80 | (Cp & 0x3f));
+    } else {
+      Out += static_cast<char>(0xf0 | (Cp >> 18));
+      Out += static_cast<char>(0x80 | ((Cp >> 12) & 0x3f));
+      Out += static_cast<char>(0x80 | ((Cp >> 6) & 0x3f));
+      Out += static_cast<char>(0x80 | (Cp & 0x3f));
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // '"'
+    while (true) {
+      if (atEnd())
+        return fail("unterminated string");
+      unsigned char C = static_cast<unsigned char>(Text[Pos]);
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C < 0x20)
+        return fail("unescaped control character in string");
+      if (C != '\\') {
+        Out += static_cast<char>(C);
+        ++Pos;
+        continue;
+      }
+      ++Pos; // '\\'
+      if (atEnd())
+        return fail("truncated escape sequence");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        unsigned Cp = 0;
+        if (!parseHex4(Cp))
+          return false;
+        if (Cp >= 0xd800 && Cp <= 0xdbff) {
+          // High surrogate: a low surrogate escape must follow.
+          if (Text.substr(Pos, 2) != "\\u")
+            return fail("unpaired high surrogate");
+          Pos += 2;
+          unsigned Lo = 0;
+          if (!parseHex4(Lo))
+            return false;
+          if (Lo < 0xdc00 || Lo > 0xdfff)
+            return fail("invalid low surrogate");
+          Cp = 0x10000 + ((Cp - 0xd800) << 10) + (Lo - 0xdc00);
+        } else if (Cp >= 0xdc00 && Cp <= 0xdfff) {
+          return fail("unpaired low surrogate");
+        }
+        appendUtf8(Out, Cp);
+        break;
+      }
+      default:
+        return fail("unknown escape sequence");
+      }
+    }
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (!atEnd() && peek() == '-')
+      ++Pos;
+    if (atEnd() || peek() < '0' || peek() > '9')
+      return fail("expected a JSON value");
+    if (peek() == '0')
+      ++Pos;
+    else
+      while (!atEnd() && peek() >= '0' && peek() <= '9')
+        ++Pos;
+    if (!atEnd() && peek() == '.') {
+      ++Pos;
+      if (atEnd() || peek() < '0' || peek() > '9')
+        return fail("expected digits after decimal point");
+      while (!atEnd() && peek() >= '0' && peek() <= '9')
+        ++Pos;
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+      ++Pos;
+      if (!atEnd() && (peek() == '+' || peek() == '-'))
+        ++Pos;
+      if (atEnd() || peek() < '0' || peek() > '9')
+        return fail("expected digits in exponent");
+      while (!atEnd() && peek() >= '0' && peek() <= '9')
+        ++Pos;
+    }
+    Out.K = JsonValue::Kind::Number;
+    Out.Num = std::strtod(std::string(Text.substr(Start, Pos - Start)).c_str(),
+                          nullptr);
+    return true;
+  }
+
+  std::string_view Text;
+  std::string &Err;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+bool jsonParse(std::string_view Text, JsonValue &Out, std::string &Err) {
+  Out = JsonValue();
+  return JsonParser(Text, Err).parse(Out);
+}
+
 } // namespace exp
 } // namespace bor

@@ -6,9 +6,12 @@
 ///
 /// \file
 /// Just enough JSON to emit the experiment runner's machine-readable
-/// results: string escaping, deterministic number formatting, and a small
-/// single-object writer used to build one JSON-lines record at a time.
-/// There is deliberately no parser and no DOM.
+/// results — string escaping, deterministic number formatting, and a small
+/// single-object writer used to build one JSON-lines record at a time —
+/// plus a small recursive-descent parser (jsonParse into a JsonValue DOM)
+/// so tests and tools can round-trip-validate what the library wrote:
+/// result records, telemetry trace files. The parser favours strictness
+/// over speed; nothing on a measurement path parses JSON.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +21,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace bor {
 namespace exp {
@@ -56,6 +61,38 @@ private:
   std::string Buf = "{";
   bool First = true;
 };
+
+/// One parsed JSON value: a small tagged DOM. Only the member matching
+/// the kind is meaningful; objects keep their fields in source order and
+/// allow duplicate keys (find() returns the first).
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool BoolVal = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<JsonValue> Elems;
+  std::vector<std::pair<std::string, JsonValue>> Fields;
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Object field lookup; null when this is not an object or the key is
+  /// absent.
+  const JsonValue *find(std::string_view Key) const;
+};
+
+/// Parses \p Text (one complete JSON value, surrounding whitespace
+/// allowed) into \p Out. Returns false and sets \p Err to
+/// "offset N: <what went wrong>" on malformed input. Strict: no trailing
+/// garbage, no comments, no unpaired surrogates; \uXXXX escapes decode to
+/// UTF-8. Nesting is capped generously to keep recursion bounded.
+bool jsonParse(std::string_view Text, JsonValue &Out, std::string &Err);
 
 } // namespace exp
 } // namespace bor

@@ -7,35 +7,118 @@
 #include "exp/Runner.h"
 
 #include "exp/ThreadPool.h"
+#include "telemetry/Counters.h"
+#include "telemetry/Telemetry.h"
 
 #include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
 
 namespace bor {
 namespace exp {
 
+namespace {
+
+/// Progress reporting for long grids: workers call cellDone() as cells
+/// finish; a line goes to stderr at most every ~2 seconds (plus a final
+/// one), with an ETA extrapolated from completed-cell wall-clock.
+class Heartbeat {
+public:
+  Heartbeat(bool Enabled, const std::string &Name, size_t Total)
+      : Enabled(Enabled && Total > 0), Name(Name), Total(Total),
+        Start(Clock::now()), LastPrint(Start) {}
+
+  void cellDone() {
+    if (!Enabled)
+      return;
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Done;
+    Clock::time_point Now = Clock::now();
+    if (Done != Total && secondsBetween(LastPrint, Now) < 2.0)
+      return;
+    LastPrint = Now;
+    double Elapsed = secondsBetween(Start, Now);
+    double Eta =
+        static_cast<double>(Total - Done) * Elapsed / static_cast<double>(Done);
+    std::fprintf(stderr,
+                 "[bor-bench] %s: %zu/%zu cells, %.1fs elapsed, ETA %.1fs\n",
+                 Name.c_str(), Done, Total, Elapsed, Eta);
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  static double secondsBetween(Clock::time_point A, Clock::time_point B) {
+    return std::chrono::duration<double>(B - A).count();
+  }
+
+  const bool Enabled;
+  const std::string Name;
+  const size_t Total;
+  const Clock::time_point Start;
+  std::mutex Mutex;
+  Clock::time_point LastPrint;
+  size_t Done = 0;
+};
+
+} // namespace
+
 std::vector<RunRecord> runExperiment(const ExperimentSpec &Spec,
                                      unsigned Threads,
-                                     const std::vector<ResultSink *> &Sinks) {
+                                     const std::vector<ResultSink *> &Sinks,
+                                     const RunnerHooks &Hooks) {
   assert(Spec.Run && "experiment has no run functor");
-  if (Spec.Setup)
-    Spec.Setup();
+  telemetry::TraceWriter *TW =
+      Hooks.Telemetry ? Hooks.Telemetry->Trace : nullptr;
 
+  if (telemetry::CounterRegistry::enabled()) {
+    static const telemetry::Counter Experiments("exp.experiments");
+    static const telemetry::Counter Cells("exp.cells");
+    Experiments.add();
+    Cells.add(Spec.Cells.size());
+  }
+
+  if (Spec.Setup) {
+    telemetry::TraceSpan Span(TW, "setup", "experiment",
+                              {telemetry::TraceArg::str("experiment",
+                                                        Spec.Name)});
+    Spec.Setup();
+  }
+
+  Heartbeat HB(Hooks.Heartbeat, Spec.Name, Spec.Cells.size());
+  auto RunCell = [&Spec, TW, &HB](std::vector<RunRecord> &Results, size_t I) {
+    telemetry::TraceSpan Span(
+        TW, "cell", "experiment",
+        {telemetry::TraceArg::str("experiment", Spec.Name),
+         telemetry::TraceArg::num("index", static_cast<uint64_t>(I))});
+    Results[I] = Spec.Run(Spec.Cells[I], I);
+    Span.close();
+    HB.cellDone();
+  };
+
+  // Multi-cell grids always go through the pool — even with one worker —
+  // so the pool's telemetry counters depend only on the grid, never on
+  // the --threads value, keeping counter snapshots thread-count-invariant
+  // just like the result records.
   std::vector<RunRecord> Results(Spec.Cells.size());
-  if (Threads <= 1 || Spec.Cells.size() <= 1) {
+  if (Spec.Cells.size() <= 1) {
     for (size_t I = 0; I != Spec.Cells.size(); ++I)
-      Results[I] = Spec.Run(Spec.Cells[I], I);
+      RunCell(Results, I);
   } else {
     ThreadPool Pool(Threads);
     for (size_t I = 0; I != Spec.Cells.size(); ++I)
-      Pool.submit([&Spec, &Results, I] {
-        Results[I] = Spec.Run(Spec.Cells[I], I);
-      });
+      Pool.submit([&RunCell, &Results, I] { RunCell(Results, I); });
     Pool.wait();
   }
 
   std::vector<RunRecord> Summaries;
-  if (Spec.Summarize)
+  if (Spec.Summarize) {
+    telemetry::TraceSpan Span(TW, "summarize", "experiment",
+                              {telemetry::TraceArg::str("experiment",
+                                                        Spec.Name)});
     Summaries = Spec.Summarize(Results);
+  }
 
   for (ResultSink *Sink : Sinks)
     Sink->begin(Spec);

@@ -5,12 +5,14 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Executes an ExperimentSpec's grid: Setup once, then every cell --
-/// concurrently on a fixed-size ThreadPool when Threads > 1, inline when
-/// Threads == 1 -- then the serial Summarize stage. Results are collected
-/// into spec order regardless of completion order, so the records a sink
-/// sees (and therefore the JSON written) are byte-identical for any thread
-/// count: parallelism is pure mechanism, never policy.
+/// Executes an ExperimentSpec's grid: Setup once, then every cell on a
+/// fixed-size ThreadPool (one worker when Threads == 1), then the serial
+/// Summarize stage. Results are collected into spec order regardless of
+/// completion order, so the records a sink sees (and therefore the JSON
+/// written) are byte-identical for any thread count: parallelism is pure
+/// mechanism, never policy. Optional RunnerHooks add observability — a
+/// trace span per stage and cell, and a periodic progress heartbeat on
+/// stderr — without touching the measurement path.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,12 +25,25 @@
 namespace bor {
 namespace exp {
 
+/// Observability knobs for one runExperiment call.
+struct RunnerHooks {
+  /// Emits spans for Setup, every cell, and Summarize when non-null (with
+  /// a non-null Trace).
+  const telemetry::TelemetrySink *Telemetry = nullptr;
+
+  /// Prints a progress line (cells done/total, elapsed, ETA) to stderr
+  /// roughly every two seconds. The driver enables this only when stderr
+  /// is a TTY so piped output stays clean.
+  bool Heartbeat = false;
+};
+
 /// Runs \p Spec with \p Threads workers and feeds every record to each of
 /// \p Sinks in deterministic spec order. Returns the per-cell records
 /// (without the summary records).
 std::vector<RunRecord> runExperiment(const ExperimentSpec &Spec,
                                      unsigned Threads,
-                                     const std::vector<ResultSink *> &Sinks);
+                                     const std::vector<ResultSink *> &Sinks,
+                                     const RunnerHooks &Hooks = RunnerHooks());
 
 } // namespace exp
 } // namespace bor

@@ -6,6 +6,8 @@
 
 #include "exp/ThreadPool.h"
 
+#include "telemetry/Counters.h"
+
 namespace bor {
 namespace exp {
 
@@ -25,6 +27,15 @@ ThreadPool::~ThreadPool() {
   WorkAvailable.notify_all();
   for (std::thread &W : Workers)
     W.join();
+  // Published per pool lifetime; the task count depends only on the work
+  // submitted, never on the worker count, so snapshots stay deterministic
+  // across --threads values.
+  if (telemetry::CounterRegistry::enabled()) {
+    static const telemetry::Counter Pools("exp.pool.pools");
+    static const telemetry::Counter Tasks("exp.pool.tasks");
+    Pools.add();
+    Tasks.add(Executed);
+  }
 }
 
 void ThreadPool::submit(std::function<void()> Task) {
@@ -56,10 +67,16 @@ void ThreadPool::workerLoop() {
     Task();
     {
       std::unique_lock<std::mutex> Lock(Mutex);
+      ++Executed;
       if (--Unfinished == 0)
         AllDone.notify_all();
     }
   }
+}
+
+uint64_t ThreadPool::tasksExecuted() const {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  return Executed;
 }
 
 unsigned ThreadPool::defaultThreads() {

@@ -16,6 +16,7 @@
 #define BOR_EXP_THREADPOOL_H
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -44,6 +45,9 @@ public:
 
   unsigned size() const { return static_cast<unsigned>(Workers.size()); }
 
+  /// Tasks that have finished executing over the pool's lifetime.
+  uint64_t tasksExecuted() const;
+
   /// The default worker count: the hardware concurrency, or 1 if the
   /// runtime cannot tell.
   static unsigned defaultThreads();
@@ -53,10 +57,11 @@ private:
 
   std::vector<std::thread> Workers;
   std::deque<std::function<void()>> Queue;
-  std::mutex Mutex;
+  mutable std::mutex Mutex;
   std::condition_variable WorkAvailable;
   std::condition_variable AllDone;
   size_t Unfinished = 0; ///< queued + currently executing
+  uint64_t Executed = 0; ///< tasks completed, for telemetry
   bool Stopping = false;
 };
 

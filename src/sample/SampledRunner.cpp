@@ -3,6 +3,7 @@
 #include "sample/SampledRunner.h"
 
 #include "sample/Warmup.h"
+#include "telemetry/Counters.h"
 
 #include <algorithm>
 
@@ -60,10 +61,15 @@ SampledResult bor::runSampled(const Program &P, Machine &M,
                               const SamplingPlan &Plan,
                               const PipelineConfig &Config,
                               BrrDecider &Decider, uint64_t MaxInsts,
-                              uint64_t StartInsts) {
+                              uint64_t StartInsts,
+                              const telemetry::TelemetrySink *Telemetry) {
   assert(Plan.valid() && "invalid sampling plan");
   SampledResult Result;
   Result.Plan = Plan;
+
+  telemetry::TraceWriter *TW = Telemetry ? Telemetry->Trace : nullptr;
+  telemetry::PhaseTimer FfTimer, WarmTimer, MeasureTimer;
+  uint64_t Period = 0;
 
   // One functional interpreter and one microarchitectural state bundle
   // span the whole run; detailed intervals attach Pipelines to the same
@@ -86,15 +92,21 @@ SampledResult bor::runSampled(const Program &P, Machine &M,
   // stream shorter than one period yields at least one sample.
   while (!M.halted() && Result.TotalInsts < Budget) {
     // --- Functional warming: same stream, structures trained. ----------
-    for (uint64_t I = 0;
-         I != Plan.WarmupInsts && !M.halted() && Result.TotalInsts < Budget;
-         ++I) {
-      ExecRecord R = Fn.step();
-      Warmer.observe(R);
-      ++Global;
-      ++Result.TotalInsts;
-      ++Result.WarmedInsts;
-      observeMarker(R);
+    {
+      telemetry::TraceSpan Span(TW, "warm", "sample",
+                                {telemetry::TraceArg::num("period", Period)});
+      WarmTimer.start();
+      for (uint64_t I = 0; I != Plan.WarmupInsts && !M.halted() &&
+                           Result.TotalInsts < Budget;
+           ++I) {
+        ExecRecord R = Fn.step();
+        Warmer.observe(R);
+        ++Global;
+        ++Result.TotalInsts;
+        ++Result.WarmedInsts;
+        observeMarker(R);
+      }
+      WarmTimer.stop();
     }
 
     if (M.halted() || Result.TotalInsts >= Budget)
@@ -102,7 +114,12 @@ SampledResult bor::runSampled(const Program &P, Machine &M,
 
     // --- Detailed interval: pre-roll (discarded) then measurement. -----
     uint64_t IntervalBase = Global;
+    telemetry::TraceSpan MeasureSpan(
+        TW, "measure", "sample",
+        {telemetry::TraceArg::num("period", Period)});
+    MeasureTimer.start();
     Pipeline Pipe(P, M, Uarch, Config, Decider);
+    Pipe.setTelemetry(Telemetry);
 
     uint64_t Remaining = Budget - Result.TotalInsts;
     uint64_t PrerollTarget = std::min(Plan.DetailedWarmupInsts, Remaining);
@@ -112,8 +129,11 @@ SampledResult bor::runSampled(const Program &P, Machine &M,
     uint64_t MeasureTarget =
         std::min(PrerollTarget + Plan.MeasureInsts, Remaining);
     RunResult R = Pipe.run(MeasureTarget, /*RequireHalt=*/false);
+    MeasureTimer.stop();
 
     uint64_t IntervalInsts = R.Stats.Insts;
+    MeasureSpan.arg(telemetry::TraceArg::num("insts", IntervalInsts));
+    MeasureSpan.close();
     Global += IntervalInsts;
     Result.TotalInsts += IntervalInsts;
     Result.PrerollInsts += Before.Insts;
@@ -139,26 +159,57 @@ SampledResult bor::runSampled(const Program &P, Machine &M,
     }
 
     // --- Fast-forward: functional only, rest of the period. ------------
-    uint64_t FastForward = Plan.PeriodInsts - Plan.WarmupInsts -
-                           Plan.DetailedWarmupInsts - Plan.MeasureInsts;
-    for (uint64_t I = 0;
-         I != FastForward && !M.halted() && Result.TotalInsts < Budget;
-         ++I) {
-      ExecRecord R = Fn.step();
-      ++Global;
-      ++Result.TotalInsts;
-      ++Result.FastForwardInsts;
-      observeMarker(R);
+    {
+      telemetry::TraceSpan Span(TW, "fast-forward", "sample",
+                                {telemetry::TraceArg::num("period", Period)});
+      FfTimer.start();
+      uint64_t FastForward = Plan.PeriodInsts - Plan.WarmupInsts -
+                             Plan.DetailedWarmupInsts - Plan.MeasureInsts;
+      for (uint64_t I = 0;
+           I != FastForward && !M.halted() && Result.TotalInsts < Budget;
+           ++I) {
+        ExecRecord R = Fn.step();
+        ++Global;
+        ++Result.TotalInsts;
+        ++Result.FastForwardInsts;
+        observeMarker(R);
+      }
+      FfTimer.stop();
     }
+    ++Period;
   }
 
   Result.Halted = M.halted();
+  Result.FastForwardMs = FfTimer.totalMs();
+  Result.WarmMs = WarmTimer.totalMs();
+  Result.MeasureMs = MeasureTimer.totalMs();
+
+  if (telemetry::CounterRegistry::enabled()) {
+    static const telemetry::Counter Runs("sample.runs");
+    static const telemetry::Counter Intervals("sample.intervals");
+    static const telemetry::Counter Total("sample.insts.total");
+    static const telemetry::Counter Warmed("sample.insts.warmed");
+    static const telemetry::Counter Preroll("sample.insts.preroll");
+    static const telemetry::Counter Measured("sample.insts.measured");
+    static const telemetry::Counter Ff("sample.insts.fast_forward");
+    Runs.add();
+    Intervals.add(Result.NumIntervals);
+    Total.add(Result.TotalInsts);
+    Warmed.add(Result.WarmedInsts);
+    Preroll.add(Result.PrerollInsts);
+    Measured.add(Result.MeasuredInsts);
+    Ff.add(Result.FastForwardInsts);
+    // The structures the sampler kept warm across intervals (attached
+    // Pipelines deliberately skip them).
+    publishUarchCounters(Uarch);
+  }
   return Result;
 }
 
 SampledResult bor::runSampled(const Program &P, const SamplingPlan &Plan,
                               const PipelineConfig &Config,
-                              BrrDecider *Decider, uint64_t MaxInsts) {
+                              BrrDecider *Decider, uint64_t MaxInsts,
+                              const telemetry::TelemetrySink *Telemetry) {
   Machine M;
   M.loadProgram(P);
   std::unique_ptr<BrrDecider> Owned;
@@ -167,5 +218,5 @@ SampledResult bor::runSampled(const Program &P, const SamplingPlan &Plan,
     Decider = Owned.get();
   }
   return runSampled(P, M, Plan, Config, *Decider, MaxInsts,
-                    /*StartInsts=*/0);
+                    /*StartInsts=*/0, Telemetry);
 }

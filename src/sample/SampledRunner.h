@@ -28,6 +28,7 @@
 
 #include "sample/SamplingPlan.h"
 #include "support/Stats.h"
+#include "telemetry/Telemetry.h"
 #include "uarch/Pipeline.h"
 
 namespace bor {
@@ -66,6 +67,15 @@ struct SampledResult {
   RunningStat FlushFracSamples;
   RunningStat BrrRateSamples;
 
+  /// Self-profiling phase timers: wall-clock spent fast-forwarding vs
+  /// functionally warming vs running the detailed intervals (pre-roll +
+  /// measurement). Always collected — one steady_clock read per phase
+  /// transition — so sampled cells can report where their time went (the
+  /// ROADMAP's interpreter-profiling question) without a trace attached.
+  double FastForwardMs = 0;
+  double WarmMs = 0;
+  double MeasureMs = 0;
+
   std::vector<SampledMarker> Markers;
 
   double ipcMean() const { return IpcSamples.mean(); }
@@ -89,10 +99,13 @@ struct SampledResult {
 /// the stream (all phases share it, so the outcome sequence is identical
 /// to an unsampled run's); pass nullptr for a config-default LFSR decider.
 /// \p MaxInsts bounds the total stream as Pipeline::run's budget does.
+/// \p Telemetry (optional) adds one trace span per phase (warm / detailed /
+/// fast-forward) and publishes sample.* counters at the end of the run.
 SampledResult runSampled(const Program &P, const SamplingPlan &Plan,
                          const PipelineConfig &Config = PipelineConfig(),
                          BrrDecider *Decider = nullptr,
-                         uint64_t MaxInsts = ~0ULL);
+                         uint64_t MaxInsts = ~0ULL,
+                         const telemetry::TelemetrySink *Telemetry = nullptr);
 
 /// As above, but resumes from existing architectural state in \p M (e.g. a
 /// restored checkpoint; the image is not reloaded) and leaves the final
@@ -101,7 +114,8 @@ SampledResult runSampled(const Program &P, const SamplingPlan &Plan,
 SampledResult runSampled(const Program &P, Machine &M,
                          const SamplingPlan &Plan,
                          const PipelineConfig &Config, BrrDecider &Decider,
-                         uint64_t MaxInsts = ~0ULL, uint64_t StartInsts = 0);
+                         uint64_t MaxInsts = ~0ULL, uint64_t StartInsts = 0,
+                         const telemetry::TelemetrySink *Telemetry = nullptr);
 
 } // namespace bor
 

@@ -2,6 +2,8 @@
 
 #include "sim/Interpreter.h"
 
+#include "telemetry/Counters.h"
+
 using namespace bor;
 
 Interpreter::Interpreter(const Program &P, Machine &M, BrrDecider &Decider,
@@ -12,6 +14,29 @@ Interpreter::Interpreter(const Program &P, Machine &M, BrrDecider &Decider,
   // machine exactly as handed in, mid-execution state included.
   if (LoadImage)
     Mach.loadProgram(P);
+}
+
+Interpreter::~Interpreter() {
+  if (!telemetry::CounterRegistry::enabled())
+    return;
+  static const telemetry::Counter Runs("interp.runs");
+  static const telemetry::Counter Insts("interp.insts");
+  static const telemetry::Counter CondBranches("interp.cond_branches");
+  static const telemetry::Counter CondTaken("interp.cond_taken");
+  static const telemetry::Counter BrrExecuted("interp.brr.executed");
+  static const telemetry::Counter BrrTaken("interp.brr.taken");
+  static const telemetry::Counter Loads("interp.loads");
+  static const telemetry::Counter Stores("interp.stores");
+  static const telemetry::HistogramCounter RunInsts("interp.run.insts");
+  Runs.add();
+  Insts.add(Stats.Insts);
+  CondBranches.add(Stats.CondBranches);
+  CondTaken.add(Stats.CondTaken);
+  BrrExecuted.add(Stats.BrrExecuted);
+  BrrTaken.add(Stats.BrrTaken);
+  Loads.add(Stats.Loads);
+  Stores.add(Stats.Stores);
+  RunInsts.observe(Stats.Insts);
 }
 
 ExecRecord Interpreter::step() {

@@ -59,6 +59,11 @@ public:
   Interpreter(const Program &P, Machine &M, BrrDecider &Decider,
               bool LoadImage = true);
 
+  /// Publishes this run's aggregate execution statistics to the telemetry
+  /// counter registry (interp.*). Aggregation at destruction keeps the
+  /// dispatch loop itself free of any telemetry cost.
+  ~Interpreter();
+
   bool halted() const { return Mach.halted(); }
 
   /// Executes exactly one instruction. Must not be called once halted.

@@ -2,12 +2,21 @@
 
 #include "sim/Machine.h"
 
+#include "telemetry/Counters.h"
+
 #include <algorithm>
 #include <cstring>
 
 using namespace bor;
 
 BrrDecider::~BrrDecider() = default;
+
+BrrUnitDecider::~BrrUnitDecider() {
+  if (!telemetry::CounterRegistry::enabled())
+    return;
+  static const telemetry::Counter Evals("brr_unit.evaluations");
+  Evals.add(Unit.evaluationCount());
+}
 
 Memory::Page &Memory::pageFor(uint64_t Addr) {
   uint64_t Base = Addr / PageBytes;

@@ -99,6 +99,9 @@ class BrrUnitDecider : public BrrDecider {
 public:
   explicit BrrUnitDecider(const BrrUnitConfig &Config = BrrUnitConfig())
       : Unit(Config) {}
+  /// Publishes the unit's lifetime evaluation count to the telemetry
+  /// counter registry (brr_unit.evaluations). Defined in Machine.cpp.
+  ~BrrUnitDecider() override;
   bool decide(FreqCode Freq) override { return Unit.evaluate(Freq); }
   uint64_t readAndStep() override {
     uint64_t State = Unit.lfsr().state();

@@ -3,6 +3,7 @@
 #include "support/Stats.h"
 
 #include <cmath>
+#include <limits>
 
 using namespace bor;
 
@@ -20,6 +21,14 @@ void RunningStat::add(double X) {
     Min = X;
   if (X > Max)
     Max = X;
+}
+
+double RunningStat::min() const {
+  return N ? Min : std::numeric_limits<double>::quiet_NaN();
+}
+
+double RunningStat::max() const {
+  return N ? Max : std::numeric_limits<double>::quiet_NaN();
 }
 
 double RunningStat::variance() const {

@@ -37,8 +37,11 @@ public:
   /// (normal approximation, 1.96 * stderr); 0 for fewer than two samples.
   double ci95HalfWidth() const;
 
-  double min() const { return N ? Min : 0.0; }
-  double max() const { return N ? Max : 0.0; }
+  /// Smallest / largest sample seen. An empty accumulator has no extrema:
+  /// both return quiet NaN rather than a fake 0.0 that could be mistaken
+  /// for data (check count() first when NaN must not propagate).
+  double min() const;
+  double max() const;
 
 private:
   size_t N = 0;

@@ -1,0 +1,208 @@
+//===- telemetry/Counters.cpp - Low-overhead counter/metric registry ------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Counters.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+using namespace bor;
+using namespace bor::telemetry;
+
+std::atomic<bool> CounterRegistry::Enabled{false};
+
+namespace {
+
+/// Monotonic registry ids so the thread-local shard cache can never
+/// confuse a new registry allocated at a dead registry's address.
+std::atomic<uint64_t> NextRegistryId{1};
+
+constexpr unsigned NumLogBuckets = 65; ///< bucket 0 = zeros, 1+log2 else.
+
+unsigned logBucket(uint64_t Value) {
+  if (Value == 0)
+    return 0;
+  unsigned B = 0;
+  while (Value != 0) {
+    Value >>= 1;
+    ++B;
+  }
+  return B; // floor(log2(V)) + 1, in [1, 64]
+}
+
+} // namespace
+
+CounterRegistry::CounterRegistry() : RegistryId(NextRegistryId++) {}
+
+CounterRegistry::~CounterRegistry() = default;
+
+CounterRegistry &CounterRegistry::instance() {
+  static CounterRegistry R;
+  return R;
+}
+
+unsigned CounterRegistry::counterId(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = CounterIds.find(Name);
+  if (It != CounterIds.end())
+    return It->second;
+  unsigned Id = static_cast<unsigned>(CounterNames.size());
+  CounterNames.emplace_back(Name);
+  CounterIds.emplace(std::string(Name), Id);
+  return Id;
+}
+
+unsigned CounterRegistry::histogramId(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = HistogramIds.find(Name);
+  if (It != HistogramIds.end())
+    return It->second;
+  unsigned Id = static_cast<unsigned>(HistogramNames.size());
+  HistogramNames.emplace_back(Name);
+  HistogramIds.emplace(std::string(Name), Id);
+  return Id;
+}
+
+CounterRegistry::Shard &CounterRegistry::localShard() {
+  // One cached (registry-id, shard) pair per thread. A thread touches at
+  // most a couple of registries (the process one, plus test-local ones),
+  // so a small vector beats a hash map.
+  thread_local std::vector<std::pair<uint64_t, std::shared_ptr<Shard>>>
+      Cache;
+  for (auto &[Id, S] : Cache)
+    if (Id == RegistryId)
+      return *S;
+  auto S = std::make_shared<Shard>();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Shards.push_back(S);
+  }
+  Cache.emplace_back(RegistryId, S);
+  return *S;
+}
+
+void CounterRegistry::add(unsigned Id, uint64_t Delta) {
+  Shard &S = localShard();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  if (S.Counters.size() <= Id)
+    S.Counters.resize(Id + 1, 0);
+  S.Counters[Id] += Delta;
+}
+
+void CounterRegistry::observe(unsigned Id, uint64_t Value) {
+  Shard &S = localShard();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  if (S.Histograms.size() <= Id)
+    S.Histograms.resize(Id + 1);
+  HistogramShard &H = S.Histograms[Id];
+  if (H.Buckets.empty())
+    H.Buckets.assign(NumLogBuckets, 0);
+  ++H.Count;
+  H.Sum += Value;
+  H.Min = std::min(H.Min, Value);
+  H.Max = std::max(H.Max, Value);
+  ++H.Buckets[logBucket(Value)];
+}
+
+CounterSnapshot CounterRegistry::snapshot() const {
+  // Copy the name tables and shard list under the registry lock, then
+  // merge shard by shard under each shard's own lock.
+  std::vector<std::string> CNames, HNames;
+  std::vector<std::shared_ptr<Shard>> Merge;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    CNames = CounterNames;
+    HNames = HistogramNames;
+    Merge = Shards;
+  }
+
+  std::vector<uint64_t> Totals(CNames.size(), 0);
+  std::vector<HistogramShard> Hists(HNames.size());
+  for (const auto &S : Merge) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    for (size_t I = 0; I != S->Counters.size() && I != Totals.size(); ++I)
+      Totals[I] += S->Counters[I];
+    for (size_t I = 0; I != S->Histograms.size() && I != Hists.size(); ++I) {
+      const HistogramShard &From = S->Histograms[I];
+      if (From.Count == 0)
+        continue;
+      HistogramShard &To = Hists[I];
+      if (To.Buckets.empty())
+        To.Buckets.assign(NumLogBuckets, 0);
+      To.Count += From.Count;
+      To.Sum += From.Sum;
+      To.Min = std::min(To.Min, From.Min);
+      To.Max = std::max(To.Max, From.Max);
+      for (unsigned B = 0; B != NumLogBuckets; ++B)
+        To.Buckets[B] += From.Buckets[B];
+    }
+  }
+
+  CounterSnapshot Snap;
+  for (size_t I = 0; I != CNames.size(); ++I)
+    Snap.Counters.emplace_back(CNames[I], Totals[I]);
+  std::sort(Snap.Counters.begin(), Snap.Counters.end());
+
+  for (size_t I = 0; I != HNames.size(); ++I) {
+    CounterSnapshot::Histogram H;
+    H.Name = HNames[I];
+    H.Count = Hists[I].Count;
+    H.Sum = Hists[I].Sum;
+    H.Min = H.Count ? Hists[I].Min : 0;
+    H.Max = Hists[I].Max;
+    for (unsigned B = 0; B != NumLogBuckets; ++B)
+      if (!Hists[I].Buckets.empty() && Hists[I].Buckets[B] != 0)
+        H.Buckets.emplace_back(B, Hists[I].Buckets[B]);
+    Snap.Histograms.push_back(std::move(H));
+  }
+  std::sort(Snap.Histograms.begin(), Snap.Histograms.end(),
+            [](const CounterSnapshot::Histogram &A,
+               const CounterSnapshot::Histogram &B) {
+              return A.Name < B.Name;
+            });
+  return Snap;
+}
+
+void CounterRegistry::reset() {
+  std::vector<std::shared_ptr<Shard>> Merge;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Merge = Shards;
+  }
+  for (const auto &S : Merge) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    std::fill(S->Counters.begin(), S->Counters.end(), 0);
+    for (HistogramShard &H : S->Histograms)
+      H = HistogramShard();
+  }
+}
+
+std::string CounterSnapshot::render() const {
+  std::string Out;
+  char Buf[256];
+  Out += "== counters ==\n";
+  for (const auto &[Name, Value] : Counters) {
+    std::snprintf(Buf, sizeof(Buf), "%-44s %" PRIu64 "\n", Name.c_str(),
+                  Value);
+    Out += Buf;
+  }
+  for (const Histogram &H : Histograms) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "== histogram %s: count %" PRIu64 ", sum %" PRIu64
+                  ", min %" PRIu64 ", max %" PRIu64 " ==\n",
+                  H.Name.c_str(), H.Count, H.Sum, H.Min, H.Max);
+    Out += Buf;
+    for (const auto &[Bucket, N] : H.Buckets) {
+      // Bucket 0 holds exact zeros; bucket B holds [2^(B-1), 2^B).
+      uint64_t Lo = Bucket == 0 ? 0 : 1ULL << (Bucket - 1);
+      std::snprintf(Buf, sizeof(Buf), "  >=%-20" PRIu64 " %" PRIu64 "\n",
+                    Lo, N);
+      Out += Buf;
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,170 @@
+//===- telemetry/Counters.h - Low-overhead counter/metric registry --------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulator's self-observability counters: a process-wide registry of
+/// lazily-registered named uint64 counters and log2-bucket histograms.
+/// Writes go to thread-local shards (one per thread per registry, each
+/// guarded by its own uncontended mutex), so experiment cells running on
+/// the ThreadPool never serialize on a shared counter line; snapshots
+/// merge all shards and report name-sorted totals, which makes a snapshot
+/// byte-deterministic for any --threads value as long as the same work ran.
+///
+/// Counting is off by default. Components publish *aggregate* deltas at
+/// run granularity (a Pipeline's stats on destruction, an Interpreter's on
+/// destruction, the sampler's phase totals at the end of a sampled run),
+/// never per instruction, so the enabled path stays off the simulators'
+/// hot loops entirely and the disabled path is a single relaxed atomic
+/// load. See docs/OBSERVABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_TELEMETRY_COUNTERS_H
+#define BOR_TELEMETRY_COUNTERS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bor {
+namespace telemetry {
+
+/// A merged, deterministic view of every registered counter and histogram:
+/// totals summed over all thread shards, sorted by name. Two snapshots of
+/// the same completed work render byte-identically regardless of how many
+/// threads produced it.
+struct CounterSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+
+  struct Histogram {
+    std::string Name;
+    uint64_t Count = 0;
+    uint64_t Sum = 0;
+    uint64_t Min = 0; ///< meaningful only when Count > 0
+    uint64_t Max = 0;
+    /// Non-empty log2 buckets only: bucket B counts values in
+    /// [2^(B-1), 2^B), bucket 0 counts exact zeros.
+    std::vector<std::pair<unsigned, uint64_t>> Buckets;
+
+    double mean() const {
+      return Count ? static_cast<double>(Sum) / static_cast<double>(Count)
+                   : 0.0;
+    }
+  };
+  std::vector<Histogram> Histograms;
+
+  /// Deterministic human-readable rendering, one line per counter plus a
+  /// block per histogram (the --counters output).
+  std::string render() const;
+};
+
+/// Process-wide counter/histogram registry with thread-local shards.
+/// Normally used through instance(); tests may construct private
+/// registries.
+class CounterRegistry {
+public:
+  CounterRegistry();
+  ~CounterRegistry();
+
+  CounterRegistry(const CounterRegistry &) = delete;
+  CounterRegistry &operator=(const CounterRegistry &) = delete;
+
+  static CounterRegistry &instance();
+
+  /// Global on/off switch for all counting. Off by default; the disabled
+  /// fast path in enabled() is one relaxed atomic load.
+  static void setEnabled(bool On) {
+    Enabled.store(On, std::memory_order_relaxed);
+  }
+  static bool enabled() { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Lazily registers a named counter / histogram and returns its stable
+  /// id. Registering an existing name returns the existing id.
+  unsigned counterId(std::string_view Name);
+  unsigned histogramId(std::string_view Name);
+
+  /// Adds \p Delta to counter \p Id in this thread's shard.
+  void add(unsigned Id, uint64_t Delta);
+
+  /// Records \p Value into histogram \p Id in this thread's shard.
+  void observe(unsigned Id, uint64_t Value);
+
+  /// Merges every shard into a deterministic snapshot. Values written by
+  /// threads that have since exited are retained.
+  CounterSnapshot snapshot() const;
+
+  /// Zeroes every shard's values (registrations are kept).
+  void reset();
+
+private:
+  struct HistogramShard {
+    uint64_t Count = 0;
+    uint64_t Sum = 0;
+    uint64_t Min = ~0ULL;
+    uint64_t Max = 0;
+    std::vector<uint64_t> Buckets; ///< 65 log2 buckets once touched.
+  };
+
+  struct Shard {
+    std::mutex Mutex; ///< uncontended except while a snapshot merges
+    std::vector<uint64_t> Counters;
+    std::vector<HistogramShard> Histograms;
+  };
+
+  Shard &localShard();
+
+  static std::atomic<bool> Enabled;
+
+  const uint64_t RegistryId; ///< keys the thread-local shard cache
+  mutable std::mutex Mutex;  ///< guards names/ids and the shard list
+  std::map<std::string, unsigned, std::less<>> CounterIds;
+  std::vector<std::string> CounterNames;
+  std::map<std::string, unsigned, std::less<>> HistogramIds;
+  std::vector<std::string> HistogramNames;
+  std::vector<std::shared_ptr<Shard>> Shards;
+};
+
+/// A cached handle to one named counter of the process-wide registry.
+/// Construct once (function-local static), then add() per event; add() is
+/// a no-op unless counting is enabled.
+class Counter {
+public:
+  explicit Counter(std::string_view Name)
+      : Id(CounterRegistry::instance().counterId(Name)) {}
+
+  void add(uint64_t Delta = 1) const {
+    if (CounterRegistry::enabled())
+      CounterRegistry::instance().add(Id, Delta);
+  }
+
+private:
+  unsigned Id;
+};
+
+/// A cached handle to one named histogram of the process-wide registry.
+class HistogramCounter {
+public:
+  explicit HistogramCounter(std::string_view Name)
+      : Id(CounterRegistry::instance().histogramId(Name)) {}
+
+  void observe(uint64_t Value) const {
+    if (CounterRegistry::enabled())
+      CounterRegistry::instance().observe(Id, Value);
+  }
+
+private:
+  unsigned Id;
+};
+
+} // namespace telemetry
+} // namespace bor
+
+#endif // BOR_TELEMETRY_COUNTERS_H

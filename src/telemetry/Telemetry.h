@@ -1,0 +1,120 @@
+//===- telemetry/Telemetry.h - TelemetrySink and RAII trace spans ---------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The handle that threads observability through the experiment and
+/// simulator layers. A TelemetrySink is a cheap value type bundling the
+/// optional tracer and a detail-event switch; components receive it as a
+/// nullable pointer, so "telemetry off" is simply a null sink (or a sink
+/// with a null Trace) and costs nothing in the instrumented code paths.
+///
+/// TraceSpan is the RAII wall-clock span: construct it around a region
+/// (an experiment cell, a sampled-run phase) and it records an "X"
+/// complete event when it goes out of scope. With a null writer it
+/// compiles down to two pointer checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_TELEMETRY_TELEMETRY_H
+#define BOR_TELEMETRY_TELEMETRY_H
+
+#include "telemetry/Trace.h"
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bor {
+namespace telemetry {
+
+/// Bundles the observability outputs a run may feed. Passed by const
+/// pointer; a null sink (or null members) disables the respective output.
+struct TelemetrySink {
+  /// Span/event tracer, null when --trace was not requested.
+  TraceWriter *Trace = nullptr;
+
+  /// When true, the simulator also emits high-rate instant events
+  /// (pipeline flushes, taken brr samples). Only bor-run turns this on:
+  /// under a bench grid those events would swamp the trace.
+  bool DetailEvents = false;
+
+  TraceWriter *detailTrace() const { return DetailEvents ? Trace : nullptr; }
+};
+
+/// RAII scope that emits one complete ("X") trace event covering its
+/// lifetime. Safe to construct with a null writer (no-op). Arguments may
+/// be attached at construction or added before the span closes.
+class TraceSpan {
+public:
+  TraceSpan(TraceWriter *Writer, std::string_view Name, std::string_view Cat,
+            std::vector<TraceArg> Args = {})
+      : Writer(Writer), Name(Name), Cat(Cat), Args(std::move(Args)),
+        StartUs(Writer ? Writer->nowUs() : 0.0) {}
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  ~TraceSpan() { close(); }
+
+  /// Attaches one more argument to the event emitted at close.
+  void arg(TraceArg A) {
+    if (Writer)
+      Args.push_back(std::move(A));
+  }
+
+  /// Emits the event now (normally done by the destructor). Idempotent.
+  void close() {
+    if (!Writer)
+      return;
+    Writer->complete(Name, Cat, StartUs, Writer->nowUs() - StartUs,
+                     std::move(Args));
+    Writer = nullptr;
+  }
+
+  /// Elapsed wall-clock milliseconds since the span opened, usable even
+  /// with a null writer (falls back to 0; callers needing timing without
+  /// tracing should use PhaseTimer below).
+  double elapsedMs() const {
+    return Writer ? (Writer->nowUs() - StartUs) / 1000.0 : 0.0;
+  }
+
+private:
+  TraceWriter *Writer;
+  std::string Name;
+  std::string Cat;
+  std::vector<TraceArg> Args;
+  double StartUs;
+};
+
+/// Accumulating wall-clock stopwatch for the sampled runner's phase
+/// timers. Always on — the sampler reports fast-forward vs warm vs
+/// measure time whether or not a trace is being collected — so it stays
+/// trivially cheap: one steady_clock read per start/stop pair per phase,
+/// a few dozen pairs per sampled run.
+class PhaseTimer {
+public:
+  void start() { StartNs = nowNs(); }
+  void stop() { TotalNs += nowNs() - StartNs; }
+
+  double totalMs() const { return static_cast<double>(TotalNs) / 1e6; }
+
+private:
+  static uint64_t nowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  uint64_t TotalNs = 0;
+  uint64_t StartNs = 0;
+};
+
+} // namespace telemetry
+} // namespace bor
+
+#endif // BOR_TELEMETRY_TELEMETRY_H

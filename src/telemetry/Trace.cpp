@@ -1,0 +1,142 @@
+//===- telemetry/Trace.cpp - Chrome trace-event span/event export ---------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Trace.h"
+
+#include "exp/Json.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+using namespace bor;
+using namespace bor::telemetry;
+
+namespace {
+
+uint64_t steadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string renderArgs(const std::vector<TraceArg> &Args) {
+  if (Args.empty())
+    return {};
+  exp::JsonObjectWriter W;
+  for (const TraceArg &A : Args)
+    W.fieldRaw(A.Key, A.Raw);
+  return W.finish();
+}
+
+/// Trace timestamps carry sub-microsecond detail; three decimals (1 ns)
+/// round-trips everything steady_clock can say without scientific
+/// notation.
+std::string formatUs(double Us) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", Us);
+  return Buf;
+}
+
+} // namespace
+
+TraceArg TraceArg::str(std::string_view Key, std::string_view Value) {
+  return {std::string(Key), "\"" + exp::jsonEscape(Value) + "\""};
+}
+
+TraceArg TraceArg::num(std::string_view Key, uint64_t Value) {
+  return {std::string(Key), exp::jsonNumber(Value)};
+}
+
+TraceArg TraceArg::num(std::string_view Key, double Value) {
+  return {std::string(Key), exp::jsonNumber(Value)};
+}
+
+TraceWriter::TraceWriter(size_t MaxEvents)
+    : MaxEvents(MaxEvents), OriginNs(steadyNowNs()) {}
+
+double TraceWriter::nowUs() const {
+  return static_cast<double>(steadyNowNs() - OriginNs) / 1000.0;
+}
+
+uint32_t TraceWriter::threadId() {
+  static std::atomic<uint32_t> Next{1};
+  thread_local uint32_t Id = Next.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+void TraceWriter::append(Event E) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Events.size() >= MaxEvents) {
+    ++Dropped;
+    return;
+  }
+  Events.push_back(std::move(E));
+}
+
+void TraceWriter::complete(std::string_view Name, std::string_view Cat,
+                           double TsUs, double DurUs,
+                           std::vector<TraceArg> Args) {
+  append({std::string(Name), std::string(Cat), 'X', TsUs, DurUs, threadId(),
+          renderArgs(Args)});
+}
+
+void TraceWriter::instant(std::string_view Name, std::string_view Cat,
+                          std::vector<TraceArg> Args) {
+  append({std::string(Name), std::string(Cat), 'i', nowUs(), 0, threadId(),
+          renderArgs(Args)});
+}
+
+size_t TraceWriter::eventCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Events.size();
+}
+
+uint64_t TraceWriter::droppedCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Dropped;
+}
+
+bool TraceWriter::writeTo(const std::string &Path, std::string &Err) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::fputs("{\"traceEvents\":[\n", F);
+  bool First = true;
+  for (const Event &E : Events) {
+    exp::JsonObjectWriter W;
+    W.field("name", E.Name);
+    W.field("cat", E.Cat);
+    W.field("ph", std::string_view(&E.Phase, 1));
+    W.fieldRaw("ts", formatUs(E.TsUs));
+    if (E.Phase == 'X')
+      W.fieldRaw("dur", formatUs(E.DurUs));
+    if (E.Phase == 'i')
+      W.field("s", "t"); // thread-scoped instant
+    W.fieldRaw("pid", "1");
+    W.fieldRaw("tid", exp::jsonNumber(static_cast<uint64_t>(E.Tid)));
+    if (!E.ArgsJson.empty())
+      W.fieldRaw("args", E.ArgsJson);
+    std::fprintf(F, "%s%s", First ? "" : ",\n", W.finish().c_str());
+    First = false;
+  }
+  std::fputs("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{", F);
+  std::fprintf(F, "\"tool\":\"branch-on-random\",\"dropped_events\":%llu",
+               static_cast<unsigned long long>(Dropped));
+  std::fputs("}}\n", F);
+
+  bool Ok = std::ferror(F) == 0;
+  if (std::fclose(F) != 0)
+    Ok = false;
+  if (!Ok)
+    Err = "error writing '" + Path + "'";
+  return Ok;
+}

@@ -1,0 +1,104 @@
+//===- telemetry/Trace.h - Chrome trace-event span/event export -----------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small span/event tracer that writes the Chrome trace-event JSON
+/// object format (load the file in chrome://tracing or Perfetto). The
+/// writer buffers events in memory — experiment runs emit a few thousand
+/// spans at most — and serializes them once at the end of the run:
+///
+///   * TraceSpan: RAII wall-clock span ("X" complete events) for
+///     experiment cells, sampled-run phases, whole tool runs;
+///   * TraceWriter::instant(): "i" instant events for high-rate simulator
+///     occurrences (pipeline flushes, taken brr samples), bounded by a
+///     configurable event cap so a long run cannot exhaust memory — the
+///     drop count is recorded in the trace's otherData block.
+///
+/// Thread ids are small dense integers assigned per OS thread on first
+/// use, so fan-out across the experiment ThreadPool renders as parallel
+/// tracks. All methods are thread-safe. Everything is a no-op through
+/// null-writer pointers in TelemetrySink (see Telemetry.h): tracing off
+/// means no TraceWriter exists at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_TELEMETRY_TRACE_H
+#define BOR_TELEMETRY_TRACE_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bor {
+namespace telemetry {
+
+/// One "key": <json> argument of a trace event. Raw must already be valid
+/// JSON (string helpers quote for you).
+struct TraceArg {
+  std::string Key;
+  std::string Raw;
+
+  static TraceArg str(std::string_view Key, std::string_view Value);
+  static TraceArg num(std::string_view Key, uint64_t Value);
+  static TraceArg num(std::string_view Key, double Value);
+};
+
+/// Buffers trace events and writes one Chrome trace-event JSON object.
+class TraceWriter {
+public:
+  /// \p MaxEvents bounds the buffer; further events are counted as
+  /// dropped rather than stored.
+  explicit TraceWriter(size_t MaxEvents = 1 << 22);
+
+  TraceWriter(const TraceWriter &) = delete;
+  TraceWriter &operator=(const TraceWriter &) = delete;
+
+  /// Microseconds since this writer was constructed (the trace's time
+  /// origin).
+  double nowUs() const;
+
+  /// Appends a complete ("X") event covering [TsUs, TsUs + DurUs].
+  void complete(std::string_view Name, std::string_view Cat, double TsUs,
+                double DurUs, std::vector<TraceArg> Args = {});
+
+  /// Appends an instant ("i") event at the current time.
+  void instant(std::string_view Name, std::string_view Cat,
+               std::vector<TraceArg> Args = {});
+
+  size_t eventCount() const;
+  uint64_t droppedCount() const;
+
+  /// Serializes {"traceEvents": [...], "otherData": {...}} to \p Path.
+  /// Returns false with \p Err set when the file cannot be written.
+  bool writeTo(const std::string &Path, std::string &Err) const;
+
+private:
+  struct Event {
+    std::string Name;
+    std::string Cat;
+    char Phase;
+    double TsUs;
+    double DurUs; ///< "X" only
+    uint32_t Tid;
+    std::string ArgsJson; ///< pre-rendered {"k":v,...}, may be empty
+  };
+
+  void append(Event E);
+  static uint32_t threadId();
+
+  const size_t MaxEvents;
+  uint64_t OriginNs;
+  mutable std::mutex Mutex;
+  std::vector<Event> Events;
+  uint64_t Dropped = 0;
+};
+
+} // namespace telemetry
+} // namespace bor
+
+#endif // BOR_TELEMETRY_TRACE_H

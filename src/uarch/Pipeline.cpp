@@ -2,11 +2,47 @@
 
 #include "uarch/Pipeline.h"
 
+#include "telemetry/Counters.h"
+#include "telemetry/Telemetry.h"
+
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
 using namespace bor;
+
+void bor::publishUarchCounters(const MicroarchState &Uarch) {
+  if (!telemetry::CounterRegistry::enabled())
+    return;
+  static const telemetry::Counter L1IAcc("cache.l1i.accesses");
+  static const telemetry::Counter L1IMiss("cache.l1i.misses");
+  static const telemetry::Counter L1DAcc("cache.l1d.accesses");
+  static const telemetry::Counter L1DMiss("cache.l1d.misses");
+  static const telemetry::Counter L2Acc("cache.l2.accesses");
+  static const telemetry::Counter L2Miss("cache.l2.misses");
+  static const telemetry::Counter Preds("predictor.predictions");
+  static const telemetry::Counter Mispreds("predictor.mispredictions");
+  static const telemetry::Counter BtbLookups("btb.lookups");
+  static const telemetry::Counter BtbHits("btb.hits");
+  static const telemetry::Counter BtbInserts("btb.inserts");
+  static const telemetry::Counter RasPushes("ras.pushes");
+  static const telemetry::Counter RasPops("ras.pops");
+  static const telemetry::Counter RasUnderflows("ras.underflows");
+  L1IAcc.add(Uarch.MemHier.l1i().stats().Accesses);
+  L1IMiss.add(Uarch.MemHier.l1i().stats().Misses);
+  L1DAcc.add(Uarch.MemHier.l1d().stats().Accesses);
+  L1DMiss.add(Uarch.MemHier.l1d().stats().Misses);
+  L2Acc.add(Uarch.MemHier.l2().stats().Accesses);
+  L2Miss.add(Uarch.MemHier.l2().stats().Misses);
+  Preds.add(Uarch.Predictor.stats().Predictions);
+  Mispreds.add(Uarch.Predictor.stats().Mispredictions);
+  BtbLookups.add(Uarch.TargetBuffer.stats().Lookups);
+  BtbHits.add(Uarch.TargetBuffer.stats().Hits);
+  BtbInserts.add(Uarch.TargetBuffer.stats().Inserts);
+  RasPushes.add(Uarch.Ras.stats().Pushes);
+  RasPops.add(Uarch.Ras.stats().Pops);
+  RasUnderflows.add(Uarch.Ras.stats().Underflows);
+}
 
 std::string bor::describeStats(const PipelineStats &S) {
   char Buf[1024];
@@ -50,6 +86,55 @@ Pipeline::Pipeline(const Program &P, Machine &M, MicroarchState &Uarch,
       CommitStage(Config.CommitWidth),
       RobSlotFree(Config.RobEntries, 0) {
   RegReady.fill(0);
+}
+
+Pipeline::~Pipeline() {
+  if (!telemetry::CounterRegistry::enabled())
+    return;
+  static const telemetry::Counter Runs("pipeline.runs");
+  static const telemetry::Counter Cycles("pipeline.cycles");
+  static const telemetry::Counter Insts("pipeline.insts");
+  static const telemetry::Counter CondBranches("pipeline.cond_branches");
+  static const telemetry::Counter CondMisp("pipeline.cond_mispredicts");
+  static const telemetry::Counter Indirect("pipeline.indirect_branches");
+  static const telemetry::Counter IndirectMisp(
+      "pipeline.indirect_mispredicts");
+  static const telemetry::Counter DirectJumps("pipeline.direct_jumps");
+  static const telemetry::Counter DirectRedirects(
+      "pipeline.direct_jump_decode_redirects");
+  static const telemetry::Counter BrrExecuted("pipeline.brr.executed");
+  static const telemetry::Counter BrrTaken("pipeline.brr.taken");
+  static const telemetry::Counter IcacheStalls(
+      "pipeline.fetch.icache_stall_cycles");
+  static const telemetry::Counter BackendFlush(
+      "pipeline.fetch.backend_flush_cycles");
+  static const telemetry::Counter FrontendFlush(
+      "pipeline.fetch.frontend_flush_cycles");
+  static const telemetry::Counter FullWidth(
+      "pipeline.fetch.full_width_cycles");
+  static const telemetry::HistogramCounter RunInsts("pipeline.run.insts");
+  static const telemetry::HistogramCounter RunCycles("pipeline.run.cycles");
+  Runs.add();
+  Cycles.add(Stats.Cycles);
+  Insts.add(Stats.Insts);
+  CondBranches.add(Stats.CondBranches);
+  CondMisp.add(Stats.CondMispredicts);
+  Indirect.add(Stats.IndirectBranches);
+  IndirectMisp.add(Stats.IndirectMispredicts);
+  DirectJumps.add(Stats.DirectJumps);
+  DirectRedirects.add(Stats.DirectJumpDecodeRedirects);
+  BrrExecuted.add(Stats.BrrExecuted);
+  BrrTaken.add(Stats.BrrTaken);
+  IcacheStalls.add(Stats.FetchIcacheStallCycles);
+  BackendFlush.add(Stats.BackendFlushCycles);
+  FrontendFlush.add(Stats.FrontendFlushCycles);
+  FullWidth.add(Stats.FullWidthFetchCycles);
+  RunInsts.observe(Stats.Insts);
+  RunCycles.observe(Stats.Cycles);
+  // Attached runs borrow the sampled runner's structures; publishing them
+  // here would double-count across intervals.
+  if (OwnedUarch)
+    publishUarchCounters(*OwnedUarch);
 }
 
 uint64_t Pipeline::fetchInstruction(const ExecRecord &R) {
@@ -137,6 +222,8 @@ uint64_t Pipeline::completeExecution(const ExecRecord &R, uint64_t Issue) {
 }
 
 RunResult Pipeline::run(uint64_t MaxInsts, bool RequireHalt) {
+  telemetry::TraceWriter *Detail =
+      Telemetry ? Telemetry->detailTrace() : nullptr;
   while (!Oracle.halted() && Stats.Insts < MaxInsts) {
     ExecRecord R = Oracle.step();
     uint64_t F = fetchInstruction(R);
@@ -308,6 +395,19 @@ RunResult Pipeline::run(uint64_t MaxInsts, bool RequireHalt) {
       RedirectIsFrontend = true;
     } else if (PredictedTakenAtFetch && Config.FetchStopsAtTakenBranch) {
       FetchBreak = true;
+    }
+
+    if (Detail) {
+      if (R.I.isBrr() && R.Taken)
+        Detail->instant("brr taken", "pipeline",
+                        {telemetry::TraceArg::num("pc", R.Pc),
+                         telemetry::TraceArg::num("cycle", C)});
+      if (RedirectPending)
+        Detail->instant(RedirectIsFrontend ? "frontend flush"
+                                           : "backend flush",
+                        "pipeline",
+                        {telemetry::TraceArg::num("pc", R.Pc),
+                         telemetry::TraceArg::num("cycle", RedirectCycle)});
     }
   }
 

@@ -49,6 +49,10 @@
 
 namespace bor {
 
+namespace telemetry {
+struct TelemetrySink;
+} // namespace telemetry
+
 /// Cycle-level results of a timed execution.
 struct PipelineStats {
   uint64_t Cycles = 0;
@@ -149,6 +153,18 @@ public:
   Pipeline(const Program &P, Machine &M, MicroarchState &Uarch,
            const PipelineConfig &Config, BrrDecider &Decider);
 
+  /// Publishes the run's aggregate statistics to the telemetry counter
+  /// registry (pipeline.*), plus the owned microarchitectural structures'
+  /// stats in the cold-run form (an attached run's structures belong to
+  /// the sampled runner, which publishes them once at the end).
+  ~Pipeline();
+
+  /// Attaches a telemetry sink for the duration of the runs that follow.
+  /// Only the detail-event switch matters here: with DetailEvents set, the
+  /// run loop emits instant trace events for pipeline flushes and taken
+  /// brr. Null (the default) disables everything.
+  void setTelemetry(const telemetry::TelemetrySink *T) { Telemetry = T; }
+
   /// Runs until the program halts or \p MaxInsts instructions commit.
   /// Asserts that the program halts within the budget when \p RequireHalt.
   RunResult run(uint64_t MaxInsts, bool RequireHalt = true);
@@ -238,7 +254,14 @@ private:
   PipelineStats Stats;
   std::vector<MarkerEvent> Markers;
   std::function<void(const InstTimestamps &)> Observer;
+  const telemetry::TelemetrySink *Telemetry = nullptr;
 };
+
+/// Publishes one MicroarchState's structure statistics (cache.*,
+/// predictor.*, btb.*, ras.*) to the telemetry counter registry. Called by
+/// ~Pipeline for cold-run state and by the sampled runner for the state it
+/// keeps warm across intervals.
+void publishUarchCounters(const MicroarchState &Uarch);
 
 } // namespace bor
 

@@ -5,6 +5,7 @@
 using namespace bor;
 
 void ReturnAddressStack::push(uint64_t ReturnAddr) {
+  ++Stats.Pushes;
   Slots[Top] = ReturnAddr;
   Top = (Top + 1) % Slots.size();
   if (Depth < Slots.size())
@@ -12,8 +13,11 @@ void ReturnAddressStack::push(uint64_t ReturnAddr) {
 }
 
 uint64_t ReturnAddressStack::pop() {
-  if (Depth == 0)
+  ++Stats.Pops;
+  if (Depth == 0) {
+    ++Stats.Underflows;
     return 0;
+  }
   Top = (Top + static_cast<unsigned>(Slots.size()) - 1) % Slots.size();
   --Depth;
   return Slots[Top];

@@ -20,6 +20,12 @@
 
 namespace bor {
 
+struct RasStats {
+  uint64_t Pushes = 0;
+  uint64_t Pops = 0;
+  uint64_t Underflows = 0; ///< pops of an empty stack (predict 0).
+};
+
 class ReturnAddressStack {
 public:
   explicit ReturnAddressStack(unsigned Entries = 32)
@@ -32,11 +38,13 @@ public:
 
   unsigned depth() const { return Depth; }
   unsigned capacity() const { return static_cast<unsigned>(Slots.size()); }
+  const RasStats &stats() const { return Stats; }
 
 private:
   std::vector<uint64_t> Slots;
   unsigned Top = 0;   ///< Index of the next free slot (mod capacity).
   unsigned Depth = 0; ///< Live entries, saturating at capacity.
+  RasStats Stats;
 };
 
 } // namespace bor

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 using namespace bor;
 
 TEST(RunningStat, EmptyIsZero) {
@@ -12,6 +14,21 @@ TEST(RunningStat, EmptyIsZero) {
   EXPECT_EQ(S.mean(), 0.0);
   EXPECT_EQ(S.variance(), 0.0);
   EXPECT_EQ(S.ci95HalfWidth(), 0.0);
+}
+
+TEST(RunningStat, EmptyHasNoExtrema) {
+  // An empty accumulator must not report 0.0 as a minimum or maximum —
+  // 0.0 is a perfectly plausible sample. NaN can't be confused for data.
+  RunningStat S;
+  EXPECT_TRUE(std::isnan(S.min()));
+  EXPECT_TRUE(std::isnan(S.max()));
+}
+
+TEST(RunningStat, ExtremaRealAfterFirstSample) {
+  RunningStat S;
+  S.add(-2.5);
+  EXPECT_EQ(S.min(), -2.5);
+  EXPECT_EQ(S.max(), -2.5);
 }
 
 TEST(RunningStat, SingleValue) {

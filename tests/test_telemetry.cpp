@@ -1,0 +1,251 @@
+//===- tests/test_telemetry.cpp - Counter registry and tracer tests -------===//
+//
+// Covers the observability subsystem's two guarantees: counter snapshots
+// are deterministic (merged, name-sorted, thread-count-invariant), and the
+// trace writer emits well-formed Chrome trace-event JSON (validated by
+// round-tripping through exp::jsonParse).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/Json.h"
+#include "telemetry/Counters.h"
+#include "telemetry/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace bor;
+using namespace bor::telemetry;
+
+namespace {
+
+std::string readFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  EXPECT_NE(F, nullptr) << Path;
+  std::string Out;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  std::fclose(F);
+  return Out;
+}
+
+} // namespace
+
+TEST(CounterRegistry, SnapshotIsNameSorted) {
+  CounterRegistry R;
+  unsigned B = R.counterId("zebra");
+  unsigned A = R.counterId("aardvark");
+  R.add(B, 2);
+  R.add(A, 1);
+  CounterSnapshot S = R.snapshot();
+  ASSERT_EQ(S.Counters.size(), 2u);
+  EXPECT_EQ(S.Counters[0].first, "aardvark");
+  EXPECT_EQ(S.Counters[0].second, 1u);
+  EXPECT_EQ(S.Counters[1].first, "zebra");
+  EXPECT_EQ(S.Counters[1].second, 2u);
+}
+
+TEST(CounterRegistry, RegistrationIsIdempotent) {
+  CounterRegistry R;
+  EXPECT_EQ(R.counterId("x"), R.counterId("x"));
+  EXPECT_NE(R.counterId("x"), R.counterId("y"));
+  EXPECT_EQ(R.histogramId("h"), R.histogramId("h"));
+}
+
+TEST(CounterRegistry, MergesShardsAcrossThreads) {
+  // The same total work must render byte-identically no matter how many
+  // threads produced it — the property behind thread-count-invariant
+  // --counters output.
+  auto Run = [](unsigned Threads) {
+    CounterRegistry R;
+    unsigned Id = R.counterId("work");
+    unsigned H = R.histogramId("sizes");
+    std::vector<std::thread> Ts;
+    for (unsigned T = 0; T != Threads; ++T)
+      Ts.emplace_back([&R, Id, H, T, Threads] {
+        for (unsigned I = T; I < 1000; I += Threads) {
+          R.add(Id, I);
+          R.observe(H, I);
+        }
+      });
+    for (std::thread &T : Ts)
+      T.join();
+    return R.snapshot().render();
+  };
+  std::string Serial = Run(1);
+  EXPECT_EQ(Serial, Run(4));
+  EXPECT_EQ(Serial, Run(7));
+}
+
+TEST(CounterRegistry, SurvivesWriterThreadExit) {
+  CounterRegistry R;
+  unsigned Id = R.counterId("c");
+  std::thread([&R, Id] { R.add(Id, 41); }).join();
+  R.add(Id, 1);
+  CounterSnapshot S = R.snapshot();
+  ASSERT_EQ(S.Counters.size(), 1u);
+  EXPECT_EQ(S.Counters[0].second, 42u);
+}
+
+TEST(CounterRegistry, HistogramLog2Buckets) {
+  CounterRegistry R;
+  unsigned H = R.histogramId("h");
+  R.observe(H, 0); // bucket 0: exact zeros
+  R.observe(H, 1); // bucket 1: [1, 2)
+  R.observe(H, 2); // bucket 2: [2, 4)
+  R.observe(H, 3); // bucket 2
+  R.observe(H, 1024); // bucket 11: [1024, 2048)
+  CounterSnapshot S = R.snapshot();
+  ASSERT_EQ(S.Histograms.size(), 1u);
+  const CounterSnapshot::Histogram &HS = S.Histograms[0];
+  EXPECT_EQ(HS.Count, 5u);
+  EXPECT_EQ(HS.Sum, 1030u);
+  EXPECT_EQ(HS.Min, 0u);
+  EXPECT_EQ(HS.Max, 1024u);
+  std::vector<std::pair<unsigned, uint64_t>> Want = {
+      {0, 1}, {1, 1}, {2, 2}, {11, 1}};
+  EXPECT_EQ(HS.Buckets, Want);
+}
+
+TEST(CounterRegistry, ResetKeepsRegistrations) {
+  CounterRegistry R;
+  unsigned Id = R.counterId("c");
+  R.add(Id, 5);
+  R.reset();
+  CounterSnapshot S = R.snapshot();
+  ASSERT_EQ(S.Counters.size(), 1u);
+  EXPECT_EQ(S.Counters[0].second, 0u);
+}
+
+TEST(TraceWriter, WritesParsableChromeTrace) {
+  TraceWriter W;
+  {
+    TraceSpan Span(&W, "cell", "experiment",
+                   {TraceArg::str("experiment", "fig13"),
+                    TraceArg::num("index", uint64_t(3))});
+  }
+  W.instant("backend flush", "pipeline", {TraceArg::num("pc", uint64_t(64))});
+  std::string Path = ::testing::TempDir() + "bor_trace_test.json";
+  std::string Err;
+  ASSERT_TRUE(W.writeTo(Path, Err)) << Err;
+
+  exp::JsonValue Doc;
+  ASSERT_TRUE(exp::jsonParse(readFile(Path), Doc, Err)) << Err;
+  ASSERT_TRUE(Doc.isObject());
+  const exp::JsonValue *Events = Doc.find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  ASSERT_TRUE(Events->isArray());
+  ASSERT_EQ(Events->Elems.size(), 2u);
+
+  const exp::JsonValue &Span = Events->Elems[0];
+  EXPECT_EQ(Span.find("name")->Str, "cell");
+  EXPECT_EQ(Span.find("cat")->Str, "experiment");
+  EXPECT_EQ(Span.find("ph")->Str, "X");
+  EXPECT_GE(Span.find("dur")->Num, 0.0);
+  ASSERT_NE(Span.find("args"), nullptr);
+  EXPECT_EQ(Span.find("args")->find("experiment")->Str, "fig13");
+  EXPECT_EQ(Span.find("args")->find("index")->Num, 3.0);
+
+  const exp::JsonValue &Inst = Events->Elems[1];
+  EXPECT_EQ(Inst.find("ph")->Str, "i");
+  EXPECT_EQ(Inst.find("s")->Str, "t");
+  EXPECT_GE(Inst.find("ts")->Num, Span.find("ts")->Num);
+
+  const exp::JsonValue *Other = Doc.find("otherData");
+  ASSERT_NE(Other, nullptr);
+  EXPECT_EQ(Other->find("dropped_events")->Num, 0.0);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceWriter, CapsEventsAndCountsDrops) {
+  TraceWriter W(/*MaxEvents=*/2);
+  for (int I = 0; I != 5; ++I)
+    W.instant("e", "c");
+  EXPECT_EQ(W.eventCount(), 2u);
+  EXPECT_EQ(W.droppedCount(), 3u);
+  std::string Path = ::testing::TempDir() + "bor_trace_cap.json";
+  std::string Err;
+  ASSERT_TRUE(W.writeTo(Path, Err)) << Err;
+  exp::JsonValue Doc;
+  ASSERT_TRUE(exp::jsonParse(readFile(Path), Doc, Err)) << Err;
+  EXPECT_EQ(Doc.find("otherData")->find("dropped_events")->Num, 3.0);
+  std::remove(Path.c_str());
+}
+
+TEST(TraceWriter, RejectsUnwritablePath) {
+  TraceWriter W;
+  std::string Err;
+  EXPECT_FALSE(W.writeTo("/nonexistent-dir/trace.json", Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(TraceSpan, NullWriterIsNoOp) {
+  TraceSpan Span(nullptr, "x", "y");
+  Span.arg(TraceArg::num("k", uint64_t(1)));
+  EXPECT_EQ(Span.elapsedMs(), 0.0);
+  Span.close();
+  Span.close();
+}
+
+TEST(TraceSpan, CloseIsIdempotent) {
+  TraceWriter W;
+  TraceSpan Span(&W, "x", "y");
+  Span.close();
+  Span.close();
+  EXPECT_EQ(W.eventCount(), 1u);
+}
+
+TEST(TelemetrySink, DetailTraceGating) {
+  TraceWriter W;
+  TelemetrySink S;
+  S.Trace = &W;
+  EXPECT_EQ(S.detailTrace(), nullptr);
+  S.DetailEvents = true;
+  EXPECT_EQ(S.detailTrace(), &W);
+  S.Trace = nullptr;
+  EXPECT_EQ(S.detailTrace(), nullptr);
+}
+
+TEST(JsonParse, Values) {
+  exp::JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(exp::jsonParse(" null ", V, Err));
+  EXPECT_TRUE(V.isNull());
+  ASSERT_TRUE(exp::jsonParse("true", V, Err));
+  EXPECT_TRUE(V.BoolVal);
+  ASSERT_TRUE(exp::jsonParse("-12.5e2", V, Err));
+  EXPECT_DOUBLE_EQ(V.Num, -1250.0);
+  ASSERT_TRUE(exp::jsonParse("\"a\\n\\u0041\\ud83d\\ude00\"", V, Err));
+  EXPECT_EQ(V.Str, "a\nA\xf0\x9f\x98\x80");
+  ASSERT_TRUE(exp::jsonParse("[1, [2], {\"k\": 3}]", V, Err));
+  ASSERT_EQ(V.Elems.size(), 3u);
+  EXPECT_EQ(V.Elems[2].find("k")->Num, 3.0);
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  exp::JsonObjectWriter W;
+  W.field("name", "a \"quoted\"\tvalue");
+  W.fieldRaw("n", exp::jsonNumber(2.5));
+  exp::JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(exp::jsonParse(W.finish(), V, Err)) << Err;
+  EXPECT_EQ(V.find("name")->Str, "a \"quoted\"\tvalue");
+  EXPECT_EQ(V.find("n")->Num, 2.5);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  exp::JsonValue V;
+  std::string Err;
+  for (const char *Bad :
+       {"", "{", "[1,]", "{\"k\":}", "\"abc", "12 34", "{\"k\" 1}",
+        "\"\\ud800\"", "nul", "01", "- 1", "[1]x"}) {
+    EXPECT_FALSE(exp::jsonParse(Bad, V, Err)) << Bad;
+    EXPECT_NE(Err.find("offset "), std::string::npos) << Bad;
+  }
+}

@@ -11,8 +11,13 @@
 //                          how brr outcomes are resolved (default lfsr)
 //   --seed=N               LFSR seed for the lfsr decider
 //   --max-insts=N          instruction budget (default 1<<32)
-//   --trace=N              functional mode: print the first N executed
+//   --print-insts=N        functional mode: print the first N executed
 //                          instructions with their PCs
+//   --trace=PATH           write a Chrome trace-event JSON file (load in
+//                          chrome://tracing or Perfetto) with the run span
+//                          and per-flush / taken-brr instant events
+//   --counters             print the telemetry counter snapshot after the
+//                          run (see docs/OBSERVABILITY.md)
 //   --dump-sym=NAME        after the run, print the u64 at data symbol NAME
 //   --checkpoint=PATH      functional mode: snapshot the architectural
 //                          state (registers, memory, decider) into a BORB
@@ -30,12 +35,15 @@
 #include "isa/Serialize.h"
 #include "sample/Checkpoint.h"
 #include "sim/Interpreter.h"
+#include "telemetry/Counters.h"
+#include "telemetry/Telemetry.h"
 #include "uarch/Pipeline.h"
 
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,7 +57,9 @@ struct Options {
   std::string Decider = "lfsr";
   uint64_t Seed = 0x2c9277b5;
   uint64_t MaxInsts = 1ULL << 32;
-  uint64_t Trace = 0;
+  uint64_t PrintInsts = 0;
+  std::string TracePath;
+  bool Counters = false;
   std::vector<std::string> DumpSymbols;
   std::string CheckpointPath;
   uint64_t CheckpointAt = 0;
@@ -67,8 +77,12 @@ bool parseArgs(int Argc, char **Argv, Options &Opt) {
       Opt.Seed = std::strtoull(A + 7, nullptr, 0);
     } else if (std::strncmp(A, "--max-insts=", 12) == 0) {
       Opt.MaxInsts = std::strtoull(A + 12, nullptr, 0);
+    } else if (std::strncmp(A, "--print-insts=", 14) == 0) {
+      Opt.PrintInsts = std::strtoull(A + 14, nullptr, 0);
     } else if (std::strncmp(A, "--trace=", 8) == 0) {
-      Opt.Trace = std::strtoull(A + 8, nullptr, 0);
+      Opt.TracePath = A + 8;
+    } else if (std::strcmp(A, "--counters") == 0) {
+      Opt.Counters = true;
     } else if (std::strncmp(A, "--dump-sym=", 11) == 0) {
       Opt.DumpSymbols.push_back(A + 11);
     } else if (std::strncmp(A, "--checkpoint=", 13) == 0) {
@@ -114,6 +128,47 @@ void dumpSymbols(const Options &Opt, const Program &P, const Machine &M) {
   }
 }
 
+/// The tool-level objects behind --trace / --counters. Construct before
+/// the simulator objects; call finish() after they are destroyed, since
+/// simulators publish their counters from their destructors.
+struct ToolTelemetry {
+  explicit ToolTelemetry(const Options &Opt) {
+    if (Opt.Counters)
+      telemetry::CounterRegistry::setEnabled(true);
+    if (!Opt.TracePath.empty()) {
+      Trace = std::make_unique<telemetry::TraceWriter>();
+      Sink.Trace = Trace.get();
+      Sink.DetailEvents = true;
+    }
+  }
+
+  /// The sink the pipeline observes, or null when --trace was not given
+  /// (counters flow through the process-wide registry regardless).
+  const telemetry::TelemetrySink *sink() const {
+    return Trace ? &Sink : nullptr;
+  }
+
+  /// Writes the trace file and prints the counter snapshot. Returns false
+  /// when the trace cannot be written.
+  bool finish(const Options &Opt) const {
+    if (Trace) {
+      std::string Err;
+      if (!Trace->writeTo(Opt.TracePath, Err)) {
+        std::fprintf(stderr, "bor-run: --trace: %s\n", Err.c_str());
+        return false;
+      }
+    }
+    if (Opt.Counters)
+      std::fputs(
+          telemetry::CounterRegistry::instance().snapshot().render().c_str(),
+          stdout);
+    return true;
+  }
+
+  std::unique_ptr<telemetry::TraceWriter> Trace;
+  telemetry::TelemetrySink Sink;
+};
+
 void printFunctionalStats(const RunStats &S) {
   std::printf("insts %" PRIu64 ", cond branches %" PRIu64 " (%" PRIu64
               " taken), brr %" PRIu64 " (%" PRIu64 " taken), loads %" PRIu64
@@ -148,20 +203,38 @@ int resumeMain(const Options &Opt) {
   std::printf("resumed at pc %" PRIu64 " after %" PRIu64 " insts\n", M.pc(),
               C.InstsRetired);
 
+  ToolTelemetry Tel(Opt);
+  int Rc;
   if (Opt.Timing) {
     MicroarchState Uarch((PipelineConfig()));
-    Pipeline Pipe(P, M, Uarch, PipelineConfig(), *Decider);
-    RunResult Result = Pipe.run(Opt.MaxInsts, /*RequireHalt=*/false);
-    std::printf("%s", describeStats(Result.Stats).c_str());
+    {
+      Pipeline Pipe(P, M, Uarch, PipelineConfig(), *Decider);
+      Pipe.setTelemetry(Tel.sink());
+      telemetry::TraceSpan Span(Tel.Trace.get(), "resume", "bor-run");
+      RunResult Result = Pipe.run(Opt.MaxInsts, /*RequireHalt=*/false);
+      Span.close();
+      std::printf("%s", describeStats(Result.Stats).c_str());
+    }
+    // The attached Pipeline borrows Uarch and so never publishes it; this
+    // run owns it, so publish once here.
+    publishUarchCounters(Uarch);
     dumpSymbols(Opt, P, M);
-    return M.halted() ? 0 : 1;
+    Rc = M.halted() ? 0 : 1;
+  } else {
+    {
+      Interpreter Interp(P, M, *Decider, /*LoadImage=*/false);
+      telemetry::TraceSpan Span(Tel.Trace.get(), "resume", "bor-run");
+      RunStats S = Interp.run(Opt.MaxInsts, /*RequireHalt=*/false);
+      Span.close();
+      printFunctionalStats(S);
+      Rc = S.Halted ? 0 : 1;
+    }
+    dumpSymbols(Opt, P, M);
   }
-
-  Interpreter Interp(P, M, *Decider, /*LoadImage=*/false);
-  RunStats S = Interp.run(Opt.MaxInsts, /*RequireHalt=*/false);
-  printFunctionalStats(S);
-  dumpSymbols(Opt, P, M);
-  return S.Halted ? 0 : 1;
+  Decider.reset();
+  if (!Tel.finish(Opt))
+    return 1;
+  return Rc;
 }
 
 } // namespace
@@ -172,8 +245,9 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr,
                  "usage: bor-run program.borb [--timing] "
                  "[--decider=lfsr|counter|never|always] [--seed=N] "
-                 "[--max-insts=N] [--dump-sym=NAME]...\n"
-                 "       [--checkpoint=PATH [--checkpoint-at=N]] "
+                 "[--max-insts=N] [--print-insts=N] [--dump-sym=NAME]...\n"
+                 "       [--trace=PATH] [--counters] "
+                 "[--checkpoint=PATH [--checkpoint-at=N]] "
                  "[--resume]\n");
     return 2;
   }
@@ -200,46 +274,67 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  ToolTelemetry Tel(Opt);
+  int Rc;
   if (Opt.Timing) {
-    Pipeline Pipe(R.Prog, PipelineConfig(), Decider.get());
-    RunResult Result = Pipe.run(Opt.MaxInsts, /*RequireHalt=*/false);
-    std::printf("%s", describeStats(Result.Stats).c_str());
-    for (const MarkerEvent &E : Result.Markers)
-      std::printf("marker %d at cycle %" PRIu64 " (inst %" PRIu64 ")\n",
-                  E.Id, E.CommitCycle, E.InstsRetired);
-    dumpSymbols(Opt, R.Prog, Pipe.machine());
-    return Pipe.machine().halted() ? 0 : 1;
+    // Inner scope: the Pipeline publishes its counters on destruction, and
+    // that has to happen before Tel.finish() renders the snapshot.
+    {
+      Pipeline Pipe(R.Prog, PipelineConfig(), Decider.get());
+      Pipe.setTelemetry(Tel.sink());
+      telemetry::TraceSpan Span(Tel.Trace.get(), "run", "bor-run");
+      RunResult Result = Pipe.run(Opt.MaxInsts, /*RequireHalt=*/false);
+      Span.close();
+      std::printf("%s", describeStats(Result.Stats).c_str());
+      for (const MarkerEvent &E : Result.Markers)
+        std::printf("marker %d at cycle %" PRIu64 " (inst %" PRIu64 ")\n",
+                    E.Id, E.CommitCycle, E.InstsRetired);
+      dumpSymbols(Opt, R.Prog, Pipe.machine());
+      Rc = Pipe.machine().halted() ? 0 : 1;
+    }
+    Decider.reset();
+    if (!Tel.finish(Opt))
+      return 1;
+    return Rc;
   }
 
   Machine M;
-  Interpreter Interp(R.Prog, M, *Decider);
-  for (uint64_t I = 0; I != Opt.Trace && !Interp.halted(); ++I) {
-    ExecRecord Rec = Interp.step();
-    std::printf("%6" PRIu64 "  %s\n", Rec.Pc / 4,
-                disassemble(Rec.I, static_cast<int64_t>(Rec.Pc / 4))
-                    .c_str());
-  }
-
-  if (!Opt.CheckpointPath.empty()) {
-    uint64_t Already = Interp.stats().Insts;
-    if (Opt.CheckpointAt > Already)
-      Interp.run(Opt.CheckpointAt - Already, /*RequireHalt=*/false);
-    MachineCheckpoint C =
-        captureCheckpoint(M, *Decider, Interp.stats().Insts);
-    if (!saveCheckpointFile(R.Prog, C, Opt.CheckpointPath)) {
-      std::fprintf(stderr, "bor-run: cannot write checkpoint '%s'\n",
-                   Opt.CheckpointPath.c_str());
-      return 1;
+  {
+    Interpreter Interp(R.Prog, M, *Decider);
+    telemetry::TraceSpan Span(Tel.Trace.get(), "run", "bor-run");
+    for (uint64_t I = 0; I != Opt.PrintInsts && !Interp.halted(); ++I) {
+      ExecRecord Rec = Interp.step();
+      std::printf("%6" PRIu64 "  %s\n", Rec.Pc / 4,
+                  disassemble(Rec.I, static_cast<int64_t>(Rec.Pc / 4))
+                      .c_str());
     }
-    std::printf("checkpoint written to %s at inst %" PRIu64 "\n",
-                Opt.CheckpointPath.c_str(), C.InstsRetired);
-  }
 
-  uint64_t Budget = Opt.MaxInsts > Interp.stats().Insts
-                        ? Opt.MaxInsts - Interp.stats().Insts
-                        : 0;
-  RunStats S = Interp.run(Budget, /*RequireHalt=*/false);
-  printFunctionalStats(S);
+    if (!Opt.CheckpointPath.empty()) {
+      uint64_t Already = Interp.stats().Insts;
+      if (Opt.CheckpointAt > Already)
+        Interp.run(Opt.CheckpointAt - Already, /*RequireHalt=*/false);
+      MachineCheckpoint C =
+          captureCheckpoint(M, *Decider, Interp.stats().Insts);
+      if (!saveCheckpointFile(R.Prog, C, Opt.CheckpointPath)) {
+        std::fprintf(stderr, "bor-run: cannot write checkpoint '%s'\n",
+                     Opt.CheckpointPath.c_str());
+        return 1;
+      }
+      std::printf("checkpoint written to %s at inst %" PRIu64 "\n",
+                  Opt.CheckpointPath.c_str(), C.InstsRetired);
+    }
+
+    uint64_t Budget = Opt.MaxInsts > Interp.stats().Insts
+                          ? Opt.MaxInsts - Interp.stats().Insts
+                          : 0;
+    RunStats S = Interp.run(Budget, /*RequireHalt=*/false);
+    Span.close();
+    printFunctionalStats(S);
+    Rc = S.Halted ? 0 : 1;
+  }
   dumpSymbols(Opt, R.Prog, M);
-  return S.Halted ? 0 : 1;
+  Decider.reset();
+  if (!Tel.finish(Opt))
+    return 1;
+  return Rc;
 }
