@@ -38,9 +38,10 @@ struct DriverOptions {
   bool TableOut = true;
   bool Sample = false;
   SamplingPlan Plan;
-  std::string TracePath;   ///< --trace: Chrome trace-event JSON output
-  bool Counters = false;   ///< --counters: render the snapshot to stdout
-  std::string CountersOut; ///< --counters-out: write the snapshot here
+  std::string TracePath;      ///< --trace: Chrome trace-event JSON output
+  std::string FlamegraphPath; ///< --flamegraph: collapsed-stack summary
+  bool Counters = false;      ///< --counters: render the snapshot to stdout
+  std::string CountersOut;    ///< --counters-out: write the snapshot here
 };
 
 /// Accepts both "--flag value" and "--flag=value". Returns nullptr when
@@ -156,6 +157,10 @@ bool parseCommon(const char *A, char **Argv, int Argc, int &I,
     Opt.TracePath = V;
     return true;
   }
+  if (const char *V = flagValue("--flamegraph", Argv, Argc, I)) {
+    Opt.FlamegraphPath = V;
+    return true;
+  }
   if (std::strcmp(A, "--counters") == 0) {
     Opt.Counters = true;
     return true;
@@ -181,12 +186,23 @@ bool heartbeatEnabled() {
 /// success.
 int writeTelemetryOutputs(const DriverOptions &Opt,
                           telemetry::TraceWriter *Trace) {
-  if (Trace) {
+  if (Trace && !Opt.TracePath.empty()) {
     std::string Err;
     if (!Trace->writeTo(Opt.TracePath, Err)) {
       std::fprintf(stderr, "bor-bench: --trace: %s\n", Err.c_str());
       return 1;
     }
+  }
+  if (Trace && !Opt.FlamegraphPath.empty()) {
+    std::string Folded = Trace->foldToCollapsedStacks();
+    std::FILE *F = std::fopen(Opt.FlamegraphPath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "bor-bench: cannot open '%s' for writing\n",
+                   Opt.FlamegraphPath.c_str());
+      return 1;
+    }
+    std::fputs(Folded.c_str(), F);
+    std::fclose(F);
   }
   if (!Opt.Counters && Opt.CountersOut.empty())
     return 0;
@@ -276,7 +292,7 @@ std::unique_ptr<telemetry::TraceWriter>
 setUpTelemetry(const DriverOptions &Opt) {
   if (Opt.Counters || !Opt.CountersOut.empty())
     telemetry::CounterRegistry::setEnabled(true);
-  if (Opt.TracePath.empty())
+  if (Opt.TracePath.empty() && Opt.FlamegraphPath.empty())
     return nullptr;
   return std::make_unique<telemetry::TraceWriter>();
 }
@@ -303,8 +319,8 @@ int benchMain(int Argc, char **Argv) {
                    "                 [--no-table] [--scale N] [--sample]\n"
                    "                 [--sample-period N] [--sample-warm N] "
                    "[--sample-measure N]\n"
-                   "                 [--trace PATH] [--counters] "
-                   "[--counters-out PATH]\n"
+                   "                 [--trace PATH] [--flamegraph PATH] "
+                   "[--counters] [--counters-out PATH]\n"
                    "       bor-bench --all [same flags]\n");
       return 2;
     }
@@ -360,8 +376,8 @@ int experimentMain(const char *Name, int Argc, char **Argv) {
                    "[--no-table] [--scale N]\n"
                    "       [--sample] [--sample-period N] [--sample-warm N] "
                    "[--sample-measure N]\n"
-                   "       [--trace PATH] [--counters] [--counters-out "
-                   "PATH]\n",
+                   "       [--trace PATH] [--flamegraph PATH] [--counters] "
+                   "[--counters-out PATH]\n",
                    Argv[0]);
       return 2;
     }

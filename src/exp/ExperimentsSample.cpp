@@ -22,6 +22,7 @@
 
 #include "exp/Experiment.h"
 #include "exp/Harness.h"
+#include "workloads/AppGen.h"
 
 #include <chrono>
 #include <cmath>
@@ -86,19 +87,18 @@ struct Comparison {
   double SampledMs = 0;
 };
 
-Comparison compareRuns(const InstrumentationConfig &Instr, size_t Chars,
-                       const SamplingPlan &Plan) {
-  MicrobenchConfig C;
-  C.Text.NumChars = Chars;
-  C.Instr = Instr;
-  MicrobenchProgram MB = buildMicrobench(C);
-
+/// Runs \p P both ways and fills a Comparison; the program is built by the
+/// caller (microbenchmark or application analogue), the measurement path
+/// is identical.
+Comparison measureBoth(const Program &P, const SamplingPlan &Plan) {
   Comparison Cmp;
+  // Shared decoded image: decode cost is paid once, outside both timers.
+  DecodedProgram Dec(P);
   double T0 = nowMs();
-  Pipeline Pipe(MB.Prog, PipelineConfig());
+  Pipeline Pipe(Dec, PipelineConfig());
   RunResult Full = Pipe.run(1ULL << 40);
   double T1 = nowMs();
-  SampledResult SR = runSampled(MB.Prog, Plan, PipelineConfig());
+  SampledResult SR = runSampled(Dec, Plan, PipelineConfig());
   double T2 = nowMs();
 
   Cmp.FullMs = T1 - T0;
@@ -114,8 +114,75 @@ Comparison compareRuns(const InstrumentationConfig &Instr, size_t Chars,
   return Cmp;
 }
 
+Comparison compareRuns(const InstrumentationConfig &Instr, size_t Chars,
+                       const SamplingPlan &Plan) {
+  MicrobenchConfig C;
+  C.Text.NumChars = Chars;
+  C.Instr = Instr;
+  MicrobenchProgram MB = buildMicrobench(C);
+  return measureBoth(MB.Prog, Plan);
+}
+
+/// The fig12-shaped cell: a DaCapo-style application analogue under
+/// Full-Duplication instrumentation at period 1024 — the exact workload
+/// shape Figure 12 times — validated the same way as the microbenchmark
+/// arms.
+Comparison compareAppRuns(SamplingFramework F, uint64_t Scale,
+                          const SamplingPlan &Plan) {
+  AppConfig C = dacapoAppAnalogues().front();
+  C.NumTopCalls = std::max<uint64_t>(C.NumTopCalls / Scale, 500);
+  C.Instr.Framework = F;
+  C.Instr.Dup = DuplicationMode::FullDuplication;
+  C.Instr.Interval = 1024;
+  AppProgram P = buildApp(C);
+  return measureBoth(P.Prog, Plan);
+}
+
+/// Computes the IPC- and overhead-agreement verdicts for one cell and
+/// renders them as the cell's record. \p Base supplies the uninstrumented
+/// reference both overhead ratios divide by.
+RunRecord agreementRecord(const std::string &Series,
+                          const std::string &Interval, const Comparison &Cmp,
+                          const Comparison &Base) {
+  // IPC agreement: CI half-width plus the bias margin, both in IPC units.
+  double IpcTol = Cmp.IpcCi95 + BiasMargin * Cmp.FullIpc;
+  bool IpcOk = std::fabs(Cmp.SampledIpc - Cmp.FullIpc) <= IpcTol;
+
+  // Overhead agreement, in percentage points. Both the run's and the
+  // baseline's sampled ROI carry a relative error of about ci/ipc; the
+  // overhead ratio compounds them, so the tolerance propagates both plus
+  // the bias margin on each.
+  double FullOh = 100.0 * (static_cast<double>(Cmp.FullRoi) /
+                               static_cast<double>(Base.FullRoi) -
+                           1.0);
+  double SampledOh = 100.0 * (Cmp.SampledRoi / Base.SampledRoi - 1.0);
+  double RelRun =
+      Cmp.SampledIpc > 0 ? Cmp.IpcCi95 / Cmp.SampledIpc + BiasMargin : 1;
+  double RelBase =
+      Base.SampledIpc > 0 ? Base.IpcCi95 / Base.SampledIpc + BiasMargin : 1;
+  double OhTol = 100.0 * (RelRun + RelBase) * (1.0 + FullOh / 100.0);
+  bool OhOk = std::fabs(SampledOh - FullOh) <= OhTol;
+
+  RunRecord R;
+  R.param("series", Series);
+  R.param("interval", Interval);
+  R.metric("full_ipc", Cmp.FullIpc, 3);
+  R.metric("sampled_ipc", Cmp.SampledIpc, 3);
+  R.metric("ipc_ci95", Cmp.IpcCi95, 4);
+  R.metric("ipc_ok", static_cast<uint64_t>(IpcOk));
+  R.metric("full_overhead_pct", FullOh, 2);
+  R.metric("sampled_overhead_pct", SampledOh, 2);
+  R.metric("overhead_tol_pp", OhTol, 2);
+  R.metric("overhead_ok", static_cast<uint64_t>(OhOk));
+  R.metric("sample_intervals", Cmp.Intervals);
+  R.metric("full_ms", Cmp.FullMs, 1);
+  R.metric("sampled_ms", Cmp.SampledMs, 1);
+  return R;
+}
+
 ExperimentSpec makeSampleError(const ExperimentOptions &O) {
   const size_t Chars = std::max<size_t>(FigureChars / O.Scale, 2000);
+  const uint64_t Scale = O.Scale;
   // Validation always compares against the sampled mode bor-bench would
   // use: the user's --sample-* plan if given, else the defaults.
   const SamplingPlan Plan = O.Plan;
@@ -123,8 +190,8 @@ ExperimentSpec makeSampleError(const ExperimentOptions &O) {
   char Title[256];
   std::snprintf(Title, sizeof(Title),
                 "sample_error - sampled vs full-run agreement on the "
-                "Figure 13 grid\n(%zu characters; period %llu, warm %llu, "
-                "measure %llu)",
+                "Figure 13 grid\nplus a fig12-shaped app analogue (%zu "
+                "characters; period %llu, warm %llu,\nmeasure %llu)",
                 Chars, static_cast<unsigned long long>(Plan.PeriodInsts),
                 static_cast<unsigned long long>(Plan.WarmupInsts),
                 static_cast<unsigned long long>(Plan.MeasureInsts));
@@ -144,9 +211,26 @@ ExperimentSpec makeSampleError(const ExperimentOptions &O) {
       S.Cells.push_back(
           {{"series", A.Name}, {"interval", std::to_string(Interval)}});
 
+  // The fig12-shaped application-analogue cell, validated like the
+  // microbenchmark arms but against its own uninstrumented app baseline.
   constexpr size_t NumIntervals =
       sizeof(SampleIntervals) / sizeof(SampleIntervals[0]);
-  S.Run = [Base, Chars, Plan](const ParamSet &, size_t Index) {
+  constexpr size_t NumMicroCells =
+      sizeof(SampleArms) / sizeof(SampleArms[0]) * NumIntervals;
+  S.Cells.push_back({{"series", "app brr (full-dup)"}, {"interval", "1024"}});
+
+  S.Run = [Base, Chars, Plan, Scale](const ParamSet &, size_t Index) {
+    if (Index == NumMicroCells) {
+      Comparison AppBase =
+          compareAppRuns(SamplingFramework::None, Scale, Plan);
+      Comparison Cmp =
+          compareAppRuns(SamplingFramework::BrrBased, Scale, Plan);
+      // The app baseline is private to this cell, so fold its wall-clock
+      // into the cell's totals for the summary's speedup accounting.
+      Cmp.FullMs += AppBase.FullMs;
+      Cmp.SampledMs += AppBase.SampledMs;
+      return agreementRecord("app brr (full-dup)", "1024", Cmp, AppBase);
+    }
     const SampleArm &A = SampleArms[Index / NumIntervals];
     uint64_t Interval = SampleIntervals[Index % NumIntervals];
     InstrumentationConfig Instr;
@@ -155,43 +239,7 @@ ExperimentSpec makeSampleError(const ExperimentOptions &O) {
     Instr.Interval = Interval;
     Instr.IncludeBody = A.Body;
     Comparison Cmp = compareRuns(Instr, Chars, Plan);
-
-    // IPC agreement: CI half-width plus the bias margin, both in IPC
-    // units.
-    double IpcTol = Cmp.IpcCi95 + BiasMargin * Cmp.FullIpc;
-    bool IpcOk = std::fabs(Cmp.SampledIpc - Cmp.FullIpc) <= IpcTol;
-
-    // Overhead agreement, in percentage points. Both the run's and the
-    // baseline's sampled ROI carry a relative error of about ci/ipc; the
-    // overhead ratio compounds them, so the tolerance propagates both
-    // plus the bias margin on each.
-    double FullOh = 100.0 * (static_cast<double>(Cmp.FullRoi) /
-                                 static_cast<double>(Base->FullRoi) -
-                             1.0);
-    double SampledOh = 100.0 * (Cmp.SampledRoi / Base->SampledRoi - 1.0);
-    double RelRun =
-        Cmp.SampledIpc > 0 ? Cmp.IpcCi95 / Cmp.SampledIpc + BiasMargin : 1;
-    double RelBase = Base->SampledIpc > 0
-                         ? Base->IpcCi95 / Base->SampledIpc + BiasMargin
-                         : 1;
-    double OhTol = 100.0 * (RelRun + RelBase) * (1.0 + FullOh / 100.0);
-    bool OhOk = std::fabs(SampledOh - FullOh) <= OhTol;
-
-    RunRecord R;
-    R.param("series", A.Name);
-    R.param("interval", std::to_string(Interval));
-    R.metric("full_ipc", Cmp.FullIpc, 3);
-    R.metric("sampled_ipc", Cmp.SampledIpc, 3);
-    R.metric("ipc_ci95", Cmp.IpcCi95, 4);
-    R.metric("ipc_ok", static_cast<uint64_t>(IpcOk));
-    R.metric("full_overhead_pct", FullOh, 2);
-    R.metric("sampled_overhead_pct", SampledOh, 2);
-    R.metric("overhead_tol_pp", OhTol, 2);
-    R.metric("overhead_ok", static_cast<uint64_t>(OhOk));
-    R.metric("sample_intervals", Cmp.Intervals);
-    R.metric("full_ms", Cmp.FullMs, 1);
-    R.metric("sampled_ms", Cmp.SampledMs, 1);
-    return R;
+    return agreementRecord(A.Name, std::to_string(Interval), Cmp, *Base);
   };
 
   S.Summarize = [Base](const std::vector<RunRecord> &Cells) {
@@ -221,7 +269,8 @@ void registerSampleExperiments() {
   ExperimentRegistry &R = ExperimentRegistry::instance();
   R.add("sample_error",
         "Sampled-simulation validation: sampled vs full-run IPC and "
-        "overhead on the Figure 13 grid, with wall-clock speedup",
+        "overhead on the Figure 13 grid plus a fig12-shaped application "
+        "analogue, with wall-clock speedup",
         makeSampleError);
 }
 

@@ -314,8 +314,10 @@ AppRun appRoi(AppConfig C, SamplingFramework F,
   C.Instr.Dup = DuplicationMode::FullDuplication;
   C.Instr.Interval = 1024;
   AppProgram P = buildApp(C);
+  // One decoded image per cell, shared by the sampled and full-run paths.
+  DecodedProgram Dec(P.Prog);
   if (Plan) {
-    SampledResult SR = runSampled(P.Prog, *Plan, PipelineConfig(),
+    SampledResult SR = runSampled(Dec, *Plan, PipelineConfig(),
                                   /*Decider=*/nullptr, /*MaxInsts=*/~0ULL,
                                   Tel);
     if (SR.NumIntervals != 0 && SR.Markers.size() >= 2) {
@@ -330,7 +332,7 @@ AppRun appRoi(AppConfig C, SamplingFramework F,
     }
     // Stream too short for a sample: fall through to a full run.
   }
-  Pipeline Pipe(P.Prog, PipelineConfig());
+  Pipeline Pipe(Dec, PipelineConfig());
   Pipe.setTelemetry(Tel);
   RunResult Result = Pipe.run(1ULL << 40);
   return {Result.roiCycles(), Result.Stats};

@@ -103,8 +103,13 @@ MicroRun runMicrobench(const InstrumentationConfig &Instr, size_t NumChars,
   MicroRun Run;
   Run.DynamicSiteVisits = MB.DynamicSiteVisits;
 
+  // Decode once per cell: the sampled run's functional phases, its
+  // attached detailed intervals, and the full-run fallback all share this
+  // image.
+  DecodedProgram Dec(MB.Prog);
+
   if (Plan) {
-    SampledResult SR = runSampled(MB.Prog, *Plan, Machine,
+    SampledResult SR = runSampled(Dec, *Plan, Machine,
                                   /*Decider=*/nullptr, /*MaxInsts=*/~0ULL,
                                   Telemetry);
     if (SR.NumIntervals != 0) {
@@ -123,7 +128,7 @@ MicroRun runMicrobench(const InstrumentationConfig &Instr, size_t NumChars,
     // Stream too short for even one interval: fall through to a full run.
   }
 
-  Pipeline Pipe(MB.Prog, Machine);
+  Pipeline Pipe(Dec, Machine);
   Pipe.setTelemetry(Telemetry);
   RunResult Result = Pipe.run(1ULL << 40);
   Run.Stats = Result.Stats;

@@ -57,7 +57,7 @@ void accumulate(PipelineStats &Sum, const PipelineStats &D) {
 
 } // namespace
 
-SampledResult bor::runSampled(const Program &P, Machine &M,
+SampledResult bor::runSampled(const DecodedProgram &DP, Machine &M,
                               const SamplingPlan &Plan,
                               const PipelineConfig &Config,
                               BrrDecider &Decider, uint64_t MaxInsts,
@@ -73,18 +73,25 @@ SampledResult bor::runSampled(const Program &P, Machine &M,
 
   // One functional interpreter and one microarchitectural state bundle
   // span the whole run; detailed intervals attach Pipelines to the same
-  // Machine, so every instruction retires exactly once.
-  Interpreter Fn(P, M, Decider, /*LoadImage=*/false);
+  // Machine (and the same decoded image), so every instruction retires
+  // exactly once.
+  Interpreter Fn(DP, M, Decider, /*LoadImage=*/false);
   MicroarchState Uarch(Config);
   FunctionalWarmer Warmer(Uarch, Config);
 
   uint64_t Global = StartInsts; // committed instructions, all phases
   uint64_t Budget = MaxInsts;
 
-  auto observeMarker = [&](const ExecRecord &R) {
-    if (R.I.Op == Opcode::Marker)
-      Result.Markers.push_back({R.I.Imm, Global});
-  };
+  // Markers in the functional phases arrive through the interpreter's
+  // hook, which fires with Fn.stats().Insts equal to the count *before*
+  // the marker; +1 makes the recorded index 1-based inclusive, matching
+  // the detailed path. FnGlobalOffset re-anchors Fn's private instruction
+  // counter to the global stream at each functional-phase start (detailed
+  // intervals advance Global through a different engine).
+  uint64_t FnGlobalOffset = 0;
+  Fn.setMarkerHook([&](int32_t Id) {
+    Result.Markers.push_back({Id, FnGlobalOffset + Fn.stats().Insts + 1});
+  });
 
   // Each period runs warm | measure | fast-forward, with the detailed
   // interval at the period's head: the first interval then measures the
@@ -96,15 +103,14 @@ SampledResult bor::runSampled(const Program &P, Machine &M,
       telemetry::TraceSpan Span(TW, "warm", "sample",
                                 {telemetry::TraceArg::num("period", Period)});
       WarmTimer.start();
+      FnGlobalOffset = Global - Fn.stats().Insts;
       for (uint64_t I = 0; I != Plan.WarmupInsts && !M.halted() &&
                            Result.TotalInsts < Budget;
            ++I) {
-        ExecRecord R = Fn.step();
-        Warmer.observe(R);
+        Warmer.observe(Fn.step());
         ++Global;
         ++Result.TotalInsts;
         ++Result.WarmedInsts;
-        observeMarker(R);
       }
       WarmTimer.stop();
     }
@@ -118,7 +124,7 @@ SampledResult bor::runSampled(const Program &P, Machine &M,
         TW, "measure", "sample",
         {telemetry::TraceArg::num("period", Period)});
     MeasureTimer.start();
-    Pipeline Pipe(P, M, Uarch, Config, Decider);
+    Pipeline Pipe(DP, M, Uarch, Config, Decider);
     Pipe.setTelemetry(Telemetry);
 
     uint64_t Remaining = Budget - Result.TotalInsts;
@@ -165,15 +171,16 @@ SampledResult bor::runSampled(const Program &P, Machine &M,
       FfTimer.start();
       uint64_t FastForward = Plan.PeriodInsts - Plan.WarmupInsts -
                              Plan.DetailedWarmupInsts - Plan.MeasureInsts;
-      for (uint64_t I = 0;
-           I != FastForward && !M.halted() && Result.TotalInsts < Budget;
-           ++I) {
-        ExecRecord R = Fn.step();
-        ++Global;
-        ++Result.TotalInsts;
-        ++Result.FastForwardInsts;
-        observeMarker(R);
-      }
+      // No per-record observer here, so the whole span runs through the
+      // engine's block-chained dispatch loop in one call.
+      FnGlobalOffset = Global - Fn.stats().Insts;
+      uint64_t InstsBefore = Fn.stats().Insts;
+      Fn.run(std::min(FastForward, Budget - Result.TotalInsts),
+             /*RequireHalt=*/false);
+      uint64_t Done = Fn.stats().Insts - InstsBefore;
+      Global += Done;
+      Result.TotalInsts += Done;
+      Result.FastForwardInsts += Done;
       FfTimer.stop();
     }
     ++Period;
@@ -206,17 +213,37 @@ SampledResult bor::runSampled(const Program &P, Machine &M,
   return Result;
 }
 
-SampledResult bor::runSampled(const Program &P, const SamplingPlan &Plan,
+SampledResult bor::runSampled(const DecodedProgram &DP,
+                              const SamplingPlan &Plan,
                               const PipelineConfig &Config,
                               BrrDecider *Decider, uint64_t MaxInsts,
                               const telemetry::TelemetrySink *Telemetry) {
   Machine M;
-  M.loadProgram(P);
+  M.loadProgram(DP.program());
   std::unique_ptr<BrrDecider> Owned;
   if (!Decider) {
     Owned = std::make_unique<BrrUnitDecider>(Config.Brr);
     Decider = Owned.get();
   }
-  return runSampled(P, M, Plan, Config, *Decider, MaxInsts,
+  return runSampled(DP, M, Plan, Config, *Decider, MaxInsts,
                     /*StartInsts=*/0, Telemetry);
+}
+
+SampledResult bor::runSampled(const Program &P, const SamplingPlan &Plan,
+                              const PipelineConfig &Config,
+                              BrrDecider *Decider, uint64_t MaxInsts,
+                              const telemetry::TelemetrySink *Telemetry) {
+  DecodedProgram DP(P);
+  return runSampled(DP, Plan, Config, Decider, MaxInsts, Telemetry);
+}
+
+SampledResult bor::runSampled(const Program &P, Machine &M,
+                              const SamplingPlan &Plan,
+                              const PipelineConfig &Config,
+                              BrrDecider &Decider, uint64_t MaxInsts,
+                              uint64_t StartInsts,
+                              const telemetry::TelemetrySink *Telemetry) {
+  DecodedProgram DP(P);
+  return runSampled(DP, M, Plan, Config, Decider, MaxInsts, StartInsts,
+                    Telemetry);
 }

@@ -95,12 +95,22 @@ struct SampledResult {
   }
 };
 
-/// Runs \p P to completion under \p Plan. \p Decider resolves every brr in
-/// the stream (all phases share it, so the outcome sequence is identical
-/// to an unsampled run's); pass nullptr for a config-default LFSR decider.
-/// \p MaxInsts bounds the total stream as Pipeline::run's budget does.
-/// \p Telemetry (optional) adds one trace span per phase (warm / detailed /
-/// fast-forward) and publishes sample.* counters at the end of the run.
+/// Runs \p DP's program to completion under \p Plan. \p Decider resolves
+/// every brr in the stream (all phases share it, so the outcome sequence
+/// is identical to an unsampled run's); pass nullptr for a config-default
+/// LFSR decider. \p MaxInsts bounds the total stream as Pipeline::run's
+/// budget does. \p Telemetry (optional) adds one trace span per phase
+/// (warm / detailed / fast-forward) and publishes sample.* counters at the
+/// end of the run. \p DP must outlive the call; decode once per workload
+/// and share the image across every sampled (and full) run of it.
+SampledResult runSampled(const DecodedProgram &DP, const SamplingPlan &Plan,
+                         const PipelineConfig &Config = PipelineConfig(),
+                         BrrDecider *Decider = nullptr,
+                         uint64_t MaxInsts = ~0ULL,
+                         const telemetry::TelemetrySink *Telemetry = nullptr);
+
+/// Convenience form that decodes \p P privately. Prefer the DecodedProgram
+/// overload when the same program runs more than once.
 SampledResult runSampled(const Program &P, const SamplingPlan &Plan,
                          const PipelineConfig &Config = PipelineConfig(),
                          BrrDecider *Decider = nullptr,
@@ -111,6 +121,13 @@ SampledResult runSampled(const Program &P, const SamplingPlan &Plan,
 /// restored checkpoint; the image is not reloaded) and leaves the final
 /// state in place. \p StartInsts seeds the global instruction index so
 /// marker positions line up with the original stream.
+SampledResult runSampled(const DecodedProgram &DP, Machine &M,
+                         const SamplingPlan &Plan,
+                         const PipelineConfig &Config, BrrDecider &Decider,
+                         uint64_t MaxInsts = ~0ULL, uint64_t StartInsts = 0,
+                         const telemetry::TelemetrySink *Telemetry = nullptr);
+
+/// Convenience resuming form that decodes \p P privately.
 SampledResult runSampled(const Program &P, Machine &M,
                          const SamplingPlan &Plan,
                          const PipelineConfig &Config, BrrDecider &Decider,

@@ -19,37 +19,7 @@ void FunctionalWarmer::observe(const ExecRecord &R) {
   else if (R.I.isStore())
     Uarch.MemHier.dataAccess(R.MemAddr, /*IsWrite=*/true);
 
-  if (Config.PerfectBranchPrediction)
-    return; // oracle front end never touches the predictor structures
-
-  bool TreatAsCondBranch =
-      R.I.isCondBranch() || (R.I.isBrr() && Config.BrrAsBackendBranch);
-
-  if (TreatAsCondBranch) {
-    BranchPrediction Pred = Uarch.Predictor.predict(R.Pc);
-    bool BtbHit = Uarch.TargetBuffer.lookup(R.Pc).has_value();
-    bool Effective = Pred.Taken && BtbHit;
-    Uarch.Predictor.resolve(R.Pc, Pred.HistBefore, Effective, R.Taken);
-    if (Effective != R.Taken)
-      Uarch.Predictor.repairHistory(Pred.HistBefore, R.Taken);
-    if (R.Taken)
-      Uarch.TargetBuffer.insert(R.Pc, R.NextPc);
-  } else if (R.I.isBrr()) {
-    // Invisible to predictor and BTB (Section 3.3).
-  } else if (R.I.isDirectJump()) {
-    if (R.I.Op == Opcode::Jal && R.I.Rd != RegZero)
-      Uarch.Ras.push(R.Pc + 4);
-    if (!Uarch.TargetBuffer.lookup(R.Pc))
-      Uarch.TargetBuffer.insert(R.Pc, R.NextPc);
-  } else if (R.I.isIndirect()) {
-    bool IsReturn = R.I.Rd == RegZero && R.I.Rs1 == RegLr;
-    if (IsReturn)
-      Uarch.Ras.pop();
-    if (R.I.Rd != RegZero)
-      Uarch.Ras.push(R.Pc + 4);
-    if (!IsReturn)
-      Uarch.TargetBuffer.insert(R.Pc, R.NextPc);
-  }
+  Policy.observeWarming(R);
 }
 
 uint64_t FunctionalWarmer::warm(Interpreter &Oracle, uint64_t Insts) {

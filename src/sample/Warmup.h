@@ -12,14 +12,13 @@
 /// cold-structure bias that makes naively sampled IPC estimates wrong
 /// (docs/SAMPLING.md).
 ///
-/// The update rules mirror Pipeline's exactly — same predictor train/
-/// repair sequence, same BTB insert conditions, same RAS push/pop, same
-/// one-probe-per-line I-cache rule — so structures warmed here are in the
-/// same state a detailed run would have left them in. Pipeline's comment
-/// discipline applies: brr never touches predictor or BTB (Section 3.3)
-/// unless the BrrAsBackendBranch ablation is on, and under
-/// PerfectBranchPrediction the predictor structures are never consulted,
-/// so only the caches warm.
+/// The branch-structure update rules are literally Pipeline's: both sides
+/// delegate to the shared BranchUpdatePolicy (uarch/BranchPolicy.h), so
+/// structures warmed here are in the same state a detailed run would have
+/// left them in by construction. This class adds the cache side — the same
+/// one-probe-per-line I-cache rule and per-load/store D-cache access the
+/// timed fetch/execute paths make, minus the latency bookkeeping. Under
+/// PerfectBranchPrediction the policy is a no-op, so only the caches warm.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +26,7 @@
 #define BOR_SAMPLE_WARMUP_H
 
 #include "sim/Interpreter.h"
+#include "uarch/BranchPolicy.h"
 #include "uarch/MicroarchState.h"
 
 namespace bor {
@@ -34,7 +34,7 @@ namespace bor {
 class FunctionalWarmer {
 public:
   FunctionalWarmer(MicroarchState &Uarch, const PipelineConfig &Config)
-      : Uarch(Uarch), Config(Config) {}
+      : Uarch(Uarch), Config(Config), Policy(Uarch, Config) {}
 
   /// Feeds one committed instruction through the structure-update rules.
   void observe(const ExecRecord &R);
@@ -47,6 +47,7 @@ public:
 private:
   MicroarchState &Uarch;
   const PipelineConfig &Config;
+  BranchUpdatePolicy Policy;
   uint64_t LastFetchLine = ~0ULL;
 };
 

@@ -1,0 +1,84 @@
+//===- sim/Decode.cpp - Pre-decoded program image ------------------------===//
+
+#include "sim/Decode.h"
+
+#include "telemetry/Counters.h"
+
+using namespace bor;
+
+namespace {
+
+uint8_t flagsFor(const Inst &I) {
+  uint8_t F = DIF_None;
+  if (I.isLoad())
+    F |= DIF_Load;
+  if (I.isStore())
+    F |= DIF_Store;
+  if (I.isControl())
+    F |= DIF_Control;
+  if (I.isControl() || I.Op == Opcode::Marker)
+    F |= DIF_EndsBlock;
+  if (I.Op == Opcode::Jalr && I.Rd == RegZero && I.Rs1 == RegLr)
+    F |= DIF_Return;
+  return F;
+}
+
+int64_t immFor(const Inst &I) {
+  // Shift amounts are architecturally masked to 0..63; fold the mask into
+  // the image so the dispatch loop shifts unconditionally.
+  if (I.Op == Opcode::Slli || I.Op == Opcode::Srli)
+    return I.Imm & 63;
+  return static_cast<int64_t>(I.Imm);
+}
+
+} // namespace
+
+DecodedProgram::DecodedProgram(const Program &P) : Prog(P) {
+  Insts.reserve(P.numInsts());
+  for (size_t Index = 0; Index != P.numInsts(); ++Index) {
+    const Inst &I = P.at(Index);
+    assert(I.Rd < 32 && I.Rs1 < 32 && I.Rs2 < 32 &&
+           "register index out of range in code image");
+    DecodedInst D;
+    D.Op = I.Op;
+    D.Rd = I.Rd;
+    D.Rs1 = I.Rs1;
+    D.Rs2 = I.Rs2;
+    D.Freq = I.Freq;
+    D.Flags = flagsFor(I);
+    D.Imm = immFor(I);
+    // PC-relative control: target = PC + 4*Imm with 64-bit wraparound,
+    // exactly as the step interpreter computed it.
+    if (I.isCondBranch() || I.isDirectJump() || I.isBrr())
+      D.Target = Program::pcForIndex(Index) +
+                 4 * static_cast<uint64_t>(static_cast<int64_t>(I.Imm));
+    Insts.push_back(D);
+  }
+
+  // Back-propagate run lengths: distance to the end of the static basic
+  // block, inclusive. The final instruction of the image always terminates
+  // a run even when it is not a block ender (execution falling off the end
+  // is caught by the PC range assert, as before).
+  uint32_t Run = 0;
+  for (size_t Index = Insts.size(); Index-- > 0;) {
+    if (Insts[Index].endsBlock())
+      Run = 0;
+    ++Run;
+    Insts[Index].RunLen =
+        static_cast<uint16_t>(Run > 0xffff ? 0xffff : Run);
+  }
+  for (const DecodedInst &D : Insts)
+    if (D.endsBlock())
+      ++NumBlocks;
+  if (!Insts.empty() && !Insts.back().endsBlock())
+    ++NumBlocks; // trailing straight-line run
+
+  if (telemetry::CounterRegistry::enabled()) {
+    static const telemetry::Counter Programs("interp.decode.programs");
+    static const telemetry::Counter DecInsts("interp.decode.insts");
+    static const telemetry::Counter Blocks("interp.decode.blocks");
+    Programs.add();
+    DecInsts.add(Insts.size());
+    Blocks.add(NumBlocks);
+  }
+}

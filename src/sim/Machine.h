@@ -172,6 +172,11 @@ public:
       Regs[R] = Value;
   }
 
+  /// Raw register file for the interpreter's threaded dispatch loop.
+  /// Writers must preserve the r0-is-zero invariant (the dispatch loop
+  /// writes the destination unconditionally, then re-clears Regs[RegZero]).
+  uint64_t *rawRegs() { return Regs.data(); }
+
   uint64_t pc() const { return Pc; }
   void setPc(uint64_t NewPc) { Pc = NewPc; }
 

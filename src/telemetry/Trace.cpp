@@ -8,9 +8,12 @@
 
 #include "exp/Json.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <map>
 
 using namespace bor;
 using namespace bor::telemetry;
@@ -99,6 +102,69 @@ size_t TraceWriter::eventCount() const {
 uint64_t TraceWriter::droppedCount() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return Dropped;
+}
+
+std::string TraceWriter::foldToCollapsedStacks() const {
+  std::vector<Event> Spans;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const Event &E : Events)
+      if (E.Phase == 'X')
+        Spans.push_back(E);
+  }
+
+  // Per thread, in start order; at equal starts the wider span first, so a
+  // parent always precedes the children it contains.
+  std::stable_sort(Spans.begin(), Spans.end(),
+                   [](const Event &A, const Event &B) {
+                     if (A.Tid != B.Tid)
+                       return A.Tid < B.Tid;
+                     if (A.TsUs != B.TsUs)
+                       return A.TsUs < B.TsUs;
+                     return A.DurUs > B.DurUs;
+                   });
+
+  // One pass with an open-span stack: a span is a child of the innermost
+  // open span that still covers its start. Each span adds its duration to
+  // its own stack and subtracts it from its parent's, leaving self time.
+  std::map<std::string, double> SelfUs;
+  struct Frame {
+    double EndUs;
+    std::string Path;
+  };
+  std::vector<Frame> Stack;
+  uint32_t Tid = 0;
+  for (const Event &E : Spans) {
+    if (E.Tid != Tid) {
+      Stack.clear();
+      Tid = E.Tid;
+    }
+    while (!Stack.empty() && E.TsUs >= Stack.back().EndUs)
+      Stack.pop_back();
+    std::string Path =
+        (Stack.empty() ? "thread-" + std::to_string(E.Tid) : Stack.back().Path)
+            .append(1, ';')
+            .append(E.Name);
+    SelfUs[Path] += E.DurUs;
+    if (!Stack.empty())
+      SelfUs[Stack.back().Path] -= E.DurUs;
+    Stack.push_back({E.TsUs + E.DurUs, std::move(Path)});
+  }
+
+  // Map order keys the output deterministically; frames whose time went
+  // entirely to children still appear as prefixes of their children's
+  // lines, so zero rows add nothing and are dropped.
+  std::string Out;
+  for (const auto &[Path, Us] : SelfUs) {
+    long long V = std::llround(Us);
+    if (V <= 0)
+      continue;
+    Out += Path;
+    Out += ' ';
+    Out += std::to_string(V);
+    Out += '\n';
+  }
+  return Out;
 }
 
 bool TraceWriter::writeTo(const std::string &Path, std::string &Err) const {

@@ -77,6 +77,15 @@ public:
   /// Returns false with \p Err set when the file cannot be written.
   bool writeTo(const std::string &Path, std::string &Err) const;
 
+  /// Folds the buffered complete ("X") spans into collapsed-stack lines
+  /// ("root;child;leaf <self-us>\n", one per distinct stack, sorted),
+  /// the format flamegraph.pl and speedscope consume directly. Spans nest
+  /// by time containment per thread, with a synthetic "thread-N" root, and
+  /// each line's value is the stack's *self* time in integer microseconds
+  /// (child time subtracted), so phase data from a run is readable at a
+  /// glance without loading the trace in a viewer.
+  std::string foldToCollapsedStacks() const;
+
 private:
   struct Event {
     std::string Name;

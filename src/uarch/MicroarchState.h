@@ -24,8 +24,10 @@
 namespace bor {
 
 /// The non-architectural machine state that persists across a sampled
-/// run's intervals. Purely a state bundle: update policies live in
-/// Pipeline (timed) and FunctionalWarmer (untimed).
+/// run's intervals. Purely a state bundle: the branch-structure update
+/// policy lives in BranchUpdatePolicy (uarch/BranchPolicy.h), shared by
+/// Pipeline (timed) and FunctionalWarmer (untimed); cache-warming rules
+/// live in FunctionalWarmer.
 struct MicroarchState {
   MemoryHierarchy MemHier;
   TournamentPredictor Predictor;

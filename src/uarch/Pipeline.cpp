@@ -64,26 +64,53 @@ std::string bor::describeStats(const PipelineStats &S) {
   return Buf;
 }
 
-Pipeline::Pipeline(const Program &P, const PipelineConfig &Config,
+Pipeline::Pipeline(const DecodedProgram &DP, const PipelineConfig &Config,
                    BrrDecider *Decider)
-    : Prog(P), Config(Config), OwnedMach(std::make_unique<Machine>()),
+    : Config(Config), Dec(DP), OwnedMach(std::make_unique<Machine>()),
       OwnedUarch(std::make_unique<MicroarchState>(Config)),
       Mach(*OwnedMach), Uarch(*OwnedUarch),
       OwnedDecider(Decider ? nullptr
                            : std::make_unique<BrrUnitDecider>(Config.Brr)),
-      Oracle(P, Mach, Decider ? *Decider : *OwnedDecider),
-      DecodeStage(Config.DecodeWidth), DispatchStage(Config.DecodeWidth),
-      CommitStage(Config.CommitWidth),
+      Oracle(DP, Mach, Decider ? *Decider : *OwnedDecider),
+      Policy(this->Uarch, this->Config), DecodeStage(Config.DecodeWidth),
+      DispatchStage(Config.DecodeWidth), CommitStage(Config.CommitWidth),
       RobSlotFree(Config.RobEntries, 0) {
   RegReady.fill(0); // the Oracle's constructor loads the program image
 }
 
+Pipeline::Pipeline(const Program &P, const PipelineConfig &Config,
+                   BrrDecider *Decider)
+    : Config(Config), OwnedDec(std::make_unique<DecodedProgram>(P)),
+      Dec(*OwnedDec), OwnedMach(std::make_unique<Machine>()),
+      OwnedUarch(std::make_unique<MicroarchState>(Config)),
+      Mach(*OwnedMach), Uarch(*OwnedUarch),
+      OwnedDecider(Decider ? nullptr
+                           : std::make_unique<BrrUnitDecider>(Config.Brr)),
+      Oracle(Dec, Mach, Decider ? *Decider : *OwnedDecider),
+      Policy(this->Uarch, this->Config), DecodeStage(Config.DecodeWidth),
+      DispatchStage(Config.DecodeWidth), CommitStage(Config.CommitWidth),
+      RobSlotFree(Config.RobEntries, 0) {
+  RegReady.fill(0); // the Oracle's constructor loads the program image
+}
+
+Pipeline::Pipeline(const DecodedProgram &DP, Machine &M,
+                   MicroarchState &Uarch, const PipelineConfig &Config,
+                   BrrDecider &Decider)
+    : Config(Config), Dec(DP), Mach(M), Uarch(Uarch),
+      Oracle(DP, Mach, Decider, /*LoadImage=*/false),
+      Policy(this->Uarch, this->Config), DecodeStage(Config.DecodeWidth),
+      DispatchStage(Config.DecodeWidth), CommitStage(Config.CommitWidth),
+      RobSlotFree(Config.RobEntries, 0) {
+  RegReady.fill(0);
+}
+
 Pipeline::Pipeline(const Program &P, Machine &M, MicroarchState &Uarch,
                    const PipelineConfig &Config, BrrDecider &Decider)
-    : Prog(P), Config(Config), Mach(M), Uarch(Uarch),
-      Oracle(P, Mach, Decider, /*LoadImage=*/false),
-      DecodeStage(Config.DecodeWidth), DispatchStage(Config.DecodeWidth),
-      CommitStage(Config.CommitWidth),
+    : Config(Config), OwnedDec(std::make_unique<DecodedProgram>(P)),
+      Dec(*OwnedDec), Mach(M), Uarch(Uarch),
+      Oracle(Dec, Mach, Decider, /*LoadImage=*/false),
+      Policy(this->Uarch, this->Config), DecodeStage(Config.DecodeWidth),
+      DispatchStage(Config.DecodeWidth), CommitStage(Config.CommitWidth),
       RobSlotFree(Config.RobEntries, 0) {
   RegReady.fill(0);
 }
@@ -233,87 +260,47 @@ RunResult Pipeline::run(uint64_t MaxInsts, bool RequireHalt) {
     bool DecodeRedirect = false;        ///< resolved in decode, short flush.
     bool BackendRedirect = false;       ///< resolved at execute, full flush.
 
-    bool TreatAsCondBranch =
-        R.I.isCondBranch() || (R.I.isBrr() && Config.BrrAsBackendBranch);
-
-    if (Config.PerfectBranchPrediction) {
-      // Oracle front end: count the control instructions, redirect with
-      // zero penalty, never touch the real predictor structures.
-      if (R.I.isBrr()) {
-        ++Stats.BrrExecuted;
-        if (R.Taken)
-          ++Stats.BrrTaken;
-      } else if (R.I.isCondBranch()) {
-        ++Stats.CondBranches;
-      } else if (R.I.isDirectJump()) {
-        ++Stats.DirectJumps;
-      } else if (R.I.isIndirect()) {
-        ++Stats.IndirectBranches;
-      }
-      if (R.Taken && R.I.isControl() && R.I.Op != Opcode::Halt)
-        PredictedTakenAtFetch = true;
-    } else if (TreatAsCondBranch) {
-      BranchPrediction Pred = Uarch.Predictor.predict(R.Pc);
-      bool BtbHit = Uarch.TargetBuffer.lookup(R.Pc).has_value();
-      bool Effective = Pred.Taken && BtbHit;
-      if (R.I.isBrr()) {
-        ++Stats.BrrExecuted;
-        if (R.Taken)
-          ++Stats.BrrTaken;
-      } else {
-        ++Stats.CondBranches;
-      }
-      Uarch.Predictor.resolve(R.Pc, Pred.HistBefore, Effective, R.Taken);
-      if (Effective != R.Taken) {
-        Uarch.Predictor.repairHistory(Pred.HistBefore, R.Taken);
-        if (!R.I.isBrr())
-          ++Stats.CondMispredicts;
-        BackendRedirect = true;
-      } else if (Effective) {
-        PredictedTakenAtFetch = true;
-      }
-      if (R.Taken)
-        Uarch.TargetBuffer.insert(R.Pc, R.NextPc);
-    } else if (R.I.isBrr()) {
-      // The real design: always predicted not-taken, invisible to the
-      // predictor and BTB, resolved in decode. (Under trap emulation the
-      // redirect is scheduled below, after the decode cycle is known.)
+    // Count the control classes (identically under the oracle and real
+    // front ends), then let the shared update policy train the structures
+    // and classify the front-end outcome.
+    if (R.I.isBrr()) {
       ++Stats.BrrExecuted;
       if (R.Taken)
         ++Stats.BrrTaken;
-      if (R.Taken && Config.BrrTrapCycles == 0)
-        DecodeRedirect = true;
+    } else if (R.I.isCondBranch()) {
+      ++Stats.CondBranches;
     } else if (R.I.isDirectJump()) {
       ++Stats.DirectJumps;
-      if (R.I.Op == Opcode::Jal && R.I.Rd != RegZero)
-        Uarch.Ras.push(R.Pc + 4);
-      if (Uarch.TargetBuffer.lookup(R.Pc)) {
-        PredictedTakenAtFetch = true;
-      } else {
-        ++Stats.DirectJumpDecodeRedirects;
-        DecodeRedirect = true;
-        Uarch.TargetBuffer.insert(R.Pc, R.NextPc);
-      }
     } else if (R.I.isIndirect()) {
       ++Stats.IndirectBranches;
-      bool IsReturn = R.I.Rd == RegZero && R.I.Rs1 == RegLr;
-      uint64_t PredTarget;
-      if (IsReturn) {
-        PredTarget = Uarch.Ras.pop();
-      } else {
-        std::optional<uint64_t> T = Uarch.TargetBuffer.lookup(R.Pc);
-        PredTarget = T ? *T : ~0ULL;
-      }
-      if (R.I.Rd != RegZero)
-        Uarch.Ras.push(R.Pc + 4);
-      if (PredTarget == R.NextPc) {
+    }
+
+    if (Config.PerfectBranchPrediction) {
+      // Oracle front end: redirect with zero penalty, never touch the
+      // real predictor structures.
+      if (R.Taken && R.I.isControl() && R.I.Op != Opcode::Halt)
         PredictedTakenAtFetch = true;
-      } else {
-        ++Stats.IndirectMispredicts;
+    } else {
+      switch (Policy.observeTimed(R)) {
+      case BranchOutcome::None:
+        break;
+      case BranchOutcome::PredictedTaken:
+        PredictedTakenAtFetch = true;
+        break;
+      case BranchOutcome::DecodeRedirect:
+        // A taken brr's short flush, or a direct jump's BTB-miss bubble.
+        if (R.I.isDirectJump())
+          ++Stats.DirectJumpDecodeRedirects;
+        DecodeRedirect = true;
+        break;
+      case BranchOutcome::BackendRedirect:
+        if (R.I.isCondBranch())
+          ++Stats.CondMispredicts;
+        else if (R.I.isIndirect())
+          ++Stats.IndirectMispredicts;
         BackendRedirect = true;
+        break;
       }
-      if (!IsReturn)
-        Uarch.TargetBuffer.insert(R.Pc, R.NextPc);
     }
 
     // --- Timestamp the instruction through the stages. ------------------

@@ -38,6 +38,7 @@
 #define BOR_UARCH_PIPELINE_H
 
 #include "sim/Interpreter.h"
+#include "uarch/BranchPolicy.h"
 #include "uarch/MicroarchState.h"
 #include "uarch/PipelineConfig.h"
 #include "uarch/ReturnAddressStack.h"
@@ -140,16 +141,30 @@ struct InstTimestamps {
 /// Machine, so state drains back to the caller naturally.
 class Pipeline {
 public:
-  /// Cold run over a fresh machine: loads \p P and starts at PC 0 with
-  /// empty caches and untrained predictors. \p Decider resolves brr
+  /// Cold run over a fresh machine: loads the program and starts at PC 0
+  /// with empty caches and untrained predictors. \p DP must outlive the
+  /// Pipeline; decode once per workload and share the image across every
+  /// Pipeline (and thread) that runs it. \p Decider resolves brr
   /// outcomes; pass nullptr to use an LFSR-based BrrUnitDecider built
   /// from \p Config.Brr.
+  Pipeline(const DecodedProgram &DP,
+           const PipelineConfig &Config = PipelineConfig(),
+           BrrDecider *Decider = nullptr);
+
+  /// Convenience cold-run form that decodes \p P privately. Prefer the
+  /// DecodedProgram overload when the same program is run more than once.
   Pipeline(const Program &P, const PipelineConfig &Config = PipelineConfig(),
            BrrDecider *Decider = nullptr);
 
   /// Attached run: resumes \p M from its current PC (no image reload)
   /// against the caller's \p Uarch structures, which are read AND trained
-  /// in place. \p M, \p Uarch and \p Decider must outlive the Pipeline.
+  /// in place. \p DP, \p M, \p Uarch and \p Decider must outlive the
+  /// Pipeline. This is the form the sampled runner attaches once per
+  /// detailed interval, so sharing the decoded image matters most here.
+  Pipeline(const DecodedProgram &DP, Machine &M, MicroarchState &Uarch,
+           const PipelineConfig &Config, BrrDecider &Decider);
+
+  /// Convenience attached form that decodes \p P privately.
   Pipeline(const Program &P, Machine &M, MicroarchState &Uarch,
            const PipelineConfig &Config, BrrDecider &Decider);
 
@@ -213,8 +228,12 @@ private:
   /// latencies and store-to-load forwarding constraints.
   uint64_t completeExecution(const ExecRecord &R, uint64_t Issue);
 
-  const Program &Prog;
   PipelineConfig Config;
+
+  /// Owned by the Program-taking convenience ctors, null when the caller
+  /// shares a decoded image; Dec references whichever instance applies.
+  std::unique_ptr<DecodedProgram> OwnedDec;
+  const DecodedProgram &Dec;
 
   /// Owned in the cold-run form, null in the attached form; Mach/Uarch
   /// reference whichever instance applies.
@@ -224,6 +243,7 @@ private:
   MicroarchState &Uarch;
   std::unique_ptr<BrrDecider> OwnedDecider;
   Interpreter Oracle;
+  BranchUpdatePolicy Policy;
 
   // Front-end state.
   uint64_t FetchCycle = 0;

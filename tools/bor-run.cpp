@@ -204,11 +204,12 @@ int resumeMain(const Options &Opt) {
               C.InstsRetired);
 
   ToolTelemetry Tel(Opt);
+  DecodedProgram Dec(P);
   int Rc;
   if (Opt.Timing) {
     MicroarchState Uarch((PipelineConfig()));
     {
-      Pipeline Pipe(P, M, Uarch, PipelineConfig(), *Decider);
+      Pipeline Pipe(Dec, M, Uarch, PipelineConfig(), *Decider);
       Pipe.setTelemetry(Tel.sink());
       telemetry::TraceSpan Span(Tel.Trace.get(), "resume", "bor-run");
       RunResult Result = Pipe.run(Opt.MaxInsts, /*RequireHalt=*/false);
@@ -222,7 +223,7 @@ int resumeMain(const Options &Opt) {
     Rc = M.halted() ? 0 : 1;
   } else {
     {
-      Interpreter Interp(P, M, *Decider, /*LoadImage=*/false);
+      Interpreter Interp(Dec, M, *Decider, /*LoadImage=*/false);
       telemetry::TraceSpan Span(Tel.Trace.get(), "resume", "bor-run");
       RunStats S = Interp.run(Opt.MaxInsts, /*RequireHalt=*/false);
       Span.close();
@@ -275,12 +276,14 @@ int main(int Argc, char **Argv) {
   }
 
   ToolTelemetry Tel(Opt);
+  // Decode once up front; both models execute the decoded image.
+  DecodedProgram Dec(R.Prog);
   int Rc;
   if (Opt.Timing) {
     // Inner scope: the Pipeline publishes its counters on destruction, and
     // that has to happen before Tel.finish() renders the snapshot.
     {
-      Pipeline Pipe(R.Prog, PipelineConfig(), Decider.get());
+      Pipeline Pipe(Dec, PipelineConfig(), Decider.get());
       Pipe.setTelemetry(Tel.sink());
       telemetry::TraceSpan Span(Tel.Trace.get(), "run", "bor-run");
       RunResult Result = Pipe.run(Opt.MaxInsts, /*RequireHalt=*/false);
@@ -300,7 +303,7 @@ int main(int Argc, char **Argv) {
 
   Machine M;
   {
-    Interpreter Interp(R.Prog, M, *Decider);
+    Interpreter Interp(Dec, M, *Decider);
     telemetry::TraceSpan Span(Tel.Trace.get(), "run", "bor-run");
     for (uint64_t I = 0; I != Opt.PrintInsts && !Interp.halted(); ++I) {
       ExecRecord Rec = Interp.step();
