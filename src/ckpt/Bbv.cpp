@@ -1,0 +1,88 @@
+//===- ckpt/Bbv.cpp - Basic-block vectors and region selection -----------===//
+
+#include "ckpt/Bbv.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bor;
+using namespace bor::ckpt;
+
+double bor::ckpt::bbvDistance(const Bbv &A, const Bbv &B) {
+  uint64_t TotalA = 0, TotalB = 0;
+  for (const auto &[Idx, N] : A)
+    TotalA += N;
+  for (const auto &[Idx, N] : B)
+    TotalB += N;
+  double InvA = TotalA ? 1.0 / static_cast<double>(TotalA) : 0.0;
+  double InvB = TotalB ? 1.0 / static_cast<double>(TotalB) : 0.0;
+
+  // Merge-walk the two sorted sparse vectors.
+  double D = 0;
+  size_t I = 0, J = 0;
+  while (I != A.size() || J != B.size()) {
+    if (J == B.size() || (I != A.size() && A[I].first < B[J].first)) {
+      D += static_cast<double>(A[I].second) * InvA;
+      ++I;
+    } else if (I == A.size() || B[J].first < A[I].first) {
+      D += static_cast<double>(B[J].second) * InvB;
+      ++J;
+    } else {
+      double FA = static_cast<double>(A[I].second) * InvA;
+      double FB = static_cast<double>(B[J].second) * InvB;
+      D += FA > FB ? FA - FB : FB - FA;
+      ++I;
+      ++J;
+    }
+  }
+  return D;
+}
+
+RegionSelection bor::ckpt::selectRegions(const std::vector<Bbv> &Bbvs,
+                                         size_t MaxRegions) {
+  RegionSelection Sel;
+  const size_t N = Bbvs.size();
+  if (N == 0 || MaxRegions == 0)
+    return Sel;
+
+  // NearestDist[p] = distance from period p to its nearest representative
+  // so far; maintained incrementally as representatives are added.
+  Sel.Reps.push_back(0);
+  std::vector<double> NearestDist(N);
+  for (size_t P = 0; P != N; ++P)
+    NearestDist[P] = bbvDistance(Bbvs[P], Bbvs[0]);
+
+  while (Sel.Reps.size() < MaxRegions && Sel.Reps.size() < N) {
+    size_t Farthest = 0;
+    double MaxD = 0;
+    for (size_t P = 0; P != N; ++P)
+      if (NearestDist[P] > MaxD) {
+        MaxD = NearestDist[P];
+        Farthest = P;
+      }
+    if (MaxD == 0)
+      break; // every period already has an exact-phase representative
+    Sel.Reps.push_back(static_cast<uint32_t>(Farthest));
+    for (size_t P = 0; P != N; ++P) {
+      double D = bbvDistance(Bbvs[P], Bbvs[Farthest]);
+      if (D < NearestDist[P])
+        NearestDist[P] = D;
+    }
+  }
+  std::sort(Sel.Reps.begin(), Sel.Reps.end());
+
+  Sel.RepOf.resize(N);
+  for (size_t P = 0; P != N; ++P) {
+    uint32_t Best = Sel.Reps[0];
+    double BestD = bbvDistance(Bbvs[P], Bbvs[Sel.Reps[0]]);
+    for (size_t R = 1; R != Sel.Reps.size(); ++R) {
+      double D = bbvDistance(Bbvs[P], Bbvs[Sel.Reps[R]]);
+      if (D < BestD) { // strict: ties stay with the earliest rep
+        BestD = D;
+        Best = Sel.Reps[R];
+      }
+    }
+    Sel.RepOf[P] = Best;
+  }
+  return Sel;
+}

@@ -1,0 +1,75 @@
+//===- ckpt/Bbv.h - Basic-block vectors and region selection -------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SimPoint-style representative-region selection over the per-period
+/// basic-block vectors a checkpoint library collects during its build
+/// pass. Each period's BBV counts how often every static block terminator
+/// executed in that period (collected by Interpreter::setBlockProfile);
+/// periods with near-identical vectors are the same program phase, so a
+/// sweep can measure one representative per phase and weight it by how
+/// many periods it stands for.
+///
+/// Selection is a deterministic farthest-first traversal — no random
+/// seeding, ties broken toward the lowest period index — so region-mode
+/// results are byte-stable across runs and thread counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_CKPT_BBV_H
+#define BOR_CKPT_BBV_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace bor {
+namespace ckpt {
+
+/// One period's basic-block vector: (terminator instruction index,
+/// execution count) pairs, sorted by index, zero counts omitted.
+using Bbv = std::vector<std::pair<uint32_t, uint64_t>>;
+
+/// Manhattan distance between the frequency-normalized vectors (each
+/// scaled to sum to 1, so period length does not dominate). Ranges over
+/// [0, 2]; 0 means identical block mix. An empty vector is the zero
+/// vector.
+double bbvDistance(const Bbv &A, const Bbv &B);
+
+/// The result of clustering periods into at most MaxRegions phases.
+struct RegionSelection {
+  /// Representative period indices, ascending. Every representative's
+  /// period starts at a library checkpoint, so it can be measured by a
+  /// single resume.
+  std::vector<uint32_t> Reps;
+  /// Per period: the representative period standing in for it (RepOf[r]
+  /// == r for representatives themselves).
+  std::vector<uint32_t> RepOf;
+
+  std::size_t numPeriods() const { return RepOf.size(); }
+  /// Periods represented by \p Rep (its cluster weight).
+  uint64_t weightOf(uint32_t Rep) const {
+    uint64_t W = 0;
+    for (uint32_t R : RepOf)
+      W += (R == Rep);
+    return W;
+  }
+};
+
+/// Farthest-first traversal over \p Bbvs: period 0 seeds the
+/// representative set; each round adds the period farthest from its
+/// nearest representative (ties toward the lowest index) until MaxRegions
+/// representatives are chosen or every period is within distance 0 of
+/// one. Each period is then assigned to its nearest representative (ties
+/// toward the earliest). Deterministic by construction.
+RegionSelection selectRegions(const std::vector<Bbv> &Bbvs,
+                              std::size_t MaxRegions);
+
+} // namespace ckpt
+} // namespace bor
+
+#endif // BOR_CKPT_BBV_H

@@ -1,0 +1,97 @@
+//===- ckpt/LibraryPool.cpp - Build-once cache of checkpoint libraries ---===//
+
+#include "ckpt/LibraryPool.h"
+
+#include "isa/Serialize.h"
+#include "telemetry/Counters.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+using namespace bor;
+using namespace bor::ckpt;
+
+uint64_t LibraryPool::keyFor(const Program &P, const BrrUnitConfig &Brr,
+                             uint64_t PeriodInsts) {
+  // FNV-1a over the serialized program, then the decider configuration and
+  // the period folded in word-wise. Purely content-derived, so the same
+  // workload maps to the same cache file across processes.
+  uint64_t H = 0xcbf29ce484222325ULL;
+  auto foldByte = [&H](uint8_t B) { H = (H ^ B) * 0x100000001b3ULL; };
+  auto foldU64 = [&](uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      foldByte(static_cast<uint8_t>(V >> (8 * I)));
+  };
+  for (uint8_t B : serializeProgram(P))
+    foldByte(B);
+  foldU64(Brr.LfsrWidth);
+  foldU64(Brr.TapMask);
+  foldU64(Brr.Seed);
+  foldU64(static_cast<uint64_t>(Brr.Policy));
+  foldU64(PeriodInsts);
+  return H;
+}
+
+std::string LibraryPool::cachePathFor(uint64_t Key) const {
+  if (CacheDir.empty())
+    return "";
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "ckpt_%016" PRIx64 ".borb", Key);
+  return CacheDir + "/" + Name;
+}
+
+size_t LibraryPool::numLibraries() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Entries.size();
+}
+
+std::shared_ptr<const CheckpointLibrary>
+LibraryPool::getOrBuild(const DecodedProgram &DP, const BrrUnitConfig &Brr,
+                        uint64_t PeriodInsts,
+                        const telemetry::TelemetrySink *Telemetry) {
+  const uint64_t Key = keyFor(DP.program(), Brr, PeriodInsts);
+  std::shared_ptr<Entry> E;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    std::shared_ptr<Entry> &Slot = Entries[Key];
+    if (!Slot)
+      Slot = std::make_shared<Entry>();
+    E = Slot;
+  }
+
+  std::call_once(E->Once, [&] {
+    const std::string Path = cachePathFor(Key);
+    if (!Path.empty()) {
+      Program Cached;
+      CheckpointLibrary Lib;
+      std::string Error;
+      if (loadLibraryFile(Path, Cached, Lib, Error) &&
+          Lib.periodInsts() == PeriodInsts &&
+          Lib.deciderKind() == "lfsr") {
+        if (telemetry::CounterRegistry::enabled()) {
+          static const telemetry::Counter Loaded("ckpt.libraries.loaded");
+          Loaded.add();
+        }
+        E->Lib = std::make_shared<CheckpointLibrary>(std::move(Lib));
+        return;
+      }
+    }
+
+    CheckpointLibrary::BuildOptions Options;
+    Options.EveryInsts = PeriodInsts;
+    auto Built = std::make_shared<CheckpointLibrary>(
+        CheckpointLibrary::build(DP, Brr, Options, Telemetry));
+    if (!Path.empty()) {
+      std::error_code Ec;
+      std::filesystem::create_directories(CacheDir, Ec);
+      if (!saveLibraryFile(DP.program(), *Built, Path))
+        std::fprintf(stderr,
+                     "warning: could not persist checkpoint library to '%s'\n",
+                     Path.c_str());
+    }
+    E->Lib = std::move(Built);
+  });
+  return E->Lib;
+}

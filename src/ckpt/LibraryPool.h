@@ -1,0 +1,82 @@
+//===- ckpt/LibraryPool.h - Build-once cache of checkpoint libraries -----===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sharing point of the checkpoint subsystem: one pool lives for an
+/// experiment grid (or a bor-run invocation), and every cell asks it for
+/// the library of its (program, decider config, period) triple. The first
+/// request builds the library — exactly once, even when many ThreadPool
+/// workers ask concurrently — and every later request returns the same
+/// immutable, refcounted object; the build cost amortizes over the whole
+/// sweep and the ckpt.* counters stay thread-count-invariant.
+///
+/// With a cache directory configured, built libraries persist as BORB v2
+/// images ("CKPL" section next to the program), keyed by a content hash of
+/// the program plus the decider configuration and period, so a re-run of
+/// the same sweep skips the functional pass entirely
+/// (ckpt.libraries.loaded counts those wins).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_CKPT_LIBRARYPOOL_H
+#define BOR_CKPT_LIBRARYPOOL_H
+
+#include "ckpt/CheckpointLibrary.h"
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace bor {
+namespace ckpt {
+
+/// Thread-safe cache of checkpoint libraries, keyed by (program bytes,
+/// BrrUnitConfig, period).
+class LibraryPool {
+public:
+  /// \p CacheDir: directory for cross-invocation persistence (created on
+  /// first save if missing); empty keeps the pool memory-only.
+  explicit LibraryPool(std::string CacheDir = "")
+      : CacheDir(std::move(CacheDir)) {}
+
+  LibraryPool(const LibraryPool &) = delete;
+  LibraryPool &operator=(const LibraryPool &) = delete;
+
+  /// Returns the library for \p DP under \p Brr with capture period \p
+  /// PeriodInsts, building (or loading from the cache directory) on first
+  /// request. Concurrent callers for the same key block until the one
+  /// build finishes and then share the result. The returned pointer is
+  /// never null and keeps the library alive independently of the pool.
+  std::shared_ptr<const CheckpointLibrary>
+  getOrBuild(const DecodedProgram &DP, const BrrUnitConfig &Brr,
+             uint64_t PeriodInsts,
+             const telemetry::TelemetrySink *Telemetry = nullptr);
+
+  /// Content key for one (program, decider config, period) triple — the
+  /// disk cache filename stem (exposed for tests).
+  static uint64_t keyFor(const Program &P, const BrrUnitConfig &Brr,
+                         uint64_t PeriodInsts);
+
+  /// The cache file path for \p Key, or "" when the pool is memory-only.
+  std::string cachePathFor(uint64_t Key) const;
+
+  size_t numLibraries() const;
+
+private:
+  struct Entry {
+    std::once_flag Once;
+    std::shared_ptr<const CheckpointLibrary> Lib;
+  };
+
+  std::string CacheDir;
+  mutable std::mutex Mutex; ///< guards Entries only; builds run unlocked
+  std::unordered_map<uint64_t, std::shared_ptr<Entry>> Entries;
+};
+
+} // namespace ckpt
+} // namespace bor
+
+#endif // BOR_CKPT_LIBRARYPOOL_H

@@ -1,0 +1,35 @@
+//===- ckpt/PageStore.cpp - Refcounted immutable page storage ------------===//
+
+#include "ckpt/PageStore.h"
+
+#include <cstring>
+
+using namespace bor;
+using namespace bor::ckpt;
+
+/// FNV-1a over the page, folded eight bytes at a time. Collisions are
+/// harmless (resolved by memcmp below); the hash only has to keep the
+/// bucket lists short.
+uint64_t PageStore::hashPage(const uint8_t *Data) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (size_t I = 0; I != sizeof(Page); I += 8) {
+    uint64_t W;
+    std::memcpy(&W, Data + I, 8);
+    H = (H ^ W) * 0x100000001b3ULL;
+  }
+  return H;
+}
+
+PageStore::PageRef PageStore::intern(const uint8_t *Data) {
+  std::vector<PageRef> &Bucket = ByHash[hashPage(Data)];
+  for (const PageRef &P : Bucket)
+    if (std::memcmp(P->data(), Data, sizeof(Page)) == 0) {
+      ++DedupHits;
+      return P;
+    }
+  auto P = std::make_shared<Page>();
+  std::memcpy(P->data(), Data, sizeof(Page));
+  Bucket.push_back(P);
+  ++NumStored;
+  return P;
+}

@@ -1,0 +1,65 @@
+//===- ckpt/PageStore.h - Refcounted immutable page storage --------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared backing store of a checkpoint library: every memory page a
+/// checkpoint captures is interned here exactly once. Interning hashes the
+/// page content, so consecutive checkpoints of the same stream share every
+/// page the program did not touch in between — the store holds the union
+/// of distinct page images, not numCheckpoints copies of the working set.
+///
+/// Stored pages are immutable and refcounted (Memory::PageRef); a Machine
+/// COW-attaches them read-only and copies only on its first write, so any
+/// number of concurrent cells can resume from the same checkpoint without
+/// duplicating the prefix state. The handles keep pages alive, so a store
+/// may be destroyed while attached Machines still run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_CKPT_PAGESTORE_H
+#define BOR_CKPT_PAGESTORE_H
+
+#include "sim/Machine.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace bor {
+namespace ckpt {
+
+/// Content-interning storage of immutable memory pages.
+class PageStore {
+public:
+  using Page = Memory::Page;
+  using PageRef = Memory::PageRef;
+
+  /// Interns one page of content (Memory::pageBytes() bytes): returns a
+  /// handle to an already-stored page with identical bytes when one
+  /// exists, otherwise stores a copy and returns that. Handles from the
+  /// same store compare equal iff the content does, which is what lets a
+  /// resume skip re-attaching unchanged pages.
+  PageRef intern(const uint8_t *Data);
+
+  /// Distinct page images stored.
+  size_t numStoredPages() const { return NumStored; }
+  /// intern() calls satisfied by an existing page (the dedup win).
+  uint64_t numDedupHits() const { return DedupHits; }
+  uint64_t bytesStored() const { return NumStored * sizeof(Page); }
+
+private:
+  static uint64_t hashPage(const uint8_t *Data);
+
+  /// Content hash -> stored pages with that hash (collisions resolved by
+  /// byte comparison).
+  std::unordered_map<uint64_t, std::vector<PageRef>> ByHash;
+  size_t NumStored = 0;
+  uint64_t DedupHits = 0;
+};
+
+} // namespace ckpt
+} // namespace bor
+
+#endif // BOR_CKPT_PAGESTORE_H

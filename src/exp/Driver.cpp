@@ -6,6 +6,7 @@
 
 #include "exp/Driver.h"
 
+#include "ckpt/LibraryPool.h"
 #include "exp/Experiments.h"
 #include "exp/Runner.h"
 #include "exp/ThreadPool.h"
@@ -42,6 +43,9 @@ struct DriverOptions {
   std::string FlamegraphPath; ///< --flamegraph: collapsed-stack summary
   bool Counters = false;      ///< --counters: render the snapshot to stdout
   std::string CountersOut;    ///< --counters-out: write the snapshot here
+  bool CkptLibrary = false;   ///< --ckpt-library: COW-library fast-forward
+  std::string CkptDir;        ///< --ckpt-dir: persist libraries here
+  unsigned CkptRegions = 0;   ///< --ckpt-regions: BBV representative phases
 };
 
 /// Accepts both "--flag value" and "--flag=value". Returns nullptr when
@@ -153,6 +157,32 @@ bool parseCommon(const char *A, char **Argv, int Argc, int &I,
     Opt.Sample = true;
     return true;
   }
+  if (std::strcmp(A, "--ckpt-library") == 0) {
+    Opt.CkptLibrary = true;
+    return true;
+  }
+  if (const char *V = flagValue("--ckpt-dir", Argv, Argc, I)) {
+    if (*V == '\0') {
+      std::fprintf(stderr, "bor-bench: --ckpt-dir needs a directory path\n");
+      std::exit(2);
+    }
+    Opt.CkptDir = V;
+    Opt.CkptLibrary = true;
+    return true;
+  }
+  if (const char *V = flagValue("--ckpt-regions", Argv, Argc, I)) {
+    uint64_t N = 0;
+    if (!parseU64(V, N) || N == 0 || N > 1u << 20) {
+      std::fprintf(stderr,
+                   "bor-bench: --ckpt-regions needs a whole number >= 1, "
+                   "got '%s'\n",
+                   V);
+      std::exit(2);
+    }
+    Opt.CkptRegions = static_cast<unsigned>(N);
+    Opt.CkptLibrary = true;
+    return true;
+  }
   if (const char *V = flagValue("--trace", Argv, Argc, I)) {
     Opt.TracePath = V;
     return true;
@@ -225,6 +255,12 @@ int writeTelemetryOutputs(const DriverOptions &Opt,
 
 /// Validates the assembled sampling plan once flags are parsed.
 int checkPlan(const DriverOptions &Opt) {
+  if (Opt.CkptLibrary && !Opt.Sample) {
+    std::fprintf(stderr,
+                 "bor-bench: --ckpt-library/--ckpt-dir/--ckpt-regions only "
+                 "apply to sampled runs; add --sample\n");
+    return 2;
+  }
   if (!Opt.Sample || Opt.Plan.valid())
     return 0;
   std::fprintf(stderr,
@@ -246,7 +282,8 @@ void printRegisteredExperiments(std::FILE *Out) {
 /// Runs one registered experiment with the configured sinks. Returns 0 on
 /// success.
 int runOne(const std::string &Name, const DriverOptions &Opt,
-           const telemetry::TelemetrySink *Telemetry) {
+           const telemetry::TelemetrySink *Telemetry,
+           ckpt::LibraryPool *CkptPool) {
   ExperimentRegistry &Registry = ExperimentRegistry::instance();
   if (!Registry.contains(Name)) {
     std::fprintf(stderr,
@@ -261,6 +298,8 @@ int runOne(const std::string &Name, const DriverOptions &Opt,
   ExpOpt.Sample = Opt.Sample;
   ExpOpt.Plan = Opt.Plan;
   ExpOpt.Telemetry = Telemetry;
+  ExpOpt.CkptPool = CkptPool;
+  ExpOpt.CkptRegions = Opt.CkptRegions;
   ExperimentSpec Spec = Registry.create(Name, ExpOpt);
 
   std::vector<ResultSink *> Sinks;
@@ -319,6 +358,8 @@ int benchMain(int Argc, char **Argv) {
                    "                 [--no-table] [--scale N] [--sample]\n"
                    "                 [--sample-period N] [--sample-warm N] "
                    "[--sample-measure N]\n"
+                   "                 [--ckpt-library] [--ckpt-dir DIR] "
+                   "[--ckpt-regions N]\n"
                    "                 [--trace PATH] [--flamegraph PATH] "
                    "[--counters] [--counters-out PATH]\n"
                    "       bor-bench --all [same flags]\n");
@@ -356,10 +397,17 @@ int benchMain(int Argc, char **Argv) {
   telemetry::TelemetrySink Sink;
   Sink.Trace = Trace.get();
 
+  // One pool for the whole invocation: experiments sharing a (program,
+  // decider, period) key build its library exactly once.
+  std::unique_ptr<ckpt::LibraryPool> Pool;
+  if (Opt.CkptLibrary)
+    Pool = std::make_unique<ckpt::LibraryPool>(Opt.CkptDir);
+
   for (size_t I = 0; I != Opt.Experiments.size(); ++I) {
     if (I)
       std::printf("\n");
-    if (int RC = runOne(Opt.Experiments[I], Opt, Trace ? &Sink : nullptr))
+    if (int RC = runOne(Opt.Experiments[I], Opt, Trace ? &Sink : nullptr,
+                        Pool.get()))
       return RC;
   }
   return writeTelemetryOutputs(Opt, Trace.get());
@@ -376,6 +424,8 @@ int experimentMain(const char *Name, int Argc, char **Argv) {
                    "[--no-table] [--scale N]\n"
                    "       [--sample] [--sample-period N] [--sample-warm N] "
                    "[--sample-measure N]\n"
+                   "       [--ckpt-library] [--ckpt-dir DIR] "
+                   "[--ckpt-regions N]\n"
                    "       [--trace PATH] [--flamegraph PATH] [--counters] "
                    "[--counters-out PATH]\n",
                    Argv[0]);
@@ -387,7 +437,10 @@ int experimentMain(const char *Name, int Argc, char **Argv) {
   std::unique_ptr<telemetry::TraceWriter> Trace = setUpTelemetry(Opt);
   telemetry::TelemetrySink Sink;
   Sink.Trace = Trace.get();
-  if (int RC = runOne(Name, Opt, Trace ? &Sink : nullptr))
+  std::unique_ptr<ckpt::LibraryPool> Pool;
+  if (Opt.CkptLibrary)
+    Pool = std::make_unique<ckpt::LibraryPool>(Opt.CkptDir);
+  if (int RC = runOne(Name, Opt, Trace ? &Sink : nullptr, Pool.get()))
     return RC;
   return writeTelemetryOutputs(Opt, Trace.get());
 }

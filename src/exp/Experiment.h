@@ -32,6 +32,10 @@ namespace telemetry {
 struct TelemetrySink;
 } // namespace telemetry
 
+namespace ckpt {
+class LibraryPool;
+} // namespace ckpt
+
 namespace exp {
 
 /// The coordinates of one grid cell, as ordered key/value strings (they
@@ -55,6 +59,21 @@ struct ExperimentOptions {
   /// emit sampled-phase spans through it. Null when telemetry is off; the
   /// sink must outlive every cell run.
   const telemetry::TelemetrySink *Telemetry = nullptr;
+
+  /// Checkpoint-library mode (bor-bench --ckpt-library): sampled cells
+  /// resume their fast-forward spans from a shared COW checkpoint library
+  /// instead of re-executing the prefix. One pool serves the whole grid —
+  /// cells with the same (program, decider config, period) share one
+  /// build — and must outlive every cell run. Null means plain sampling;
+  /// ignored when Sample is off.
+  ckpt::LibraryPool *CkptPool = nullptr;
+
+  /// Representative-region mode (bor-bench --ckpt-regions=N): measure at
+  /// most N distinct program phases per cell, selected from the library's
+  /// per-period basic-block vectors, weighting each by the periods it
+  /// represents. 0 (the default) measures every period exactly as plain
+  /// sampling does. Requires CkptPool.
+  unsigned CkptRegions = 0;
 
   /// The plan when sampling is on, nullptr otherwise — the form the
   /// harness drivers take.

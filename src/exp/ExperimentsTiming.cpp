@@ -97,6 +97,8 @@ ExperimentSpec makeFig13(const ExperimentOptions &O) {
   const bool Sample = O.Sample;
   const SamplingPlan Plan = O.Plan;
   const telemetry::TelemetrySink *Tel = O.Telemetry;
+  ckpt::LibraryPool *Pool = O.CkptPool;
+  const unsigned Regions = O.CkptRegions;
   ExperimentSpec S;
   char Title[256];
   std::snprintf(Title, sizeof(Title),
@@ -110,9 +112,9 @@ ExperimentSpec makeFig13(const ExperimentOptions &O) {
             "ones above ~64; Full-Duplication lowers both.";
 
   auto Base = std::make_shared<uint64_t>(0);
-  S.Setup = [Base, Chars, Sample, Plan, Tel] {
+  S.Setup = [Base, Chars, Sample, Plan, Tel, Pool, Regions] {
     *Base = runMicrobench(InstrumentationConfig(), Chars, PipelineConfig(),
-                          Sample ? &Plan : nullptr, Tel)
+                          Sample ? &Plan : nullptr, Tel, Pool, Regions)
                 .RoiCycles;
   };
 
@@ -123,13 +125,14 @@ ExperimentSpec makeFig13(const ExperimentOptions &O) {
           {{"series", A.Name}, {"interval", std::to_string(Interval)}});
 
   size_t NumIntervals = Intervals.size();
-  S.Run = [Base, Chars, Intervals, NumIntervals, Sample, Plan,
-           Tel](const ParamSet &, size_t Index) {
+  S.Run = [Base, Chars, Intervals, NumIntervals, Sample, Plan, Tel, Pool,
+           Regions](const ParamSet &, size_t Index) {
     const MicroArm &A = Fig13Arms[Index / NumIntervals];
     uint64_t Interval = Intervals[Index % NumIntervals];
     MicroRun Run =
         runMicrobench(microConfig(A.F, A.Dup, Interval, A.Body), Chars,
-                      PipelineConfig(), Sample ? &Plan : nullptr, Tel);
+                      PipelineConfig(), Sample ? &Plan : nullptr, Tel, Pool,
+                      Regions);
     RunRecord R;
     R.param("series", A.Name);
     R.param("interval", std::to_string(Interval));
@@ -181,6 +184,8 @@ ExperimentSpec makeFig14(const ExperimentOptions &O) {
   const bool Sample = O.Sample;
   const SamplingPlan Plan = O.Plan;
   const telemetry::TelemetrySink *Tel = O.Telemetry;
+  ckpt::LibraryPool *Pool = O.CkptPool;
+  const unsigned Regions = O.CkptRegions;
   ExperimentSpec S;
   S.Title = "Figure 14 - average added cycles per sampling site "
             "(Full-Duplication)";
@@ -191,10 +196,10 @@ ExperimentSpec makeFig14(const ExperimentOptions &O) {
             "adds ~4.3 cycles/site.";
 
   auto Baseline = std::make_shared<MicroRun>();
-  S.Setup = [Baseline, Chars, Sample, Plan, Tel] {
+  S.Setup = [Baseline, Chars, Sample, Plan, Tel, Pool, Regions] {
     *Baseline = runMicrobench(InstrumentationConfig(), Chars,
                               PipelineConfig(), Sample ? &Plan : nullptr,
-                              Tel);
+                              Tel, Pool, Regions);
   };
 
   struct Def {
@@ -214,13 +219,14 @@ ExperimentSpec makeFig14(const ExperimentOptions &O) {
     S.Cells.push_back({{"series", D.Arm->Name},
                        {"interval", std::to_string(D.Interval)}});
 
-  S.Run = [Baseline, Chars, Defs, Sample, Plan, Tel](const ParamSet &,
-                                                     size_t Index) {
+  S.Run = [Baseline, Chars, Defs, Sample, Plan, Tel, Pool,
+           Regions](const ParamSet &, size_t Index) {
     const Def &D = (*Defs)[Index];
     const Fig14Arm &A = *D.Arm;
     MicroRun Run =
         runMicrobench(microConfig(A.F, A.Dup, D.Interval, A.Body), Chars,
-                      PipelineConfig(), Sample ? &Plan : nullptr, Tel);
+                      PipelineConfig(), Sample ? &Plan : nullptr, Tel, Pool,
+                      Regions);
     double PerSite = (static_cast<double>(Run.RoiCycles) -
                       static_cast<double>(Baseline->RoiCycles)) /
                      static_cast<double>(Baseline->DynamicSiteVisits);
@@ -243,6 +249,8 @@ ExperimentSpec makeFig02(const ExperimentOptions &O) {
   const bool Sample = O.Sample;
   const SamplingPlan Plan = O.Plan;
   const telemetry::TelemetrySink *Tel = O.Telemetry;
+  ckpt::LibraryPool *Pool = O.CkptPool;
+  const unsigned Regions = O.CkptRegions;
   ExperimentSpec S;
   char Title[160];
   std::snprintf(Title, sizeof(Title),
@@ -255,9 +263,9 @@ ExperimentSpec makeFig02(const ExperimentOptions &O) {
             "brr eliminates.";
 
   auto Base = std::make_shared<uint64_t>(0);
-  S.Setup = [Base, Chars, Sample, Plan, Tel] {
+  S.Setup = [Base, Chars, Sample, Plan, Tel, Pool, Regions] {
     *Base = runMicrobench(InstrumentationConfig(), Chars, PipelineConfig(),
-                          Sample ? &Plan : nullptr, Tel)
+                          Sample ? &Plan : nullptr, Tel, Pool, Regions)
                 .RoiCycles;
   };
 
@@ -269,7 +277,8 @@ ExperimentSpec makeFig02(const ExperimentOptions &O) {
       S.Cells.push_back({{"framework", frameworkName(F)},
                          {"interval", std::to_string(Interval)}});
 
-  S.Run = [Base, Chars, Sample, Plan, Tel](const ParamSet &, size_t Index) {
+  S.Run = [Base, Chars, Sample, Plan, Tel, Pool, Regions](const ParamSet &,
+                                                          size_t Index) {
     const SamplingFramework Frameworks[] = {SamplingFramework::CounterBased,
                                             SamplingFramework::BrrBased};
     const uint64_t Intervals[] = {16, 128, 1024};
@@ -279,11 +288,11 @@ ExperimentSpec makeFig02(const ExperimentOptions &O) {
     uint64_t FwOnly =
         runMicrobench(
             microConfig(F, DuplicationMode::NoDuplication, Interval, false),
-            Chars, PipelineConfig(), P, Tel)
+            Chars, PipelineConfig(), P, Tel, Pool, Regions)
             .RoiCycles;
     MicroRun Total = runMicrobench(
         microConfig(F, DuplicationMode::NoDuplication, Interval, true),
-        Chars, PipelineConfig(), P, Tel);
+        Chars, PipelineConfig(), P, Tel, Pool, Regions);
     double TotalPct = overheadPct(Total.RoiCycles, *Base);
     double FixedPct = overheadPct(FwOnly, *Base);
     RunRecord R;
@@ -309,7 +318,8 @@ struct AppRun {
 
 AppRun appRoi(AppConfig C, SamplingFramework F,
               const SamplingPlan *Plan = nullptr,
-              const telemetry::TelemetrySink *Tel = nullptr) {
+              const telemetry::TelemetrySink *Tel = nullptr,
+              ckpt::LibraryPool *Pool = nullptr, unsigned Regions = 0) {
   C.Instr.Framework = F;
   C.Instr.Dup = DuplicationMode::FullDuplication;
   C.Instr.Interval = 1024;
@@ -317,9 +327,8 @@ AppRun appRoi(AppConfig C, SamplingFramework F,
   // One decoded image per cell, shared by the sampled and full-run paths.
   DecodedProgram Dec(P.Prog);
   if (Plan) {
-    SampledResult SR = runSampled(Dec, *Plan, PipelineConfig(),
-                                  /*Decider=*/nullptr, /*MaxInsts=*/~0ULL,
-                                  Tel);
+    SampledResult SR = runSampledMaybeLibrary(Dec, *Plan, PipelineConfig(),
+                                              Tel, Pool, Regions);
     if (SR.NumIntervals != 0 && SR.Markers.size() >= 2) {
       AppRun R;
       R.RoiCycles =
@@ -342,6 +351,8 @@ ExperimentSpec makeFig12(const ExperimentOptions &O) {
   const bool Sample = O.Sample;
   const SamplingPlan Plan = O.Plan;
   const telemetry::TelemetrySink *Tel = O.Telemetry;
+  ckpt::LibraryPool *Pool = O.CkptPool;
+  const unsigned Regions = O.CkptRegions;
   ExperimentSpec S;
   S.Title = "Figure 12 - sampling framework overhead on application "
             "analogues\n(Full-Duplication, sampling period 1024, timing "
@@ -356,12 +367,15 @@ ExperimentSpec makeFig12(const ExperimentOptions &O) {
   for (const AppConfig &App : *Apps)
     S.Cells.push_back({{"benchmark", App.Name}});
 
-  S.Run = [Apps, Sample, Plan, Tel](const ParamSet &, size_t Index) {
+  S.Run = [Apps, Sample, Plan, Tel, Pool, Regions](const ParamSet &,
+                                                   size_t Index) {
     const AppConfig &App = (*Apps)[Index];
     const SamplingPlan *P = Sample ? &Plan : nullptr;
-    AppRun Base = appRoi(App, SamplingFramework::None, P, Tel);
-    AppRun Cbs = appRoi(App, SamplingFramework::CounterBased, P, Tel);
-    AppRun Brr = appRoi(App, SamplingFramework::BrrBased, P, Tel);
+    AppRun Base = appRoi(App, SamplingFramework::None, P, Tel, Pool, Regions);
+    AppRun Cbs =
+        appRoi(App, SamplingFramework::CounterBased, P, Tel, Pool, Regions);
+    AppRun Brr =
+        appRoi(App, SamplingFramework::BrrBased, P, Tel, Pool, Regions);
     RunRecord R;
     R.param("benchmark", App.Name);
     R.metric("baseline_cycles", Base.RoiCycles);
@@ -397,6 +411,8 @@ ExperimentSpec makeAblation(const ExperimentOptions &O) {
   const bool Sample = O.Sample;
   const SamplingPlan Plan = O.Plan;
   const telemetry::TelemetrySink *Tel = O.Telemetry;
+  ckpt::LibraryPool *Pool = O.CkptPool;
+  const unsigned Regions = O.CkptRegions;
   ExperimentSpec S;
   S.Title = "Ablation - branch-on-random design decisions "
             "(No-Duplication, framework-only)";
@@ -423,14 +439,14 @@ ExperimentSpec makeAblation(const ExperimentOptions &O) {
   M->Trap.BrrTrapCycles = 300; // Section 3.4's SIGILL emulation fallback
   M->Oracle.PerfectBranchPrediction = true;
 
-  S.Setup = [M, Chars, Sample, Plan, Tel] {
+  S.Setup = [M, Chars, Sample, Plan, Tel, Pool, Regions] {
     const SamplingPlan *P = Sample ? &Plan : nullptr;
-    M->Base =
-        runMicrobench(InstrumentationConfig(), Chars, M->Default, P, Tel)
-            .RoiCycles;
-    M->OracleBase =
-        runMicrobench(InstrumentationConfig(), Chars, M->Oracle, P, Tel)
-            .RoiCycles;
+    M->Base = runMicrobench(InstrumentationConfig(), Chars, M->Default, P,
+                            Tel, Pool, Regions)
+                  .RoiCycles;
+    M->OracleBase = runMicrobench(InstrumentationConfig(), Chars, M->Oracle,
+                                  P, Tel, Pool, Regions)
+                        .RoiCycles;
   };
 
   struct Def {
@@ -496,11 +512,12 @@ ExperimentSpec makeAblation(const ExperimentOptions &O) {
                        {"arm", D.Arm},
                        {"interval", std::to_string(D.Interval)}});
 
-  S.Run = [M, Defs, Chars, Sample, Plan, Tel](const ParamSet &,
-                                              size_t Index) {
+  S.Run = [M, Defs, Chars, Sample, Plan, Tel, Pool, Regions](const ParamSet &,
+                                                             size_t Index) {
     const Def &D = (*Defs)[Index];
     MicroRun Run = runMicrobench(D.Instr, Chars, *D.Machine,
-                                 Sample ? &Plan : nullptr, Tel);
+                                 Sample ? &Plan : nullptr, Tel, Pool,
+                                 Regions);
     uint64_t Base = D.OracleBaseline ? M->OracleBase : M->Base;
     RunRecord R;
     R.param("group", D.Group);

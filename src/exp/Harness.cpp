@@ -6,6 +6,7 @@
 
 #include "exp/Harness.h"
 
+#include "ckpt/LibraryPool.h"
 #include "profile/Accuracy.h"
 #include "profile/SamplingPolicy.h"
 #include "support/Rng.h"
@@ -92,10 +93,37 @@ PipelineStats scaleSampledStats(const SampledResult &SR) {
 
 } // namespace
 
+/// One sampled execution, resolving the engine: plain runSampled, or the
+/// checkpoint-library path (exact resume, optionally restricted to \p
+/// CkptRegions representative phases) when a pool is attached. Shared by
+/// runMicrobench and the fig12 application driver so every timed
+/// experiment gets library support through one switch.
+SampledResult runSampledMaybeLibrary(const DecodedProgram &Dec,
+                                     const SamplingPlan &Plan,
+                                     const PipelineConfig &Machine,
+                                     const telemetry::TelemetrySink *Telemetry,
+                                     ckpt::LibraryPool *CkptPool,
+                                     unsigned CkptRegions) {
+  if (!CkptPool)
+    return runSampled(Dec, Plan, Machine, /*Decider=*/nullptr,
+                      /*MaxInsts=*/~0ULL, Telemetry);
+  std::shared_ptr<const ckpt::CheckpointLibrary> Lib =
+      CkptPool->getOrBuild(Dec, Machine.Brr, Plan.PeriodInsts, Telemetry);
+  if (CkptRegions != 0) {
+    ckpt::RegionSelection Sel =
+        ckpt::selectRegions(Lib->periodBbvs(), CkptRegions);
+    if (!Sel.Reps.empty())
+      return runSampledFromLibrary(Dec, *Lib, Plan, Machine, ~0ULL,
+                                   Telemetry, &Sel);
+  }
+  return runSampledFromLibrary(Dec, *Lib, Plan, Machine, ~0ULL, Telemetry);
+}
+
 MicroRun runMicrobench(const InstrumentationConfig &Instr, size_t NumChars,
                        const PipelineConfig &Machine,
                        const SamplingPlan *Plan,
-                       const telemetry::TelemetrySink *Telemetry) {
+                       const telemetry::TelemetrySink *Telemetry,
+                       ckpt::LibraryPool *CkptPool, unsigned CkptRegions) {
   MicrobenchConfig C;
   C.Text.NumChars = NumChars;
   C.Instr = Instr;
@@ -109,9 +137,8 @@ MicroRun runMicrobench(const InstrumentationConfig &Instr, size_t NumChars,
   DecodedProgram Dec(MB.Prog);
 
   if (Plan) {
-    SampledResult SR = runSampled(Dec, *Plan, Machine,
-                                  /*Decider=*/nullptr, /*MaxInsts=*/~0ULL,
-                                  Telemetry);
+    SampledResult SR = runSampledMaybeLibrary(Dec, *Plan, Machine, Telemetry,
+                                              CkptPool, CkptRegions);
     if (SR.NumIntervals != 0) {
       Run.Sampled = true;
       Run.Stats = scaleSampledStats(SR);

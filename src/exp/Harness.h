@@ -29,6 +29,11 @@
 #include <vector>
 
 namespace bor {
+
+namespace ckpt {
+class LibraryPool;
+} // namespace ckpt
+
 namespace exp {
 
 /// Accuracy of the three Figure-9/10 sampling techniques on one benchmark
@@ -71,13 +76,33 @@ struct MicroRun {
 /// same instruction stream but times only the plan's periodic intervals.
 /// \p Telemetry (optional) enables trace spans and detail events in
 /// whichever engine runs.
+///
+/// \p CkptPool (sampled mode only): resume fast-forward spans from the
+/// pool's shared COW checkpoint library for this cell's program instead of
+/// re-executing them; the result is field-identical to plain sampling.
+/// \p CkptRegions additionally restricts measurement to at most that many
+/// BBV-selected representative program phases (a deterministic estimate).
 MicroRun runMicrobench(const InstrumentationConfig &Instr, size_t NumChars,
                        const PipelineConfig &Machine = PipelineConfig(),
                        const SamplingPlan *Plan = nullptr,
-                       const telemetry::TelemetrySink *Telemetry = nullptr);
+                       const telemetry::TelemetrySink *Telemetry = nullptr,
+                       ckpt::LibraryPool *CkptPool = nullptr,
+                       unsigned CkptRegions = 0);
 
 InstrumentationConfig microConfig(SamplingFramework F, DuplicationMode Dup,
                                   uint64_t Interval, bool IncludeBody);
+
+/// One sampled execution of \p Dec: plain runSampled, or — when \p
+/// CkptPool is set — the checkpoint-library path (shared-prefix resume;
+/// with \p CkptRegions != 0, measurement restricted to that many
+/// BBV-selected representative phases). The engine switch every timed
+/// experiment driver routes through.
+SampledResult runSampledMaybeLibrary(const DecodedProgram &Dec,
+                                     const SamplingPlan &Plan,
+                                     const PipelineConfig &Machine,
+                                     const telemetry::TelemetrySink *Telemetry,
+                                     ckpt::LibraryPool *CkptPool,
+                                     unsigned CkptRegions);
 
 /// The character count used by the timing figures. The paper processes
 /// half a million characters; that is also affordable here.

@@ -2,6 +2,7 @@
 
 #include "sample/SampledRunner.h"
 
+#include "ckpt/CheckpointLibrary.h"
 #include "sample/Warmup.h"
 #include "telemetry/Counters.h"
 
@@ -55,14 +56,80 @@ void accumulate(PipelineStats &Sum, const PipelineStats &D) {
   Sum.FullWidthFetchCycles += D.FullWidthFetchCycles;
 }
 
-} // namespace
+/// Folds one interval's delta into the aggregate result.
+void recordInterval(SampledResult &Result, const PipelineStats &D) {
+  accumulate(Result.Detailed, D);
+  if (D.Cycles != 0) {
+    Result.IpcSamples.add(static_cast<double>(D.Insts) /
+                          static_cast<double>(D.Cycles));
+    Result.FlushFracSamples.add(
+        static_cast<double>(D.BackendFlushCycles + D.FrontendFlushCycles) /
+        static_cast<double>(D.Cycles));
+  }
+  Result.BrrRateSamples.add(1000.0 * static_cast<double>(D.BrrExecuted) /
+                            static_cast<double>(D.Insts));
+}
 
-SampledResult bor::runSampled(const DecodedProgram &DP, Machine &M,
-                              const SamplingPlan &Plan,
-                              const PipelineConfig &Config,
-                              BrrDecider &Decider, uint64_t MaxInsts,
-                              uint64_t StartInsts,
-                              const telemetry::TelemetrySink *Telemetry) {
+/// What a library-backed run did beyond plain sampling.
+struct LibraryRunStats {
+  uint64_t Resumes = 0;      ///< fast-forward spans replaced by a resume
+  uint64_t SkippedInsts = 0; ///< instructions those spans did not execute
+};
+
+/// End-of-run counter publication shared by every sampled mode. \p
+/// ExecutedFf is the fast-forward work that actually ran — a library
+/// resume skips it, which is exactly the win the ckpt_perf_smoke gate
+/// measures through this counter.
+void publishSampleCounters(const SampledResult &Result, uint64_t ExecutedFf,
+                           const MicroarchState &Uarch) {
+  if (!telemetry::CounterRegistry::enabled())
+    return;
+  static const telemetry::Counter Runs("sample.runs");
+  static const telemetry::Counter Intervals("sample.intervals");
+  static const telemetry::Counter Total("sample.insts.total");
+  static const telemetry::Counter Warmed("sample.insts.warmed");
+  static const telemetry::Counter Preroll("sample.insts.preroll");
+  static const telemetry::Counter Measured("sample.insts.measured");
+  static const telemetry::Counter Ff("sample.insts.fast_forward");
+  Runs.add();
+  Intervals.add(Result.NumIntervals);
+  Total.add(Result.TotalInsts);
+  Warmed.add(Result.WarmedInsts);
+  Preroll.add(Result.PrerollInsts);
+  Measured.add(Result.MeasuredInsts);
+  Ff.add(ExecutedFf);
+  // The structures the sampler kept warm across intervals (attached
+  // Pipelines deliberately skip them).
+  publishUarchCounters(Uarch);
+}
+
+void publishLibraryCounters(const LibraryRunStats &LS, const Memory &Mem) {
+  if (!telemetry::CounterRegistry::enabled())
+    return;
+  static const telemetry::Counter Resumes("ckpt.resumes");
+  static const telemetry::Counter Skipped("ckpt.insts.skipped");
+  static const telemetry::Counter Shared("ckpt.pages.shared");
+  static const telemetry::Counter Copied("ckpt.pages.copied");
+  Resumes.add(LS.Resumes);
+  Skipped.add(LS.SkippedInsts);
+  Shared.add(Mem.cowCounts().Attached);
+  Copied.add(Mem.cowCounts().Copied);
+}
+
+/// The sampled-execution loop. With \p Lib null this IS runSampled; with a
+/// library attached, fast-forward spans whose end point has a checkpoint
+/// resume instead of executing (and \p LS records the skips). Everything
+/// else — phase order, budgets, marker positions, interval accounting — is
+/// one code path, which is what guarantees the two modes produce
+/// field-identical results.
+SampledResult runSampledLoop(const DecodedProgram &DP, Machine &M,
+                             const SamplingPlan &Plan,
+                             const PipelineConfig &Config,
+                             BrrDecider &Decider, uint64_t MaxInsts,
+                             uint64_t StartInsts,
+                             const telemetry::TelemetrySink *Telemetry,
+                             const ckpt::CheckpointLibrary *Lib,
+                             LibraryRunStats *LS) {
   assert(Plan.valid() && "invalid sampling plan");
   SampledResult Result;
   Result.Plan = Plan;
@@ -151,17 +218,7 @@ SampledResult bor::runSampled(const DecodedProgram &DP, Machine &M,
     if (D.Insts != 0) {
       Result.MeasuredInsts += D.Insts;
       ++Result.NumIntervals;
-      accumulate(Result.Detailed, D);
-      if (D.Cycles != 0) {
-        Result.IpcSamples.add(static_cast<double>(D.Insts) /
-                              static_cast<double>(D.Cycles));
-        Result.FlushFracSamples.add(
-            static_cast<double>(D.BackendFlushCycles +
-                                D.FrontendFlushCycles) /
-            static_cast<double>(D.Cycles));
-      }
-      Result.BrrRateSamples.add(1000.0 * static_cast<double>(D.BrrExecuted) /
-                                static_cast<double>(D.Insts));
+      recordInterval(Result, D);
     }
 
     // --- Fast-forward: functional only, rest of the period. ------------
@@ -171,16 +228,51 @@ SampledResult bor::runSampled(const DecodedProgram &DP, Machine &M,
       FfTimer.start();
       uint64_t FastForward = Plan.PeriodInsts - Plan.WarmupInsts -
                              Plan.DetailedWarmupInsts - Plan.MeasureInsts;
-      // No per-record observer here, so the whole span runs through the
-      // engine's block-chained dispatch loop in one call.
-      FnGlobalOffset = Global - Fn.stats().Insts;
-      uint64_t InstsBefore = Fn.stats().Insts;
-      Fn.run(std::min(FastForward, Budget - Result.TotalInsts),
-             /*RequireHalt=*/false);
-      uint64_t Done = Fn.stats().Insts - InstsBefore;
-      Global += Done;
-      Result.TotalInsts += Done;
-      Result.FastForwardInsts += Done;
+      uint64_t Want =
+          std::min(FastForward, Budget - Result.TotalInsts);
+
+      // Library mode: both engines honor their budgets exactly, so the
+      // span's end point Global + Want lands on a period boundary — where
+      // the library captured. Resuming that checkpoint (and splicing the
+      // markers the span would have executed) is bit-identical to
+      // executing, minus the execution. A halt inside the span maps to
+      // the library's final checkpoint; anything else (library truncated
+      // by its build budget, MaxInsts mid-period) executes as usual.
+      const ckpt::LibraryCheckpoint *C = nullptr;
+      if (Lib && Want != 0 && !M.halted()) {
+        C = Lib->checkpointAt(Global + Want);
+        if (!C) {
+          const ckpt::LibraryCheckpoint *F = Lib->finalCheckpoint();
+          if (F && F->Halted && F->InstsRetired > Global &&
+              F->InstsRetired <= Global + Want)
+            C = F;
+        }
+      }
+      if (C) {
+        for (const ckpt::LibraryMarker &LM :
+             Lib->markersIn(Global, C->InstsRetired))
+          Result.Markers.push_back({LM.Id, LM.GlobalInst});
+        std::string Error;
+        bool Ok = Lib->resume(*C, M, Decider, Error);
+        assert(Ok && "library resume failed after up-front kind check");
+        (void)Ok;
+        uint64_t Skipped = C->InstsRetired - Global;
+        Global += Skipped;
+        Result.TotalInsts += Skipped;
+        Result.FastForwardInsts += Skipped;
+        LS->SkippedInsts += Skipped;
+        ++LS->Resumes;
+      } else {
+        // No per-record observer here, so the whole span runs through the
+        // engine's block-chained dispatch loop in one call.
+        FnGlobalOffset = Global - Fn.stats().Insts;
+        uint64_t InstsBefore = Fn.stats().Insts;
+        Fn.run(Want, /*RequireHalt=*/false);
+        uint64_t Done = Fn.stats().Insts - InstsBefore;
+        Global += Done;
+        Result.TotalInsts += Done;
+        Result.FastForwardInsts += Done;
+      }
       FfTimer.stop();
     }
     ++Period;
@@ -191,26 +283,110 @@ SampledResult bor::runSampled(const DecodedProgram &DP, Machine &M,
   Result.WarmMs = WarmTimer.totalMs();
   Result.MeasureMs = MeasureTimer.totalMs();
 
-  if (telemetry::CounterRegistry::enabled()) {
-    static const telemetry::Counter Runs("sample.runs");
-    static const telemetry::Counter Intervals("sample.intervals");
-    static const telemetry::Counter Total("sample.insts.total");
-    static const telemetry::Counter Warmed("sample.insts.warmed");
-    static const telemetry::Counter Preroll("sample.insts.preroll");
-    static const telemetry::Counter Measured("sample.insts.measured");
-    static const telemetry::Counter Ff("sample.insts.fast_forward");
-    Runs.add();
-    Intervals.add(Result.NumIntervals);
-    Total.add(Result.TotalInsts);
-    Warmed.add(Result.WarmedInsts);
-    Preroll.add(Result.PrerollInsts);
-    Measured.add(Result.MeasuredInsts);
-    Ff.add(Result.FastForwardInsts);
-    // The structures the sampler kept warm across intervals (attached
-    // Pipelines deliberately skip them).
-    publishUarchCounters(Uarch);
-  }
+  publishSampleCounters(
+      Result, Result.FastForwardInsts - (LS ? LS->SkippedInsts : 0), Uarch);
   return Result;
+}
+
+/// Region mode: measure only each representative period, weight its
+/// interval by the periods it stands for. Deterministic, but an estimate
+/// (see runSampledFromLibrary's contract).
+SampledResult runSampledRegions(const DecodedProgram &DP,
+                                const ckpt::CheckpointLibrary &Lib,
+                                const ckpt::RegionSelection &Regions,
+                                Machine &M, const SamplingPlan &Plan,
+                                const PipelineConfig &Config,
+                                BrrDecider &Decider,
+                                const telemetry::TelemetrySink *Telemetry,
+                                LibraryRunStats &LS) {
+  SampledResult Result;
+  Result.Plan = Plan;
+
+  telemetry::TraceWriter *TW = Telemetry ? Telemetry->Trace : nullptr;
+  telemetry::PhaseTimer WarmTimer, MeasureTimer;
+
+  Interpreter Fn(DP, M, Decider, /*LoadImage=*/false);
+  MicroarchState Uarch(Config);
+  FunctionalWarmer Warmer(Uarch, Config);
+
+  // The library recorded every marker with its exact global position
+  // during the build pass; no marker hook is installed, so the measured
+  // snippets do not record duplicates.
+  for (const ckpt::LibraryMarker &LM : Lib.markers())
+    Result.Markers.push_back({LM.Id, LM.GlobalInst});
+
+  uint64_t ExecutedMeasured = 0;
+  for (uint32_t Rep : Regions.Reps) {
+    const ckpt::LibraryCheckpoint *C =
+        Lib.checkpointAt(static_cast<uint64_t>(Rep) * Lib.periodInsts());
+    if (!C || C->Halted)
+      continue; // defensive: selections derive from the library's periods
+    std::string Error;
+    bool Ok = Lib.resume(*C, M, Decider, Error);
+    assert(Ok && "library resume failed after up-front kind check");
+    (void)Ok;
+    ++LS.Resumes;
+
+    telemetry::TraceSpan Span(
+        TW, "region", "sample",
+        {telemetry::TraceArg::num("period", static_cast<uint64_t>(Rep))});
+    WarmTimer.start();
+    for (uint64_t I = 0; I != Plan.WarmupInsts && !M.halted(); ++I) {
+      Warmer.observe(Fn.step());
+      ++Result.WarmedInsts;
+    }
+    WarmTimer.stop();
+    if (M.halted())
+      continue; // the final (partial) period may end inside the warmup
+
+    MeasureTimer.start();
+    Pipeline Pipe(DP, M, Uarch, Config, Decider);
+    Pipe.setTelemetry(Telemetry);
+    Pipe.run(Plan.DetailedWarmupInsts, /*RequireHalt=*/false);
+    PipelineStats Before = Pipe.stats();
+    RunResult R = Pipe.run(Plan.DetailedWarmupInsts + Plan.MeasureInsts,
+                           /*RequireHalt=*/false);
+    MeasureTimer.stop();
+    Result.PrerollInsts += Before.Insts;
+
+    PipelineStats D = statsDelta(R.Stats, Before);
+    if (D.Insts == 0)
+      continue;
+    ++Result.NumIntervals;
+    ExecutedMeasured += D.Insts;
+    uint64_t Weight = Regions.weightOf(Rep);
+    Result.MeasuredInsts += Weight * D.Insts;
+    for (uint64_t W = 0; W != Weight; ++W)
+      recordInterval(Result, D);
+  }
+
+  // The library's stream is the run: totals come from its record, and
+  // everything the representatives did not execute counts as skipped
+  // fast-forward.
+  Result.TotalInsts = Lib.totalInsts();
+  Result.Halted = Lib.streamHalted();
+  uint64_t Executed =
+      Result.WarmedInsts + Result.PrerollInsts + ExecutedMeasured;
+  Result.FastForwardInsts =
+      Result.TotalInsts > Executed ? Result.TotalInsts - Executed : 0;
+  LS.SkippedInsts += Result.FastForwardInsts;
+  Result.WarmMs = WarmTimer.totalMs();
+  Result.MeasureMs = MeasureTimer.totalMs();
+
+  publishSampleCounters(Result, /*ExecutedFf=*/0, Uarch);
+  return Result;
+}
+
+} // namespace
+
+SampledResult bor::runSampled(const DecodedProgram &DP, Machine &M,
+                              const SamplingPlan &Plan,
+                              const PipelineConfig &Config,
+                              BrrDecider &Decider, uint64_t MaxInsts,
+                              uint64_t StartInsts,
+                              const telemetry::TelemetrySink *Telemetry) {
+  return runSampledLoop(DP, M, Plan, Config, Decider, MaxInsts, StartInsts,
+                        Telemetry, /*Lib=*/nullptr, /*LS=*/nullptr);
 }
 
 SampledResult bor::runSampled(const DecodedProgram &DP,
@@ -246,4 +422,31 @@ SampledResult bor::runSampled(const Program &P, Machine &M,
   DecodedProgram DP(P);
   return runSampled(DP, M, Plan, Config, Decider, MaxInsts, StartInsts,
                     Telemetry);
+}
+
+SampledResult bor::runSampledFromLibrary(
+    const DecodedProgram &DP, const ckpt::CheckpointLibrary &Lib,
+    const SamplingPlan &Plan, const PipelineConfig &Config,
+    uint64_t MaxInsts, const telemetry::TelemetrySink *Telemetry,
+    const ckpt::RegionSelection *Regions) {
+  assert(Lib.periodInsts() == Plan.PeriodInsts &&
+         "library capture period must match the sampling plan");
+  Machine M;
+  BrrUnitDecider Decider(Config.Brr);
+  std::string Error;
+  if (Lib.numCheckpoints() == 0 ||
+      !Lib.resume(Lib.front(), M, Decider, Error)) {
+    // Unusable library (wrong decider kind, empty): run the stream
+    // plainly — correctness over speed.
+    return runSampled(DP, Plan, Config, nullptr, MaxInsts, Telemetry);
+  }
+
+  LibraryRunStats LS;
+  SampledResult Result =
+      Regions ? runSampledRegions(DP, Lib, *Regions, M, Plan, Config,
+                                  Decider, Telemetry, LS)
+              : runSampledLoop(DP, M, Plan, Config, Decider, MaxInsts,
+                               /*StartInsts=*/0, Telemetry, &Lib, &LS);
+  publishLibraryCounters(LS, M.memory());
+  return Result;
 }

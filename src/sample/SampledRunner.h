@@ -33,6 +33,11 @@
 
 namespace bor {
 
+namespace ckpt {
+class CheckpointLibrary;
+struct RegionSelection;
+} // namespace ckpt
+
 /// A marker observed anywhere in a sampled run, positioned by its global
 /// committed-instruction index (1-based, counting every instruction in the
 /// stream regardless of which phase executed it). Sampled runs estimate
@@ -133,6 +138,39 @@ SampledResult runSampled(const Program &P, Machine &M,
                          const PipelineConfig &Config, BrrDecider &Decider,
                          uint64_t MaxInsts = ~0ULL, uint64_t StartInsts = 0,
                          const telemetry::TelemetrySink *Telemetry = nullptr);
+
+/// Library-backed sampled run: identical phase structure to runSampled,
+/// but every fast-forward span whose end point has a checkpoint in \p Lib
+/// is replaced by a COW resume — the machine re-attaches the library's
+/// shared pages instead of re-executing the prefix, and the markers the
+/// span would have observed are spliced from the library's record. The
+/// library must have been built for the same program, the same
+/// PipelineConfig::Brr decider configuration and Plan.PeriodInsts as its
+/// capture period; spans without a matching checkpoint (library truncated
+/// by its build budget, MaxInsts mid-period) execute functionally, so the
+/// result is ALWAYS field-identical to the plain runSampled result except
+/// for the wall-clock phase timers.
+///
+/// With \p Regions set (selectRegions over Lib.periodBbvs()), only each
+/// representative period is warmed and measured, and its interval stats
+/// are weighted by the number of periods it represents: a deterministic
+/// estimate — no longer field-identical to plain sampling — that cuts
+/// execution to the distinct program phases. Markers come verbatim from
+/// the library (exact); MaxInsts is ignored (the library's stream bounds
+/// the run).
+///
+/// Publishes ckpt.resumes, ckpt.insts.skipped and the
+/// ckpt.pages.{shared,copied} COW totals alongside the usual sample.*
+/// counters; sample.insts.fast_forward counts only instructions actually
+/// executed, so the plain-vs-library ratio of that counter is the
+/// measured redundancy win.
+SampledResult
+runSampledFromLibrary(const DecodedProgram &DP,
+                      const ckpt::CheckpointLibrary &Lib,
+                      const SamplingPlan &Plan, const PipelineConfig &Config,
+                      uint64_t MaxInsts = ~0ULL,
+                      const telemetry::TelemetrySink *Telemetry = nullptr,
+                      const ckpt::RegionSelection *Regions = nullptr);
 
 } // namespace bor
 

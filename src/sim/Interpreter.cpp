@@ -225,6 +225,8 @@ ExecRecord Interpreter::step() {
     break;
   }
 
+  if (D.endsBlock())
+    countBlock(Index);
   Mach.setPc(R.NextPc);
   ++Stats.Insts;
   return R;
@@ -300,6 +302,7 @@ void Interpreter::runChained(uint64_t MaxSteps) {
       BOR_NEXT();
     }
     BOR_CASE(Halt) {
+      countBlock(Idx);
       Mach.setHalted();
       Mach.setPc(Program::pcForIndex(Idx));
       ++Executed;
@@ -464,6 +467,7 @@ void Interpreter::runChained(uint64_t MaxSteps) {
       BOR_NEXT();
     }
     BOR_CASE(Beq) {
+      countBlock(Idx);
       bool Taken = Regs[D->Rs1] == Regs[D->Rs2];
       ++NCond;
       ++NBlocks;
@@ -477,6 +481,7 @@ void Interpreter::runChained(uint64_t MaxSteps) {
       BOR_NEXT();
     }
     BOR_CASE(Bne) {
+      countBlock(Idx);
       bool Taken = Regs[D->Rs1] != Regs[D->Rs2];
       ++NCond;
       ++NBlocks;
@@ -490,6 +495,7 @@ void Interpreter::runChained(uint64_t MaxSteps) {
       BOR_NEXT();
     }
     BOR_CASE(Blt) {
+      countBlock(Idx);
       bool Taken = static_cast<int64_t>(Regs[D->Rs1]) <
                    static_cast<int64_t>(Regs[D->Rs2]);
       ++NCond;
@@ -504,6 +510,7 @@ void Interpreter::runChained(uint64_t MaxSteps) {
       BOR_NEXT();
     }
     BOR_CASE(Bge) {
+      countBlock(Idx);
       bool Taken = static_cast<int64_t>(Regs[D->Rs1]) >=
                    static_cast<int64_t>(Regs[D->Rs2]);
       ++NCond;
@@ -518,12 +525,14 @@ void Interpreter::runChained(uint64_t MaxSteps) {
       BOR_NEXT();
     }
     BOR_CASE(Jmp) {
+      countBlock(Idx);
       ++NBlocks;
       ++Executed;
       Idx = static_cast<size_t>(D->Target / 4);
       BOR_NEXT();
     }
     BOR_CASE(Jal) {
+      countBlock(Idx);
       Regs[D->Rd] = Program::pcForIndex(Idx) + 4;
       Regs[RegZero] = 0;
       ++NBlocks;
@@ -532,6 +541,7 @@ void Interpreter::runChained(uint64_t MaxSteps) {
       BOR_NEXT();
     }
     BOR_CASE(Jalr) {
+      countBlock(Idx);
       uint64_t Target = Regs[D->Rs1];
       Regs[D->Rd] = Program::pcForIndex(Idx) + 4;
       Regs[RegZero] = 0;
@@ -547,6 +557,7 @@ void Interpreter::runChained(uint64_t MaxSteps) {
       goto chainExit;
     }
     BOR_CASE(Brr) {
+      countBlock(Idx);
       ++NBrr;
       bool Taken = Decider.decide(FreqCode(D->Freq));
       ++NBlocks;
@@ -560,6 +571,7 @@ void Interpreter::runChained(uint64_t MaxSteps) {
       BOR_NEXT();
     }
     BOR_CASE(Marker) {
+      countBlock(Idx);
       ++NBlocks;
       if (MarkerHook) {
         // Hooks observe the same state step() would publish: the marker's

@@ -19,20 +19,33 @@ BrrUnitDecider::~BrrUnitDecider() {
 }
 
 Memory::Page &Memory::pageFor(uint64_t Addr) {
-  uint64_t Base = Addr / PageBytes;
-  std::unique_ptr<Page> &Slot = Pages[Base];
-  if (!Slot) {
-    Slot = std::make_unique<Page>();
-    Slot->fill(0);
+  Slot &S = Pages[Addr / PageBytes];
+  if (S.Write)
+    return *S.Write;
+  return makeWritable(S);
+}
+
+/// Slow path of the store pipeline: privatizes a COW-shared page (copying
+/// its bytes and dropping the share) or allocates a fresh zero page.
+Memory::Page &Memory::makeWritable(Slot &S) {
+  S.Owned = std::make_unique<Page>();
+  if (S.Shared) {
+    *S.Owned = *S.Shared;
+    S.Shared.reset();
+    ++Cow.Copied;
+  } else {
+    S.Owned->fill(0);
   }
-  return *Slot;
+  S.Write = S.Owned.get();
+  S.Read = S.Owned.get();
+  return *S.Owned;
 }
 
 const Memory::Page *Memory::pageForRead(uint64_t Addr) const {
   auto It = Pages.find(Addr / PageBytes);
   if (It == Pages.end())
     return nullptr;
-  return It->second.get();
+  return It->second.Read;
 }
 
 uint8_t Memory::readU8(uint64_t Addr) const {
@@ -75,17 +88,38 @@ void Memory::forEachPage(
     Bases.push_back(KV.first);
   std::sort(Bases.begin(), Bases.end());
   for (uint64_t Base : Bases)
-    Fn(Base * PageBytes, Pages.find(Base)->second->data());
+    Fn(Base * PageBytes, Pages.find(Base)->second.Read->data());
 }
 
 void Memory::restorePage(uint64_t Base, const uint8_t *Data) {
   assert(Base % PageBytes == 0 && "page base must be page-aligned");
-  std::memcpy(pageFor(Base).data(), Data, PageBytes);
+  // Whole-page overwrite: bypass the COW copy (its bytes would be
+  // clobbered immediately) by installing a fresh owned page directly.
+  Slot &S = Pages[Base / PageBytes];
+  if (!S.Owned) {
+    S.Owned = std::make_unique<Page>();
+    S.Shared.reset();
+    S.Write = S.Owned.get();
+    S.Read = S.Owned.get();
+  }
+  std::memcpy(S.Owned->data(), Data, PageBytes);
+}
+
+void Memory::attachShared(uint64_t Base, PageRef P) {
+  assert(Base % PageBytes == 0 && "page base must be page-aligned");
+  assert(P && "attaching a null shared page");
+  Slot &S = Pages[Base / PageBytes];
+  S.Owned.reset();
+  S.Write = nullptr;
+  S.Read = P.get();
+  S.Shared = std::move(P);
+  ++Cow.Attached;
 }
 
 Machine::Machine() { Regs.fill(0); }
 
 void Machine::loadProgram(const Program &P) {
+  Mem.reset();
   const std::vector<uint8_t> &Data = P.data();
   for (size_t I = 0; I != Data.size(); ++I)
     if (Data[I] != 0)

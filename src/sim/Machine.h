@@ -32,8 +32,21 @@ namespace bor {
 
 /// Sparse, paged simulated memory. 64-bit accesses must be 8-byte aligned
 /// (all generated code allocates data with that alignment).
+///
+/// Pages come in two flavors: privately owned (the ordinary case) and
+/// copy-on-write shares of refcounted immutable pages (attachShared). A
+/// shared page costs nothing to map and nothing to read; the first write
+/// to it copies the 4 KiB into a private page, so concurrent Machines
+/// resumed from the same checkpoint-library snapshot (src/ckpt/) alias
+/// every untouched page while writes stay strictly per-machine.
 class Memory {
 public:
+  /// One page of simulated memory; the unit shared between a checkpoint
+  /// library's PageStore and attached Machines.
+  using Page = std::array<uint8_t, 4096>;
+  /// Handle to an immutable shared page (the COW attach currency).
+  using PageRef = std::shared_ptr<const Page>;
+
   uint8_t readU8(uint64_t Addr) const;
   void writeU8(uint64_t Addr, uint8_t Value);
   uint64_t readU64(uint64_t Addr) const;
@@ -56,17 +69,45 @@ public:
   /// with \p Data (pageBytes() bytes). Used by checkpoint restore.
   void restorePage(uint64_t Base, const uint8_t *Data);
 
-  /// Drops every page, returning memory to the all-zero state.
+  /// Maps \p Base (page-aligned) to the immutable page \p P, read-only and
+  /// copy-on-first-write. Replaces whatever was mapped there. The share
+  /// keeps \p P alive, so the providing store may be destroyed first.
+  void attachShared(uint64_t Base, PageRef P);
+
+  /// Copy-on-write accounting. Cumulative over the Memory's lifetime —
+  /// reset() drops the pages but keeps the counts, so a sampled run that
+  /// re-attaches checkpoints every period still reports its totals.
+  struct CowCounts {
+    uint64_t Attached = 0; ///< pages mapped via attachShared
+    uint64_t Copied = 0;   ///< shared pages privatized by a write
+  };
+  const CowCounts &cowCounts() const { return Cow; }
+
+  /// Drops every page — owned and shared alike — returning memory to the
+  /// all-zero state. Restoring a checkpoint over a dirty machine relies on
+  /// this to shed stale private copies.
   void reset() { Pages.clear(); }
 
 private:
   static constexpr uint64_t PageBytes = 4096;
-  using Page = std::array<uint8_t, PageBytes>;
+  static_assert(sizeof(Page) == PageBytes, "page type matches granularity");
+
+  /// One page mapping. Read is always valid once populated (points into
+  /// Owned or Shared); Write is null while the page is COW-shared, which
+  /// is what routes the first store through makeWritable.
+  struct Slot {
+    const Page *Read = nullptr;
+    Page *Write = nullptr;
+    std::unique_ptr<Page> Owned;
+    PageRef Shared;
+  };
 
   Page &pageFor(uint64_t Addr);
+  Page &makeWritable(Slot &S);
   const Page *pageForRead(uint64_t Addr) const;
 
-  std::unordered_map<uint64_t, std::unique_ptr<Page>> Pages;
+  std::unordered_map<uint64_t, Slot> Pages;
+  CowCounts Cow;
 };
 
 /// Resolves branch-on-random outcomes for an executing program.
@@ -159,7 +200,8 @@ class Machine {
 public:
   Machine();
 
-  /// Copies \p P's data segment into memory and resets PC to 0.
+  /// Resets memory (dropping any stale pages from a previous program or
+  /// checkpoint), copies \p P's data segment in, and resets PC to 0.
   void loadProgram(const Program &P);
 
   uint64_t readReg(unsigned R) const {

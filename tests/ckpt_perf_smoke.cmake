@@ -1,0 +1,142 @@
+# Checkpoint-library smoke check on bor-bench:
+#
+#   1. A library-backed sampled fig13 sweep produces byte-identical JSON to
+#      the plain sampled sweep once the wall-clock phase timers (ff_ms /
+#      warm_ms / measure_ms — the only honest difference) are stripped.
+#   2. The library actually skips re-executed prefix instructions:
+#      sample.insts.fast_forward counts only *executed* fast-forward, so
+#      the plain run's count must be >= 5x the library run's, with
+#      ckpt.insts.skipped / ckpt.resumes / ckpt.pages.shared proving the
+#      COW resume path carried the difference.
+#   3. A second run against the same --ckpt-dir loads every library from
+#      disk (ckpt.libraries.loaded, no build instructions) and reproduces
+#      the same stripped JSON — the cross-invocation reuse win.
+#
+# Counter identities gate; wall-clock is reported but never gates (CI
+# machines vary too much for a timing assertion to be meaningful).
+#
+# Invoked by ctest with:
+#   -DBENCH=<bor-bench> -DWORKDIR=<scratch dir>
+
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR}/libs)
+
+set(COMMON --experiment fig13 --scale 100 --sample --sample-period 50000
+           --threads 2 --no-table)
+
+# run(<tag> [extra bor-bench flags...]): one sweep writing ${tag}.json and
+# ${tag}_counters.txt into the workdir.
+function(run tag)
+  string(TIMESTAMP T0 %s)
+  execute_process(COMMAND ${BENCH} ${COMMON}
+                          --json ${WORKDIR}/${tag}.json
+                          --counters-out ${WORKDIR}/${tag}_counters.txt
+                          ${ARGN}
+                  RESULT_VARIABLE RC
+                  OUTPUT_VARIABLE OUT
+                  ERROR_VARIABLE ERR)
+  string(TIMESTAMP T1 %s)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "bor-bench ${tag} run failed (${RC}):\n${OUT}\n${ERR}")
+  endif()
+  math(EXPR ELAPSED "${T1} - ${T0}")
+  message(STATUS "${tag} sweep took ~${ELAPSED}s (informational only)")
+endfunction()
+
+# stripped(<out-var> <tag>): ${tag}.json with the wall-clock phase timers
+# removed — everything else must be byte-identical across engines.
+function(stripped out tag)
+  file(READ ${WORKDIR}/${tag}.json TEXT)
+  string(REGEX REPLACE "\"(ff|warm|measure)_ms\":[^,}]*" "" TEXT "${TEXT}")
+  set(${out} "${TEXT}" PARENT_SCOPE)
+endfunction()
+
+# counter(<out-var> <tag> <name>): extract one "name   value" counter line;
+# fails the script when the counter is absent from the snapshot.
+function(counter out tag name)
+  file(READ ${WORKDIR}/${tag}_counters.txt TEXT)
+  string(REGEX MATCH "${name} +([0-9]+)" _ "${TEXT}")
+  if("${CMAKE_MATCH_1}" STREQUAL "")
+    message(FATAL_ERROR "counter '${name}' missing from ${tag}_counters.txt")
+  endif()
+  set(${out} ${CMAKE_MATCH_1} PARENT_SCOPE)
+endfunction()
+
+# counter_or_zero(<out-var> <tag> <name>): as counter(), but an absent
+# counter reads as 0 (counters register on first use, so a run that never
+# builds a library has no ckpt.build.insts line at all).
+function(counter_or_zero out tag name)
+  file(READ ${WORKDIR}/${tag}_counters.txt TEXT)
+  string(REGEX MATCH "${name} +([0-9]+)" _ "${TEXT}")
+  if("${CMAKE_MATCH_1}" STREQUAL "")
+    set(${out} 0 PARENT_SCOPE)
+  else()
+    set(${out} ${CMAKE_MATCH_1} PARENT_SCOPE)
+  endif()
+endfunction()
+
+run(plain)
+run(lib --ckpt-dir ${WORKDIR}/libs)
+
+# 1. Byte-identical experiment output.
+stripped(PLAIN_JSON plain)
+stripped(LIB_JSON lib)
+if(NOT PLAIN_JSON STREQUAL LIB_JSON)
+  message(FATAL_ERROR
+          "library-backed sweep JSON differs from plain sampling "
+          "(beyond the ms phase timers); diff ${WORKDIR}/plain.json "
+          "against ${WORKDIR}/lib.json")
+endif()
+
+# 2. The library run skipped >= 5x of the plain run's executed
+#    fast-forward instructions, via real COW resumes.
+counter(FF_PLAIN plain "sample\\.insts\\.fast_forward")
+counter(FF_LIB lib "sample\\.insts\\.fast_forward")
+counter(SKIPPED lib "ckpt\\.insts\\.skipped")
+counter(RESUMES lib "ckpt\\.resumes")
+counter(SHARED lib "ckpt\\.pages\\.shared")
+counter(BUILT lib "ckpt\\.libraries\\.built")
+
+if(FF_PLAIN LESS 1)
+  message(FATAL_ERROR "plain run fast-forwarded no instructions")
+endif()
+math(EXPR NEEDED "5 * ${FF_LIB}")
+if(FF_PLAIN LESS NEEDED)
+  message(FATAL_ERROR
+          "library fast-forward win below 5x: plain executed ${FF_PLAIN} "
+          "ff insts, library still executed ${FF_LIB}")
+endif()
+if(SKIPPED LESS 1 OR RESUMES LESS 1)
+  message(FATAL_ERROR
+          "COW resume path idle: skipped=${SKIPPED} resumes=${RESUMES}")
+endif()
+if(SHARED LESS 1)
+  message(FATAL_ERROR "no pages COW-shared (ckpt.pages.shared = 0)")
+endif()
+if(BUILT LESS 1)
+  message(FATAL_ERROR "no libraries built (ckpt.libraries.built = 0)")
+endif()
+
+# 3. Warm rerun: libraries load from disk, nothing is rebuilt, output is
+#    unchanged.
+run(warm --ckpt-dir ${WORKDIR}/libs)
+counter(LOADED warm "ckpt\\.libraries\\.loaded")
+counter_or_zero(WARM_BUILD_INSTS warm "ckpt\\.build\\.insts")
+if(LOADED LESS 1)
+  message(FATAL_ERROR "warm rerun loaded no libraries from the cache dir")
+endif()
+if(WARM_BUILD_INSTS GREATER 0)
+  message(FATAL_ERROR
+          "warm rerun re-executed ${WARM_BUILD_INSTS} build instructions "
+          "despite the populated cache dir")
+endif()
+stripped(WARM_JSON warm)
+if(NOT PLAIN_JSON STREQUAL WARM_JSON)
+  message(FATAL_ERROR "warm library rerun JSON differs from plain sampling")
+endif()
+
+message(STATUS "ckpt perf smoke test passed "
+               "(plain ff ${FF_PLAIN} -> library ff ${FF_LIB}, "
+               "${SKIPPED} insts resumed over ${RESUMES} resumes, "
+               "${LOADED} libraries reloaded warm)")

@@ -26,11 +26,21 @@
 //                          instructions (default 0 = at the start)
 //   --resume               treat the input as a checkpoint image: restore
 //                          its state and continue (functional or --timing)
+//   --ckpt-dir=DIR         functional mode, lfsr decider: build (or load
+//                          from DIR) a COW checkpoint library for the
+//                          program — one checkpoint every --ckpt-every
+//                          insts — persisting it in DIR as a BORB v2 image
+//                          for later bor-run/bor-bench invocations
+//   --ckpt-every=N         library capture period (default 100000)
+//   --resume-at=N          with --ckpt-dir: resume from the nearest
+//                          library checkpoint at or before inst N, execute
+//                          the gap, and continue to --max-insts
 //
 // Exit status: 0 if the program halted, 1 otherwise.
 //
 //===----------------------------------------------------------------------===//
 
+#include "ckpt/LibraryPool.h"
 #include "isa/Disasm.h"
 #include "isa/Serialize.h"
 #include "sample/Checkpoint.h"
@@ -64,6 +74,10 @@ struct Options {
   std::string CheckpointPath;
   uint64_t CheckpointAt = 0;
   bool Resume = false;
+  std::string CkptDir;
+  uint64_t CkptEvery = 100000;
+  uint64_t ResumeAt = 0;
+  bool HasResumeAt = false;
 };
 
 bool parseArgs(int Argc, char **Argv, Options &Opt) {
@@ -91,6 +105,13 @@ bool parseArgs(int Argc, char **Argv, Options &Opt) {
       Opt.CheckpointAt = std::strtoull(A + 16, nullptr, 0);
     } else if (std::strcmp(A, "--resume") == 0) {
       Opt.Resume = true;
+    } else if (std::strncmp(A, "--ckpt-dir=", 11) == 0) {
+      Opt.CkptDir = A + 11;
+    } else if (std::strncmp(A, "--ckpt-every=", 13) == 0) {
+      Opt.CkptEvery = std::strtoull(A + 13, nullptr, 0);
+    } else if (std::strncmp(A, "--resume-at=", 12) == 0) {
+      Opt.ResumeAt = std::strtoull(A + 12, nullptr, 0);
+      Opt.HasResumeAt = true;
     } else if (A[0] == '-') {
       return false;
     } else if (!Opt.Input) {
@@ -238,6 +259,85 @@ int resumeMain(const Options &Opt) {
   return Rc;
 }
 
+/// --ckpt-dir: build (or load from the cache directory) the program's COW
+/// checkpoint library, then optionally resume from it. Functional mode,
+/// lfsr decider only — the library records the decider stream.
+int ckptLibraryMain(const Options &Opt, const LoadResult &R) {
+  if (Opt.Timing) {
+    std::fprintf(stderr,
+                 "bor-run: --ckpt-dir builds functional checkpoints; drop "
+                 "--timing\n");
+    return 2;
+  }
+  if (Opt.Decider != "lfsr") {
+    std::fprintf(stderr,
+                 "bor-run: checkpoint libraries record the lfsr decider "
+                 "stream; --decider=%s cannot resume from one\n",
+                 Opt.Decider.c_str());
+    return 2;
+  }
+  if (Opt.CkptEvery == 0) {
+    std::fprintf(stderr, "bor-run: --ckpt-every needs a whole number >= 1\n");
+    return 2;
+  }
+
+  ToolTelemetry Tel(Opt);
+  BrrUnitConfig Cfg;
+  Cfg.Seed = Opt.Seed;
+  DecodedProgram Dec(R.Prog);
+  int Rc = 0;
+  {
+    ckpt::LibraryPool Pool(Opt.CkptDir);
+    std::shared_ptr<const ckpt::CheckpointLibrary> Lib =
+        Pool.getOrBuild(Dec, Cfg, Opt.CkptEvery, Tel.sink());
+    std::printf("checkpoint library %s: %zu checkpoints every %" PRIu64
+                " insts, %" PRIu64 " insts total, %zu distinct pages\n",
+                Pool.cachePathFor(
+                        ckpt::LibraryPool::keyFor(R.Prog, Cfg, Opt.CkptEvery))
+                    .c_str(),
+                Lib->numCheckpoints(), Lib->periodInsts(), Lib->totalInsts(),
+                Lib->numStoredPages());
+
+    if (Opt.HasResumeAt) {
+      const ckpt::LibraryCheckpoint *C =
+          Lib->nearestAtOrBefore(Opt.ResumeAt);
+      if (!C) {
+        std::fprintf(stderr,
+                     "bor-run: no library checkpoint at or before inst "
+                     "%" PRIu64 "\n",
+                     Opt.ResumeAt);
+        return 1;
+      }
+      Machine M;
+      BrrUnitDecider Decider(Cfg);
+      std::string Err;
+      if (!Lib->resume(*C, M, Decider, Err)) {
+        std::fprintf(stderr, "bor-run: %s\n", Err.c_str());
+        return 1;
+      }
+      std::printf("resumed at inst %" PRIu64 " (nearest checkpoint at or "
+                  "before %" PRIu64 "), pc %" PRIu64 "\n",
+                  C->InstsRetired, Opt.ResumeAt, M.pc());
+      {
+        Interpreter Interp(Dec, M, Decider, /*LoadImage=*/false);
+        telemetry::TraceSpan Span(Tel.Trace.get(), "resume", "bor-run");
+        if (Opt.ResumeAt > C->InstsRetired)
+          Interp.run(Opt.ResumeAt - C->InstsRetired, /*RequireHalt=*/false);
+        uint64_t Global = C->InstsRetired + Interp.stats().Insts;
+        uint64_t Budget = Opt.MaxInsts > Global ? Opt.MaxInsts - Global : 0;
+        RunStats S = Interp.run(Budget, /*RequireHalt=*/false);
+        Span.close();
+        printFunctionalStats(S);
+        Rc = S.Halted ? 0 : 1;
+      }
+      dumpSymbols(Opt, R.Prog, M);
+    }
+  }
+  if (!Tel.finish(Opt))
+    return 1;
+  return Rc;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -249,7 +349,12 @@ int main(int Argc, char **Argv) {
                  "[--max-insts=N] [--print-insts=N] [--dump-sym=NAME]...\n"
                  "       [--trace=PATH] [--counters] "
                  "[--checkpoint=PATH [--checkpoint-at=N]] "
-                 "[--resume]\n");
+                 "[--resume]\n"
+                 "       [--ckpt-dir=DIR [--ckpt-every=N] [--resume-at=N]]\n");
+    return 2;
+  }
+  if (Opt.HasResumeAt && Opt.CkptDir.empty()) {
+    std::fprintf(stderr, "bor-run: --resume-at needs --ckpt-dir\n");
     return 2;
   }
   if (Opt.Resume)
@@ -260,6 +365,9 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "bor-run: %s\n", R.Error.c_str());
     return 1;
   }
+
+  if (!Opt.CkptDir.empty())
+    return ckptLibraryMain(Opt, R);
 
   std::unique_ptr<BrrDecider> Decider = makeDecider(Opt);
   if (!Decider) {
