@@ -8,10 +8,14 @@
 
 #include "ckpt/LibraryPool.h"
 #include "exp/Experiments.h"
+#include "exp/Manifest.h"
 #include "exp/Runner.h"
 #include "exp/ThreadPool.h"
+#include "support/Path.h"
+#include "telemetry/CounterInfo.h"
 #include "telemetry/Counters.h"
 #include "telemetry/Telemetry.h"
+#include "telemetry/TimeSeries.h"
 
 #include <cerrno>
 #include <cstdio>
@@ -46,6 +50,11 @@ struct DriverOptions {
   bool CkptLibrary = false;   ///< --ckpt-library: COW-library fast-forward
   std::string CkptDir;        ///< --ckpt-dir: persist libraries here
   unsigned CkptRegions = 0;   ///< --ckpt-regions: BBV representative phases
+  std::string RunDir;         ///< --run-dir: write a self-describing manifest
+  std::string Progress;       ///< --progress: auto|off|text|jsonl
+  bool ListCounters = false;  ///< --list-counters: print the description table
+  bool UpdateBaselines = false; ///< --update-baselines: refresh bench/ JSON
+  std::string BaselineDir = "bench"; ///< --baseline-dir: where baselines live
 };
 
 /// Accepts both "--flag value" and "--flag=value". Returns nullptr when
@@ -199,23 +208,100 @@ bool parseCommon(const char *A, char **Argv, int Argc, int &I,
     Opt.CountersOut = V;
     return true;
   }
+  if (const char *V = flagValue("--run-dir", Argv, Argc, I)) {
+    if (*V == '\0') {
+      std::fprintf(stderr, "bor-bench: --run-dir needs a directory path\n");
+      std::exit(2);
+    }
+    Opt.RunDir = V;
+    return true;
+  }
+  if (const char *V = flagValue("--progress", Argv, Argc, I)) {
+    if (std::strcmp(V, "auto") != 0 && std::strcmp(V, "off") != 0 &&
+        std::strcmp(V, "text") != 0 && std::strcmp(V, "jsonl") != 0) {
+      std::fprintf(stderr,
+                   "bor-bench: --progress must be auto, off, text or "
+                   "jsonl, got '%s'\n",
+                   V);
+      std::exit(2);
+    }
+    Opt.Progress = V;
+    return true;
+  }
+  if (std::strcmp(A, "--update-baselines") == 0) {
+    Opt.UpdateBaselines = true;
+    return true;
+  }
+  if (const char *V = flagValue("--baseline-dir", Argv, Argc, I)) {
+    if (*V == '\0') {
+      std::fprintf(stderr,
+                   "bor-bench: --baseline-dir needs a directory path\n");
+      std::exit(2);
+    }
+    Opt.BaselineDir = V;
+    Opt.UpdateBaselines = true;
+    return true;
+  }
   return false;
 }
 
-/// The heartbeat goes to stderr only when a human is watching it (or the
-/// BOR_HEARTBEAT environment knob forces it on, which is how the tests
-/// exercise it without a TTY).
-bool heartbeatEnabled() {
-  if (const char *Env = std::getenv("BOR_HEARTBEAT"))
-    return Env[0] != '\0' && Env[0] != '0';
-  return isatty(fileno(stderr)) != 0;
+/// Resolves the progress mode: the --progress flag wins; otherwise the
+/// BOR_HEARTBEAT environment knob ("json" selects the machine-readable
+/// stream, any other non-zero value the human line, 0/empty forces off);
+/// otherwise text only when a human is watching stderr.
+ProgressMode progressMode(const DriverOptions &Opt) {
+  auto Auto = [] {
+    return isatty(fileno(stderr)) != 0 ? ProgressMode::Text
+                                       : ProgressMode::Off;
+  };
+  if (!Opt.Progress.empty()) {
+    if (Opt.Progress == "off")
+      return ProgressMode::Off;
+    if (Opt.Progress == "text")
+      return ProgressMode::Text;
+    if (Opt.Progress == "jsonl")
+      return ProgressMode::Jsonl;
+    return Auto(); // "auto"
+  }
+  if (const char *Env = std::getenv("BOR_HEARTBEAT")) {
+    if (std::strcmp(Env, "json") == 0 || std::strcmp(Env, "jsonl") == 0)
+      return ProgressMode::Jsonl;
+    return Env[0] != '\0' && Env[0] != '0' ? ProgressMode::Text
+                                           : ProgressMode::Off;
+  }
+  return Auto();
+}
+
+/// Writes \p Text to \p Path, creating missing parent directories; a
+/// failure names the path on stderr. Returns 0 on success.
+int writeOutputFile(const std::string &Path, const std::string &Text) {
+  std::string Err;
+  if (!ensureParentDirs(Path, Err)) {
+    std::fprintf(stderr, "bor-bench: %s\n", Err.c_str());
+    return 1;
+  }
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "bor-bench: cannot open '%s' for writing\n",
+                 Path.c_str());
+    return 1;
+  }
+  bool Ok = std::fputs(Text.c_str(), F) >= 0;
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok) {
+    std::fprintf(stderr, "bor-bench: error writing '%s'\n", Path.c_str());
+    return 1;
+  }
+  return 0;
 }
 
 /// Finalizes telemetry once every requested experiment has run: the trace
-/// file, the counter snapshot to stdout and/or a file. Returns 0 on
-/// success.
+/// file, the counter snapshot to stdout and/or a file, and the run dir's
+/// counters.json / timeseries.json / manifest.json. Returns 0 on success.
 int writeTelemetryOutputs(const DriverOptions &Opt,
-                          telemetry::TraceWriter *Trace) {
+                          telemetry::TraceWriter *Trace,
+                          telemetry::TimeSeries *Series,
+                          ManifestInfo *Manifest) {
   if (Trace && !Opt.TracePath.empty()) {
     std::string Err;
     if (!Trace->writeTo(Opt.TracePath, Err)) {
@@ -223,32 +309,46 @@ int writeTelemetryOutputs(const DriverOptions &Opt,
       return 1;
     }
   }
-  if (Trace && !Opt.FlamegraphPath.empty()) {
-    std::string Folded = Trace->foldToCollapsedStacks();
-    std::FILE *F = std::fopen(Opt.FlamegraphPath.c_str(), "w");
-    if (!F) {
-      std::fprintf(stderr, "bor-bench: cannot open '%s' for writing\n",
-                   Opt.FlamegraphPath.c_str());
-      return 1;
-    }
-    std::fputs(Folded.c_str(), F);
-    std::fclose(F);
+  if (Trace && !Opt.FlamegraphPath.empty())
+    if (int RC = writeOutputFile(Opt.FlamegraphPath,
+                                 Trace->foldToCollapsedStacks()))
+      return RC;
+
+  if (Opt.Counters || !Opt.CountersOut.empty()) {
+    std::string Rendered =
+        telemetry::CounterRegistry::instance().snapshot().render();
+    if (Opt.Counters)
+      std::fputs(Rendered.c_str(), stdout);
+    if (!Opt.CountersOut.empty())
+      if (int RC = writeOutputFile(Opt.CountersOut, Rendered))
+        return RC;
   }
-  if (!Opt.Counters && Opt.CountersOut.empty())
+
+  if (Opt.RunDir.empty())
     return 0;
-  std::string Rendered =
-      telemetry::CounterRegistry::instance().snapshot().render();
-  if (Opt.Counters)
-    std::fputs(Rendered.c_str(), stdout);
-  if (!Opt.CountersOut.empty()) {
-    std::FILE *F = std::fopen(Opt.CountersOut.c_str(), "w");
-    if (!F) {
-      std::fprintf(stderr, "bor-bench: cannot open '%s' for writing\n",
-                   Opt.CountersOut.c_str());
+
+  // The run manifest: counters.json always (the run forced counting on),
+  // timeseries.json when any sampled run recorded, manifest.json last so
+  // a complete manifest implies complete files.
+  Manifest->CountersFile = "counters.json";
+  if (int RC = writeOutputFile(
+          joinPath(Opt.RunDir, Manifest->CountersFile),
+          telemetry::CounterRegistry::instance().snapshot().renderJson()))
+    return RC;
+  if (Series && Series->numSeries() != 0) {
+    Manifest->TimeSeriesFile = "timeseries.json";
+    std::string Err;
+    if (!Series->writeTo(joinPath(Opt.RunDir, Manifest->TimeSeriesFile),
+                         Err)) {
+      std::fprintf(stderr, "bor-bench: %s\n", Err.c_str());
       return 1;
     }
-    std::fputs(Rendered.c_str(), F);
-    std::fclose(F);
+  }
+  Manifest->TraceFile = Opt.TracePath;
+  std::string Err;
+  if (!writeManifest(Opt.RunDir, *Manifest, Err)) {
+    std::fprintf(stderr, "bor-bench: %s\n", Err.c_str());
+    return 1;
   }
   return 0;
 }
@@ -279,11 +379,22 @@ void printRegisteredExperiments(std::FILE *Out) {
     std::fprintf(Out, "  %-12s %s\n", Name.c_str(), Description.c_str());
 }
 
+/// Where one experiment's JSON-lines results go: the run dir, the
+/// baseline dir, an explicit --json path, or the default BENCH file.
+std::string jsonPathFor(const std::string &Name, const DriverOptions &Opt) {
+  if (!Opt.RunDir.empty())
+    return joinPath(Opt.RunDir, Name + ".json");
+  if (Opt.UpdateBaselines)
+    return joinPath(Opt.BaselineDir, "BENCH_" + Name + ".json");
+  return Opt.JsonPath.empty() ? "BENCH_" + Name + ".json" : Opt.JsonPath;
+}
+
 /// Runs one registered experiment with the configured sinks. Returns 0 on
-/// success.
+/// success. \p Manifest (optional) records the experiment and its result
+/// file for the run manifest.
 int runOne(const std::string &Name, const DriverOptions &Opt,
            const telemetry::TelemetrySink *Telemetry,
-           ckpt::LibraryPool *CkptPool) {
+           ckpt::LibraryPool *CkptPool, ManifestInfo *Manifest) {
   ExperimentRegistry &Registry = ExperimentRegistry::instance();
   if (!Registry.contains(Name)) {
     std::fprintf(stderr,
@@ -308,17 +419,20 @@ int runOne(const std::string &Name, const DriverOptions &Opt,
     Sinks.push_back(&Table);
   std::unique_ptr<JsonLinesSink> Json;
   if (Opt.Json) {
-    std::string Path =
-        Opt.JsonPath.empty() ? "BENCH_" + Name + ".json" : Opt.JsonPath;
+    std::string Path = jsonPathFor(Name, Opt);
     Json = JsonLinesSink::open(Path);
     if (!Json)
       return 1;
     Sinks.push_back(Json.get());
+    if (Manifest)
+      Manifest->ResultFiles.emplace_back(Name, Name + ".json");
   }
+  if (Manifest)
+    Manifest->Experiments.push_back(Name);
 
   RunnerHooks Hooks;
   Hooks.Telemetry = Telemetry;
-  Hooks.Heartbeat = heartbeatEnabled();
+  Hooks.Progress = progressMode(Opt);
   telemetry::TraceSpan Span(Telemetry ? Telemetry->Trace : nullptr, Name,
                             "experiment");
   runExperiment(Spec, Opt.Threads, Sinks, Hooks);
@@ -326,14 +440,93 @@ int runOne(const std::string &Name, const DriverOptions &Opt,
 }
 
 /// Builds the sink the --trace/--counters flags ask for. The returned
-/// writer is null when tracing is off; counters are switched on globally.
+/// writer is null when tracing is off; counters are switched on globally
+/// (a run manifest always snapshots them).
 std::unique_ptr<telemetry::TraceWriter>
 setUpTelemetry(const DriverOptions &Opt) {
-  if (Opt.Counters || !Opt.CountersOut.empty())
+  if (Opt.Counters || !Opt.CountersOut.empty() || !Opt.RunDir.empty())
     telemetry::CounterRegistry::setEnabled(true);
   if (Opt.TracePath.empty() && Opt.FlamegraphPath.empty())
     return nullptr;
   return std::make_unique<telemetry::TraceWriter>();
+}
+
+/// Space-joined argv for the manifest's command field.
+std::string commandLine(int Argc, char **Argv) {
+  std::string Cmd;
+  for (int I = 0; I < Argc; ++I) {
+    if (I)
+      Cmd += " ";
+    Cmd += Argv[I];
+  }
+  return Cmd;
+}
+
+/// Flag-conflict checks shared by benchMain and the per-figure wrappers.
+int checkOutputFlags(const DriverOptions &Opt) {
+  if (!Opt.RunDir.empty() && Opt.UpdateBaselines) {
+    std::fprintf(stderr,
+                 "bor-bench: --run-dir and --update-baselines both redirect "
+                 "the result JSON; pick one\n");
+    return 2;
+  }
+  if (!Opt.JsonPath.empty() &&
+      (!Opt.RunDir.empty() || Opt.UpdateBaselines)) {
+    std::fprintf(stderr,
+                 "bor-bench: --json PATH conflicts with "
+                 "--run-dir/--update-baselines (they name the JSON file "
+                 "themselves)\n");
+    return 2;
+  }
+  if (!Opt.Json && (!Opt.RunDir.empty() || Opt.UpdateBaselines)) {
+    std::fprintf(stderr,
+                 "bor-bench: --no-json defeats --run-dir/--update-baselines "
+                 "(nothing would be recorded)\n");
+    return 2;
+  }
+  return 0;
+}
+
+/// One experiment loop shared by benchMain and the wrappers: telemetry
+/// setup, the runs, and output finalization (including the run manifest).
+int runAll(const std::vector<std::string> &Experiments,
+           const DriverOptions &Opt, const std::string &Tool,
+           const std::string &Command) {
+  std::unique_ptr<telemetry::TraceWriter> Trace = setUpTelemetry(Opt);
+  std::unique_ptr<telemetry::TimeSeries> Series;
+  if (!Opt.RunDir.empty())
+    Series = std::make_unique<telemetry::TimeSeries>();
+
+  telemetry::TelemetrySink Sink;
+  Sink.Trace = Trace.get();
+  Sink.Series = Series.get();
+  const telemetry::TelemetrySink *SinkPtr =
+      Trace || Series ? &Sink : nullptr;
+
+  ManifestInfo Manifest;
+  Manifest.Tool = Tool;
+  Manifest.Command = Command;
+  Manifest.Scale = Opt.Scale;
+  Manifest.Threads = Opt.Threads;
+  Manifest.Sample = Opt.Sample;
+  Manifest.Plan = Opt.Plan;
+  Manifest.CkptLibrary = Opt.CkptLibrary;
+  Manifest.CkptRegions = Opt.CkptRegions;
+
+  // One pool for the whole invocation: experiments sharing a (program,
+  // decider, period) key build its library exactly once.
+  std::unique_ptr<ckpt::LibraryPool> Pool;
+  if (Opt.CkptLibrary)
+    Pool = std::make_unique<ckpt::LibraryPool>(Opt.CkptDir);
+
+  for (size_t I = 0; I != Experiments.size(); ++I) {
+    if (I)
+      std::printf("\n");
+    if (int RC = runOne(Experiments[I], Opt, SinkPtr, Pool.get(),
+                        Opt.RunDir.empty() ? nullptr : &Manifest))
+      return RC;
+  }
+  return writeTelemetryOutputs(Opt, Trace.get(), Series.get(), &Manifest);
 }
 
 } // namespace
@@ -346,13 +539,15 @@ int benchMain(int Argc, char **Argv) {
     const char *A = Argv[I];
     if (std::strcmp(A, "--list") == 0) {
       Opt.List = true;
+    } else if (std::strcmp(A, "--list-counters") == 0) {
+      Opt.ListCounters = true;
     } else if (std::strcmp(A, "--all") == 0) {
       Opt.All = true;
     } else if (const char *V = flagValue("--experiment", Argv, Argc, I)) {
       Opt.Experiments.push_back(V);
     } else if (!parseCommon(A, Argv, Argc, I, Opt)) {
       std::fprintf(stderr,
-                   "usage: bor-bench --list\n"
+                   "usage: bor-bench --list | --list-counters\n"
                    "       bor-bench --experiment NAME [--threads N] "
                    "[--json PATH | --no-json]\n"
                    "                 [--no-table] [--scale N] [--sample]\n"
@@ -362,14 +557,23 @@ int benchMain(int Argc, char **Argv) {
                    "[--ckpt-regions N]\n"
                    "                 [--trace PATH] [--flamegraph PATH] "
                    "[--counters] [--counters-out PATH]\n"
+                   "                 [--run-dir DIR] [--update-baselines] "
+                   "[--baseline-dir DIR]\n"
+                   "                 [--progress auto|off|text|jsonl]\n"
                    "       bor-bench --all [same flags]\n");
       return 2;
     }
   }
   if (int RC = checkPlan(Opt))
     return RC;
+  if (int RC = checkOutputFlags(Opt))
+    return RC;
 
   ExperimentRegistry &Registry = ExperimentRegistry::instance();
+  if (Opt.ListCounters) {
+    std::fputs(telemetry::renderCounterList().c_str(), stdout);
+    return 0;
+  }
   if (Opt.List) {
     for (const auto &[Name, Description] : Registry.list())
       std::printf("%-12s %s\n", Name.c_str(), Description.c_str());
@@ -393,24 +597,7 @@ int benchMain(int Argc, char **Argv) {
     return 2;
   }
 
-  std::unique_ptr<telemetry::TraceWriter> Trace = setUpTelemetry(Opt);
-  telemetry::TelemetrySink Sink;
-  Sink.Trace = Trace.get();
-
-  // One pool for the whole invocation: experiments sharing a (program,
-  // decider, period) key build its library exactly once.
-  std::unique_ptr<ckpt::LibraryPool> Pool;
-  if (Opt.CkptLibrary)
-    Pool = std::make_unique<ckpt::LibraryPool>(Opt.CkptDir);
-
-  for (size_t I = 0; I != Opt.Experiments.size(); ++I) {
-    if (I)
-      std::printf("\n");
-    if (int RC = runOne(Opt.Experiments[I], Opt, Trace ? &Sink : nullptr,
-                        Pool.get()))
-      return RC;
-  }
-  return writeTelemetryOutputs(Opt, Trace.get());
+  return runAll(Opt.Experiments, Opt, "bor-bench", commandLine(Argc, Argv));
 }
 
 int experimentMain(const char *Name, int Argc, char **Argv) {
@@ -427,22 +614,18 @@ int experimentMain(const char *Name, int Argc, char **Argv) {
                    "       [--ckpt-library] [--ckpt-dir DIR] "
                    "[--ckpt-regions N]\n"
                    "       [--trace PATH] [--flamegraph PATH] [--counters] "
-                   "[--counters-out PATH]\n",
+                   "[--counters-out PATH]\n"
+                   "       [--run-dir DIR] [--update-baselines] "
+                   "[--baseline-dir DIR] [--progress MODE]\n",
                    Argv[0]);
       return 2;
     }
   }
   if (int RC = checkPlan(Opt))
     return RC;
-  std::unique_ptr<telemetry::TraceWriter> Trace = setUpTelemetry(Opt);
-  telemetry::TelemetrySink Sink;
-  Sink.Trace = Trace.get();
-  std::unique_ptr<ckpt::LibraryPool> Pool;
-  if (Opt.CkptLibrary)
-    Pool = std::make_unique<ckpt::LibraryPool>(Opt.CkptDir);
-  if (int RC = runOne(Name, Opt, Trace ? &Sink : nullptr, Pool.get()))
+  if (int RC = checkOutputFlags(Opt))
     return RC;
-  return writeTelemetryOutputs(Opt, Trace.get());
+  return runAll({Name}, Opt, Name, commandLine(Argc, Argv));
 }
 
 } // namespace exp

@@ -7,6 +7,7 @@
 #include "exp/ResultSink.h"
 
 #include "exp/Json.h"
+#include "support/Path.h"
 #include "support/Table.h"
 
 #include <algorithm>
@@ -84,6 +85,11 @@ JsonLinesSink::~JsonLinesSink() {
 }
 
 std::unique_ptr<JsonLinesSink> JsonLinesSink::open(const std::string &Path) {
+  std::string Err;
+  if (!ensureParentDirs(Path, Err)) {
+    std::fprintf(stderr, "%s\n", Err.c_str());
+    return nullptr;
+  }
   std::FILE *F = std::fopen(Path.c_str(), "w");
   if (!F) {
     std::fprintf(stderr, "cannot open '%s' for writing\n", Path.c_str());

@@ -6,6 +6,7 @@
 
 #include "exp/Runner.h"
 
+#include "exp/Json.h"
 #include "exp/ThreadPool.h"
 #include "telemetry/Counters.h"
 #include "telemetry/Telemetry.h"
@@ -25,12 +26,12 @@ namespace {
 /// one), with an ETA extrapolated from completed-cell wall-clock.
 class Heartbeat {
 public:
-  Heartbeat(bool Enabled, const std::string &Name, size_t Total)
-      : Enabled(Enabled && Total > 0), Name(Name), Total(Total),
+  Heartbeat(ProgressMode Mode, const std::string &Name, size_t Total)
+      : Mode(Total > 0 ? Mode : ProgressMode::Off), Name(Name), Total(Total),
         Start(Clock::now()), LastPrint(Start) {}
 
   void cellDone() {
-    if (!Enabled)
+    if (Mode == ProgressMode::Off)
       return;
     std::lock_guard<std::mutex> Lock(Mutex);
     ++Done;
@@ -41,9 +42,21 @@ public:
     double Elapsed = secondsBetween(Start, Now);
     double Eta =
         static_cast<double>(Total - Done) * Elapsed / static_cast<double>(Done);
-    std::fprintf(stderr,
-                 "[bor-bench] %s: %zu/%zu cells, %.1fs elapsed, ETA %.1fs\n",
-                 Name.c_str(), Done, Total, Elapsed, Eta);
+    if (Mode == ProgressMode::Text) {
+      std::fprintf(stderr,
+                   "[bor-bench] %s: %zu/%zu cells, %.1fs elapsed, ETA %.1fs\n",
+                   Name.c_str(), Done, Total, Elapsed, Eta);
+      return;
+    }
+    // Jsonl: one self-contained object per tick, consumable line by line
+    // (the future service mode streams exactly this to clients).
+    JsonObjectWriter W;
+    W.field("experiment", Name);
+    W.fieldRaw("cells_done", jsonNumber(static_cast<uint64_t>(Done)));
+    W.fieldRaw("cells_total", jsonNumber(static_cast<uint64_t>(Total)));
+    W.fieldRaw("elapsed_s", jsonNumber(Elapsed));
+    W.fieldRaw("eta_s", jsonNumber(Eta));
+    std::fprintf(stderr, "%s\n", W.finish().c_str());
   }
 
 private:
@@ -53,7 +66,7 @@ private:
     return std::chrono::duration<double>(B - A).count();
   }
 
-  const bool Enabled;
+  const ProgressMode Mode;
   const std::string Name;
   const size_t Total;
   const Clock::time_point Start;
@@ -83,15 +96,21 @@ std::vector<RunRecord> runExperiment(const ExperimentSpec &Spec,
     telemetry::TraceSpan Span(TW, "setup", "experiment",
                               {telemetry::TraceArg::str("experiment",
                                                         Spec.Name)});
+    telemetry::TimeSeries::Scope Tag(Spec.Name,
+                                     telemetry::TimeSeries::kSetupCell);
     Spec.Setup();
   }
 
-  Heartbeat HB(Hooks.Heartbeat, Spec.Name, Spec.Cells.size());
+  Heartbeat HB(Hooks.Progress, Spec.Name, Spec.Cells.size());
   auto RunCell = [&Spec, TW, &HB](std::vector<RunRecord> &Results, size_t I) {
     telemetry::TraceSpan Span(
         TW, "cell", "experiment",
         {telemetry::TraceArg::str("experiment", Spec.Name),
          telemetry::TraceArg::num("index", static_cast<uint64_t>(I))});
+    // Tag any sampled run inside this cell for the time-series sink; the
+    // cell index (not the worker thread) keys the series, which is what
+    // keeps timeseries.json thread-count-invariant.
+    telemetry::TimeSeries::Scope Tag(Spec.Name, static_cast<int64_t>(I));
     Results[I] = Spec.Run(Spec.Cells[I], I);
     Span.close();
     HB.cellDone();
@@ -117,6 +136,8 @@ std::vector<RunRecord> runExperiment(const ExperimentSpec &Spec,
     telemetry::TraceSpan Span(TW, "summarize", "experiment",
                               {telemetry::TraceArg::str("experiment",
                                                         Spec.Name)});
+    telemetry::TimeSeries::Scope Tag(Spec.Name,
+                                     telemetry::TimeSeries::kSummarizeCell);
     Summaries = Spec.Summarize(Results);
   }
 

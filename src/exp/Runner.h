@@ -25,16 +25,25 @@
 namespace bor {
 namespace exp {
 
+/// How (and whether) progress reaches stderr while a grid runs.
+enum class ProgressMode {
+  Off,
+  Text, ///< human line: "[bor-bench] fig13: 34/80 cells, ..."
+  Jsonl ///< one JSON object per tick (machine-readable heartbeat)
+};
+
 /// Observability knobs for one runExperiment call.
 struct RunnerHooks {
   /// Emits spans for Setup, every cell, and Summarize when non-null (with
-  /// a non-null Trace).
+  /// a non-null Trace), and tags per-interval time series per cell (with
+  /// a non-null Series).
   const telemetry::TelemetrySink *Telemetry = nullptr;
 
-  /// Prints a progress line (cells done/total, elapsed, ETA) to stderr
-  /// roughly every two seconds. The driver enables this only when stderr
-  /// is a TTY so piped output stays clean.
-  bool Heartbeat = false;
+  /// Progress reporting (cells done/total, elapsed, ETA) to stderr
+  /// roughly every two seconds. The driver picks Text only when stderr is
+  /// a TTY so piped output stays clean; Jsonl is the machine-readable
+  /// heartbeat (--progress jsonl / BOR_HEARTBEAT=json).
+  ProgressMode Progress = ProgressMode::Off;
 };
 
 /// Runs \p Spec with \p Threads workers and feeds every record to each of

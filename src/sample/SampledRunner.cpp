@@ -56,18 +56,25 @@ void accumulate(PipelineStats &Sum, const PipelineStats &D) {
   Sum.FullWidthFetchCycles += D.FullWidthFetchCycles;
 }
 
-/// Folds one interval's delta into the aggregate result.
-void recordInterval(SampledResult &Result, const PipelineStats &D) {
+/// Folds one interval's delta into the aggregate result and returns the
+/// interval's point measurements (the time-series entry, minus the
+/// fast-forward count the caller backfills after the ff phase runs).
+telemetry::IntervalSample recordInterval(SampledResult &Result,
+                                         const PipelineStats &D) {
+  telemetry::IntervalSample S;
   accumulate(Result.Detailed, D);
   if (D.Cycles != 0) {
-    Result.IpcSamples.add(static_cast<double>(D.Insts) /
-                          static_cast<double>(D.Cycles));
-    Result.FlushFracSamples.add(
+    S.Ipc = static_cast<double>(D.Insts) / static_cast<double>(D.Cycles);
+    S.FlushFrac =
         static_cast<double>(D.BackendFlushCycles + D.FrontendFlushCycles) /
-        static_cast<double>(D.Cycles));
+        static_cast<double>(D.Cycles);
+    Result.IpcSamples.add(S.Ipc);
+    Result.FlushFracSamples.add(S.FlushFrac);
   }
-  Result.BrrRateSamples.add(1000.0 * static_cast<double>(D.BrrExecuted) /
-                            static_cast<double>(D.Insts));
+  S.BrrRate = 1000.0 * static_cast<double>(D.BrrExecuted) /
+              static_cast<double>(D.Insts);
+  Result.BrrRateSamples.add(S.BrrRate);
+  return S;
 }
 
 /// What a library-backed run did beyond plain sampling.
@@ -137,6 +144,13 @@ SampledResult runSampledLoop(const DecodedProgram &DP, Machine &M,
   telemetry::TraceWriter *TW = Telemetry ? Telemetry->Trace : nullptr;
   telemetry::PhaseTimer FfTimer, WarmTimer, MeasureTimer;
   uint64_t Period = 0;
+
+  // Per-interval time series, collected locally and published once at the
+  // end. With no TimeSeries sink the vector never allocates: time-series
+  // off costs one pointer test per interval.
+  telemetry::TimeSeries *TS = Telemetry ? Telemetry->Series : nullptr;
+  std::vector<telemetry::IntervalSample> Series;
+  bool PeriodSampled = false; // did this period contribute an interval?
 
   // One functional interpreter and one microarchitectural state bundle
   // span the whole run; detailed intervals attach Pipelines to the same
@@ -215,10 +229,13 @@ SampledResult runSampledLoop(const DecodedProgram &DP, Machine &M,
       Result.Markers.push_back({E.Id, IntervalBase + E.InstsRetired});
 
     PipelineStats D = statsDelta(R.Stats, Before);
+    PeriodSampled = D.Insts != 0;
     if (D.Insts != 0) {
       Result.MeasuredInsts += D.Insts;
       ++Result.NumIntervals;
-      recordInterval(Result, D);
+      telemetry::IntervalSample S = recordInterval(Result, D);
+      if (TS)
+        Series.push_back(S);
     }
 
     // --- Fast-forward: functional only, rest of the period. ------------
@@ -272,6 +289,11 @@ SampledResult runSampledLoop(const DecodedProgram &DP, Machine &M,
         Global += Done;
         Result.TotalInsts += Done;
         Result.FastForwardInsts += Done;
+        // Attribute the span's *executed* instructions to the interval it
+        // follows (a resume above skips them, leaving the entry 0 — the
+        // time series shows the library win period by period).
+        if (TS && PeriodSampled)
+          Series.back().FfInsts = Done;
       }
       FfTimer.stop();
     }
@@ -282,6 +304,9 @@ SampledResult runSampledLoop(const DecodedProgram &DP, Machine &M,
   Result.FastForwardMs = FfTimer.totalMs();
   Result.WarmMs = WarmTimer.totalMs();
   Result.MeasureMs = MeasureTimer.totalMs();
+
+  if (TS)
+    TS->record(std::move(Series));
 
   publishSampleCounters(
       Result, Result.FastForwardInsts - (LS ? LS->SkippedInsts : 0), Uarch);
@@ -304,6 +329,12 @@ SampledResult runSampledRegions(const DecodedProgram &DP,
 
   telemetry::TraceWriter *TW = Telemetry ? Telemetry->Trace : nullptr;
   telemetry::PhaseTimer WarmTimer, MeasureTimer;
+
+  // Region mode's series holds one entry per *measured* representative
+  // (weights apply to the aggregate stats, not the sequence); FfInsts
+  // stays 0 — region mode never executes fast-forward.
+  telemetry::TimeSeries *TS = Telemetry ? Telemetry->Series : nullptr;
+  std::vector<telemetry::IntervalSample> Series;
 
   Interpreter Fn(DP, M, Decider, /*LoadImage=*/false);
   MicroarchState Uarch(Config);
@@ -356,8 +387,11 @@ SampledResult runSampledRegions(const DecodedProgram &DP,
     ExecutedMeasured += D.Insts;
     uint64_t Weight = Regions.weightOf(Rep);
     Result.MeasuredInsts += Weight * D.Insts;
+    telemetry::IntervalSample S;
     for (uint64_t W = 0; W != Weight; ++W)
-      recordInterval(Result, D);
+      S = recordInterval(Result, D);
+    if (TS)
+      Series.push_back(S);
   }
 
   // The library's stream is the run: totals come from its record, and
@@ -372,6 +406,9 @@ SampledResult runSampledRegions(const DecodedProgram &DP,
   LS.SkippedInsts += Result.FastForwardInsts;
   Result.WarmMs = WarmTimer.totalMs();
   Result.MeasureMs = MeasureTimer.totalMs();
+
+  if (TS)
+    TS->record(std::move(Series));
 
   publishSampleCounters(Result, /*ExecutedFf=*/0, Uarch);
   return Result;

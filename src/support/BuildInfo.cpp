@@ -1,0 +1,34 @@
+//===- support/BuildInfo.cpp - Build provenance for run manifests ---------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BuildInfo.h"
+
+// The build system stamps these onto this one source file
+// (set_source_files_properties in src/CMakeLists.txt); standalone builds
+// of the file still compile, they just report "unknown".
+#ifndef BOR_GIT_REVISION
+#define BOR_GIT_REVISION "unknown"
+#endif
+#ifndef BOR_BUILD_TYPE
+#define BOR_BUILD_TYPE ""
+#endif
+#ifndef BOR_CXX_FLAGS
+#define BOR_CXX_FLAGS ""
+#endif
+
+#if defined(__clang__)
+#define BOR_COMPILER "Clang " __clang_version__
+#elif defined(__GNUC__)
+#define BOR_COMPILER "GNU " __VERSION__
+#else
+#define BOR_COMPILER "unknown"
+#endif
+
+const bor::BuildInfo &bor::buildInfo() {
+  static const BuildInfo Info{BOR_GIT_REVISION, BOR_COMPILER, BOR_BUILD_TYPE,
+                              BOR_CXX_FLAGS};
+  return Info;
+}

@@ -1,0 +1,32 @@
+//===- support/BuildInfo.h - Build provenance for run manifests -----------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// What produced this binary: the git revision (captured at configure
+/// time), the compiler, and the build type. A run manifest embeds these so
+/// a regression report can say *which build* a number came from — without
+/// it, two run dirs are just anonymous piles of metrics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_SUPPORT_BUILDINFO_H
+#define BOR_SUPPORT_BUILDINFO_H
+
+namespace bor {
+
+struct BuildInfo {
+  const char *GitRevision; ///< short hash, "+dirty" suffixed; "unknown"
+  const char *Compiler;    ///< e.g. "GNU 13.2.0"
+  const char *BuildType;   ///< CMAKE_BUILD_TYPE, may be ""
+  const char *Flags;       ///< CXX flags in effect, may be ""
+};
+
+/// The build this translation unit was compiled into.
+const BuildInfo &buildInfo();
+
+} // namespace bor
+
+#endif // BOR_SUPPORT_BUILDINFO_H

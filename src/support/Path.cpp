@@ -1,0 +1,47 @@
+//===- support/Path.cpp - Small filesystem helpers for output files ------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Path.h"
+
+#include <filesystem>
+#include <system_error>
+
+namespace fs = std::filesystem;
+
+bool bor::ensureDirs(const std::string &Dir, std::string &Err) {
+  if (Dir.empty())
+    return true;
+  std::error_code Ec;
+  // create_directories returns false both for "already existed" and for
+  // failure; only the error code distinguishes them.
+  fs::create_directories(fs::path(Dir), Ec);
+  if (Ec) {
+    Err = "cannot create directory '" + Dir + "': " + Ec.message();
+    return false;
+  }
+  if (!fs::is_directory(fs::path(Dir), Ec)) {
+    Err = "'" + Dir + "' exists but is not a directory";
+    return false;
+  }
+  return true;
+}
+
+bool bor::ensureParentDirs(const std::string &Path, std::string &Err) {
+  fs::path Parent = fs::path(Path).parent_path();
+  if (Parent.empty())
+    return true;
+  return ensureDirs(Parent.string(), Err);
+}
+
+std::string bor::joinPath(const std::string &A, const std::string &B) {
+  if (A.empty())
+    return B;
+  if (B.empty())
+    return A;
+  if (A.back() == '/')
+    return A + B;
+  return A + "/" + B;
+}

@@ -1,0 +1,37 @@
+//===- support/Path.h - Small filesystem helpers for output files --------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one filesystem policy every output writer shares: a path given on
+/// the command line (--json, --trace, --counters-out, --run-dir, ...) gets
+/// its missing parent directories created, and a path that cannot be
+/// written fails loudly with a diagnostic naming the path — never silent
+/// loss of a run's results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_SUPPORT_PATH_H
+#define BOR_SUPPORT_PATH_H
+
+#include <string>
+
+namespace bor {
+
+/// Creates every missing parent directory of file path \p Path (a no-op
+/// when the parent already exists or \p Path has no directory component).
+/// Returns false and sets \p Err to a message naming the offending path
+/// when a component cannot be created (e.g. a parent is a regular file).
+bool ensureParentDirs(const std::string &Path, std::string &Err);
+
+/// Creates directory \p Dir itself, plus any missing parents.
+bool ensureDirs(const std::string &Dir, std::string &Err);
+
+/// Joins two path components with exactly one separator.
+std::string joinPath(const std::string &A, const std::string &B);
+
+} // namespace bor
+
+#endif // BOR_SUPPORT_PATH_H

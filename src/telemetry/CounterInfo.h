@@ -1,0 +1,45 @@
+//===- telemetry/CounterInfo.h - Central counter/histogram descriptions ---===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one table that says what every telemetry counter and histogram
+/// means. Counters register lazily by name all over the simulator; this
+/// table is the discoverability companion — `bor-bench --list-counters`
+/// prints it, and a test cross-checks that every counter a real run
+/// publishes is documented here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_TELEMETRY_COUNTERINFO_H
+#define BOR_TELEMETRY_COUNTERINFO_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bor {
+namespace telemetry {
+
+struct CounterInfo {
+  std::string_view Name;
+  std::string_view Description;
+  bool IsHistogram = false;
+};
+
+/// Every documented counter/histogram, sorted by name.
+const std::vector<CounterInfo> &allCounterInfo();
+
+/// One-line description for \p Name; empty view when undocumented.
+std::string_view describeCounter(std::string_view Name);
+
+/// The --list-counters rendering: one "kind name description" line per
+/// entry, counters first then histograms, each block name-sorted.
+std::string renderCounterList();
+
+} // namespace telemetry
+} // namespace bor
+
+#endif // BOR_TELEMETRY_COUNTERINFO_H

@@ -6,6 +6,8 @@
 
 #include "telemetry/Counters.h"
 
+#include "exp/Json.h"
+
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
@@ -181,6 +183,24 @@ void CounterRegistry::reset() {
   }
 }
 
+uint64_t CounterSnapshot::Histogram::percentile(double Q) const {
+  if (Count == 0)
+    return 0;
+  // Rank of the quantile in the sorted sample, 1-based; clamp so Q = 1.0
+  // lands on the last value rather than past it.
+  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Count));
+  if (Q * static_cast<double>(Count) > static_cast<double>(Rank))
+    ++Rank; // ceil
+  Rank = std::max<uint64_t>(1, std::min(Rank, Count));
+  uint64_t Seen = 0;
+  for (const auto &[Bucket, N] : Buckets) {
+    Seen += N;
+    if (Seen >= Rank)
+      return Bucket == 0 ? 0 : 1ULL << (Bucket - 1);
+  }
+  return Max; // unreachable when bucket counts sum to Count
+}
+
 std::string CounterSnapshot::render() const {
   std::string Out;
   char Buf[256];
@@ -193,8 +213,10 @@ std::string CounterSnapshot::render() const {
   for (const Histogram &H : Histograms) {
     std::snprintf(Buf, sizeof(Buf),
                   "== histogram %s: count %" PRIu64 ", sum %" PRIu64
-                  ", min %" PRIu64 ", max %" PRIu64 " ==\n",
-                  H.Name.c_str(), H.Count, H.Sum, H.Min, H.Max);
+                  ", min %" PRIu64 ", max %" PRIu64 ", p50 %" PRIu64
+                  ", p90 %" PRIu64 ", p99 %" PRIu64 " ==\n",
+                  H.Name.c_str(), H.Count, H.Sum, H.Min, H.Max,
+                  H.percentile(0.50), H.percentile(0.90), H.percentile(0.99));
     Out += Buf;
     for (const auto &[Bucket, N] : H.Buckets) {
       // Bucket 0 holds exact zeros; bucket B holds [2^(B-1), 2^B).
@@ -204,5 +226,46 @@ std::string CounterSnapshot::render() const {
       Out += Buf;
     }
   }
+  return Out;
+}
+
+std::string CounterSnapshot::renderJson() const {
+  std::string Out = "{\"schema\":\"bor-counters-v1\",\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, Value] : Counters) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n\"" + exp::jsonEscape(Name) + "\":" + exp::jsonNumber(Value);
+  }
+  Out += First ? "},\"histograms\":[" : "\n},\"histograms\":[";
+  First = true;
+  for (const Histogram &H : Histograms) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    exp::JsonObjectWriter W;
+    W.field("name", H.Name);
+    W.fieldRaw("count", exp::jsonNumber(H.Count));
+    W.fieldRaw("sum", exp::jsonNumber(H.Sum));
+    W.fieldRaw("min", exp::jsonNumber(H.Min));
+    W.fieldRaw("max", exp::jsonNumber(H.Max));
+    W.fieldRaw("p50", exp::jsonNumber(H.percentile(0.50)));
+    W.fieldRaw("p90", exp::jsonNumber(H.percentile(0.90)));
+    W.fieldRaw("p99", exp::jsonNumber(H.percentile(0.99)));
+    std::string Buckets = "[";
+    for (size_t I = 0; I != H.Buckets.size(); ++I) {
+      if (I)
+        Buckets += ",";
+      uint64_t Lo = H.Buckets[I].first == 0
+                        ? 0
+                        : 1ULL << (H.Buckets[I].first - 1);
+      Buckets += "[" + exp::jsonNumber(Lo) + "," +
+                 exp::jsonNumber(H.Buckets[I].second) + "]";
+    }
+    Buckets += "]";
+    W.fieldRaw("buckets", Buckets);
+    Out += W.finish();
+  }
+  Out += First ? "]}\n" : "\n]}\n";
   return Out;
 }

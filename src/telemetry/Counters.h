@@ -58,12 +58,23 @@ struct CounterSnapshot {
       return Count ? static_cast<double>(Sum) / static_cast<double>(Count)
                    : 0.0;
     }
+
+    /// Percentile estimate from the log2 buckets: the lower bound of the
+    /// bucket holding the ceil(Q * Count)-th smallest value (so p50 of
+    /// values all in [256, 512) reports 256). Exact to within the bucket's
+    /// factor-of-two resolution; 0 when the histogram is empty.
+    uint64_t percentile(double Q) const;
   };
   std::vector<Histogram> Histograms;
 
   /// Deterministic human-readable rendering, one line per counter plus a
   /// block per histogram (the --counters output).
   std::string render() const;
+
+  /// Deterministic JSON rendering (the run manifest's counters.json):
+  /// {"schema":"bor-counters-v1","counters":{name:value,...},
+  ///  "histograms":[{name,count,sum,min,max,p50,p90,p99,buckets},...]}.
+  std::string renderJson() const;
 };
 
 /// Process-wide counter/histogram registry with thread-local shards.

@@ -21,6 +21,7 @@
 #ifndef BOR_TELEMETRY_TELEMETRY_H
 #define BOR_TELEMETRY_TELEMETRY_H
 
+#include "telemetry/TimeSeries.h"
 #include "telemetry/Trace.h"
 
 #include <chrono>
@@ -36,6 +37,10 @@ namespace telemetry {
 struct TelemetrySink {
   /// Span/event tracer, null when --trace was not requested.
   TraceWriter *Trace = nullptr;
+
+  /// Per-interval time-series collector, null unless a run manifest is
+  /// being written (--run-dir). Sampled runs append one series per run.
+  TimeSeries *Series = nullptr;
 
   /// When true, the simulator also emits high-rate instant events
   /// (pipeline flushes, taken brr samples). Only bor-run turns this on:

@@ -1,0 +1,135 @@
+//===- telemetry/TimeSeries.cpp - Per-interval sampled-run time series ----===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/TimeSeries.h"
+
+#include "exp/Json.h"
+#include "support/Path.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+using namespace bor;
+using namespace bor::telemetry;
+
+namespace {
+
+/// The current thread's scope tag. Cells execute wholly on one worker
+/// thread and sampled runs within a cell are sequential, so a thread-local
+/// tag (rather than anything keyed on arrival order) is what makes the
+/// rendered output thread-count-invariant.
+struct ScopeTag {
+  std::string Experiment;
+  int64_t Cell = TimeSeries::kUntaggedCell;
+  uint64_t NextRun = 0;
+};
+
+ScopeTag &currentTag() {
+  thread_local ScopeTag Tag;
+  return Tag;
+}
+
+} // namespace
+
+TimeSeries::Scope::Scope(std::string Experiment, int64_t Cell) {
+  ScopeTag &Tag = currentTag();
+  PrevExperiment = std::move(Tag.Experiment);
+  PrevCell = Tag.Cell;
+  PrevNextRun = Tag.NextRun;
+  Tag.Experiment = std::move(Experiment);
+  Tag.Cell = Cell;
+  Tag.NextRun = 0;
+}
+
+TimeSeries::Scope::~Scope() {
+  ScopeTag &Tag = currentTag();
+  Tag.Experiment = std::move(PrevExperiment);
+  Tag.Cell = PrevCell;
+  Tag.NextRun = PrevNextRun;
+}
+
+void TimeSeries::record(std::vector<IntervalSample> Samples) {
+  ScopeTag &Tag = currentTag();
+  Series S;
+  S.Experiment = Tag.Experiment;
+  S.Cell = Tag.Cell;
+  S.Run = Tag.NextRun++;
+  S.Samples = std::move(Samples);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  All.push_back(std::move(S));
+}
+
+size_t TimeSeries::numSeries() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return All.size();
+}
+
+std::string TimeSeries::renderJson() const {
+  std::vector<Series> Sorted;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Sorted = All;
+  }
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const Series &A, const Series &B) {
+              return std::tie(A.Experiment, A.Cell, A.Run) <
+                     std::tie(B.Experiment, B.Cell, B.Run);
+            });
+
+  auto Column = [](const std::vector<IntervalSample> &Samples, auto Get) {
+    std::string Out = "[";
+    for (size_t I = 0; I != Samples.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += Get(Samples[I]);
+    }
+    Out += "]";
+    return Out;
+  };
+
+  std::string Out = "{\"schema\":\"bor-timeseries-v1\",\"series\":[";
+  for (size_t I = 0; I != Sorted.size(); ++I) {
+    const Series &S = Sorted[I];
+    Out += I ? ",\n" : "\n";
+    exp::JsonObjectWriter W;
+    W.field("experiment", S.Experiment);
+    W.fieldRaw("cell", std::to_string(S.Cell));
+    W.fieldRaw("run", exp::jsonNumber(S.Run));
+    W.fieldRaw("n", exp::jsonNumber(static_cast<uint64_t>(S.Samples.size())));
+    W.fieldRaw("ipc", Column(S.Samples, [](const IntervalSample &P) {
+                 return exp::jsonNumber(P.Ipc);
+               }));
+    W.fieldRaw("flush_frac", Column(S.Samples, [](const IntervalSample &P) {
+                 return exp::jsonNumber(P.FlushFrac);
+               }));
+    W.fieldRaw("brr_rate", Column(S.Samples, [](const IntervalSample &P) {
+                 return exp::jsonNumber(P.BrrRate);
+               }));
+    W.fieldRaw("ff_insts", Column(S.Samples, [](const IntervalSample &P) {
+                 return exp::jsonNumber(P.FfInsts);
+               }));
+    Out += W.finish();
+  }
+  Out += Sorted.empty() ? "]}\n" : "\n]}\n";
+  return Out;
+}
+
+bool TimeSeries::writeTo(const std::string &Path, std::string &Err) const {
+  if (!ensureParentDirs(Path, Err))
+    return false;
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  std::string Rendered = renderJson();
+  bool Ok = std::fputs(Rendered.c_str(), F) >= 0;
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok)
+    Err = "error writing '" + Path + "'";
+  return Ok;
+}

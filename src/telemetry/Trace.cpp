@@ -7,6 +7,7 @@
 #include "telemetry/Trace.h"
 
 #include "exp/Json.h"
+#include "support/Path.h"
 
 #include <algorithm>
 #include <atomic>
@@ -168,6 +169,8 @@ std::string TraceWriter::foldToCollapsedStacks() const {
 }
 
 bool TraceWriter::writeTo(const std::string &Path, std::string &Err) const {
+  if (!ensureParentDirs(Path, Err))
+    return false;
   std::FILE *F = std::fopen(Path.c_str(), "w");
   if (!F) {
     Err = "cannot open '" + Path + "' for writing";

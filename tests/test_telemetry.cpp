@@ -181,8 +181,33 @@ TEST(TraceWriter, CapsEventsAndCountsDrops) {
 TEST(TraceWriter, RejectsUnwritablePath) {
   TraceWriter W;
   std::string Err;
-  EXPECT_FALSE(W.writeTo("/nonexistent-dir/trace.json", Err));
+  // writeTo creates missing parent directories, so an unwritable path must
+  // go through a non-directory component to fail.
+  EXPECT_FALSE(W.writeTo("/dev/null/sub/trace.json", Err));
   EXPECT_FALSE(Err.empty());
+}
+
+TEST(TraceWriter, CreatesMissingParentDirs) {
+  TraceWriter W;
+  W.instant("e", "c");
+  std::string Dir = ::testing::TempDir() + "bor_trace_parents";
+  std::string Path = Dir + "/a/b/trace.json";
+  std::string Err;
+  ASSERT_TRUE(W.writeTo(Path, Err)) << Err;
+  std::remove(Path.c_str());
+}
+
+// The drop counter at exactly-full boundaries: a buffer of N takes N
+// events with zero drops, and the N+1st is the first drop.
+TEST(TraceWriter, ExactlyFullBufferDropsNothing) {
+  TraceWriter W(/*MaxEvents=*/4);
+  for (int I = 0; I != 4; ++I)
+    W.instant("e", "c");
+  EXPECT_EQ(W.eventCount(), 4u);
+  EXPECT_EQ(W.droppedCount(), 0u);
+  W.instant("overflow", "c");
+  EXPECT_EQ(W.eventCount(), 4u);
+  EXPECT_EQ(W.droppedCount(), 1u);
 }
 
 TEST(TraceSpan, NullWriterIsNoOp) {
