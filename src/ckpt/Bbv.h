@@ -7,8 +7,10 @@
 /// \file
 /// SimPoint-style representative-region selection over the per-period
 /// basic-block vectors a checkpoint library collects during its build
-/// pass. Each period's BBV counts how often every static block terminator
-/// executed in that period (collected by Interpreter::setBlockProfile);
+/// pass. Each period's BBV counts how often every static basic block
+/// executed its terminator in that period (collected by
+/// Interpreter::setBlockProfile and keyed on the block's cfg::BlockId,
+/// the same id space sim/Decode and the src/opt profile machinery use);
 /// periods with near-identical vectors are the same program phase, so a
 /// sweep can measure one representative per phase and weight it by how
 /// many periods it stands for.
@@ -30,8 +32,8 @@
 namespace bor {
 namespace ckpt {
 
-/// One period's basic-block vector: (terminator instruction index,
-/// execution count) pairs, sorted by index, zero counts omitted.
+/// One period's basic-block vector: (cfg::BlockId, execution count)
+/// pairs, sorted by id, zero counts omitted.
 using Bbv = std::vector<std::pair<uint32_t, uint64_t>>;
 
 /// Manhattan distance between the frequency-normalized vectors (each

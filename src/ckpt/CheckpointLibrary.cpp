@@ -15,7 +15,10 @@ using namespace bor::ckpt;
 
 namespace {
 
-constexpr uint32_t LibraryVersion = 1;
+// Version 2: BBV entries are keyed on cfg::BlockId instead of terminator
+// instruction indices. Version-1 images are rejected so stale on-disk
+// caches rebuild rather than silently mixing key spaces.
+constexpr uint32_t LibraryVersion = 2;
 constexpr char LibraryTag[5] = "CKPL";
 constexpr uint32_t MaxDeciderKindLen = 64;
 constexpr uint32_t MaxDeciderWords = 64;
@@ -150,11 +153,14 @@ CheckpointLibrary::build(const DecodedProgram &DP, const BrrUnitConfig &Brr,
         std::min(Options.EveryInsts, Options.MaxInsts - Fn.stats().Insts);
     Fn.run(Chunk, /*RequireHalt=*/false);
     if (Options.CollectBbv) {
+      // Keyed on cfg::BlockId, not raw terminator indices: instBlockId is
+      // monotone in the instruction index and each CFG block holds at
+      // most one terminator, so entries stay sorted and collision-free
+      // while the keys survive any relinearization of the module.
       Bbv V;
       for (size_t I = 0; I != BlockCounts.size(); ++I)
         if (BlockCounts[I] != PrevCounts[I]) {
-          V.emplace_back(static_cast<uint32_t>(I),
-                         BlockCounts[I] - PrevCounts[I]);
+          V.emplace_back(DP.instBlockId(I), BlockCounts[I] - PrevCounts[I]);
           PrevCounts[I] = BlockCounts[I];
         }
       Lib.Bbvs.push_back(std::move(V));

@@ -25,7 +25,9 @@
 /// next to its program, so `bor-run --ckpt-dir` and `bor-bench
 /// --ckpt-dir` reuse libraries across invocations. See docs/CHECKPOINTS.md.
 ///
-/// Payload layout (little-endian), version 1:
+/// Payload layout (little-endian), version 2 (version 2 rekeyed BBV
+/// entries from terminator instruction indices to cfg::BlockIds; v1
+/// images are rejected and rebuilt):
 ///   u32 version | u64 periodInsts | u64 totalInsts | u8 streamHalted
 ///   | u32 deciderKindLen, kind bytes
 ///   | u64 numStorePages | numStorePages x 4096 page bytes
@@ -34,7 +36,7 @@
 ///        u32 numDeciderWords, u64 words,
 ///        u64 numPages, (u64 base, u64 storePageIndex)*)*
 ///   | u64 numMarkers | (u32 id, u64 globalInst)*
-///   | u64 numBbvs | (u32 numEntries, (u32 instIndex, u64 count)*)*
+///   | u64 numBbvs | (u32 numEntries, (u32 cfgBlockId, u64 count)*)*
 ///
 //===----------------------------------------------------------------------===//
 

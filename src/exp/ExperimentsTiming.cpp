@@ -26,6 +26,7 @@ namespace exp {
 
 void registerAccuracyExperiments(); // ExperimentsAccuracy.cpp
 void registerSampleExperiments();   // ExperimentsSample.cpp
+void registerPgoExperiments();      // ExperimentsPgo.cpp
 
 namespace {
 
@@ -547,6 +548,7 @@ void registerAllExperiments() {
 
   registerAccuracyExperiments();
   registerSampleExperiments();
+  registerPgoExperiments();
 
   ExperimentRegistry &R = ExperimentRegistry::instance();
   R.add("fig02",

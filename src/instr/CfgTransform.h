@@ -1,0 +1,116 @@
+//===- instr/CfgTransform.h - Sampling transform as CFG edits -------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CFG-edit counterpart of instr/Transform.h: the same sampling
+/// frameworks (counter-based and branch-on-random, No-Duplication and
+/// Full-Duplication), expressed as edits on a cfg::Module instead of
+/// instructions streamed through a ProgramBuilder.
+///
+/// The emitter path bakes the framework into the instruction stream while
+/// the generator runs, which freezes layout decisions at build time. The
+/// CFG path works on blocks and edges, so the result composes with the
+/// src/opt/ layout passes: a check block's uncommon path is just another
+/// block whose placement the optimizer may choose. Semantics are identical
+/// to the emitter path — the check sequences, counter state, initial
+/// values, and per-site instruction counts are the same, which
+/// tests/test_instr_cfg.cpp verifies differentially.
+///
+/// No-Duplication site insertion splits the site's block: the prefix keeps
+/// the original BlockId (so edges into it, profiles keyed on it, and code
+/// symbols at its head all stay valid), grows the check as its terminator,
+/// and the remainder becomes a continuation block. The out-of-line sample
+/// block is appended to the layout end — the Figure 8 placement.
+///
+/// Full-Duplication clones a region subgraph (Figure 11): internal edges
+/// are remapped into the clone, exits rejoin the original continuation,
+/// the clone entry gains the counter-reset prologue, and the region head
+/// gains the check choosing between the copies. Region-internal back edges
+/// to the head re-run the check, i.e. checks sit on method entries and
+/// loop back edges, the Arnold–Ryder placement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_INSTR_CFGTRANSFORM_H
+#define BOR_INSTR_CFGTRANSFORM_H
+
+#include "cfg/Cfg.h"
+#include "instr/Transform.h"
+
+#include <vector>
+
+namespace bor {
+
+/// One instrumentation site for the CFG path: the body is spliced (under
+/// the framework's sampling discipline) immediately before instruction
+/// \p Offset of block \p Block.
+struct CfgSite {
+  cfg::BlockId Block = cfg::NoBlock;
+  uint32_t Offset = 0;
+  /// The instrumentation body (e.g. a ProfileTable::appendIncrement
+  /// sequence). May be empty; ignored when the config's IncludeBody is
+  /// false.
+  std::vector<Inst> Body;
+};
+
+/// Applies a sampling framework to a module by CFG edits.
+class CfgSamplingTransform {
+public:
+  /// Allocates the framework's global state in \p M's data segment (the
+  /// counter-based framework's count/reset words, statically initialized
+  /// exactly as CounterGlobals does). \p GlobalsBase is the runtime value
+  /// of RegGlobals.
+  CfgSamplingTransform(cfg::Module &M, const InstrumentationConfig &Config,
+                       uint64_t GlobalsBase);
+
+  /// One-time setup instructions for the program prologue (non-empty only
+  /// for the register-resident counter). The caller splices them into its
+  /// entry block before the measured region.
+  std::vector<Inst> setupInsts() const;
+
+  /// No-Duplication (and Full / None) path: wraps every site. Sites may
+  /// share a block; offsets refer to the block's contents at call time.
+  void instrumentSites(std::vector<CfgSite> Sites);
+
+  /// Full-Duplication path: \p Region lists the region's blocks with the
+  /// region head first. Clones the region, instruments the clone's sites
+  /// unconditionally, and inserts the selecting check at the head. For the
+  /// None and Full frameworks this is a no-op (no check, no clone) — the
+  /// emitter path likewise emits no duplication check for them.
+  void duplicateRegion(const std::vector<cfg::BlockId> &Region,
+                       std::vector<CfgSite> Sites);
+
+  unsigned numSites() const { return NumSites; }
+  const InstrumentationConfig &config() const { return Config; }
+
+  /// Post-transform location of every sampling-check branch (block id and
+  /// instruction offset of the cbs beq or the brr). The blocks' final
+  /// byte PCs exist only after emitProgram; each check also gets a code
+  /// symbol "instr.check.<n>" so emitted programs carry the PCs.
+  const std::vector<std::pair<cfg::BlockId, uint32_t>> &checkBranches() const {
+    return Checks;
+  }
+
+private:
+  void recordCheck(cfg::BlockId Block);
+  std::vector<Inst> commonPathInsts() const; ///< decrement/store sequence
+  std::vector<Inst> uncommonPreludeInsts() const; ///< counter reload
+  std::vector<Inst> resetCounterInsts() const;    ///< full-dup prologue
+  int32_t countDisp() const;
+  int32_t resetDisp() const;
+
+  cfg::Module &M;
+  InstrumentationConfig Config;
+  uint64_t GlobalsBase;
+  uint64_t CountAddr = 0; ///< CounterBased/Memory only
+  uint64_t ResetAddr = 0; ///< CounterBased/Memory only
+  std::vector<std::pair<cfg::BlockId, uint32_t>> Checks;
+  unsigned NumSites = 0;
+};
+
+} // namespace bor
+
+#endif // BOR_INSTR_CFGTRANSFORM_H

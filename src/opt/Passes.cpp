@@ -1,0 +1,174 @@
+//===- opt/Passes.cpp - Profile-guided layout passes ----------------------===//
+
+#include "opt/Passes.h"
+
+#include "telemetry/Counters.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace bor;
+using namespace bor::cfg;
+using namespace bor::opt;
+
+namespace {
+
+/// Greedy trace formation: seeds in current layout order, each trace
+/// extended along the hottest extendable successor. Call edges never
+/// extend a trace (control returns to the Fall block), and brr-taken
+/// edges never do either (their probability makes them cold by
+/// construction — the optimizer must keep the fall-through path hot).
+std::vector<BlockId> formTraces(const Module &M, const ProfileMap &Prof,
+                                const std::vector<BlockId> &Layout,
+                                LayoutStats &S) {
+  std::vector<char> Placed(M.numBlocks(), 0);
+  std::vector<BlockId> Out;
+  Out.reserve(Layout.size());
+  for (BlockId Seed : Layout) {
+    if (Placed[Seed])
+      continue;
+    ++S.Traces;
+    BlockId Cur = Seed;
+    for (;;) {
+      Placed[Cur] = 1;
+      Out.push_back(Cur);
+      const BasicBlock &B = M.block(Cur);
+      BlockId Fall = B.fallThrough();
+      BlockId Taken = NoBlock;
+      const Inst *T = B.terminator();
+      if (T && (T->isCondBranch() || T->Op == Opcode::Jmp))
+        Taken = B.succ(EdgeKind::Taken);
+
+      BlockId Next;
+      bool Flipped = false;
+      if (Taken == NoBlock) {
+        Next = Fall;
+      } else if (Fall == NoBlock) {
+        Next = Taken; // jmp: adjacency enables later elision
+      } else {
+        // Conditional branch with both arms: weigh the edges. The block's
+        // own taken counts are exact edge weights; otherwise fall back to
+        // the successors' execution counts (an upper bound that still
+        // ranks the arms). Ties keep the original direction.
+        uint64_t WFall, WTaken;
+        if (T && T->isCondBranch() && Prof.hasBlock(Cur)) {
+          uint64_t E = Prof.execCount(Cur);
+          uint64_t Tk = Prof.takenCount(Cur);
+          WTaken = Tk;
+          WFall = E >= Tk ? E - Tk : 0;
+        } else {
+          WFall = Prof.execCount(Fall);
+          WTaken = Prof.execCount(Taken);
+        }
+        Flipped = WTaken > WFall;
+        Next = Flipped ? Taken : Fall;
+      }
+      if (Next == NoBlock || Placed[Next])
+        break;
+      if (Flipped)
+        ++S.HotFallthroughs;
+      Cur = Next;
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+LayoutStats opt::optimizeLayout(Module &M, const ProfileMap &Prof,
+                                const LayoutOptions &Opts) {
+  LayoutStats S;
+  if (M.layout().empty())
+    return S;
+  std::vector<BlockId> Layout = M.layout();
+  const BlockId Entry = Layout.front();
+
+  if (Opts.BranchDirection && !Prof.empty())
+    Layout = formTraces(M, Prof, Layout, S);
+
+  // Hot/cold splitting: profiled-cold blocks leave the function body for
+  // a shared cold section at the tail, grouped by function so each
+  // function's cold part stays contiguous.
+  uint64_t Max = Prof.maxExec();
+  if (Opts.HotColdSplit && Max > 0) {
+    M.setLayout(Layout);
+    M.computeFunctions();
+    auto IsCold = [&](BlockId Id) {
+      if (Id == Entry || M.block(Id).Insts.empty())
+        return false;
+      if (!Prof.hasBlock(Id) && !Prof.complete())
+        return false; // unknown, not cold
+      return Prof.execCount(Id) * Opts.ColdDivisor < Max;
+    };
+    std::vector<BlockId> Hot, Cold;
+    std::set<uint32_t> SplitFns;
+    for (BlockId Id : Layout) {
+      if (IsCold(Id)) {
+        Cold.push_back(Id);
+        SplitFns.insert(M.functionOf(Id));
+      } else {
+        Hot.push_back(Id);
+      }
+    }
+    std::stable_sort(Cold.begin(), Cold.end(), [&](BlockId A, BlockId B) {
+      return M.functionOf(A) < M.functionOf(B);
+    });
+    S.ColdOutlined = Cold.size();
+    S.FunctionsSplit = SplitFns.size();
+    Hot.insert(Hot.end(), Cold.begin(), Cold.end());
+    Layout = std::move(Hot);
+  }
+
+  // Structural outlining: a block whose every predecessor edge is
+  // brr-taken is a sampling uncommon path — out of line regardless of
+  // profile (the Figure 8 flip, applied generically).
+  if (Opts.OutlineCold) {
+    std::vector<uint8_t> HasPred(M.numBlocks(), 0);
+    std::vector<uint8_t> HasNonBrrPred(M.numBlocks(), 0);
+    for (BlockId Id = 0; Id != M.numBlocks(); ++Id)
+      for (const Edge &E : M.block(Id).Succs) {
+        HasPred[E.Dst] = 1;
+        if (E.Kind != EdgeKind::BrrTaken)
+          HasNonBrrPred[E.Dst] = 1;
+      }
+    std::vector<BlockId> Inline, Outlined;
+    for (BlockId Id : Layout) {
+      bool BrrOnly =
+          Id != Entry && HasPred[Id] && !HasNonBrrPred[Id];
+      (BrrOnly ? Outlined : Inline).push_back(Id);
+    }
+    S.BrrOutlined = Outlined.size();
+    Inline.insert(Inline.end(), Outlined.begin(), Outlined.end());
+    Layout = std::move(Inline);
+  }
+
+  // Empty successor-less blocks (the branch-to-end sentinel) must stay at
+  // the very end: they emit no instructions, so anything placed after one
+  // would share its address.
+  std::vector<BlockId> Final, Sentinels;
+  for (BlockId Id : Layout) {
+    const BasicBlock &B = M.block(Id);
+    (Id != Entry && B.Insts.empty() && B.Succs.empty() ? Sentinels : Final)
+        .push_back(Id);
+  }
+  Final.insert(Final.end(), Sentinels.begin(), Sentinels.end());
+  assert(!Final.empty() && Final.front() == Entry &&
+         "layout passes must keep the entry block first");
+  M.setLayout(std::move(Final));
+
+  if (telemetry::CounterRegistry::enabled()) {
+    static const telemetry::Counter Runs("opt.pass.runs");
+    static const telemetry::Counter Traces("opt.pass.traces");
+    static const telemetry::Counter Flips("opt.pass.hot_fallthroughs");
+    static const telemetry::Counter ColdC("opt.pass.cold_outlined");
+    static const telemetry::Counter BrrC("opt.pass.brr_outlined");
+    static const telemetry::Counter Fns("opt.pass.functions_split");
+    Runs.add(1);
+    Traces.add(S.Traces);
+    Flips.add(S.HotFallthroughs);
+    ColdC.add(S.ColdOutlined);
+    BrrC.add(S.BrrOutlined);
+    Fns.add(S.FunctionsSplit);
+  }
+  return S;
+}

@@ -1,0 +1,71 @@
+//===- opt/Passes.h - Profile-guided layout passes ------------------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The layout optimizer that closes the paper's PGO loop: profiles
+/// collected by the sampling frameworks (Sections 4-5) feed passes that
+/// re-linearize a cfg::Module for the pipeline model's fetch behaviour.
+/// Only the Layout changes — block ids, instructions, and data are
+/// untouched, so profiles stay valid across runs of the optimizer and
+/// emitProgram proves the result executable by construction.
+///
+/// Three passes, composable via LayoutOptions:
+///
+///  * Branch-direction layout: greedy trace formation that places each
+///    block's hottest successor as its fall-through. emitProgram then
+///    inverts conditional branches whose taken arm became adjacent, so
+///    the hot path runs on not-taken branches (no fetch break, no BTB
+///    pressure).
+///  * Hot/cold splitting: per function, blocks the profile shows cold are
+///    moved out of the function body into a shared cold section at the
+///    module tail, keeping the hot instruction footprint dense.
+///  * Cold-path outlining: the Figure 8 flip, generalized — blocks
+///    reachable only through brr-taken edges are sampling's uncommon
+///    paths and are placed out of line even with no profile at all.
+///
+/// All passes are conservative with partial profiles: a block is treated
+/// as cold only on positive evidence (profiled and far below the hottest
+/// block), never because the profile is silent about it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_OPT_PASSES_H
+#define BOR_OPT_PASSES_H
+
+#include "cfg/Cfg.h"
+#include "opt/ProfileMap.h"
+
+namespace bor {
+namespace opt {
+
+struct LayoutOptions {
+  bool BranchDirection = true; ///< hot-successor trace layout
+  bool HotColdSplit = true;    ///< per-function cold sectioning
+  bool OutlineCold = true;     ///< structural brr-uncommon outlining
+  /// Cold threshold: a profiled block is cold when its count times this
+  /// divisor is still below the hottest block's count.
+  uint64_t ColdDivisor = 64;
+};
+
+struct LayoutStats {
+  size_t Traces = 0;          ///< traces formed by branch-direction layout
+  size_t HotFallthroughs = 0; ///< non-Fall hot edges made adjacent
+  size_t ColdOutlined = 0;    ///< blocks moved to the cold section
+  size_t BrrOutlined = 0;     ///< brr-uncommon blocks moved out of line
+  size_t FunctionsSplit = 0;  ///< functions that shed at least one block
+};
+
+/// Runs the enabled passes over \p M's layout, guided by \p Prof (which
+/// may be empty — only the structural pass then has any effect). The
+/// entry block always stays first; empty sentinel blocks always stay
+/// last. Publishes opt.pass.* counters.
+LayoutStats optimizeLayout(cfg::Module &M, const ProfileMap &Prof,
+                           const LayoutOptions &Opts = {});
+
+} // namespace opt
+} // namespace bor
+
+#endif // BOR_OPT_PASSES_H

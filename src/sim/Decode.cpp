@@ -2,6 +2,7 @@
 
 #include "sim/Decode.h"
 
+#include "cfg/Cfg.h"
 #include "telemetry/Counters.h"
 
 using namespace bor;
@@ -55,23 +56,20 @@ DecodedProgram::DecodedProgram(const Program &P) : Prog(P) {
     Insts.push_back(D);
   }
 
-  // Back-propagate run lengths: distance to the end of the static basic
-  // block, inclusive. The final instruction of the image always terminates
-  // a run even when it is not a block ender (execution falling off the end
-  // is caught by the PC range assert, as before).
-  uint32_t Run = 0;
-  for (size_t Index = Insts.size(); Index-- > 0;) {
-    if (Insts[Index].endsBlock())
-      Run = 0;
-    ++Run;
-    Insts[Index].RunLen =
-        static_cast<uint16_t>(Run > 0xffff ? 0xffff : Run);
+  // Block structure comes from the shared CFG IR rather than a private
+  // re-derivation: run lengths are distances to the end of the enclosing
+  // cfg::Module block (CFG blocks also break at branch targets), and the
+  // per-instruction block ids key BBVs and profiles downstream.
+  cfg::Module M = cfg::buildModule(P);
+  NumBlocks = M.numBlocks();
+  InstBlockIds.reserve(Insts.size());
+  for (size_t Index = 0; Index != Insts.size(); ++Index)
+    InstBlockIds.push_back(M.blockForIndex(Index));
+  for (size_t Index = 0; Index != Insts.size(); ++Index) {
+    const cfg::BasicBlock &B = M.block(InstBlockIds[Index]);
+    size_t Run = B.OrigIndex + B.Insts.size() - Index;
+    Insts[Index].RunLen = static_cast<uint16_t>(Run > 0xffff ? 0xffff : Run);
   }
-  for (const DecodedInst &D : Insts)
-    if (D.endsBlock())
-      ++NumBlocks;
-  if (!Insts.empty() && !Insts.back().endsBlock())
-    ++NumBlocks; // trailing straight-line run
 
   if (telemetry::CounterRegistry::enabled()) {
     static const telemetry::Counter Programs("interp.decode.programs");

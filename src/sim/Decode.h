@@ -14,9 +14,12 @@
 /// oracle and the experiment harness all execute over one shared immutable
 /// image, so the per-instruction dispatch loop never re-derives operands.
 ///
-/// The image also records the static basic-block structure (run lengths to
-/// the next block terminator), which the interpreter's block-chained
-/// fast-forward path and the decode unit tests consume.
+/// The image's static basic-block structure is no longer re-derived here:
+/// decoding builds the program's cfg::Module (cfg/Cfg.h) and consumes its
+/// block metadata — per-instruction block ids, run lengths to the end of
+/// the enclosing CFG block, and the module's block count. One IR now
+/// answers every "what block is this?" question (decode, BBV keying,
+/// profile mapping) identically.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -52,8 +55,9 @@ struct DecodedInst {
   uint8_t Rs2 = 0;
   uint8_t Freq = 0;  ///< brr only: raw 4-bit frequency field.
   uint8_t Flags = 0; ///< DecodedInstFlags.
-  /// Instructions from this one to the end of its static basic block,
-  /// inclusive (>= 1; saturates at 0xffff).
+  /// Instructions from this one to the end of its CFG basic block,
+  /// inclusive (>= 1; saturates at 0xffff). CFG blocks also break at
+  /// branch targets (leaders), not just after terminators.
   uint16_t RunLen = 1;
   /// Pre-extended ALU/memory immediate or marker id.
   int64_t Imm = 0;
@@ -75,8 +79,18 @@ public:
 
   const Program &program() const { return Prog; }
   size_t numInsts() const { return Insts.size(); }
-  /// Static basic blocks in the image (runs ended by control/halt/marker).
+  /// Static basic blocks in the image — the cfg::Module's block count
+  /// (leader-split runs count individually; a branch-to-end sentinel
+  /// block counts too).
   size_t numBlocks() const { return NumBlocks; }
+
+  /// CFG block id (cfg::BlockId) of instruction \p Index. Stable across
+  /// layout edits of the module, so profiles and BBVs keyed on these ids
+  /// survive relinearization.
+  uint32_t instBlockId(size_t Index) const {
+    assert(Index < InstBlockIds.size() && "instruction index out of range");
+    return InstBlockIds[Index];
+  }
 
   const DecodedInst &at(size_t Index) const {
     assert(Index < Insts.size() && "instruction index out of range");
@@ -92,6 +106,7 @@ public:
 private:
   const Program &Prog;
   std::vector<DecodedInst> Insts;
+  std::vector<uint32_t> InstBlockIds; ///< per-inst cfg::BlockId
   size_t NumBlocks = 0;
 };
 

@@ -28,6 +28,26 @@ const CounterInfo Table[] = {
     {"cache.l1i.misses", "L1 instruction-cache misses"},
     {"cache.l2.accesses", "unified L2 accesses (L1 miss traffic)"},
     {"cache.l2.misses", "unified L2 misses (memory traffic)"},
+    {"cfg.build.blocks", "basic blocks discovered by buildModule"},
+    {"cfg.build.edges", "CFG edges discovered by buildModule"},
+    {"cfg.build.functions", "functions derived by computeFunctions"},
+    {"cfg.build.modules", "programs lifted into cfg::Module form"},
+    {"cfg.emit.elided_jumps", "jmp-to-next terminators dropped (opt-in)"},
+    {"cfg.emit.inserted_jumps",
+     "jmps inserted for displaced fall-through edges"},
+    {"cfg.emit.insts", "instructions emitted by relinearization"},
+    {"cfg.emit.inverted_branches",
+     "conditional branches inverted for layout adjacency"},
+    {"cfg.emit.programs", "programs emitted from cfg::Module form"},
+    {"cfg.emit.relaxed_branches",
+     "out-of-range branches relaxed to branch-around-jump"},
+    {"cfg.transform.checks", "sampling checks inserted by the CFG transform"},
+    {"cfg.transform.cloned_blocks",
+     "blocks duplicated for Full-Duplication regions"},
+    {"cfg.transform.sites",
+     "instrumentation sites processed by the CFG transform"},
+    {"cfg.transform.uncommon_blocks",
+     "out-of-line sample blocks created by the CFG transform"},
     {"ckpt.build.checkpoints", "checkpoints captured during library builds"},
     {"ckpt.build.insts", "instructions executed by library build passes"},
     {"ckpt.insts.skipped",
@@ -59,6 +79,19 @@ const CounterInfo Table[] = {
     {"interp.runs", "functional interpreter runs (dtor publications)"},
     {"interp.run.insts", "instructions retired per interpreter run", true},
     {"interp.stores", "functional stores executed"},
+    {"opt.pass.brr_outlined",
+     "brr-uncommon blocks moved out of line structurally"},
+    {"opt.pass.cold_outlined", "profiled-cold blocks moved to cold sections"},
+    {"opt.pass.functions_split",
+     "functions that shed at least one cold block"},
+    {"opt.pass.hot_fallthroughs",
+     "non-fall hot edges made adjacent by trace layout"},
+    {"opt.pass.runs", "layout-optimizer pass pipelines run"},
+    {"opt.pass.traces", "traces formed by branch-direction layout"},
+    {"opt.profile.oracle_runs", "exact interpreter profiles collected"},
+    {"opt.profile.oracle_steps",
+     "instructions traced by oracle profile collection"},
+    {"opt.profile.site_ingests", "sampled site-count profiles ingested"},
     {"pipeline.brr.executed", "brr instructions retired by the pipeline"},
     {"pipeline.brr.taken", "pipeline brr retirements that branched"},
     {"pipeline.cond_branches", "conditional branches retired"},

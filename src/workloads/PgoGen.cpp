@@ -1,0 +1,156 @@
+//===- workloads/PgoGen.cpp - Pessimal-layout PGO workload ----------------===//
+
+#include "workloads/PgoGen.h"
+
+#include "instr/CfgTransform.h"
+#include "instr/Sites.h"
+#include "isa/ProgramBuilder.h"
+#include "workloads/Microbench.h"
+
+using namespace bor;
+
+namespace {
+
+// Register plan (RegScratch/RegCounter/RegGlobals/RegProfBase stay free
+// for the instrumentation transform, exactly as in the other workloads).
+constexpr uint8_t RegLcg = 1;      ///< LCG state x
+constexpr uint8_t RegIter = 2;     ///< remaining iterations
+constexpr uint8_t RegChecksum = 3; ///< self-check accumulator
+constexpr uint8_t RegT1 = 4;       ///< arm decision bits
+constexpr uint8_t RegT2 = 5;       ///< function decision bits
+constexpr uint8_t RegLcgMul = 10;  ///< LCG multiplier constant
+
+constexpr uint64_t LcgMultiplier = 6364136223846793005ULL;
+
+} // namespace
+
+PgoWorkload bor::buildPgoWorkload(const PgoGenConfig &C) {
+  PgoWorkload W;
+  W.NumSites = 2 * C.Arms + 2 * C.Functions;
+
+  ProgramBuilder B;
+  ProfileTable Table(B, "pgo.profile", W.NumSites);
+  W.ProfileBase = Table.baseAddr();
+  W.ChecksumAddr = B.allocData(8, 8);
+  B.nameData("pgo.checksum", W.ChecksumAddr);
+
+  // Per profile slot, the baseline instruction index of the point it
+  // counts. Every one is a block leader (branch target or fall-through of
+  // a conditional branch), so slot counts are block-entry counts.
+  std::vector<size_t> SlotPos(W.NumSites, 0);
+
+  // Prologue (outside the ROI; identical across layout variants because
+  // the optimizer pins the entry block first).
+  B.emitLoadConst(RegGlobals, DefaultDataBase);
+  B.emitLoadConst(RegProfBase, Table.baseAddr());
+  B.emitLoadConst(RegLcgMul, LcgMultiplier);
+  B.emitLoadConst(RegLcg, C.Seed * 0x9E3779B97F4A7C15ULL + 0x1234567ULL);
+  B.emitLoadConst(RegIter, C.Iters);
+  B.emit(Inst::li(RegChecksum, 0));
+  const size_t SetupPos = B.here(); // framework setup splices here
+  B.emit(Inst::marker(MarkerRoiBegin));
+
+  auto LoopHead = B.label();
+  B.bind(LoopHead);
+  B.nameLabel("pgo.loop", LoopHead);
+
+  std::vector<ProgramBuilder::LabelId> FnLabels;
+  for (unsigned F = 0; F != C.Functions; ++F)
+    FnLabels.push_back(B.label());
+
+  // The arms: each steps the LCG, extracts 6 bias bits, and branches to
+  // its hot path — TAKEN with probability 63/64, hopping over the inline
+  // cold chunk. This is the pessimal shape branch-direction layout fixes.
+  for (unsigned A = 0; A != C.Arms; ++A) {
+    unsigned Shift = 8 + static_cast<unsigned>((C.Seed * 7 + 11 * A) % 40);
+    B.emit(Inst::alu(Opcode::Mul, RegLcg, RegLcg, RegLcgMul));
+    B.emit(Inst::addi(RegLcg, RegLcg,
+                      static_cast<int32_t>((C.Seed * 2 + 2 * A + 1) & 0x3ff)));
+    B.emit(Inst::alui(Opcode::Srli, RegT1, RegLcg, static_cast<int32_t>(Shift)));
+    B.emit(Inst::alui(Opcode::Andi, RegT1, RegT1, 63));
+    auto Hot = B.label();
+    auto Join = B.label();
+    B.emitBranch(Opcode::Bne, RegT1, RegZero, Hot);
+    // Inline cold chunk on the fall-through path.
+    SlotPos[2 * A + 1] = B.here();
+    for (unsigned I = 0; I != C.ColdChunk; ++I)
+      B.emit(Inst::alui(Opcode::Xori, RegChecksum, RegChecksum,
+                        static_cast<int32_t>((A * 131 + I * 7 + 3) & 0x7fff)));
+    B.emit(Inst::addi(RegChecksum, RegChecksum, 1));
+    B.emitJmp(Join);
+    B.bind(Hot);
+    SlotPos[2 * A] = B.here();
+    B.emit(Inst::add(RegChecksum, RegChecksum, RegT1));
+    B.emit(Inst::alu(Opcode::Xor, RegChecksum, RegChecksum, RegLcg));
+    B.bind(Join);
+  }
+
+  for (unsigned F = 0; F != C.Functions; ++F)
+    B.emitJal(RegLr, FnLabels[F]);
+
+  B.emit(Inst::addi(RegIter, RegIter, -1));
+  B.emitBranch(Opcode::Bne, RegIter, RegZero, LoopHead);
+  B.emit(Inst::marker(MarkerRoiEnd));
+  B.emit(Inst::st(RegChecksum, RegGlobals,
+                  static_cast<int32_t>(W.ChecksumAddr - DefaultDataBase)));
+  B.emit(Inst::halt());
+
+  // Helper functions, each with its cold tail inline before the shared
+  // return — the shape hot/cold splitting moves out of the body.
+  for (unsigned F = 0; F != C.Functions; ++F) {
+    B.bind(FnLabels[F]);
+    B.nameLabel("pgo.fn" + std::to_string(F), FnLabels[F]);
+    SlotPos[2 * C.Arms + 2 * F] = B.here();
+    unsigned Shift = 8 + static_cast<unsigned>((C.Seed * 5 + 13 * F + 19) % 40);
+    B.emit(Inst::alui(Opcode::Xori, RegChecksum, RegChecksum,
+                      static_cast<int32_t>(0x40 + F)));
+    B.emit(Inst::alui(Opcode::Srli, RegT2, RegLcg, static_cast<int32_t>(Shift)));
+    B.emit(Inst::alui(Opcode::Andi, RegT2, RegT2, 15));
+    auto Ret = B.label();
+    B.emitBranch(Opcode::Bne, RegT2, RegZero, Ret);
+    SlotPos[2 * C.Arms + 2 * F + 1] = B.here();
+    for (unsigned I = 0; I != C.ColdChunk; ++I)
+      B.emit(Inst::alui(Opcode::Xori, RegChecksum, RegChecksum,
+                        static_cast<int32_t>((F * 257 + I * 11 + 5) & 0x7fff)));
+    B.bind(Ret);
+    B.emit(Inst::add(RegChecksum, RegChecksum, RegT2));
+    B.emit(Inst::ret());
+  }
+
+  W.Baseline = B.finish();
+
+  // Slot -> block map, valid for every buildModule(Baseline) lift (block
+  // ids are a deterministic function of the program).
+  cfg::Module M = cfg::buildModule(W.Baseline);
+  W.SiteBlocks.resize(W.NumSites);
+  for (size_t S = 0; S != W.NumSites; ++S)
+    W.SiteBlocks[S] = M.blockForIndex(SlotPos[S]);
+
+  // The profiling variant: same instruction stream, lifted again, with the
+  // sampling framework and one counter increment per site spliced in.
+  InstrumentationConfig IC = C.Instr;
+  IC.Dup = DuplicationMode::NoDuplication;
+  IC.IncludeBody = true;
+  cfg::Module MI = cfg::buildModule(W.Baseline);
+  CfgSamplingTransform T(MI, IC, DefaultDataBase);
+  std::vector<Inst> Setup = T.setupInsts();
+  if (!Setup.empty()) {
+    cfg::BlockId Entry = MI.blockForIndex(SetupPos);
+    MI.insertInsts(Entry, static_cast<uint32_t>(
+                              SetupPos - MI.block(Entry).OrigIndex),
+                   Setup);
+  }
+  std::vector<CfgSite> Sites;
+  for (size_t S = 0; S != W.NumSites; ++S) {
+    std::vector<Inst> Body;
+    Table.appendIncrement(Body, S, RegProfBase, Table.baseAddr(), RegScratch);
+    cfg::BlockId Blk = MI.blockForIndex(SlotPos[S]);
+    Sites.push_back({Blk,
+                     static_cast<uint32_t>(SlotPos[S] -
+                                           MI.block(Blk).OrigIndex),
+                     std::move(Body)});
+  }
+  T.instrumentSites(std::move(Sites));
+  W.Instrumented = cfg::emitProgram(MI);
+  return W;
+}

@@ -1,0 +1,54 @@
+# PGO-loop gate: the pgo_layout experiment closes the paper's loop --
+# collect a brr-sampled (or counter-sampled) profile, feed it to the
+# layout optimizer, and measure the relinearized program on the detailed
+# pipeline. The verdict is PASS only when every optimized run is
+# execution-equivalent to its baseline (same checksum, clean halt) AND
+# the brr-profile-driven layout's mean ROI cycles are separated from the
+# baseline's by non-overlapping 95% CIs.
+#
+# The gate also repeats the run across worker-thread counts and requires
+# byte-identical JSON, extending the runner's determinism guarantee to
+# the profile-collection + optimization pipeline.
+#
+# --scale 10 drops the iteration count to 300 per workload seed, keeping
+# the full grid (4 profile sources x 5 seeds, each with baseline +
+# optimized + instrumented pipeline runs) affordable in CI.
+#
+# Invoked by ctest with:
+#   -DBENCH=<bor-bench> -DWORKDIR=<scratch dir>
+
+file(MAKE_DIRECTORY ${WORKDIR})
+set(SERIAL ${WORKDIR}/pgo_layout_t1.json)
+set(PARALLEL ${WORKDIR}/pgo_layout_t8.json)
+
+function(run_bench outfile threads)
+  execute_process(COMMAND ${BENCH} --experiment pgo_layout --scale 10
+                          --threads ${threads} --no-table --json ${outfile}
+                  RESULT_VARIABLE RC
+                  OUTPUT_VARIABLE OUT
+                  ERROR_VARIABLE ERR)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR
+            "bor-bench --experiment pgo_layout --threads ${threads} "
+            "failed (${RC}):\n${OUT}\n${ERR}")
+  endif()
+endfunction()
+
+run_bench(${SERIAL} 1)
+run_bench(${PARALLEL} 8)
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${SERIAL} ${PARALLEL}
+                RESULT_VARIABLE DIFF)
+if(NOT DIFF EQUAL 0)
+  message(FATAL_ERROR
+          "pgo_layout JSON differs between --threads 1 and --threads 8: "
+          "${SERIAL} vs ${PARALLEL}")
+endif()
+
+file(READ ${SERIAL} CONTENT)
+if(NOT CONTENT MATCHES "\"verdict\":\"PASS\"")
+  message(FATAL_ERROR
+          "pgo_layout verdict is not PASS (see ${SERIAL})")
+endif()
+
+message(STATUS "pgo layout gate passed")

@@ -7,8 +7,9 @@
 #   3. Sampled runs write timeseries.json, byte-identical for --threads 1
 #      and 8, and the sampled manifests also compare clean against each
 #      other.
-#   4. --update-baselines regenerates the committed BENCH_fig13.json
-#      byte-identically (the baselines stay reproducible from source).
+#   4. --update-baselines regenerates the committed BENCH_fig13.json and
+#      BENCH_pgo_layout.json byte-identically (the baselines stay
+#      reproducible from source).
 #   5. --list-counters documents every counter a real run publishes.
 #   6. --progress jsonl emits machine-readable progress lines on stderr.
 #
@@ -137,6 +138,18 @@ execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
 if(NOT DIFF EQUAL 0)
   message(FATAL_ERROR
           "--update-baselines does not reproduce committed ${BASELINE}")
+endif()
+if(DEFINED PGO_BASELINE)
+  run_bench(ERR_PGO --experiment pgo_layout --scale 10 --no-table
+            --update-baselines --baseline-dir ${WORKDIR}/bench)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                          ${WORKDIR}/bench/BENCH_pgo_layout.json
+                          ${PGO_BASELINE}
+                  RESULT_VARIABLE DIFF)
+  if(NOT DIFF EQUAL 0)
+    message(FATAL_ERROR
+            "--update-baselines does not reproduce committed ${PGO_BASELINE}")
+  endif()
 endif()
 execute_process(COMMAND ${REPORT} ${BASELINE} ${WORKDIR}/runA
                 RESULT_VARIABLE RC OUTPUT_VARIABLE OUT ERROR_VARIABLE ERR)

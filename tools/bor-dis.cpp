@@ -3,28 +3,143 @@
 // Disassembles a BORB image to stdout:
 //
 //   bor-dis program.borb
+//   bor-dis --cfg program.borb                annotate block boundaries/edges
+//   bor-dis --cfg --profile p.json prog.borb  add per-block hot counts
+//
+// --profile takes a "bor-profile-v1" JSON file (bor-opt --emit-profile
+// writes one) keyed to the same block ids --cfg prints.
 //
 //===----------------------------------------------------------------------===//
 
+#include "cfg/Cfg.h"
 #include "isa/Disasm.h"
 #include "isa/Serialize.h"
+#include "opt/ProfileMap.h"
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 using namespace bor;
 
-int main(int Argc, char **Argv) {
-  if (Argc != 2) {
-    std::fprintf(stderr, "usage: bor-dis program.borb\n");
-    return 2;
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bor-dis [--cfg] [--profile FILE] program.borb\n");
+  return 2;
+}
+
+const char *edgeName(cfg::EdgeKind K) {
+  switch (K) {
+  case cfg::EdgeKind::Fall:
+    return "fall";
+  case cfg::EdgeKind::Taken:
+    return "taken";
+  case cfg::EdgeKind::BrrTaken:
+    return "brr";
+  case cfg::EdgeKind::Call:
+    return "call";
   }
-  LoadResult R = loadProgramFile(Argv[1]);
+  return "?";
+}
+
+int disassembleCfg(const Program &P, const opt::ProfileMap *Prof) {
+  cfg::Module M = cfg::buildModule(P);
+  M.computeFunctions();
+  size_t Index = 0;
+  for (cfg::BlockId Id : M.layout()) {
+    const cfg::BasicBlock &B = M.block(Id);
+    std::string Hdr = "; b" + std::to_string(Id);
+    uint32_t Fn = M.functionOf(Id);
+    if (Fn != cfg::NoFunction) {
+      const cfg::Function &F = M.functions()[Fn];
+      Hdr += " fn=" + (F.Name.empty() ? "f" + std::to_string(Fn) : F.Name);
+    }
+    if (Prof) {
+      if (Prof->hasBlock(Id)) {
+        Hdr += " exec=" + std::to_string(Prof->execCount(Id));
+        if (Prof->takenCount(Id))
+          Hdr += " taken=" + std::to_string(Prof->takenCount(Id));
+      } else {
+        Hdr += Prof->complete() ? " exec=0" : " exec=?";
+      }
+    }
+    if (!B.Succs.empty()) {
+      Hdr += "  succs:";
+      for (const cfg::Edge &E : B.Succs)
+        Hdr += std::string(" ") + edgeName(E.Kind) + "->b" +
+               std::to_string(E.Dst);
+    }
+    std::printf("%s\n", Hdr.c_str());
+    for (const cfg::CodeSymbol &S : M.codeSymbols())
+      if (S.Block == Id && S.Offset == 0)
+        std::printf("; %s:\n", S.Name.c_str());
+    for (size_t I = 0; I != B.Insts.size(); ++I, ++Index)
+      std::printf("%5zu:  %s\n", Index,
+                  disassemble(B.Insts[I], static_cast<int64_t>(Index))
+                      .c_str());
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Cfg = false;
+  std::string ProfilePath, InputPath;
+  for (int I = 1; I != Argc; ++I) {
+    if (std::strcmp(Argv[I], "--cfg") == 0) {
+      Cfg = true;
+    } else if (std::strcmp(Argv[I], "--profile") == 0) {
+      if (++I == Argc)
+        return usage();
+      ProfilePath = Argv[I];
+      Cfg = true; // profile counts only make sense per block
+    } else if (Argv[I][0] == '-') {
+      return usage();
+    } else if (InputPath.empty()) {
+      InputPath = Argv[I];
+    } else {
+      return usage();
+    }
+  }
+  if (InputPath.empty())
+    return usage();
+
+  LoadResult R = loadProgramFile(InputPath);
   if (!R.Ok) {
     std::fprintf(stderr, "bor-dis: %s\n", R.Error.c_str());
     return 1;
   }
-  std::printf("%s", disassemble(R.Prog).c_str());
+
+  opt::ProfileMap Prof;
+  bool HaveProfile = false;
+  if (!ProfilePath.empty()) {
+    std::ifstream In(ProfilePath);
+    if (!In) {
+      std::fprintf(stderr, "bor-dis: cannot read %s\n", ProfilePath.c_str());
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    std::string Err;
+    if (!opt::ProfileMap::fromJson(Buf.str(), Prof, Err)) {
+      std::fprintf(stderr, "bor-dis: %s: %s\n", ProfilePath.c_str(),
+                   Err.c_str());
+      return 1;
+    }
+    HaveProfile = true;
+  }
+
+  if (Cfg)
+    disassembleCfg(R.Prog, HaveProfile ? &Prof : nullptr);
+  else
+    std::printf("%s", disassemble(R.Prog).c_str());
+
   if (!R.Prog.symbols().empty()) {
     std::printf("\nsymbols:\n");
     for (const auto &[Name, Addr] : R.Prog.symbols())
