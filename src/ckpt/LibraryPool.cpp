@@ -3,6 +3,7 @@
 #include "ckpt/LibraryPool.h"
 
 #include "isa/Serialize.h"
+#include "support/Path.h"
 #include "telemetry/Counters.h"
 
 #include <cinttypes>
@@ -64,10 +65,12 @@ LibraryPool::getOrBuild(const DecodedProgram &DP, const BrrUnitConfig &Brr,
   std::call_once(E->Once, [&] {
     const std::string Path = cachePathFor(Key);
     if (!Path.empty()) {
+      std::error_code Ec;
+      const bool Exists = std::filesystem::exists(Path, Ec);
       Program Cached;
       CheckpointLibrary Lib;
-      std::string Error;
-      if (loadLibraryFile(Path, Cached, Lib, Error) &&
+      std::string Error = "header mismatch (wrong period or decider)";
+      if (Exists && loadLibraryFile(Path, Cached, Lib, Error) &&
           Lib.periodInsts() == PeriodInsts &&
           Lib.deciderKind() == "lfsr") {
         if (telemetry::CounterRegistry::enabled()) {
@@ -76,6 +79,19 @@ LibraryPool::getOrBuild(const DecodedProgram &DP, const BrrUnitConfig &Brr,
         }
         E->Lib = std::make_shared<CheckpointLibrary>(std::move(Lib));
         return;
+      }
+      if (Exists) {
+        // A cache file that exists but will not load is corruption (e.g. a
+        // torn write from a killed process, or bit rot) — never fatal: warn,
+        // count it, and fall through to a clean rebuild that overwrites it.
+        std::fprintf(stderr,
+                     "warning: checkpoint library cache '%s' is corrupt "
+                     "(%s); rebuilding\n",
+                     Path.c_str(), Error.c_str());
+        if (telemetry::CounterRegistry::enabled()) {
+          static const telemetry::Counter Corrupt("ckpt.libraries.corrupt");
+          Corrupt.add();
+        }
       }
     }
 
@@ -86,10 +102,19 @@ LibraryPool::getOrBuild(const DecodedProgram &DP, const BrrUnitConfig &Brr,
     if (!Path.empty()) {
       std::error_code Ec;
       std::filesystem::create_directories(CacheDir, Ec);
-      if (!saveLibraryFile(DP.program(), *Built, Path))
+      // Stage into the sibling temp name and rename so a concurrent sweep
+      // process (or a kill mid-save) can never observe a half-written
+      // library — at worst the corruption path above rebuilds once.
+      const std::string Tmp = atomicTempPath(Path);
+      bool Saved = saveLibraryFile(DP.program(), *Built, Tmp);
+      if (Saved && std::rename(Tmp.c_str(), Path.c_str()) != 0)
+        Saved = false;
+      if (!Saved) {
+        std::remove(Tmp.c_str());
         std::fprintf(stderr,
                      "warning: could not persist checkpoint library to '%s'\n",
                      Path.c_str());
+      }
     }
     E->Lib = std::move(Built);
   });

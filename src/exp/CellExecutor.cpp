@@ -1,0 +1,111 @@
+//===- exp/CellExecutor.cpp - Pluggable grid-cell execution backends -----===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exp/CellExecutor.h"
+
+#include "exp/ThreadPool.h"
+#include "telemetry/Counters.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace bor {
+namespace exp {
+
+namespace {
+
+/// Shared state between a timed cell attempt and its abandonable thread.
+/// The thread owns a reference; once the waiter gives up, the thread's
+/// eventual result is dropped on the floor and the state dies with the
+/// thread.
+struct TimedAttempt {
+  std::mutex M;
+  std::condition_variable CV;
+  bool Done = false;
+  bool Abandoned = false;
+  RunRecord Record;
+};
+
+/// Runs \p Fn on a detached thread and waits up to \p TimeoutS seconds.
+/// Returns true (with \p Out filled) when the cell finished in time.
+bool runAbandonable(std::function<RunRecord()> Fn, double TimeoutS,
+                    RunRecord &Out) {
+  auto State = std::make_shared<TimedAttempt>();
+  std::thread([State, Fn = std::move(Fn)] {
+    RunRecord R = Fn();
+    std::lock_guard<std::mutex> Lock(State->M);
+    if (!State->Abandoned)
+      State->Record = std::move(R);
+    State->Done = true;
+    State->CV.notify_all();
+  }).detach();
+
+  std::unique_lock<std::mutex> Lock(State->M);
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::duration<double>(TimeoutS));
+  if (State->CV.wait_until(Lock, Deadline,
+                           [&State] { return State->Done; })) {
+    Out = std::move(State->Record);
+    return true;
+  }
+  State->Abandoned = true;
+  return false;
+}
+
+} // namespace
+
+std::vector<CellOutcome> LocalExecutor::execute(const ExperimentSpec &Spec,
+                                                std::vector<RunRecord> &Results,
+                                                const CellFn &RunCell,
+                                                const DoneFn &OnCellDone) {
+  const size_t N = Spec.Cells.size();
+  std::vector<CellOutcome> Outcomes(N);
+
+  auto RunOne = [&](size_t I) {
+    if (CellTimeoutS <= 0) {
+      Results[I] = RunCell(I);
+    } else {
+      // Abandon-safe closure: copies of the run functor (whose captures
+      // are shared_ptr-owned) and the cell's parameters, so a timed-out
+      // thread never dangles into the runner's stack frame.
+      std::function<RunRecord()> Timed =
+          [Run = Spec.Run, Cell = Spec.Cells[I], I]() { return Run(Cell, I); };
+      RunRecord R;
+      if (runAbandonable(std::move(Timed), CellTimeoutS, R)) {
+        Results[I] = std::move(R);
+      } else {
+        Outcomes[I].S = CellOutcome::State::TimedOut;
+        if (telemetry::CounterRegistry::enabled()) {
+          static const telemetry::Counter TimedOut("exp.cells.timedout");
+          TimedOut.add();
+        }
+      }
+    }
+    OnCellDone(I);
+  };
+
+  // Multi-cell grids always go through the pool — even with one worker —
+  // so the pool's telemetry counters depend only on the grid, never on
+  // the --threads value, keeping counter snapshots thread-count-invariant
+  // just like the result records.
+  if (N <= 1) {
+    for (size_t I = 0; I != N; ++I)
+      RunOne(I);
+  } else {
+    ThreadPool Pool(Threads);
+    for (size_t I = 0; I != N; ++I)
+      Pool.submit([&RunOne, I] { RunOne(I); });
+    Pool.wait();
+  }
+  return Outcomes;
+}
+
+} // namespace exp
+} // namespace bor

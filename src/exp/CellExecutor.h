@@ -1,0 +1,103 @@
+//===- exp/CellExecutor.h - Pluggable grid-cell execution backends -------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seam between "what an experiment's cells compute" and "where they
+/// run". runExperimentWith (exp/Runner.h) owns the deterministic frame —
+/// setup, spec-order result collection, summaries, sinks — and delegates
+/// only the cell execution to a CellExecutor:
+///
+///  * LocalExecutor: the classic in-process ThreadPool (one worker when
+///    --threads 1), optionally enforcing a per-cell wall-clock timeout;
+///  * svc::ServeExecutor (svc/Coordinator.h): leases cells to remote
+///    worker processes over TCP and survives their loss.
+///
+/// Both fill the same spec-order Results vector, so the emitted table and
+/// JSON are byte-identical whichever backend ran — distribution, like
+/// parallelism, is pure mechanism.
+///
+/// An executor reports a per-cell CellOutcome. Anything other than Done
+/// makes the run partial: the runner substitutes an explicit marker
+/// record (cell_status = "timeout" or "lost") for the missing cell,
+/// skips the summary stage, and the driver exits with the partial-result
+/// status (3) instead of pretending the grid completed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_EXP_CELLEXECUTOR_H
+#define BOR_EXP_CELLEXECUTOR_H
+
+#include "exp/Experiment.h"
+
+#include <functional>
+#include <vector>
+
+namespace bor {
+namespace exp {
+
+/// How one cell's execution ended.
+struct CellOutcome {
+  enum class State {
+    Done,     ///< Results[i] holds the record
+    TimedOut, ///< exceeded the per-cell wall-clock budget
+    Lost      ///< retry budget exhausted or no worker could run it
+  };
+  State S = State::Done;
+  unsigned Attempts = 1; ///< executions tried (retries included)
+};
+
+class CellExecutor {
+public:
+  virtual ~CellExecutor() = default;
+
+  /// Runs cell \p Index in-process with the runner's observability
+  /// wrapping (trace span, time-series tagging) and returns its record.
+  /// Must only be called while execute() is on the stack.
+  using CellFn = std::function<RunRecord(size_t Index)>;
+
+  /// Progress tick, called once per finished cell (any thread).
+  using DoneFn = std::function<void(size_t Index)>;
+
+  /// Executes every cell of \p Spec, filling \p Results[i] for each cell
+  /// whose outcome is Done. Local backends call \p RunCell; distributed
+  /// backends ship (experiment, cell index) instead and decode the record
+  /// from the wire. Returns one CellOutcome per cell.
+  virtual std::vector<CellOutcome>
+  execute(const ExperimentSpec &Spec, std::vector<RunRecord> &Results,
+          const CellFn &RunCell, const DoneFn &OnCellDone) = 0;
+};
+
+/// The in-process backend: a fixed-size ThreadPool, exactly as before the
+/// service existed (multi-cell grids always go through the pool so
+/// telemetry counters stay thread-count-invariant).
+///
+/// With \p CellTimeoutS > 0 every cell runs on an abandonable thread: a
+/// cell that exceeds the budget is marked TimedOut and the sweep moves
+/// on. The abandoned computation cannot be interrupted — it keeps
+/// running detached (its result is discarded) until it finishes or the
+/// process exits. To keep that safe, timed cells execute a value-captured
+/// copy of the spec's run functor without the runner's trace/time-series
+/// wrapping, so an abandoned cell never touches telemetry buffers the
+/// driver may since have finalized.
+class LocalExecutor : public CellExecutor {
+public:
+  explicit LocalExecutor(unsigned Threads, double CellTimeoutS = 0)
+      : Threads(Threads), CellTimeoutS(CellTimeoutS) {}
+
+  std::vector<CellOutcome> execute(const ExperimentSpec &Spec,
+                                   std::vector<RunRecord> &Results,
+                                   const CellFn &RunCell,
+                                   const DoneFn &OnCellDone) override;
+
+private:
+  unsigned Threads;
+  double CellTimeoutS;
+};
+
+} // namespace exp
+} // namespace bor
+
+#endif // BOR_EXP_CELLEXECUTOR_H

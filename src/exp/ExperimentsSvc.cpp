@@ -1,0 +1,130 @@
+//===- exp/ExperimentsSvc.cpp - Service smoke-test experiment -------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `svc_smoke` experiment: a small, purely deterministic grid built
+/// for exercising the distributed sweep service (src/svc/) and the chaos
+/// gate. Every metric is a pure function of the cell's parameters — no
+/// wall-clock, no host state — so a distributed run's JSON must be
+/// byte-identical to a --threads run with no field stripping at all.
+/// The metrics deliberately cover every Metric kind the wire codec must
+/// round-trip losslessly: a full-range u64 checksum, a precision-carrying
+/// real, and a text verdict.
+///
+/// Two environment knobs let tests shape wall-clock behaviour without
+/// touching determinism of the *values*:
+///
+///   BOR_SVC_SMOKE_SLEEP_MS    every cell sleeps this long before
+///                             computing (default 0)
+///   BOR_SVC_SMOKE_SLEEP_CELL  restrict the sleep to this cell index
+///                             (default: all cells)
+///
+/// A slow cell is how the --cell-timeout and heartbeat-expiry paths are
+/// driven in tests; the computed records stay identical either way.
+///
+//===----------------------------------------------------------------------===//
+
+#include "exp/Experiment.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace bor {
+namespace exp {
+
+namespace {
+
+constexpr size_t SmokeStreams = 4;
+constexpr uint64_t SmokeLengths[] = {1000, 4000, 16000};
+
+/// splitmix64 — cheap, well-mixed, and emphatically 64-bit so the u64
+/// wire codec is exercised across the full range (values above 2^53
+/// corrupt if anything routes them through a double).
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+void maybeSleep(size_t Index) {
+  const char *Ms = std::getenv("BOR_SVC_SMOKE_SLEEP_MS");
+  if (!Ms || Ms[0] == '\0')
+    return;
+  if (const char *Cell = std::getenv("BOR_SVC_SMOKE_SLEEP_CELL"))
+    if (Cell[0] != '\0' && std::strtoull(Cell, nullptr, 10) != Index)
+      return;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(std::strtoull(Ms, nullptr, 10)));
+}
+
+ExperimentSpec makeSvcSmoke(const ExperimentOptions &Opt) {
+  ExperimentSpec S;
+  S.Name = "svc_smoke";
+  S.Title = "Service smoke grid: deterministic checksums per cell";
+  S.Notes = "Pure-compute cells for exercising the sweep service; every "
+            "metric is a function of (stream, length) only.";
+
+  for (size_t Stream = 0; Stream != SmokeStreams; ++Stream) {
+    for (uint64_t Len : SmokeLengths) {
+      ParamSet Cell;
+      Cell.emplace_back("stream", std::to_string(Stream));
+      Cell.emplace_back("length", std::to_string(Len));
+      S.Cells.push_back(std::move(Cell));
+    }
+  }
+
+  uint64_t Scale = Opt.Scale ? Opt.Scale : 1;
+  S.Run = [Scale](const ParamSet &Cell, size_t Index) {
+    maybeSleep(Index);
+    uint64_t Stream = std::strtoull(Cell[0].second.c_str(), nullptr, 10);
+    uint64_t Len =
+        std::max<uint64_t>(1, std::strtoull(Cell[1].second.c_str(), nullptr,
+                                            10) /
+                                  Scale);
+    uint64_t Sum = 0, Csum = mix64(Stream);
+    for (uint64_t I = 0; I != Len; ++I) {
+      Csum = mix64(Csum ^ I);
+      Sum += Csum >> 32;
+    }
+    RunRecord R;
+    R.Params = Cell;
+    R.metric("checksum", Csum);
+    R.metric("mean_hi32",
+             static_cast<double>(Sum) / static_cast<double>(Len), 3);
+    R.metric("parity", std::string(Csum & 1 ? "odd" : "even"));
+    return R;
+  };
+
+  S.Summarize = [](const std::vector<RunRecord> &Records) {
+    uint64_t Xor = 0;
+    for (const RunRecord &R : Records)
+      if (const Metric *M = R.findMetric("checksum"))
+        Xor ^= M->U;
+    RunRecord Sum;
+    Sum.param("summary", "all-streams");
+    Sum.metric("cells", static_cast<uint64_t>(Records.size()));
+    Sum.metric("checksum_xor", Xor);
+    return std::vector<RunRecord>{Sum};
+  };
+
+  return S;
+}
+
+} // namespace
+
+void registerSvcExperiments() {
+  ExperimentRegistry::instance().add(
+      "svc_smoke",
+      "deterministic smoke grid for the distributed sweep service",
+      makeSvcSmoke);
+}
+
+} // namespace exp
+} // namespace bor

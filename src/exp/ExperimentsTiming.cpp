@@ -27,6 +27,7 @@ namespace exp {
 void registerAccuracyExperiments(); // ExperimentsAccuracy.cpp
 void registerSampleExperiments();   // ExperimentsSample.cpp
 void registerPgoExperiments();      // ExperimentsPgo.cpp
+void registerSvcExperiments();      // ExperimentsSvc.cpp
 
 namespace {
 
@@ -549,6 +550,7 @@ void registerAllExperiments() {
   registerAccuracyExperiments();
   registerSampleExperiments();
   registerPgoExperiments();
+  registerSvcExperiments();
 
   ExperimentRegistry &R = ExperimentRegistry::instance();
   R.add("fig02",

@@ -35,22 +35,6 @@ std::string utcNow() {
   return Buf;
 }
 
-bool writeTextFile(const std::string &Path, const std::string &Text,
-                   std::string &Err) {
-  if (!ensureParentDirs(Path, Err))
-    return false;
-  std::FILE *F = std::fopen(Path.c_str(), "w");
-  if (!F) {
-    Err = "cannot open '" + Path + "' for writing";
-    return false;
-  }
-  bool Ok = std::fputs(Text.c_str(), F) >= 0;
-  Ok = std::fclose(F) == 0 && Ok;
-  if (!Ok)
-    Err = "error writing '" + Path + "'";
-  return Ok;
-}
-
 bool readTextFile(const std::string &Path, std::string &Out,
                   std::string &Err) {
   std::FILE *F = std::fopen(Path.c_str(), "rb");
@@ -95,6 +79,18 @@ bool bor::exp::writeManifest(const std::string &Dir, const ManifestInfo &Info,
   Config.fieldRaw("ckpt_library", Info.CkptLibrary ? "true" : "false");
   Config.fieldRaw("ckpt_regions",
                   jsonNumber(static_cast<uint64_t>(Info.CkptRegions)));
+  if (Info.Serve) {
+    Config.fieldRaw("serve", "true");
+    Config.fieldRaw("spawn_workers",
+                    jsonNumber(static_cast<uint64_t>(Info.SpawnWorkers)));
+  }
+  if (Info.CellsLost || Info.CellsTimedOut) {
+    Config.fieldRaw("partial", "true");
+    Config.fieldRaw("cells_lost",
+                    jsonNumber(static_cast<uint64_t>(Info.CellsLost)));
+    Config.fieldRaw("cells_timedout",
+                    jsonNumber(static_cast<uint64_t>(Info.CellsTimedOut)));
+  }
 
   std::string Experiments = "[";
   for (size_t I = 0; I != Info.Experiments.size(); ++I) {
@@ -126,8 +122,10 @@ bool bor::exp::writeManifest(const std::string &Dir, const ManifestInfo &Info,
   W.fieldRaw("experiments", Experiments);
   W.fieldRaw("files", Files.finish());
 
-  return writeTextFile(joinPath(Dir, "manifest.json"), W.finish() + "\n",
-                       Err);
+  // Atomic: a manifest either exists complete or not at all, preserving
+  // "a manifest implies complete files".
+  return writeFileAtomic(joinPath(Dir, "manifest.json"), W.finish() + "\n",
+                         Err);
 }
 
 //===----------------------------------------------------------------------===//

@@ -90,12 +90,30 @@ std::unique_ptr<JsonLinesSink> JsonLinesSink::open(const std::string &Path) {
     std::fprintf(stderr, "%s\n", Err.c_str());
     return nullptr;
   }
-  std::FILE *F = std::fopen(Path.c_str(), "w");
+  // Stream into the temp name; end() publishes it. A pre-existing stale
+  // temp file from a killed run is overwritten here.
+  std::string Tmp = atomicTempPath(Path);
+  std::FILE *F = std::fopen(Tmp.c_str(), "w");
   if (!F) {
-    std::fprintf(stderr, "cannot open '%s' for writing\n", Path.c_str());
+    std::fprintf(stderr, "cannot open '%s' for writing\n", Tmp.c_str());
     return nullptr;
   }
-  return std::make_unique<JsonLinesSink>(F, /*Owned=*/true);
+  auto Sink = std::make_unique<JsonLinesSink>(F, /*Owned=*/true);
+  Sink->FinalPath = Path;
+  return Sink;
+}
+
+void JsonLinesSink::end() {
+  if (FinalPath.empty())
+    return;
+  std::string Tmp = atomicTempPath(FinalPath);
+  bool Ok = std::fflush(Out) == 0;
+  Ok = std::fclose(Out) == 0 && Ok;
+  Out = nullptr;
+  if (!Ok || std::rename(Tmp.c_str(), FinalPath.c_str()) != 0) {
+    std::fprintf(stderr, "error publishing '%s'\n", FinalPath.c_str());
+    std::remove(Tmp.c_str());
+  }
 }
 
 void JsonLinesSink::begin(const ExperimentSpec &Spec) {

@@ -63,22 +63,29 @@ private:
 
 /// Writes one JSON object per record (JSON-lines). The first line is a
 /// header record describing the experiment.
+///
+/// Sinks opened by path stream to atomicTempPath(path) and rename over
+/// the real path in end(), so a crashed or killed run never leaves a
+/// truncated results file — only a stale *.tmp the next run overwrites.
 class JsonLinesSink : public ResultSink {
 public:
   /// Takes ownership of \p Out when \p Owned (close on destruction).
   JsonLinesSink(std::FILE *Out, bool Owned) : Out(Out), Owned(Owned) {}
   ~JsonLinesSink() override;
 
-  /// Opens \p Path for writing; returns nullptr (with a message on
-  /// stderr) if the file cannot be created.
+  /// Opens \p Path for writing (atomically, via a temp file renamed in
+  /// end()); returns nullptr (with a message on stderr) if the file
+  /// cannot be created.
   static std::unique_ptr<JsonLinesSink> open(const std::string &Path);
 
   void begin(const ExperimentSpec &Spec) override;
   void record(const RunRecord &R, bool IsSummary) override;
+  void end() override;
 
 private:
   std::FILE *Out;
   bool Owned;
+  std::string FinalPath; ///< non-empty = publish the temp file in end()
   std::string Experiment;
   size_t CellIndex = 0;
 };

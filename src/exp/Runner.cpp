@@ -7,7 +7,6 @@
 #include "exp/Runner.h"
 
 #include "exp/Json.h"
-#include "exp/ThreadPool.h"
 #include "telemetry/Counters.h"
 #include "telemetry/Telemetry.h"
 
@@ -75,12 +74,26 @@ private:
   size_t Done = 0;
 };
 
+/// The explicit stand-in record for a cell that never produced a result:
+/// its grid coordinates survive (so rows still line up downstream), and
+/// cell_status/attempts say what happened instead of metrics.
+RunRecord makeMarkerRecord(const ExperimentSpec &Spec, size_t Index,
+                           const CellOutcome &Outcome) {
+  RunRecord R;
+  R.Params = Spec.Cells[Index];
+  R.metric("cell_status", std::string(Outcome.S == CellOutcome::State::TimedOut
+                                          ? "timeout"
+                                          : "lost"));
+  R.metric("attempts", static_cast<uint64_t>(Outcome.Attempts));
+  return R;
+}
+
 } // namespace
 
-std::vector<RunRecord> runExperiment(const ExperimentSpec &Spec,
-                                     unsigned Threads,
-                                     const std::vector<ResultSink *> &Sinks,
-                                     const RunnerHooks &Hooks) {
+GridResult runExperimentWith(const ExperimentSpec &Spec,
+                             CellExecutor &Executor,
+                             const std::vector<ResultSink *> &Sinks,
+                             const RunnerHooks &Hooks) {
   assert(Spec.Run && "experiment has no run functor");
   telemetry::TraceWriter *TW =
       Hooks.Telemetry ? Hooks.Telemetry->Trace : nullptr;
@@ -102,7 +115,7 @@ std::vector<RunRecord> runExperiment(const ExperimentSpec &Spec,
   }
 
   Heartbeat HB(Hooks.Progress, Spec.Name, Spec.Cells.size());
-  auto RunCell = [&Spec, TW, &HB](std::vector<RunRecord> &Results, size_t I) {
+  auto RunCell = [&Spec, TW](size_t I) {
     telemetry::TraceSpan Span(
         TW, "cell", "experiment",
         {telemetry::TraceArg::str("experiment", Spec.Name),
@@ -111,39 +124,52 @@ std::vector<RunRecord> runExperiment(const ExperimentSpec &Spec,
     // cell index (not the worker thread) keys the series, which is what
     // keeps timeseries.json thread-count-invariant.
     telemetry::TimeSeries::Scope Tag(Spec.Name, static_cast<int64_t>(I));
-    Results[I] = Spec.Run(Spec.Cells[I], I);
+    RunRecord R = Spec.Run(Spec.Cells[I], I);
     Span.close();
-    HB.cellDone();
+    return R;
   };
+  auto OnCellDone = [&HB](size_t) { HB.cellDone(); };
 
-  // Multi-cell grids always go through the pool — even with one worker —
-  // so the pool's telemetry counters depend only on the grid, never on
-  // the --threads value, keeping counter snapshots thread-count-invariant
-  // just like the result records.
-  std::vector<RunRecord> Results(Spec.Cells.size());
-  if (Spec.Cells.size() <= 1) {
-    for (size_t I = 0; I != Spec.Cells.size(); ++I)
-      RunCell(Results, I);
-  } else {
-    ThreadPool Pool(Threads);
-    for (size_t I = 0; I != Spec.Cells.size(); ++I)
-      Pool.submit([&RunCell, &Results, I] { RunCell(Results, I); });
-    Pool.wait();
+  GridResult Out;
+  Out.Records.resize(Spec.Cells.size());
+  Out.Outcomes = Executor.execute(Spec, Out.Records, RunCell, OnCellDone);
+  assert(Out.Outcomes.size() == Spec.Cells.size() &&
+         "executor must report one outcome per cell");
+
+  for (size_t I = 0; I != Out.Outcomes.size(); ++I) {
+    const CellOutcome &O = Out.Outcomes[I];
+    if (O.S == CellOutcome::State::Done)
+      continue;
+    Out.Partial = true;
+    if (O.S == CellOutcome::State::TimedOut)
+      ++Out.CellsTimedOut;
+    else
+      ++Out.CellsLost;
+    Out.Records[I] = makeMarkerRecord(Spec, I, O);
   }
 
+  // A summary over an incomplete grid would average holes into lies;
+  // partial runs ship the per-cell truth (markers included) and nothing
+  // derived.
   std::vector<RunRecord> Summaries;
-  if (Spec.Summarize) {
+  if (Spec.Summarize && !Out.Partial) {
     telemetry::TraceSpan Span(TW, "summarize", "experiment",
                               {telemetry::TraceArg::str("experiment",
                                                         Spec.Name)});
     telemetry::TimeSeries::Scope Tag(Spec.Name,
                                      telemetry::TimeSeries::kSummarizeCell);
-    Summaries = Spec.Summarize(Results);
+    Summaries = Spec.Summarize(Out.Records);
+  } else if (Spec.Summarize && Out.Partial) {
+    std::fprintf(stderr,
+                 "[bor-bench] %s: %zu/%zu cells missing "
+                 "(%zu timed out, %zu lost); skipping summary stage\n",
+                 Spec.Name.c_str(), Out.CellsTimedOut + Out.CellsLost,
+                 Spec.Cells.size(), Out.CellsTimedOut, Out.CellsLost);
   }
 
   for (ResultSink *Sink : Sinks)
     Sink->begin(Spec);
-  for (const RunRecord &R : Results)
+  for (const RunRecord &R : Out.Records)
     for (ResultSink *Sink : Sinks)
       Sink->record(R, /*IsSummary=*/false);
   for (const RunRecord &R : Summaries)
@@ -152,7 +178,15 @@ std::vector<RunRecord> runExperiment(const ExperimentSpec &Spec,
   for (ResultSink *Sink : Sinks)
     Sink->end();
 
-  return Results;
+  return Out;
+}
+
+std::vector<RunRecord> runExperiment(const ExperimentSpec &Spec,
+                                     unsigned Threads,
+                                     const std::vector<ResultSink *> &Sinks,
+                                     const RunnerHooks &Hooks) {
+  LocalExecutor Executor(Threads);
+  return runExperimentWith(Spec, Executor, Sinks, Hooks).Records;
 }
 
 } // namespace exp

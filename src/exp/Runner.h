@@ -19,6 +19,7 @@
 #ifndef BOR_EXP_RUNNER_H
 #define BOR_EXP_RUNNER_H
 
+#include "exp/CellExecutor.h"
 #include "exp/Experiment.h"
 #include "exp/ResultSink.h"
 
@@ -46,9 +47,31 @@ struct RunnerHooks {
   ProgressMode Progress = ProgressMode::Off;
 };
 
-/// Runs \p Spec with \p Threads workers and feeds every record to each of
-/// \p Sinks in deterministic spec order. Returns the per-cell records
-/// (without the summary records).
+/// Everything one grid run produced. Partial turns true when any cell
+/// did not complete (timed out locally, or lost after the service's
+/// retry budget); those cells' records are explicit markers (the cell's
+/// params plus cell_status/attempts metrics) and the summary stage is
+/// skipped, since summaries over an incomplete grid would silently lie.
+struct GridResult {
+  std::vector<RunRecord> Records; ///< per-cell, spec order
+  std::vector<CellOutcome> Outcomes;
+  bool Partial = false;
+  size_t CellsTimedOut = 0;
+  size_t CellsLost = 0;
+};
+
+/// Runs \p Spec's cells on \p Executor and feeds every record to each of
+/// \p Sinks in deterministic spec order — the backend-agnostic core the
+/// local and distributed drivers share.
+GridResult runExperimentWith(const ExperimentSpec &Spec,
+                             CellExecutor &Executor,
+                             const std::vector<ResultSink *> &Sinks,
+                             const RunnerHooks &Hooks = RunnerHooks());
+
+/// Runs \p Spec with \p Threads in-process workers and feeds every record
+/// to each of \p Sinks in deterministic spec order. Returns the per-cell
+/// records (without the summary records). Convenience wrapper over
+/// runExperimentWith + LocalExecutor.
 std::vector<RunRecord> runExperiment(const ExperimentSpec &Spec,
                                      unsigned Threads,
                                      const std::vector<ResultSink *> &Sinks,

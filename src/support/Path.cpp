@@ -6,6 +6,7 @@
 
 #include "support/Path.h"
 
+#include <cstdio>
 #include <filesystem>
 #include <system_error>
 
@@ -44,4 +45,36 @@ std::string bor::joinPath(const std::string &A, const std::string &B) {
   if (A.back() == '/')
     return A + B;
   return A + "/" + B;
+}
+
+std::string bor::atomicTempPath(const std::string &Path) {
+  return Path + ".tmp";
+}
+
+bool bor::writeFileAtomic(const std::string &Path,
+                          const std::string &Contents, std::string &Err) {
+  if (!ensureParentDirs(Path, Err))
+    return false;
+  const std::string Tmp = atomicTempPath(Path);
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F) {
+    Err = "cannot open '" + Tmp + "' for writing";
+    return false;
+  }
+  bool Ok = Contents.empty() ||
+            std::fwrite(Contents.data(), 1, Contents.size(), F) ==
+                Contents.size();
+  Ok = std::fflush(F) == 0 && Ok;
+  Ok = std::fclose(F) == 0 && Ok;
+  if (!Ok) {
+    Err = "error writing '" + Tmp + "'";
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    Err = "cannot rename '" + Tmp + "' to '" + Path + "'";
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
 }

@@ -32,6 +32,21 @@ bool ensureDirs(const std::string &Dir, std::string &Err);
 /// Joins two path components with exactly one separator.
 std::string joinPath(const std::string &A, const std::string &B);
 
+/// The scratch name atomic writers stage into before renaming over
+/// \p Path: "<path>.tmp". A crash mid-write leaves only this file behind;
+/// the next writer overwrites it, and readers never see it.
+std::string atomicTempPath(const std::string &Path);
+
+/// Writes \p Contents to \p Path atomically: parent directories are
+/// created, the bytes go to atomicTempPath(Path) first, and only a
+/// successful write + close renames the temp file over \p Path. A killed
+/// process therefore never leaves a truncated \p Path — either the old
+/// file (or nothing) or the complete new file. Any pre-existing stale
+/// temp file is simply overwritten. Returns false with \p Err naming the
+/// path on failure (the temp file is removed best-effort).
+bool writeFileAtomic(const std::string &Path, const std::string &Contents,
+                     std::string &Err);
+
 } // namespace bor
 
 #endif // BOR_SUPPORT_PATH_H

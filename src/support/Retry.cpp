@@ -1,0 +1,31 @@
+//===- support/Retry.cpp - Capped exponential backoff with a retry budget ===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Retry.h"
+
+namespace bor {
+namespace support {
+
+double BackoffPolicy::delayFor(unsigned Retry) const {
+  double D = InitialS;
+  for (unsigned I = 0; I != Retry; ++I) {
+    D *= Multiplier;
+    if (D >= CapS)
+      return CapS;
+  }
+  return D < CapS ? D : CapS;
+}
+
+void RetryState::scheduleRetry(double Now) {
+  if (exhausted())
+    return;
+  double Delay = Policy.delayFor(Retries);
+  ++Retries;
+  NotBefore = Now + Delay;
+}
+
+} // namespace support
+} // namespace bor

@@ -1,0 +1,85 @@
+//===- support/Retry.h - Capped exponential backoff with a retry budget --===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one retry policy the sweep service (and anything else that retries)
+/// shares: deterministic capped exponential backoff plus a bounded
+/// attempt budget. Time never comes from a wall clock inside this file —
+/// callers pass "now" in as seconds (any monotonic origin), so the policy
+/// is a pure state machine and its tests need no sleeps.
+///
+/// A RetryState tracks one retried operation: record a failure with
+/// scheduleRetry(now), ask readyAt()/ready(now) when the next attempt may
+/// run, and reset() on success so later failures start the backoff ladder
+/// from the bottom again. exhausted() turns true once the budget is
+/// spent; the caller then degrades gracefully (the service marks the cell
+/// lost) instead of retrying forever.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_SUPPORT_RETRY_H
+#define BOR_SUPPORT_RETRY_H
+
+namespace bor {
+namespace support {
+
+/// The shape of the backoff ladder. Delays are InitialS * Multiplier^k,
+/// clamped to CapS; Budget bounds the total number of attempts (the
+/// first attempt counts, so Budget == 1 means "never retry").
+struct BackoffPolicy {
+  double InitialS = 0.1;
+  double Multiplier = 2.0;
+  double CapS = 5.0;
+  unsigned Budget = 3;
+
+  /// The delay before retry number \p Retry (0-based: the delay after the
+  /// first failure is delayFor(0) == InitialS).
+  double delayFor(unsigned Retry) const;
+};
+
+/// Mutable retry state for one operation under a BackoffPolicy.
+class RetryState {
+public:
+  explicit RetryState(BackoffPolicy Policy = BackoffPolicy())
+      : Policy(Policy) {}
+
+  /// Records one spent attempt. Call when the attempt is issued (the
+  /// service counts a lease as an attempt whether or not it reports
+  /// back).
+  void beginAttempt() { ++Attempts; }
+
+  /// Records a failure at time \p Now: the next attempt becomes ready
+  /// after the current rung's delay. Does nothing once exhausted.
+  void scheduleRetry(double Now);
+
+  /// True when the budget allows no further attempts.
+  bool exhausted() const { return Attempts >= Policy.Budget; }
+
+  /// Earliest time the next attempt may run (0 until a retry is
+  /// scheduled).
+  double readyAt() const { return NotBefore; }
+  bool ready(double Now) const { return Now >= NotBefore; }
+
+  /// A success resets the ladder: attempt count and delay start over.
+  void reset() {
+    Attempts = 0;
+    Retries = 0;
+    NotBefore = 0;
+  }
+
+  unsigned attempts() const { return Attempts; }
+
+private:
+  BackoffPolicy Policy;
+  unsigned Attempts = 0; ///< attempts issued (lease grants)
+  unsigned Retries = 0;  ///< failures recorded (backoff rung)
+  double NotBefore = 0;
+};
+
+} // namespace support
+} // namespace bor
+
+#endif // BOR_SUPPORT_RETRY_H

@@ -1,0 +1,207 @@
+//===- support/Socket.cpp - Minimal TCP utilities for the sweep service --===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace bor {
+namespace net {
+
+bool parseHostPort(const std::string &Addr, std::string &Host, int &Port,
+                   std::string &Err) {
+  std::string PortStr;
+  size_t Colon = Addr.rfind(':');
+  if (Colon == std::string::npos) {
+    Host = "";
+    PortStr = Addr;
+  } else {
+    Host = Addr.substr(0, Colon);
+    PortStr = Addr.substr(Colon + 1);
+  }
+  if (Host.empty())
+    Host = "127.0.0.1";
+  if (PortStr.empty()) {
+    Err = "address '" + Addr + "' has no port";
+    return false;
+  }
+  char *End = nullptr;
+  long P = std::strtol(PortStr.c_str(), &End, 10);
+  if (*End != '\0' || P < 0 || P > 65535) {
+    Err = "bad port '" + PortStr + "' in address '" + Addr + "'";
+    return false;
+  }
+  Port = static_cast<int>(P);
+  return true;
+}
+
+namespace {
+
+bool fillSockaddr(const std::string &Host, int Port, sockaddr_in &SA,
+                  std::string &Err) {
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sin_family = AF_INET;
+  SA.sin_port = htons(static_cast<uint16_t>(Port));
+  if (inet_pton(AF_INET, Host.c_str(), &SA.sin_addr) != 1) {
+    Err = "cannot resolve host '" + Host + "' (IPv4 dotted quad expected)";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int listenTcp(const std::string &Host, int Port, std::string &Err) {
+  sockaddr_in SA;
+  if (!fillSockaddr(Host, Port, SA, Err))
+    return -1;
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) != 0) {
+    Err = "cannot bind " + Host + ":" + std::to_string(Port) + ": " +
+          std::strerror(errno);
+    closeFd(Fd);
+    return -1;
+  }
+  if (::listen(Fd, 64) != 0) {
+    Err = std::string("listen: ") + std::strerror(errno);
+    closeFd(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int boundPort(int Fd) {
+  sockaddr_in SA;
+  socklen_t Len = sizeof(SA);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&SA), &Len) != 0)
+    return -1;
+  return static_cast<int>(ntohs(SA.sin_port));
+}
+
+int connectTcp(const std::string &Host, int Port, double TimeoutS,
+               std::string &Err) {
+  sockaddr_in SA;
+  if (!fillSockaddr(Host, Port, SA, Err))
+    return -1;
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+  int RC = ::connect(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA));
+  if (RC != 0 && errno != EINPROGRESS) {
+    Err = "cannot connect to " + Host + ":" + std::to_string(Port) + ": " +
+          std::strerror(errno);
+    closeFd(Fd);
+    return -1;
+  }
+  if (RC != 0) {
+    pollfd PFd{Fd, POLLOUT, 0};
+    int Ready = ::poll(&PFd, 1, static_cast<int>(TimeoutS * 1000.0));
+    int SoErr = 0;
+    socklen_t SoLen = sizeof(SoErr);
+    if (Ready > 0)
+      ::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &SoErr, &SoLen);
+    if (Ready <= 0 || SoErr != 0) {
+      Err = "cannot connect to " + Host + ":" + std::to_string(Port) + ": " +
+            (Ready <= 0 ? "timed out" : std::strerror(SoErr));
+      closeFd(Fd);
+      return -1;
+    }
+  }
+  ::fcntl(Fd, F_SETFL, Flags); // back to blocking
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return Fd;
+}
+
+bool sendAll(int Fd, const void *Data, size_t Len) {
+  const char *P = static_cast<const char *>(Data);
+  while (Len != 0) {
+    ssize_t N = ::send(Fd, P, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+void closeFd(int Fd) {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+bool FrameBuffer::next(std::string &Payload) {
+  if (Bad)
+    return false;
+  size_t Nl = Buf.find('\n');
+  if (Nl == std::string::npos) {
+    // A sane decimal prefix fits in far fewer bytes than this.
+    if (Buf.size() > 32)
+      Bad = true;
+    return false;
+  }
+  uint64_t Len = 0;
+  if (Nl == 0 || Nl > 20) {
+    Bad = true;
+    return false;
+  }
+  for (size_t I = 0; I != Nl; ++I) {
+    char C = Buf[I];
+    if (C < '0' || C > '9') {
+      Bad = true;
+      return false;
+    }
+    Len = Len * 10 + static_cast<uint64_t>(C - '0');
+  }
+  if (Len > MaxFrameBytes) {
+    Bad = true;
+    return false;
+  }
+  // Payload plus its trailing newline must be fully buffered.
+  if (Buf.size() < Nl + 1 + Len + 1)
+    return false;
+  if (Buf[Nl + 1 + Len] != '\n') {
+    Bad = true;
+    return false;
+  }
+  Payload.assign(Buf, Nl + 1, Len);
+  Buf.erase(0, Nl + 1 + Len + 1);
+  return true;
+}
+
+std::string encodeFrame(const std::string &Payload) {
+  std::string Out = std::to_string(Payload.size());
+  Out += '\n';
+  Out += Payload;
+  Out += '\n';
+  return Out;
+}
+
+} // namespace net
+} // namespace bor

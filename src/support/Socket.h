@@ -1,0 +1,89 @@
+//===- support/Socket.h - Minimal TCP utilities for the sweep service ----===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thin POSIX socket layer under src/svc/: address parsing
+/// ("host:port", ":port", bare "port"), a listener with ephemeral-port
+/// support, blocking connect with a timeout, signal-safe full-buffer
+/// sends, and a FrameBuffer that reassembles the service's
+/// length-prefixed frames from a byte stream. Everything reports errors
+/// through return values + an Err string — no exceptions, no global
+/// state. SIGPIPE is suppressed per-send (MSG_NOSIGNAL) so a peer
+/// vanishing mid-write surfaces as an error, not a process kill.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_SUPPORT_SOCKET_H
+#define BOR_SUPPORT_SOCKET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bor {
+namespace net {
+
+/// Splits "host:port" (or ":port", or a bare "port") into components.
+/// An empty host defaults to 127.0.0.1. Returns false with \p Err set on
+/// a malformed port (not a number, or outside 0..65535; 0 requests an
+/// ephemeral port from the kernel).
+bool parseHostPort(const std::string &Addr, std::string &Host, int &Port,
+                   std::string &Err);
+
+/// Binds and listens on \p Host:\p Port (SO_REUSEADDR). Returns the
+/// listening fd, or -1 with \p Err set.
+int listenTcp(const std::string &Host, int Port, std::string &Err);
+
+/// The port a socket is actually bound to (resolves port 0 requests).
+/// Returns -1 on failure.
+int boundPort(int Fd);
+
+/// Blocking connect to \p Host:\p Port, giving up after \p TimeoutS
+/// seconds. Returns the connected fd, or -1 with \p Err set.
+int connectTcp(const std::string &Host, int Port, double TimeoutS,
+               std::string &Err);
+
+/// Writes all \p Len bytes of \p Data (retrying short writes, EINTR).
+/// Returns false when the peer is gone or the fd errors.
+bool sendAll(int Fd, const void *Data, size_t Len);
+
+/// Closes \p Fd, ignoring EINTR/EBADF noise. Safe on -1.
+void closeFd(int Fd);
+
+/// Reassembles length-prefixed frames from a TCP byte stream. The wire
+/// format (see svc/Protocol.h) is
+///
+///   <decimal payload length> '\n' <payload bytes> '\n'
+///
+/// Feed raw bytes with append(); next() pops one complete payload at a
+/// time. A malformed prefix or an oversized frame poisons the buffer
+/// (bad() turns true) — the connection should be dropped, not resynced.
+class FrameBuffer {
+public:
+  /// Frames above this size indicate a corrupt stream, not real data.
+  static constexpr size_t MaxFrameBytes = 64u << 20;
+
+  void append(const char *Data, size_t Len) { Buf.append(Data, Len); }
+
+  /// Extracts the next complete frame payload into \p Payload. Returns
+  /// false when no complete frame is buffered (or the stream is bad).
+  bool next(std::string &Payload);
+
+  bool bad() const { return Bad; }
+  size_t buffered() const { return Buf.size(); }
+
+private:
+  std::string Buf;
+  bool Bad = false;
+};
+
+/// Encodes one frame payload in the wire format FrameBuffer decodes.
+std::string encodeFrame(const std::string &Payload);
+
+} // namespace net
+} // namespace bor
+
+#endif // BOR_SUPPORT_SOCKET_H

@@ -1,0 +1,412 @@
+//===- svc/Coordinator.cpp - The sweep service's serving side ------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/Coordinator.h"
+
+#include "support/Path.h"
+#include "svc/Protocol.h"
+#include "telemetry/Counters.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace bor {
+namespace svc {
+
+namespace {
+
+/// Set from a signal handler; polled by the event loop. A relaxed atomic
+/// store is async-signal-safe.
+std::atomic<bool> DrainFlag{false};
+
+struct SvcCounters {
+  telemetry::Counter Leases{"svc.leases"};
+  telemetry::Counter Retries{"svc.retries"};
+  telemetry::Counter Requeues{"svc.requeues"};
+  telemetry::Counter HeartbeatsRecv{"svc.heartbeats.recv"};
+  telemetry::Counter HeartbeatsMissed{"svc.heartbeats.missed"};
+  telemetry::Counter CellsTimeout{"svc.cells.timeout"};
+  telemetry::Counter CellsLost{"svc.cells.lost"};
+  telemetry::Counter ResultsStale{"svc.results.stale"};
+  telemetry::Counter WorkersConnected{"svc.workers.connected"};
+  telemetry::Counter WorkersLost{"svc.workers.lost"};
+  telemetry::Counter WorkersSpawned{"svc.workers.spawned"};
+  telemetry::Counter FramesSent{"svc.frames.sent"};
+  telemetry::Counter FramesRecv{"svc.frames.recv"};
+};
+
+SvcCounters &counters() {
+  static SvcCounters C;
+  return C;
+}
+
+void setCloexec(int Fd) {
+  int Flags = fcntl(Fd, F_GETFD);
+  if (Flags >= 0)
+    fcntl(Fd, F_SETFD, Flags | FD_CLOEXEC);
+}
+
+} // namespace
+
+void Coordinator::requestDrain() {
+  DrainFlag.store(true, std::memory_order_relaxed);
+}
+
+Coordinator::Coordinator(const CoordinatorConfig &Config) : Config(Config) {
+  ListenFd = net::listenTcp(Config.Host, Config.Port, Err);
+  if (ListenFd < 0)
+    return;
+  setCloexec(ListenFd);
+  if (!Config.AddrFile.empty()) {
+    std::string Addr =
+        Config.Host + ":" + std::to_string(net::boundPort(ListenFd)) + "\n";
+    std::string WErr;
+    if (!writeFileAtomic(Config.AddrFile, Addr, WErr)) {
+      Err = "cannot write --addr-file: " + WErr;
+      net::closeFd(ListenFd);
+      ListenFd = -1;
+    }
+  }
+}
+
+Coordinator::~Coordinator() { shutdown(); }
+
+int Coordinator::port() const { return net::boundPort(ListenFd); }
+
+double Coordinator::now() const {
+  static const auto Origin = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Origin)
+      .count();
+}
+
+bool Coordinator::spawnOneWorker() {
+  int Id = NextSpawnId++;
+  std::string Addr =
+      Config.Host + ":" + std::to_string(net::boundPort(ListenFd));
+  std::string IdStr = std::to_string(Id);
+
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    Err = std::string("fork: ") + std::strerror(errno);
+    return false;
+  }
+  if (Pid == 0) {
+    // Child: exec ourselves in worker mode. The worker inherits stdio so
+    // its diagnostics land next to the coordinator's.
+    std::vector<const char *> Args;
+    Args.push_back("bor-bench");
+    Args.push_back("--worker");
+    Args.push_back(Addr.c_str());
+    Args.push_back("--worker-id");
+    Args.push_back(IdStr.c_str());
+    if (!Config.FaultSpecText.empty()) {
+      Args.push_back("--fault-spec");
+      Args.push_back(Config.FaultSpecText.c_str());
+    }
+    Args.push_back(nullptr);
+    execv("/proc/self/exe", const_cast<char *const *>(Args.data()));
+    _exit(127);
+  }
+  LiveWorkers.push_back(Pid);
+  counters().WorkersSpawned.add();
+  return true;
+}
+
+bool Coordinator::spawnWorkers() {
+  if (SpawnedOnce || Config.SpawnWorkers == 0)
+    return true;
+  SpawnedOnce = true;
+  RestartsLeft = Config.MaxWorkerRestarts >= 0
+                     ? Config.MaxWorkerRestarts
+                     : static_cast<int>(2 * Config.SpawnWorkers);
+  for (unsigned I = 0; I != Config.SpawnWorkers; ++I)
+    if (!spawnOneWorker())
+      return false;
+  return true;
+}
+
+void Coordinator::sendFrame(int Fd, const std::string &Payload) {
+  // A failed send means the peer died; the read side will see the EOF on
+  // the next poll round and run the worker-lost path, so errors are not
+  // handled here.
+  std::string Wire = net::encodeFrame(Payload);
+  net::sendAll(Fd, Wire.data(), Wire.size());
+  counters().FramesSent.add();
+}
+
+void Coordinator::reapAndRespawn(bool WantMore) {
+  for (size_t I = 0; I != LiveWorkers.size();) {
+    int Status = 0;
+    pid_t R = waitpid(LiveWorkers[I], &Status, WNOHANG);
+    if (R == 0) {
+      ++I;
+      continue;
+    }
+    LiveWorkers.erase(LiveWorkers.begin() + I);
+    if (WantMore && RestartsLeft > 0 &&
+        !DrainFlag.load(std::memory_order_relaxed)) {
+      --RestartsLeft;
+      spawnOneWorker();
+    }
+  }
+}
+
+std::vector<exp::CellOutcome>
+Coordinator::runGrid(const exp::ExperimentSpec &Spec,
+                     std::vector<exp::RunRecord> &Results,
+                     const exp::CellExecutor::DoneFn &OnCellDone) {
+  SchedulerConfig SC;
+  SC.HeartbeatS = Config.HeartbeatS;
+  SC.MissedHeartbeats = Config.MissedHeartbeats;
+  SC.CellTimeoutS = Config.CellTimeoutS;
+  SC.Backoff = Config.Backoff;
+  SC.FirstJob = NextJob;
+  CellScheduler Sched(Spec.Cells.size(), SC);
+  const CellScheduler::Totals Before = Sched.totals();
+  (void)Before;
+
+  auto Drop = [&](int Fd, const char *Why) {
+    auto It = Conns.find(Fd);
+    if (It == Conns.end())
+      return;
+    if (It->second.HelloSeen) {
+      Sched.workerLost(It->second.Id, now());
+      counters().WorkersLost.add();
+      std::fprintf(stderr, "[bor-svc] worker %s gone (%s)\n",
+                   It->second.Name.c_str(), Why);
+    }
+    net::closeFd(Fd);
+    Conns.erase(It);
+  };
+
+  auto TryLease = [&](int Fd, Conn &C) {
+    double Now = now();
+    if (auto Grant = Sched.assign(C.Id, Now)) {
+      sendFrame(Fd, encodeLease(Grant->Job, Spec.Name, Grant->Cell,
+                                Grant->Attempt, Config.HeartbeatS,
+                                Config.CellTimeoutS, LeaseOptions));
+      return;
+    }
+    double Next = Sched.nextEventTime();
+    double WaitS = 0.25;
+    if (Next > Now && Next - Now < WaitS)
+      WaitS = std::max(0.05, Next - Now);
+    sendFrame(Fd, encodeIdle(WaitS));
+  };
+
+  auto Handle = [&](int Fd, Conn &C, const std::string &Payload) {
+    counters().FramesRecv.add();
+    Frame F;
+    std::string DErr;
+    if (!decodeFrame(Payload, F, DErr)) {
+      std::fprintf(stderr, "[bor-svc] bad frame from fd %d: %s\n", Fd,
+                   DErr.c_str());
+      Drop(Fd, "bad frame");
+      return;
+    }
+    if (!C.HelloSeen && F.Type != FrameType::Hello) {
+      Drop(Fd, "no hello");
+      return;
+    }
+    switch (F.Type) {
+    case FrameType::Hello:
+      if (F.Proto != ProtocolVersion) {
+        std::fprintf(stderr,
+                     "[bor-svc] worker %s speaks '%s', need '%s'; dropping\n",
+                     F.Worker.c_str(), F.Proto.c_str(), ProtocolVersion);
+        net::closeFd(Fd);
+        Conns.erase(Fd);
+        return;
+      }
+      C.HelloSeen = true;
+      C.Id = NextWorkerId++;
+      C.Name = F.Worker;
+      counters().WorkersConnected.add();
+      break;
+    case FrameType::Ready:
+      TryLease(Fd, C);
+      break;
+    case FrameType::Heartbeat:
+      if (Sched.heartbeat(F.Job, now()))
+        counters().HeartbeatsRecv.add();
+      break;
+    case FrameType::Result: {
+      std::optional<size_t> Cell = Sched.cellForJob(F.Job);
+      if (F.Ok) {
+        if (Sched.complete(F.Job) == CellScheduler::ResultDisposition::Accepted) {
+          Results[*Cell] = std::move(F.Record);
+          if (OnCellDone)
+            OnCellDone(*Cell);
+        }
+      } else {
+        if (Cell)
+          std::fprintf(stderr, "[bor-svc] cell %zu failed on worker %s: %s\n",
+                       *Cell, C.Name.c_str(), F.Error.c_str());
+        Sched.fail(F.Job, now());
+      }
+      break;
+    }
+    default:
+      // Lease/Idle/Shutdown only flow coordinator -> worker.
+      Drop(Fd, "unexpected frame type");
+      return;
+    }
+  };
+
+  while (!Sched.finished()) {
+    if (DrainFlag.load(std::memory_order_relaxed) && !Sched.draining()) {
+      std::fprintf(stderr,
+                   "[bor-svc] drain requested: no new leases, finishing "
+                   "in-flight cells\n");
+      Sched.drain();
+    }
+    if (Sched.draining() && Sched.leasesInFlight() == 0)
+      Sched.abandonPending();
+
+    // Degradation: nothing is connected, nothing is running, and nothing
+    // more can be respawned — waiting would hang forever, so the
+    // remaining cells are explicitly lost instead.
+    if (SpawnedOnce && Conns.empty() && LiveWorkers.empty() &&
+        RestartsLeft <= 0 && !Sched.finished()) {
+      std::fprintf(stderr,
+                   "[bor-svc] no workers left and restart budget spent; "
+                   "abandoning pending cells\n");
+      Sched.abandonPending();
+      continue;
+    }
+
+    std::vector<pollfd> Fds;
+    Fds.push_back({ListenFd, POLLIN, 0});
+    for (auto &[Fd, C] : Conns)
+      Fds.push_back({Fd, POLLIN, 0});
+
+    int TimeoutMs = 100;
+    double Next = Sched.nextEventTime();
+    double Now = now();
+    if (Next < Now + 0.1)
+      TimeoutMs = std::max(10, static_cast<int>((Next - Now) * 1000));
+    int R = poll(Fds.data(), Fds.size(), TimeoutMs);
+    if (R < 0 && errno != EINTR) {
+      std::fprintf(stderr, "[bor-svc] poll: %s\n", std::strerror(errno));
+      break;
+    }
+
+    // One accept per readiness report: the listen fd is blocking, and
+    // level-triggered poll will flag it again while the backlog is
+    // non-empty.
+    if (R > 0 && (Fds[0].revents & POLLIN)) {
+      int Fd = accept(ListenFd, nullptr, nullptr);
+      if (Fd >= 0) {
+        setCloexec(Fd);
+        Conns.emplace(Fd, Conn());
+      }
+    }
+
+    for (size_t I = 1; I < Fds.size(); ++I) {
+      if (!(Fds[I].revents & (POLLIN | POLLERR | POLLHUP)))
+        continue;
+      int Fd = Fds[I].fd;
+      auto It = Conns.find(Fd);
+      if (It == Conns.end())
+        continue;
+      char Buf[64 * 1024];
+      ssize_t N = recv(Fd, Buf, sizeof(Buf), 0);
+      if (N <= 0) {
+        if (N < 0 && (errno == EINTR || errno == EAGAIN))
+          continue;
+        Drop(Fd, "connection closed");
+        continue;
+      }
+      It->second.Frames.append(Buf, static_cast<size_t>(N));
+      std::string Payload;
+      while (Conns.count(Fd) && It->second.Frames.next(Payload))
+        Handle(Fd, It->second, Payload);
+      if (Conns.count(Fd) && It->second.Frames.bad())
+        Drop(Fd, "corrupt frame stream");
+    }
+
+    for (const LeaseExpiry &E : Sched.expireDeadlines(now())) {
+      const char *Why = E.HeartbeatMissed ? "missed heartbeats"
+                                          : "cell wall-clock timeout";
+      std::fprintf(stderr, "[bor-svc] lease %llu (cell %llu) expired: %s\n",
+                   static_cast<unsigned long long>(E.Job),
+                   static_cast<unsigned long long>(E.Cell), Why);
+      // The worker is presumed wedged or dead; drop its connection so a
+      // late result cannot race the re-lease (its job id is stale anyway).
+      for (auto It = Conns.begin(); It != Conns.end(); ++It) {
+        if (It->second.HelloSeen && It->second.Id == E.Worker) {
+          Drop(It->first, Why);
+          break;
+        }
+      }
+    }
+
+    reapAndRespawn(/*WantMore=*/!Sched.finished() && !Sched.draining());
+  }
+
+  NextJob = Sched.nextJob();
+
+  const CellScheduler::Totals &T = Sched.totals();
+  counters().Leases.add(T.Leases);
+  counters().Retries.add(T.Retries);
+  counters().Requeues.add(T.Requeues);
+  counters().HeartbeatsMissed.add(T.HeartbeatExpiries);
+  counters().CellsTimeout.add(T.TimeoutExpiries);
+  counters().CellsLost.add(T.CellsLost);
+  counters().ResultsStale.add(T.StaleResults);
+
+  std::vector<exp::CellOutcome> Outcomes(Spec.Cells.size());
+  for (size_t I = 0; I != Spec.Cells.size(); ++I) {
+    Outcomes[I].S = Sched.cellState(I) == CellState::Done
+                        ? exp::CellOutcome::State::Done
+                        : exp::CellOutcome::State::Lost;
+    Outcomes[I].Attempts = std::max(1u, Sched.cellAttempts(I));
+  }
+  return Outcomes;
+}
+
+void Coordinator::shutdown() {
+  if (ListenFd < 0 && Conns.empty() && LiveWorkers.empty())
+    return;
+
+  for (auto &[Fd, C] : Conns) {
+    sendFrame(Fd, encodeShutdown("sweep complete"));
+    net::closeFd(Fd);
+  }
+  Conns.clear();
+  net::closeFd(ListenFd);
+  ListenFd = -1;
+
+  // Give spawned workers a grace period to see the shutdown (or the
+  // closed socket), then make sure nothing outlives us — an abandoned
+  // cell may still be burning CPU in a worker that lost its lease.
+  for (int Tries = 0; Tries != 40 && !LiveWorkers.empty(); ++Tries) {
+    reapAndRespawn(/*WantMore=*/false);
+    if (LiveWorkers.empty())
+      break;
+    usleep(50 * 1000);
+  }
+  for (pid_t Pid : LiveWorkers) {
+    kill(Pid, SIGKILL);
+    waitpid(Pid, nullptr, 0);
+  }
+  LiveWorkers.clear();
+}
+
+} // namespace svc
+} // namespace bor

@@ -1,0 +1,165 @@
+//===- svc/Coordinator.h - The sweep service's serving side --------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coordinator behind `bor-bench --serve ADDR`: a poll()-based TCP
+/// front-end that leases grid cells to `bor-bench --worker` processes and
+/// merges their results into the same spec-order record vector the
+/// in-process runner fills — so a distributed sweep's table and JSON are
+/// byte-identical to a `--threads N` run of the same grid.
+///
+/// The Coordinator owns everything that outlives one grid: the listening
+/// socket, worker connections, spawned worker processes (fork/exec of
+/// this binary with --worker, via --spawn-workers) and their respawn
+/// budget, and the monotonically increasing job-id counter. ServeExecutor
+/// adapts it to the exp::CellExecutor seam: each execute() call builds a
+/// CellScheduler for the grid and runs the event loop until every cell is
+/// Done or Lost.
+///
+/// Failure model (decisions live in svc/Scheduler.h; this file is the
+/// transport): a connection EOF, a poisoned frame stream, a missed
+/// heartbeat deadline or an expired wall-clock budget all re-queue the
+/// worker's cells under capped exponential backoff; once a cell's retry
+/// budget is spent it degrades to Lost and the sweep still terminates.
+/// Spawned workers that die are respawned with fresh ids until the
+/// restart budget runs out; when no worker remains and none can be
+/// respawned, pending cells are abandoned rather than waited for.
+/// SIGTERM (requestDrain) stops new leases, lets in-flight cells finish,
+/// and abandons the rest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_SVC_COORDINATOR_H
+#define BOR_SVC_COORDINATOR_H
+
+#include "exp/CellExecutor.h"
+#include "support/Socket.h"
+#include "svc/Scheduler.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace bor {
+namespace svc {
+
+struct CoordinatorConfig {
+  std::string Host = "127.0.0.1";
+  int Port = 0; ///< 0 = ephemeral; see Coordinator::port()
+
+  /// Scheduler knobs (see SchedulerConfig for semantics).
+  double HeartbeatS = 2.0;
+  unsigned MissedHeartbeats = 3;
+  double CellTimeoutS = 0;
+  support::BackoffPolicy Backoff;
+
+  /// Workers to fork/exec from this binary (0 = external workers only).
+  unsigned SpawnWorkers = 0;
+
+  /// Total respawns allowed across the run; < 0 picks the default
+  /// (2 * SpawnWorkers).
+  int MaxWorkerRestarts = -1;
+
+  /// Forwarded verbatim to every spawned worker's --fault-spec.
+  std::string FaultSpecText;
+
+  /// When non-empty, the actual "host:port" is written here (atomically)
+  /// after bind — how tests using an ephemeral port find the service.
+  std::string AddrFile;
+};
+
+class Coordinator {
+public:
+  /// Binds and listens. Check ok() before use; error() says what failed.
+  explicit Coordinator(const CoordinatorConfig &Config);
+  ~Coordinator();
+
+  Coordinator(const Coordinator &) = delete;
+  Coordinator &operator=(const Coordinator &) = delete;
+
+  bool ok() const { return ListenFd >= 0; }
+  const std::string &error() const { return Err; }
+  int port() const; ///< the bound port (resolves Port == 0)
+
+  /// The options JSON shipped in every lease frame (and the worker-side
+  /// spec cache key). Set once per driver invocation, before any grid.
+  void setLeaseOptions(std::string OptionsJson) {
+    LeaseOptions = std::move(OptionsJson);
+  }
+
+  /// Forks the configured --spawn-workers worker processes. Safe to call
+  /// once; returns false with error() set when a fork fails.
+  bool spawnWorkers();
+
+  /// Runs \p Spec's grid to completion (every cell Done or Lost), filling
+  /// \p Results[i] for Done cells via the worker fleet. \p RunCell is
+  /// unused (cells execute in workers) but kept for the executor seam's
+  /// signature. Returns one CellOutcome per cell.
+  std::vector<exp::CellOutcome>
+  runGrid(const exp::ExperimentSpec &Spec, std::vector<exp::RunRecord> &Results,
+          const exp::CellExecutor::DoneFn &OnCellDone);
+
+  /// Sends shutdown to every connected worker, closes the listener, and
+  /// reaps spawned processes (SIGKILL after a grace period). Idempotent;
+  /// the destructor calls it.
+  void shutdown();
+
+  /// Flags a drain from a signal handler (async-signal-safe): stop
+  /// granting leases, finish in-flight cells, abandon the rest.
+  static void requestDrain();
+
+private:
+  struct Conn {
+    net::FrameBuffer Frames;
+    uint64_t Id = 0;       ///< coordinator-side worker identity
+    std::string Name;      ///< display name from hello
+    bool HelloSeen = false;
+  };
+
+  bool spawnOneWorker();
+  void sendFrame(int Fd, const std::string &Payload);
+  void reapAndRespawn(bool WantMore);
+  double now() const;
+
+  CoordinatorConfig Config;
+  std::string Err;
+  int ListenFd = -1;
+  std::string LeaseOptions = "{}";
+
+  std::map<int, Conn> Conns; ///< by fd
+  uint64_t NextWorkerId = 1;
+  uint64_t NextJob = 1; ///< never reused across grids
+
+  std::vector<pid_t> LiveWorkers;
+  int NextSpawnId = 0;
+  int RestartsLeft = 0;
+  bool SpawnedOnce = false;
+};
+
+/// The distributed backend for exp::runExperimentWith: delegates the grid
+/// to a Coordinator's worker fleet.
+class ServeExecutor : public exp::CellExecutor {
+public:
+  explicit ServeExecutor(Coordinator &C) : C(C) {}
+
+  std::vector<exp::CellOutcome>
+  execute(const exp::ExperimentSpec &Spec,
+          std::vector<exp::RunRecord> &Results, const CellFn &RunCell,
+          const DoneFn &OnCellDone) override {
+    (void)RunCell; // cells run in worker processes
+    return C.runGrid(Spec, Results, OnCellDone);
+  }
+
+private:
+  Coordinator &C;
+};
+
+} // namespace svc
+} // namespace bor
+
+#endif // BOR_SVC_COORDINATOR_H

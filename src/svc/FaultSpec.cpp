@@ -1,0 +1,138 @@
+//===- svc/FaultSpec.cpp - Deterministic fault injection for the service -===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/FaultSpec.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace bor {
+namespace svc {
+
+namespace {
+
+const char *faultName(FaultKind K) {
+  switch (K) {
+  case FaultKind::CrashAtCell:
+    return "crash-at-cell";
+  case FaultKind::StallHeartbeat:
+    return "stall-heartbeat";
+  case FaultKind::DropConnAfter:
+    return "drop-conn-after";
+  }
+  return "?";
+}
+
+bool parseClause(const std::string &Text, FaultClause &Out,
+                 std::string &Err) {
+  std::string Body = Text;
+  Out.WorkerId = -1;
+  size_t Colon = Body.find(':');
+  if (Colon != std::string::npos) {
+    std::string Target = Body.substr(0, Colon);
+    Body = Body.substr(Colon + 1);
+    if (Target == "all") {
+      Out.WorkerId = -1;
+    } else if (Target.size() >= 2 && Target[0] == 'w') {
+      errno = 0;
+      char *End = nullptr;
+      long Id = std::strtol(Target.c_str() + 1, &End, 10);
+      if (errno == ERANGE || *End != '\0' || Id < 0) {
+        Err = "bad fault target '" + Target + "' (want wN or all)";
+        return false;
+      }
+      Out.WorkerId = static_cast<int>(Id);
+    } else {
+      Err = "bad fault target '" + Target + "' (want wN or all)";
+      return false;
+    }
+  }
+  size_t Eq = Body.find('=');
+  if (Eq == std::string::npos) {
+    Err = "fault clause '" + Text + "' has no '=N'";
+    return false;
+  }
+  std::string Name = Body.substr(0, Eq);
+  std::string Num = Body.substr(Eq + 1);
+  if (Name == "crash-at-cell")
+    Out.Kind = FaultKind::CrashAtCell;
+  else if (Name == "stall-heartbeat")
+    Out.Kind = FaultKind::StallHeartbeat;
+  else if (Name == "drop-conn-after")
+    Out.Kind = FaultKind::DropConnAfter;
+  else {
+    Err = "unknown fault '" + Name +
+          "' (want crash-at-cell, stall-heartbeat or drop-conn-after)";
+    return false;
+  }
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long N = std::strtoull(Num.c_str(), &End, 10);
+  if (Num.empty() || errno == ERANGE || *End != '\0' || N == 0) {
+    Err = "fault '" + Name + "' needs a whole number >= 1, got '" + Num +
+          "'";
+    return false;
+  }
+  Out.N = N;
+  return true;
+}
+
+} // namespace
+
+bool FaultSpec::parse(const std::string &Text, FaultSpec &Out,
+                      std::string &Err) {
+  Out.Clauses.clear();
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find_first_of(";,", Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Clause = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Clause.empty())
+      continue;
+    FaultClause C;
+    if (!parseClause(Clause, C, Err))
+      return false;
+    Out.Clauses.push_back(C);
+  }
+  return true;
+}
+
+std::string FaultSpec::render() const {
+  std::string Out;
+  for (const FaultClause &C : Clauses) {
+    if (!Out.empty())
+      Out += ";";
+    if (C.WorkerId >= 0)
+      Out += "w" + std::to_string(C.WorkerId) + ":";
+    Out += std::string(faultName(C.Kind)) + "=" + std::to_string(C.N);
+  }
+  return Out;
+}
+
+FaultPlan planForWorker(const FaultSpec &Spec, int WorkerId) {
+  FaultPlan Plan;
+  for (const FaultClause &C : Spec.Clauses) {
+    if (C.WorkerId >= 0 && C.WorkerId != WorkerId)
+      continue;
+    switch (C.Kind) {
+    case FaultKind::CrashAtCell:
+      Plan.CrashAtCell = C.N;
+      break;
+    case FaultKind::StallHeartbeat:
+      Plan.StallHeartbeat = C.N;
+      break;
+    case FaultKind::DropConnAfter:
+      Plan.DropConnAfter = C.N;
+      break;
+    }
+  }
+  return Plan;
+}
+
+} // namespace svc
+} // namespace bor

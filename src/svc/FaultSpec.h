@@ -1,0 +1,87 @@
+//===- svc/FaultSpec.h - Deterministic fault injection for the service ---===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The --fault-spec grammar and its worker-side interpretation. Faults
+/// are deterministic — keyed to the ordinal of the lease a worker is
+/// executing, never to wall clock — so every failure a test injects
+/// reproduces exactly. Grammar:
+///
+///   spec    := clause ((';' | ',') clause)*
+///   clause  := [target ':'] fault '=' N
+///   target  := 'w' INT        apply only to worker id INT
+///            | 'all'          apply to every worker (the default)
+///   fault   := 'crash-at-cell'     _exit(86) on lease number N, before
+///                                  reporting any result
+///            | 'stall-heartbeat'   on lease number N: execute the cell
+///                                  but send no heartbeats and no result,
+///                                  then drop the connection and exit —
+///                                  a stalled-then-dead worker
+///            | 'drop-conn-after'   close the connection and exit after
+///                                  completing N leases — a network
+///                                  partition plus process death
+///
+/// N is 1-based: "crash-at-cell=1" dies on the first lease. Respawned
+/// workers get fresh ids, so a targeted fault fires once; "all:" faults
+/// apply to every incarnation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_SVC_FAULTSPEC_H
+#define BOR_SVC_FAULTSPEC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bor {
+namespace svc {
+
+enum class FaultKind { CrashAtCell, StallHeartbeat, DropConnAfter };
+
+/// One parsed clause.
+struct FaultClause {
+  int WorkerId = -1; ///< -1 = all workers
+  FaultKind Kind = FaultKind::CrashAtCell;
+  uint64_t N = 0; ///< 1-based lease ordinal
+};
+
+/// The full parsed --fault-spec.
+struct FaultSpec {
+  std::vector<FaultClause> Clauses;
+
+  /// Parses \p Text. Returns false with \p Err set on a malformed
+  /// clause. An empty string parses to an empty (fault-free) spec.
+  static bool parse(const std::string &Text, FaultSpec &Out,
+                    std::string &Err);
+
+  /// Re-renders the spec in canonical form (';'-separated), for
+  /// forwarding to spawned workers.
+  std::string render() const;
+
+  bool empty() const { return Clauses.empty(); }
+};
+
+/// The faults that apply to one worker incarnation; 0 means "off".
+struct FaultPlan {
+  uint64_t CrashAtCell = 0;
+  uint64_t StallHeartbeat = 0;
+  uint64_t DropConnAfter = 0;
+
+  bool any() const {
+    return CrashAtCell || StallHeartbeat || DropConnAfter;
+  }
+};
+
+/// Resolves \p Spec for worker \p WorkerId (clauses targeting another id
+/// are dropped; 'all' clauses always apply; when several clauses set the
+/// same fault, the last one wins).
+FaultPlan planForWorker(const FaultSpec &Spec, int WorkerId);
+
+} // namespace svc
+} // namespace bor
+
+#endif // BOR_SVC_FAULTSPEC_H

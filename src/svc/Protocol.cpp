@@ -1,0 +1,438 @@
+//===- svc/Protocol.cpp - Coordinator/worker wire protocol ---------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/Protocol.h"
+
+#include "exp/Json.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+namespace bor {
+namespace svc {
+
+using exp::JsonObjectWriter;
+using exp::JsonValue;
+using exp::jsonEscape;
+using exp::jsonNumber;
+using exp::jsonParse;
+using exp::Metric;
+using exp::RunRecord;
+
+const char *const ProtocolVersion = "bor-svc-1";
+
+namespace {
+
+std::string quoted(std::string_view S) {
+  return "\"" + jsonEscape(S) + "\"";
+}
+
+/// Exact u64 as a JSON string literal (the DOM's numbers are doubles).
+std::string u64Str(uint64_t V) { return quoted(jsonNumber(V)); }
+
+bool parseU64Field(const JsonValue &V, uint64_t &Out) {
+  if (V.isNumber()) {
+    if (V.Num < 0)
+      return false;
+    Out = static_cast<uint64_t>(V.Num);
+    return true;
+  }
+  if (!V.isString() || V.Str.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long N = std::strtoull(V.Str.c_str(), &End, 10);
+  if (errno == ERANGE || End == V.Str.c_str() || *End != '\0')
+    return false;
+  Out = N;
+  return true;
+}
+
+bool fail(std::string &Err, const std::string &What) {
+  Err = What;
+  return false;
+}
+
+const JsonValue *need(const JsonValue &Obj, const char *Key,
+                      std::string &Err) {
+  const JsonValue *F = Obj.find(Key);
+  if (!F)
+    Err = std::string("frame missing field '") + Key + "'";
+  return F;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// RunRecord codec
+//===----------------------------------------------------------------------===//
+
+std::string encodeRunRecord(const RunRecord &R) {
+  std::string Params = "[";
+  for (size_t I = 0; I != R.Params.size(); ++I) {
+    if (I)
+      Params += ",";
+    Params += "[" + quoted(R.Params[I].first) + "," +
+              quoted(R.Params[I].second) + "]";
+  }
+  Params += "]";
+
+  std::string Metrics = "[";
+  for (size_t I = 0; I != R.Metrics.size(); ++I) {
+    if (I)
+      Metrics += ",";
+    const Metric &M = R.Metrics[I].second;
+    Metrics += "[" + quoted(R.Metrics[I].first) + ",";
+    switch (M.K) {
+    case Metric::Kind::UInt:
+      Metrics += "\"u\"," + u64Str(M.U);
+      break;
+    case Metric::Kind::Real:
+      Metrics += "\"r\"," + jsonNumber(M.D);
+      break;
+    case Metric::Kind::Text:
+      Metrics += "\"t\"," + quoted(M.S);
+      break;
+    }
+    Metrics += "," + jsonNumber(static_cast<uint64_t>(
+                         M.TablePrecision < 0 ? 0 : M.TablePrecision)) +
+               "]";
+  }
+  Metrics += "]";
+
+  JsonObjectWriter W;
+  W.fieldRaw("params", Params);
+  W.fieldRaw("metrics", Metrics);
+  return W.finish();
+}
+
+namespace {
+
+bool decodeRunRecordValue(const JsonValue &V, RunRecord &Out,
+                          std::string &Err) {
+  const JsonValue *Params = V.find("params");
+  const JsonValue *Metrics = V.find("metrics");
+  if (!Params || !Params->isArray() || !Metrics || !Metrics->isArray())
+    return fail(Err, "record missing params/metrics arrays");
+  for (const JsonValue &P : Params->Elems) {
+    if (!P.isArray() || P.Elems.size() != 2 || !P.Elems[0].isString() ||
+        !P.Elems[1].isString())
+      return fail(Err, "malformed record param entry");
+    Out.Params.emplace_back(P.Elems[0].Str, P.Elems[1].Str);
+  }
+  for (const JsonValue &M : Metrics->Elems) {
+    if (!M.isArray() || M.Elems.size() != 4 || !M.Elems[0].isString() ||
+        !M.Elems[1].isString() || !M.Elems[3].isNumber())
+      return fail(Err, "malformed record metric entry");
+    const std::string &Kind = M.Elems[1].Str;
+    Metric Val;
+    if (Kind == "u") {
+      Val.K = Metric::Kind::UInt;
+      if (!parseU64Field(M.Elems[2], Val.U))
+        return fail(Err, "malformed u64 metric value");
+    } else if (Kind == "r") {
+      if (!M.Elems[2].isNumber() && !M.Elems[2].isNull())
+        return fail(Err, "malformed real metric value");
+      Val.K = Metric::Kind::Real;
+      // jsonNumber renders non-finite reals as null; restore a NaN so the
+      // re-rendered record prints null again, byte-identically.
+      Val.D = M.Elems[2].isNull()
+                  ? std::numeric_limits<double>::quiet_NaN()
+                  : M.Elems[2].Num;
+    } else if (Kind == "t") {
+      if (!M.Elems[2].isString())
+        return fail(Err, "malformed text metric value");
+      Val.K = Metric::Kind::Text;
+      Val.S = M.Elems[2].Str;
+    } else {
+      return fail(Err, "unknown metric kind '" + Kind + "'");
+    }
+    Val.TablePrecision = static_cast<int>(M.Elems[3].Num);
+    Out.Metrics.emplace_back(M.Elems[0].Str, std::move(Val));
+  }
+  return true;
+}
+
+} // namespace
+
+bool decodeRunRecord(const std::string &Json, RunRecord &Out,
+                     std::string &Err) {
+  JsonValue V;
+  if (!jsonParse(Json, V, Err))
+    return false;
+  if (!V.isObject())
+    return fail(Err, "record is not a JSON object");
+  Out = RunRecord();
+  return decodeRunRecordValue(V, Out, Err);
+}
+
+//===----------------------------------------------------------------------===//
+// ExperimentOptions codec
+//===----------------------------------------------------------------------===//
+
+std::string encodeOptions(const exp::ExperimentOptions &Opt) {
+  JsonObjectWriter W;
+  W.fieldRaw("scale", u64Str(Opt.Scale));
+  W.fieldRaw("sample", Opt.Sample ? "true" : "false");
+  if (Opt.Sample) {
+    W.fieldRaw("period", u64Str(Opt.Plan.PeriodInsts));
+    W.fieldRaw("warm", u64Str(Opt.Plan.WarmupInsts));
+    W.fieldRaw("measure", u64Str(Opt.Plan.MeasureInsts));
+    W.fieldRaw("preroll", u64Str(Opt.Plan.DetailedWarmupInsts));
+  }
+  return W.finish();
+}
+
+bool decodeOptions(const std::string &Json, exp::ExperimentOptions &Out,
+                   std::string &Err) {
+  JsonValue V;
+  if (!jsonParse(Json, V, Err))
+    return false;
+  if (!V.isObject())
+    return fail(Err, "options is not a JSON object");
+  Out = exp::ExperimentOptions();
+  const JsonValue *Scale = need(V, "scale", Err);
+  const JsonValue *Sample = need(V, "sample", Err);
+  if (!Scale || !Sample)
+    return false;
+  if (!parseU64Field(*Scale, Out.Scale) || Out.Scale == 0)
+    return fail(Err, "bad options scale");
+  if (!Sample->isBool())
+    return fail(Err, "bad options sample flag");
+  Out.Sample = Sample->BoolVal;
+  if (Out.Sample) {
+    const JsonValue *Period = need(V, "period", Err);
+    const JsonValue *Warm = need(V, "warm", Err);
+    const JsonValue *Measure = need(V, "measure", Err);
+    const JsonValue *Preroll = need(V, "preroll", Err);
+    if (!Period || !Warm || !Measure || !Preroll)
+      return false;
+    if (!parseU64Field(*Period, Out.Plan.PeriodInsts) ||
+        !parseU64Field(*Warm, Out.Plan.WarmupInsts) ||
+        !parseU64Field(*Measure, Out.Plan.MeasureInsts) ||
+        !parseU64Field(*Preroll, Out.Plan.DetailedWarmupInsts))
+      return fail(Err, "bad sampling plan field");
+    if (!Out.Plan.valid())
+      return fail(Err, "invalid sampling plan in options");
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Frames
+//===----------------------------------------------------------------------===//
+
+std::string encodeHello(const std::string &Worker, uint64_t Pid) {
+  JsonObjectWriter W;
+  W.field("t", "hello");
+  W.field("worker", Worker);
+  W.fieldRaw("pid", jsonNumber(Pid));
+  W.field("proto", ProtocolVersion);
+  return W.finish();
+}
+
+std::string encodeReady() {
+  JsonObjectWriter W;
+  W.field("t", "ready");
+  return W.finish();
+}
+
+std::string encodeHeartbeat(uint64_t Job) {
+  JsonObjectWriter W;
+  W.field("t", "heartbeat");
+  W.fieldRaw("job", u64Str(Job));
+  return W.finish();
+}
+
+std::string encodeResultOk(uint64_t Job, const RunRecord &Record) {
+  JsonObjectWriter W;
+  W.field("t", "result");
+  W.fieldRaw("job", u64Str(Job));
+  W.fieldRaw("ok", "true");
+  W.fieldRaw("record", encodeRunRecord(Record));
+  return W.finish();
+}
+
+std::string encodeResultError(uint64_t Job, const std::string &Error) {
+  JsonObjectWriter W;
+  W.field("t", "result");
+  W.fieldRaw("job", u64Str(Job));
+  W.fieldRaw("ok", "false");
+  W.field("error", Error);
+  return W.finish();
+}
+
+std::string encodeLease(uint64_t Job, const std::string &Experiment,
+                        uint64_t Cell, uint64_t Attempt, double HeartbeatS,
+                        double TimeoutS, const std::string &OptionsJson) {
+  JsonObjectWriter W;
+  W.field("t", "lease");
+  W.fieldRaw("job", u64Str(Job));
+  W.field("experiment", Experiment);
+  W.fieldRaw("cell", u64Str(Cell));
+  W.fieldRaw("attempt", u64Str(Attempt));
+  W.fieldRaw("heartbeat_s", jsonNumber(HeartbeatS));
+  W.fieldRaw("timeout_s", jsonNumber(TimeoutS));
+  W.fieldRaw("options", OptionsJson);
+  return W.finish();
+}
+
+std::string encodeIdle(double WaitS) {
+  JsonObjectWriter W;
+  W.field("t", "idle");
+  W.fieldRaw("wait_s", jsonNumber(WaitS));
+  return W.finish();
+}
+
+std::string encodeShutdown(const std::string &Reason) {
+  JsonObjectWriter W;
+  W.field("t", "shutdown");
+  W.field("reason", Reason);
+  return W.finish();
+}
+
+namespace {
+
+/// Re-renders a parsed JSON value (used to carry lease options verbatim).
+std::string renderValue(const JsonValue &V) {
+  switch (V.K) {
+  case JsonValue::Kind::Null:
+    return "null";
+  case JsonValue::Kind::Bool:
+    return V.BoolVal ? "true" : "false";
+  case JsonValue::Kind::Number:
+    return jsonNumber(V.Num);
+  case JsonValue::Kind::String:
+    return quoted(V.Str);
+  case JsonValue::Kind::Array: {
+    std::string Out = "[";
+    for (size_t I = 0; I != V.Elems.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += renderValue(V.Elems[I]);
+    }
+    return Out + "]";
+  }
+  case JsonValue::Kind::Object: {
+    std::string Out = "{";
+    for (size_t I = 0; I != V.Fields.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += quoted(V.Fields[I].first) + ":" + renderValue(V.Fields[I].second);
+    }
+    return Out + "}";
+  }
+  }
+  return "null";
+}
+
+} // namespace
+
+bool decodeFrame(const std::string &Payload, Frame &Out, std::string &Err) {
+  JsonValue V;
+  if (!jsonParse(Payload, V, Err))
+    return false;
+  if (!V.isObject())
+    return fail(Err, "frame is not a JSON object");
+  const JsonValue *T = need(V, "t", Err);
+  if (!T)
+    return false;
+  if (!T->isString())
+    return fail(Err, "frame type is not a string");
+
+  Out = Frame();
+  const std::string &Type = T->Str;
+  if (Type == "hello") {
+    Out.Type = FrameType::Hello;
+    const JsonValue *Worker = need(V, "worker", Err);
+    const JsonValue *Proto = need(V, "proto", Err);
+    if (!Worker || !Proto)
+      return false;
+    if (!Worker->isString() || !Proto->isString())
+      return fail(Err, "malformed hello frame");
+    Out.Worker = Worker->Str;
+    Out.Proto = Proto->Str;
+    if (const JsonValue *Pid = V.find("pid"))
+      if (Pid->isNumber() && Pid->Num >= 0)
+        Out.Pid = static_cast<uint64_t>(Pid->Num);
+    return true;
+  }
+  if (Type == "ready") {
+    Out.Type = FrameType::Ready;
+    return true;
+  }
+  if (Type == "heartbeat") {
+    Out.Type = FrameType::Heartbeat;
+    const JsonValue *Job = need(V, "job", Err);
+    if (!Job || !parseU64Field(*Job, Out.Job))
+      return fail(Err, "malformed heartbeat frame");
+    return true;
+  }
+  if (Type == "result") {
+    Out.Type = FrameType::Result;
+    const JsonValue *Job = need(V, "job", Err);
+    const JsonValue *Ok = need(V, "ok", Err);
+    if (!Job || !Ok)
+      return false;
+    if (!parseU64Field(*Job, Out.Job) || !Ok->isBool())
+      return fail(Err, "malformed result frame");
+    Out.Ok = Ok->BoolVal;
+    if (Out.Ok) {
+      const JsonValue *Record = need(V, "record", Err);
+      if (!Record)
+        return false;
+      if (!Record->isObject() ||
+          !decodeRunRecordValue(*Record, Out.Record, Err))
+        return false;
+    } else if (const JsonValue *E = V.find("error")) {
+      if (E->isString())
+        Out.Error = E->Str;
+    }
+    return true;
+  }
+  if (Type == "lease") {
+    Out.Type = FrameType::Lease;
+    const JsonValue *Job = need(V, "job", Err);
+    const JsonValue *Experiment = need(V, "experiment", Err);
+    const JsonValue *Cell = need(V, "cell", Err);
+    const JsonValue *Attempt = need(V, "attempt", Err);
+    const JsonValue *Hb = need(V, "heartbeat_s", Err);
+    const JsonValue *To = need(V, "timeout_s", Err);
+    const JsonValue *Options = need(V, "options", Err);
+    if (!Job || !Experiment || !Cell || !Attempt || !Hb || !To || !Options)
+      return false;
+    if (!parseU64Field(*Job, Out.Job) || !Experiment->isString() ||
+        !parseU64Field(*Cell, Out.Cell) ||
+        !parseU64Field(*Attempt, Out.Attempt) || !Hb->isNumber() ||
+        !To->isNumber() || !Options->isObject())
+      return fail(Err, "malformed lease frame");
+    Out.Experiment = Experiment->Str;
+    Out.HeartbeatS = Hb->Num;
+    Out.TimeoutS = To->Num;
+    Out.OptionsJson = renderValue(*Options);
+    return true;
+  }
+  if (Type == "idle") {
+    Out.Type = FrameType::Idle;
+    const JsonValue *Wait = need(V, "wait_s", Err);
+    if (!Wait || !Wait->isNumber())
+      return fail(Err, "malformed idle frame");
+    Out.WaitS = Wait->Num;
+    return true;
+  }
+  if (Type == "shutdown") {
+    Out.Type = FrameType::Shutdown;
+    if (const JsonValue *Reason = V.find("reason"))
+      if (Reason->isString())
+        Out.Reason = Reason->Str;
+    return true;
+  }
+  return fail(Err, "unknown frame type '" + Type + "'");
+}
+
+} // namespace svc
+} // namespace bor

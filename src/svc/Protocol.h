@@ -1,0 +1,137 @@
+//===- svc/Protocol.h - Coordinator/worker wire protocol -----------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sweep service's wire protocol: length-prefixed JSON frames (see
+/// support/Socket.h FrameBuffer for the framing) carrying one small
+/// object each. Frame vocabulary, with direction:
+///
+///   worker -> coordinator
+///     hello      {t, worker, pid, proto}         once, after connect
+///     ready      {t}                             "lease me a cell"
+///     heartbeat  {t, job}                        while executing a lease
+///     result     {t, job, ok, record | error}    lease finished
+///
+///   coordinator -> worker
+///     lease      {t, job, experiment, cell, attempt,
+///                 heartbeat_s, timeout_s, options}
+///     idle       {t, wait_s}                     nothing leasable now
+///     shutdown   {t, reason}                     drain and exit
+///
+/// Every u64 that must survive the double-typed JSON parser exactly
+/// (checksums, sampling-plan instruction counts) travels as a decimal
+/// string. RunRecord metrics carry their Kind and table precision so a
+/// record round-tripped through the wire re-renders byte-identically —
+/// the service's headline determinism guarantee depends on this codec
+/// being lossless.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_SVC_PROTOCOL_H
+#define BOR_SVC_PROTOCOL_H
+
+#include "exp/Experiment.h"
+#include "exp/RunRecord.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace bor {
+namespace svc {
+
+/// Protocol revision; coordinator and worker must agree exactly.
+extern const char *const ProtocolVersion;
+
+enum class FrameType {
+  Hello,
+  Ready,
+  Heartbeat,
+  Result,
+  Lease,
+  Idle,
+  Shutdown,
+  Invalid
+};
+
+/// One decoded frame; only the fields of the matching type are
+/// meaningful.
+struct Frame {
+  FrameType Type = FrameType::Invalid;
+
+  // hello
+  std::string Worker; ///< display name ("w0", "host-1234", ...)
+  uint64_t Pid = 0;
+  std::string Proto;
+
+  // heartbeat / result / lease
+  uint64_t Job = 0;
+
+  // result
+  bool Ok = false;
+  exp::RunRecord Record;
+  std::string Error;
+
+  // lease
+  std::string Experiment;
+  uint64_t Cell = 0;
+  uint64_t Attempt = 1;
+  double HeartbeatS = 0;
+  double TimeoutS = 0;
+  std::string OptionsJson; ///< re-encoded verbatim for spec cache keys
+
+  // idle
+  double WaitS = 0;
+
+  // shutdown
+  std::string Reason;
+};
+
+//===----------------------------------------------------------------------===//
+// Frame encoding (each returns the JSON payload, not the framed bytes)
+//===----------------------------------------------------------------------===//
+
+std::string encodeHello(const std::string &Worker, uint64_t Pid);
+std::string encodeReady();
+std::string encodeHeartbeat(uint64_t Job);
+std::string encodeResultOk(uint64_t Job, const exp::RunRecord &Record);
+std::string encodeResultError(uint64_t Job, const std::string &Error);
+std::string encodeLease(uint64_t Job, const std::string &Experiment,
+                        uint64_t Cell, uint64_t Attempt, double HeartbeatS,
+                        double TimeoutS, const std::string &OptionsJson);
+std::string encodeIdle(double WaitS);
+std::string encodeShutdown(const std::string &Reason);
+
+/// Decodes one frame payload. Returns false with \p Err set on malformed
+/// JSON, an unknown type, or missing fields.
+bool decodeFrame(const std::string &Payload, Frame &Out, std::string &Err);
+
+//===----------------------------------------------------------------------===//
+// RunRecord codec
+//===----------------------------------------------------------------------===//
+
+/// {"params":[["k","v"],...],"metrics":[[name,kind,value,precision],...]}
+/// where kind is "u" (value: decimal string), "r" (value: JSON number) or
+/// "t" (value: string).
+std::string encodeRunRecord(const exp::RunRecord &R);
+bool decodeRunRecord(const std::string &Json, exp::RunRecord &Out,
+                     std::string &Err);
+
+//===----------------------------------------------------------------------===//
+// ExperimentOptions codec (the grid-shaping subset a lease must carry)
+//===----------------------------------------------------------------------===//
+
+/// Serializes the option fields that change a spec's cells or results:
+/// scale and the sampling plan. Telemetry/checkpoint knobs stay
+/// process-local and are not shipped.
+std::string encodeOptions(const exp::ExperimentOptions &Opt);
+bool decodeOptions(const std::string &Json, exp::ExperimentOptions &Out,
+                   std::string &Err);
+
+} // namespace svc
+} // namespace bor
+
+#endif // BOR_SVC_PROTOCOL_H

@@ -1,0 +1,194 @@
+//===- svc/Scheduler.cpp - Cell lease table and retry queue --------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/Scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace bor {
+namespace svc {
+
+static constexpr double Inf = std::numeric_limits<double>::infinity();
+
+CellScheduler::CellScheduler(size_t NumCells, const SchedulerConfig &Config)
+    : Config(Config), Cells(NumCells), NextJob(Config.FirstJob) {
+  for (Cell &C : Cells)
+    C.Retry = support::RetryState(Config.Backoff);
+}
+
+std::optional<size_t> CellScheduler::cellForJob(uint64_t Job) const {
+  if (const Lease *L = findLease(Job))
+    return L->Cell;
+  return std::nullopt;
+}
+
+std::optional<LeaseGrant> CellScheduler::assign(uint64_t Worker,
+                                                double Now) {
+  if (Draining)
+    return std::nullopt;
+  for (size_t I = 0; I != Cells.size(); ++I) {
+    Cell &C = Cells[I];
+    if (C.State != CellState::Pending || !C.Retry.ready(Now))
+      continue;
+    C.State = CellState::Leased;
+    C.Retry.beginAttempt();
+    ++C.Attempts;
+    Lease L;
+    L.Job = NextJob++;
+    L.Cell = I;
+    L.Worker = Worker;
+    L.HeartbeatDeadline =
+        Now + Config.HeartbeatS * Config.MissedHeartbeats;
+    L.WallDeadline = Config.CellTimeoutS > 0 ? Now + Config.CellTimeoutS : 0;
+    Leases.push_back(L);
+    ++Stats.Leases;
+    if (C.Attempts > 1)
+      ++Stats.Retries;
+    return LeaseGrant{L.Job, I, C.Attempts};
+  }
+  return std::nullopt;
+}
+
+bool CellScheduler::heartbeat(uint64_t Job, double Now) {
+  for (Lease &L : Leases) {
+    if (L.Job != Job)
+      continue;
+    L.HeartbeatDeadline =
+        Now + Config.HeartbeatS * Config.MissedHeartbeats;
+    return true;
+  }
+  return false;
+}
+
+const CellScheduler::Lease *CellScheduler::findLease(uint64_t Job) const {
+  for (const Lease &L : Leases)
+    if (L.Job == Job)
+      return &L;
+  return nullptr;
+}
+
+void CellScheduler::eraseLease(uint64_t Job) {
+  Leases.erase(std::remove_if(Leases.begin(), Leases.end(),
+                              [Job](const Lease &L) { return L.Job == Job; }),
+               Leases.end());
+}
+
+CellScheduler::ResultDisposition CellScheduler::complete(uint64_t Job) {
+  const Lease *L = findLease(Job);
+  if (!L) {
+    ++Stats.StaleResults;
+    return ResultDisposition::Stale;
+  }
+  Cell &C = Cells[L->Cell];
+  C.State = CellState::Done;
+  C.Retry.reset();
+  ++Stats.CellsDone;
+  eraseLease(Job);
+  return ResultDisposition::Accepted;
+}
+
+CellScheduler::ResultDisposition CellScheduler::fail(uint64_t Job,
+                                                     double Now) {
+  const Lease *L = findLease(Job);
+  if (!L) {
+    ++Stats.StaleResults;
+    return ResultDisposition::Stale;
+  }
+  size_t CellIndex = L->Cell;
+  eraseLease(Job);
+  requeue(CellIndex, Now);
+  return ResultDisposition::Accepted;
+}
+
+void CellScheduler::requeue(size_t CellIndex, double Now) {
+  Cell &C = Cells[CellIndex];
+  if (C.Retry.exhausted()) {
+    C.State = CellState::Lost;
+    ++Stats.CellsLost;
+    return;
+  }
+  C.Retry.scheduleRetry(Now);
+  C.State = CellState::Pending;
+  ++Stats.Requeues;
+}
+
+size_t CellScheduler::workerLost(uint64_t Worker, double Now) {
+  std::vector<size_t> Requeued;
+  Leases.erase(std::remove_if(Leases.begin(), Leases.end(),
+                              [&](const Lease &L) {
+                                if (L.Worker != Worker)
+                                  return false;
+                                Requeued.push_back(L.Cell);
+                                return true;
+                              }),
+               Leases.end());
+  for (size_t CellIndex : Requeued)
+    requeue(CellIndex, Now);
+  return Requeued.size();
+}
+
+std::vector<LeaseExpiry> CellScheduler::expireDeadlines(double Now) {
+  std::vector<LeaseExpiry> Expired;
+  Leases.erase(
+      std::remove_if(Leases.begin(), Leases.end(),
+                     [&](const Lease &L) {
+                       bool HbMissed = Now >= L.HeartbeatDeadline;
+                       bool TimedOut =
+                           L.WallDeadline > 0 && Now >= L.WallDeadline;
+                       if (!HbMissed && !TimedOut)
+                         return false;
+                       // Wall-clock expiry wins the label when both
+                       // tripped: the cell ran its full budget.
+                       Expired.push_back(
+                           {L.Job, L.Cell, L.Worker, !TimedOut});
+                       return true;
+                     }),
+      Leases.end());
+  for (const LeaseExpiry &E : Expired) {
+    if (E.HeartbeatMissed)
+      ++Stats.HeartbeatExpiries;
+    else
+      ++Stats.TimeoutExpiries;
+    requeue(E.Cell, Now);
+  }
+  return Expired;
+}
+
+void CellScheduler::abandonPending() {
+  for (Cell &C : Cells) {
+    if (C.State == CellState::Pending || C.State == CellState::Leased) {
+      C.State = CellState::Lost;
+      ++Stats.CellsLost;
+    }
+  }
+  Leases.clear();
+}
+
+bool CellScheduler::finished() const {
+  if (!Leases.empty())
+    return false;
+  for (const Cell &C : Cells)
+    if (C.State == CellState::Pending || C.State == CellState::Leased)
+      return false;
+  return true;
+}
+
+double CellScheduler::nextEventTime() const {
+  double Next = Inf;
+  for (const Lease &L : Leases) {
+    Next = std::min(Next, L.HeartbeatDeadline);
+    if (L.WallDeadline > 0)
+      Next = std::min(Next, L.WallDeadline);
+  }
+  for (const Cell &C : Cells)
+    if (C.State == CellState::Pending && C.Retry.readyAt() > 0)
+      Next = std::min(Next, C.Retry.readyAt());
+  return Next;
+}
+
+} // namespace svc
+} // namespace bor

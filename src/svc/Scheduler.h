@@ -1,0 +1,183 @@
+//===- svc/Scheduler.h - Cell lease table and retry queue ----------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coordinator's brain, factored out of its socket loop as a pure
+/// state machine so every failure path has a deterministic unit test.
+/// One CellScheduler tracks one experiment grid: which cells are pending
+/// (with a backoff not-before time), which are leased (to which worker,
+/// with heartbeat and wall-clock deadlines), and which are done or lost.
+///
+/// Time is a plain double (seconds, any monotonic origin) passed into
+/// every event — the scheduler never reads a clock, so tests drive it
+/// with synthetic timestamps and no sleeps. Job ids are unique per lease
+/// attempt; a result or heartbeat quoting an expired job id is Stale and
+/// ignored, which is how results from workers presumed dead are kept from
+/// corrupting a re-leased cell.
+///
+/// Failure handling: a missed heartbeat deadline, an expired wall-clock
+/// deadline, a worker-reported error, or a lost worker all re-queue the
+/// cell under support/Retry's capped exponential backoff. Once the retry
+/// budget is exhausted the cell degrades to Lost — the sweep completes
+/// with the cell explicitly marked, never hangs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_SVC_SCHEDULER_H
+#define BOR_SVC_SCHEDULER_H
+
+#include "support/Retry.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace bor {
+namespace svc {
+
+struct SchedulerConfig {
+  /// Maximum silence between heartbeats before a lease is presumed dead:
+  /// deadline = last heartbeat + HeartbeatS * MissedHeartbeats.
+  double HeartbeatS = 2.0;
+  unsigned MissedHeartbeats = 3;
+
+  /// Per-lease wall-clock limit (0 = unlimited). Shares the value of the
+  /// local runner's --cell-timeout.
+  double CellTimeoutS = 0;
+
+  /// Re-queue backoff and per-cell attempt budget.
+  support::BackoffPolicy Backoff;
+
+  /// First job id this scheduler hands out. The coordinator threads its
+  /// running counter through here so job ids never repeat across grids —
+  /// a straggler's result from a previous grid must decode as Stale, not
+  /// collide with a fresh lease.
+  uint64_t FirstJob = 1;
+};
+
+enum class CellState { Pending, Leased, Done, Lost };
+
+/// What a granted lease tells the transport layer to send.
+struct LeaseGrant {
+  uint64_t Job = 0;
+  uint64_t Cell = 0;
+  unsigned Attempt = 1; ///< 1-based
+};
+
+/// Why a lease expired (for counters).
+struct LeaseExpiry {
+  uint64_t Job = 0;
+  uint64_t Cell = 0;
+  uint64_t Worker = 0;
+  bool HeartbeatMissed = false; ///< false = wall-clock timeout
+};
+
+class CellScheduler {
+public:
+  CellScheduler(size_t NumCells, const SchedulerConfig &Config);
+
+  /// Leases the lowest-indexed ready cell to \p Worker at time \p Now.
+  /// Returns nullopt when nothing is leasable (drained, all leased/done,
+  /// or every pending cell still backing off).
+  std::optional<LeaseGrant> assign(uint64_t Worker, double Now);
+
+  /// Records a heartbeat for \p Job. Returns false when the job id is
+  /// unknown (expired or bogus).
+  bool heartbeat(uint64_t Job, double Now);
+
+  enum class ResultDisposition { Accepted, Stale };
+
+  /// A successful result for \p Job. Accepted moves the cell to Done and
+  /// resets its retry ladder; Stale means the lease had already expired —
+  /// discard the payload.
+  ResultDisposition complete(uint64_t Job);
+
+  /// A worker-reported failure for \p Job: re-queue (or lose) the cell.
+  ResultDisposition fail(uint64_t Job, double Now);
+
+  /// Every lease held by \p Worker is re-queued (connection lost).
+  /// Returns the number of cells re-queued.
+  size_t workerLost(uint64_t Worker, double Now);
+
+  /// Expires leases whose heartbeat or wall-clock deadline passed,
+  /// re-queueing their cells. Returns the expiries for counters; the
+  /// caller should drop the named workers' connections.
+  std::vector<LeaseExpiry> expireDeadlines(double Now);
+
+  /// Stops granting new leases; in-flight leases may still complete
+  /// (the SIGTERM drain path).
+  void drain() { Draining = true; }
+  bool draining() const { return Draining; }
+
+  /// Marks every non-done cell Lost — the no-workers-left degradation.
+  void abandonPending();
+
+  /// True when every cell is Done or Lost and nothing is leased.
+  bool finished() const;
+
+  /// The earliest future instant the scheduler needs to act (a lease
+  /// deadline or a backoff expiry), or +inf when there is none.
+  double nextEventTime() const;
+
+  CellState cellState(size_t Cell) const { return Cells[Cell].State; }
+  unsigned cellAttempts(size_t Cell) const { return Cells[Cell].Attempts; }
+  size_t numCells() const { return Cells.size(); }
+
+  /// The cell a live lease is executing, or nullopt for an expired or
+  /// unknown job id. The transport layer maps an incoming result frame's
+  /// job to its cell before accepting the payload.
+  std::optional<size_t> cellForJob(uint64_t Job) const;
+
+  /// One past the last job id granted (the next grid's FirstJob).
+  uint64_t nextJob() const { return NextJob; }
+
+  /// Leases currently outstanding (the drain loop waits for zero).
+  size_t leasesInFlight() const { return Leases.size(); }
+
+  struct Totals {
+    uint64_t Leases = 0;       ///< leases granted
+    uint64_t Retries = 0;      ///< leases granted with attempt > 1
+    uint64_t Requeues = 0;     ///< cells returned to the queue
+    uint64_t HeartbeatExpiries = 0;
+    uint64_t TimeoutExpiries = 0;
+    uint64_t StaleResults = 0;
+    size_t CellsDone = 0;
+    size_t CellsLost = 0;
+  };
+  const Totals &totals() const { return Stats; }
+
+private:
+  struct Cell {
+    CellState State = CellState::Pending;
+    unsigned Attempts = 0; ///< leases granted for this cell
+    support::RetryState Retry;
+  };
+
+  struct Lease {
+    uint64_t Job = 0;
+    size_t Cell = 0;
+    uint64_t Worker = 0;
+    double HeartbeatDeadline = 0;
+    double WallDeadline = 0; ///< 0 = none
+  };
+
+  /// Re-queues (or loses) \p CellIndex after a failed lease.
+  void requeue(size_t CellIndex, double Now);
+  const Lease *findLease(uint64_t Job) const;
+  void eraseLease(uint64_t Job);
+
+  SchedulerConfig Config;
+  std::vector<Cell> Cells;
+  std::vector<Lease> Leases; ///< small; linear scans are fine
+  uint64_t NextJob = 1;
+  bool Draining = false;
+  Totals Stats;
+};
+
+} // namespace svc
+} // namespace bor
+
+#endif // BOR_SVC_SCHEDULER_H

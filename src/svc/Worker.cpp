@@ -1,0 +1,235 @@
+//===- svc/Worker.cpp - The sweep service's worker loop ------------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/Worker.h"
+
+#include "exp/Experiment.h"
+#include "support/Socket.h"
+#include "svc/Protocol.h"
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace bor {
+namespace svc {
+
+namespace {
+
+/// Sends heartbeat frames for one job every \p IntervalS seconds until
+/// stopped. Send failures are ignored — if the coordinator is gone the
+/// main loop will find out on its next send.
+class HeartbeatPump {
+public:
+  HeartbeatPump(int Fd, uint64_t Job, double IntervalS)
+      : T([this, Fd, Job, IntervalS] {
+          std::unique_lock<std::mutex> Lock(M);
+          while (!Stop) {
+            if (CV.wait_for(Lock, std::chrono::duration<double>(IntervalS),
+                            [this] { return Stop; }))
+              break;
+            std::string Wire = net::encodeFrame(encodeHeartbeat(Job));
+            net::sendAll(Fd, Wire.data(), Wire.size());
+          }
+        }) {}
+
+  ~HeartbeatPump() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Stop = true;
+    }
+    CV.notify_all();
+    T.join();
+  }
+
+private:
+  std::mutex M;
+  std::condition_variable CV;
+  bool Stop = false;
+  std::thread T;
+};
+
+/// One cached instantiated experiment: the spec with Setup already run.
+struct CachedSpec {
+  exp::ExperimentSpec Spec;
+  bool Valid = false;
+};
+
+/// Instantiates (and caches) the lease's experiment. The cache key is the
+/// verbatim options JSON, so a coordinator changing options mid-run (it
+/// does not) would instantiate a fresh spec rather than corrupt an old
+/// one.
+CachedSpec &specFor(const std::string &Experiment,
+                    const std::string &OptionsJson, std::string &Err) {
+  static std::map<std::string, CachedSpec> Cache;
+  std::string Key = Experiment + '\n' + OptionsJson;
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return It->second;
+
+  CachedSpec &Entry = Cache[Key];
+  exp::ExperimentRegistry &Registry = exp::ExperimentRegistry::instance();
+  if (!Registry.contains(Experiment)) {
+    Err = "unknown experiment '" + Experiment + "'";
+    return Entry;
+  }
+  exp::ExperimentOptions Opt;
+  if (!decodeOptions(OptionsJson, Opt, Err))
+    return Entry;
+  Entry.Spec = Registry.create(Experiment, Opt);
+  if (Entry.Spec.Setup)
+    Entry.Spec.Setup();
+  Entry.Valid = true;
+  return Entry;
+}
+
+bool sendFrame(int Fd, const std::string &Payload) {
+  std::string Wire = net::encodeFrame(Payload);
+  return net::sendAll(Fd, Wire.data(), Wire.size());
+}
+
+} // namespace
+
+int runWorker(const WorkerConfig &Config) {
+  std::string Err;
+  int Fd = net::connectTcp(Config.Host, Config.Port, Config.ConnectTimeoutS,
+                           Err);
+  if (Fd < 0) {
+    std::fprintf(stderr, "bor-bench: --worker: %s\n", Err.c_str());
+    return 1;
+  }
+
+  std::string Name = "w" + std::to_string(Config.WorkerId);
+  if (!sendFrame(Fd, encodeHello(Name, static_cast<uint64_t>(getpid()))) ||
+      !sendFrame(Fd, encodeReady())) {
+    net::closeFd(Fd);
+    return 1;
+  }
+
+  net::FrameBuffer Frames;
+  uint64_t LeasesReceived = 0;  ///< 1-based fault ordinals key off this
+  uint64_t LeasesCompleted = 0; ///< drop-conn-after counts completions
+
+  auto HandleLease = [&](const Frame &F) -> bool {
+    ++LeasesReceived;
+    if (Config.Faults.CrashAtCell == LeasesReceived) {
+      std::fprintf(stderr, "[%s] fault: crash-at-cell on lease %llu\n",
+                   Name.c_str(),
+                   static_cast<unsigned long long>(LeasesReceived));
+      _exit(FaultExitCode);
+    }
+
+    std::string SpecErr;
+    CachedSpec &Cached = specFor(F.Experiment, F.OptionsJson, SpecErr);
+    if (!Cached.Valid)
+      return sendFrame(Fd, encodeResultError(F.Job, SpecErr));
+    const exp::ExperimentSpec &Spec = Cached.Spec;
+    if (F.Cell >= Spec.Cells.size())
+      return sendFrame(Fd, encodeResultError(
+                               F.Job, "cell index out of range"));
+
+    if (Config.Faults.StallHeartbeat == LeasesReceived) {
+      // A stalled worker: do the work but report nothing — and, unlike a
+      // crash, keep the connection open and silent, so the coordinator
+      // can only detect us via the missed-heartbeat deadline. Once it
+      // drops us (recv sees EOF) we die for real.
+      std::fprintf(stderr, "[%s] fault: stall-heartbeat on lease %llu\n",
+                   Name.c_str(),
+                   static_cast<unsigned long long>(LeasesReceived));
+      Spec.Run(Spec.Cells[F.Cell], F.Cell);
+      char Sink[4096];
+      while (recv(Fd, Sink, sizeof(Sink), 0) > 0) {
+      }
+      net::closeFd(Fd);
+      _exit(FaultExitCode);
+    }
+
+    exp::RunRecord Record;
+    {
+      HeartbeatPump Pump(Fd, F.Job, F.HeartbeatS > 0 ? F.HeartbeatS : 1.0);
+      Record = Spec.Run(Spec.Cells[F.Cell], F.Cell);
+    }
+    if (!sendFrame(Fd, encodeResultOk(F.Job, Record)))
+      return false;
+
+    ++LeasesCompleted;
+    if (Config.Faults.DropConnAfter == LeasesCompleted) {
+      std::fprintf(stderr, "[%s] fault: drop-conn-after %llu leases\n",
+                   Name.c_str(),
+                   static_cast<unsigned long long>(LeasesCompleted));
+      net::closeFd(Fd);
+      _exit(FaultExitCode);
+    }
+    return sendFrame(Fd, encodeReady());
+  };
+
+  char Buf[64 * 1024];
+  for (;;) {
+    std::string Payload;
+    while (Frames.next(Payload)) {
+      Frame F;
+      std::string DErr;
+      if (!decodeFrame(Payload, F, DErr)) {
+        std::fprintf(stderr, "[%s] bad frame from coordinator: %s\n",
+                     Name.c_str(), DErr.c_str());
+        net::closeFd(Fd);
+        return 1;
+      }
+      switch (F.Type) {
+      case FrameType::Lease:
+        if (!HandleLease(F)) {
+          net::closeFd(Fd);
+          return 1;
+        }
+        break;
+      case FrameType::Idle:
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(F.WaitS > 0 ? F.WaitS : 0.1));
+        if (!sendFrame(Fd, encodeReady())) {
+          net::closeFd(Fd);
+          return 1;
+        }
+        break;
+      case FrameType::Shutdown:
+        net::closeFd(Fd);
+        return 0;
+      default:
+        // hello/ready/heartbeat/result only flow worker -> coordinator.
+        net::closeFd(Fd);
+        return 1;
+      }
+    }
+    if (Frames.bad()) {
+      net::closeFd(Fd);
+      return 1;
+    }
+
+    ssize_t N = recv(Fd, Buf, sizeof(Buf), 0);
+    if (N == 0) {
+      // Coordinator gone without a shutdown frame (crash, or it dropped
+      // us after a lease expiry). Not an error worth a diagnostic storm.
+      net::closeFd(Fd);
+      return 1;
+    }
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      net::closeFd(Fd);
+      return 1;
+    }
+    Frames.append(Buf, static_cast<size_t>(N));
+  }
+}
+
+} // namespace svc
+} // namespace bor

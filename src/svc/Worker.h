@@ -1,0 +1,55 @@
+//===- svc/Worker.h - The sweep service's worker loop --------------------===//
+//
+// Part of the branch-on-random reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The loop behind `bor-bench --worker ADDR`: connect to a coordinator,
+/// introduce ourselves (hello), then ready/lease/result until told to
+/// shut down. Cells execute by re-instantiating the named experiment
+/// from this process's ExperimentRegistry — the same binary runs both
+/// sides, so only (experiment, options JSON, cell index) travels.
+///
+/// Specs are cached per (experiment, options) with their serial Setup
+/// stage run exactly once, mirroring the in-process runner. While a cell
+/// executes, a heartbeat thread pings the coordinator every lease
+/// interval so slow cells are distinguishable from dead workers.
+///
+/// Fault injection (svc/FaultSpec.h) hooks in here, keyed to the 1-based
+/// ordinal of the lease being processed, so chaos tests reproduce
+/// exactly. An injected death exits with code 86 — recognizably
+/// deliberate in test logs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BOR_SVC_WORKER_H
+#define BOR_SVC_WORKER_H
+
+#include "svc/FaultSpec.h"
+
+#include <string>
+
+namespace bor {
+namespace svc {
+
+/// Exit code of an injected fault death (never a real failure path).
+constexpr int FaultExitCode = 86;
+
+struct WorkerConfig {
+  std::string Host = "127.0.0.1";
+  int Port = 0;
+  int WorkerId = 0; ///< names the worker ("w<id>") and keys fault clauses
+  FaultPlan Faults;
+  double ConnectTimeoutS = 10.0;
+};
+
+/// Runs the worker loop until the coordinator says shutdown (returns 0)
+/// or the connection fails (returns 1). The caller must have registered
+/// the experiments first.
+int runWorker(const WorkerConfig &Config);
+
+} // namespace svc
+} // namespace bor
+
+#endif // BOR_SVC_WORKER_H

@@ -119,17 +119,5 @@ std::string TimeSeries::renderJson() const {
 }
 
 bool TimeSeries::writeTo(const std::string &Path, std::string &Err) const {
-  if (!ensureParentDirs(Path, Err))
-    return false;
-  std::FILE *F = std::fopen(Path.c_str(), "w");
-  if (!F) {
-    Err = "cannot open '" + Path + "' for writing";
-    return false;
-  }
-  std::string Rendered = renderJson();
-  bool Ok = std::fputs(Rendered.c_str(), F) >= 0;
-  Ok = std::fclose(F) == 0 && Ok;
-  if (!Ok)
-    Err = "error writing '" + Path + "'";
-  return Ok;
+  return writeFileAtomic(Path, renderJson(), Err);
 }

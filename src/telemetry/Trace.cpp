@@ -169,43 +169,34 @@ std::string TraceWriter::foldToCollapsedStacks() const {
 }
 
 bool TraceWriter::writeTo(const std::string &Path, std::string &Err) const {
-  if (!ensureParentDirs(Path, Err))
-    return false;
-  std::FILE *F = std::fopen(Path.c_str(), "w");
-  if (!F) {
-    Err = "cannot open '" + Path + "' for writing";
-    return false;
+  std::string Out;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Out = "{\"traceEvents\":[\n";
+    bool First = true;
+    for (const Event &E : Events) {
+      exp::JsonObjectWriter W;
+      W.field("name", E.Name);
+      W.field("cat", E.Cat);
+      W.field("ph", std::string_view(&E.Phase, 1));
+      W.fieldRaw("ts", formatUs(E.TsUs));
+      if (E.Phase == 'X')
+        W.fieldRaw("dur", formatUs(E.DurUs));
+      if (E.Phase == 'i')
+        W.field("s", "t"); // thread-scoped instant
+      W.fieldRaw("pid", "1");
+      W.fieldRaw("tid", exp::jsonNumber(static_cast<uint64_t>(E.Tid)));
+      if (!E.ArgsJson.empty())
+        W.fieldRaw("args", E.ArgsJson);
+      if (!First)
+        Out += ",\n";
+      Out += W.finish();
+      First = false;
+    }
+    Out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{";
+    Out += "\"tool\":\"branch-on-random\",\"dropped_events\":";
+    Out += std::to_string(Dropped);
+    Out += "}}\n";
   }
-
-  std::lock_guard<std::mutex> Lock(Mutex);
-  std::fputs("{\"traceEvents\":[\n", F);
-  bool First = true;
-  for (const Event &E : Events) {
-    exp::JsonObjectWriter W;
-    W.field("name", E.Name);
-    W.field("cat", E.Cat);
-    W.field("ph", std::string_view(&E.Phase, 1));
-    W.fieldRaw("ts", formatUs(E.TsUs));
-    if (E.Phase == 'X')
-      W.fieldRaw("dur", formatUs(E.DurUs));
-    if (E.Phase == 'i')
-      W.field("s", "t"); // thread-scoped instant
-    W.fieldRaw("pid", "1");
-    W.fieldRaw("tid", exp::jsonNumber(static_cast<uint64_t>(E.Tid)));
-    if (!E.ArgsJson.empty())
-      W.fieldRaw("args", E.ArgsJson);
-    std::fprintf(F, "%s%s", First ? "" : ",\n", W.finish().c_str());
-    First = false;
-  }
-  std::fputs("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{", F);
-  std::fprintf(F, "\"tool\":\"branch-on-random\",\"dropped_events\":%llu",
-               static_cast<unsigned long long>(Dropped));
-  std::fputs("}}\n", F);
-
-  bool Ok = std::ferror(F) == 0;
-  if (std::fclose(F) != 0)
-    Ok = false;
-  if (!Ok)
-    Err = "error writing '" + Path + "'";
-  return Ok;
+  return writeFileAtomic(Path, Out, Err);
 }

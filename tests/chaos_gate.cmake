@@ -1,0 +1,122 @@
+# Chaos gate for the distributed sweep service: injected worker crashes
+# and a heartbeat stall must not change a single output byte, and
+# exhausting the retry budget must degrade to a partial result with a
+# distinct exit status — never a hang or a crash.
+#
+# Four runs:
+#   1. baseline     svc_smoke via the in-process thread pool
+#   2. chaos        --serve with 3 workers, two crash-at-cell faults and
+#                   one stall-heartbeat fault; output must be
+#                   byte-identical to (1) and the svc.* counters must show
+#                   the re-queue/retry machinery actually fired
+#   3. exhaustion   every worker incarnation crashes on its first lease
+#                   and restarts run out: exit status 3, every cell
+#                   explicitly marked lost
+#   4. timeout      a local (non-serve) run with one deliberately slow
+#                   cell and --cell-timeout: exit status 3, the cell
+#                   marked timeout
+#
+# Invoked by ctest with:
+#   -DBENCH=<bor-bench> -DWORKDIR=<scratch dir>
+
+file(MAKE_DIRECTORY ${WORKDIR})
+set(BASELINE ${WORKDIR}/svc_smoke_local.json)
+set(CHAOS ${WORKDIR}/svc_smoke_chaos.json)
+set(COUNTERS ${WORKDIR}/svc_smoke_chaos.counters)
+set(LOST ${WORKDIR}/svc_smoke_lost.json)
+set(TIMEOUT ${WORKDIR}/svc_smoke_timeout.json)
+
+# --- 1. baseline ------------------------------------------------------------
+
+execute_process(COMMAND ${BENCH} --experiment svc_smoke --threads 4
+                        --no-table --json ${BASELINE}
+                RESULT_VARIABLE RC OUTPUT_VARIABLE OUT ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "baseline svc_smoke run failed (${RC}):\n${OUT}\n${ERR}")
+endif()
+
+# --- 2. chaos: crashes + heartbeat stall must be invisible in the output ----
+
+execute_process(COMMAND ${BENCH} --experiment svc_smoke
+                        --serve 127.0.0.1:0 --spawn-workers 3
+                        --fault-spec
+                        "w0:crash-at-cell=2;w1:crash-at-cell=3;w2:stall-heartbeat=2"
+                        --lease-heartbeat 0.25
+                        --no-table --json ${CHAOS} --counters-out ${COUNTERS}
+                RESULT_VARIABLE RC OUTPUT_VARIABLE OUT ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "chaos serve run failed (${RC}):\n${OUT}\n${ERR}")
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${BASELINE} ${CHAOS}
+                RESULT_VARIABLE DIFF)
+if(NOT DIFF EQUAL 0)
+  message(FATAL_ERROR
+          "chaos run output differs from the local run: "
+          "${BASELINE} vs ${CHAOS} — injected faults leaked into results")
+endif()
+
+# The faults must actually have fired: re-queues and retries in the
+# counters, plus at least one missed-heartbeat expiry from the stall.
+file(READ ${COUNTERS} COUNTER_TEXT)
+function(require_counter_at_least name minimum)
+  string(REGEX MATCH "${name} +([0-9]+)" _ "${COUNTER_TEXT}")
+  if(NOT CMAKE_MATCH_1)
+    message(FATAL_ERROR "counter ${name} missing from ${COUNTERS}")
+  endif()
+  if(CMAKE_MATCH_1 LESS ${minimum})
+    message(FATAL_ERROR
+            "counter ${name} = ${CMAKE_MATCH_1}, expected >= ${minimum} — "
+            "the injected faults did not exercise the recovery path")
+  endif()
+endfunction()
+require_counter_at_least("svc\\.requeues" 2)
+require_counter_at_least("svc\\.retries" 2)
+require_counter_at_least("svc\\.heartbeats\\.missed" 1)
+require_counter_at_least("svc\\.workers\\.lost" 2)
+
+# --- 3. retry-budget exhaustion degrades, never hangs -----------------------
+
+execute_process(COMMAND ${BENCH} --experiment svc_smoke
+                        --serve 127.0.0.1:0 --spawn-workers 2
+                        --max-worker-restarts 2 --retry-budget 2
+                        --fault-spec "all:crash-at-cell=1"
+                        --lease-heartbeat 0.25
+                        --no-table --json ${LOST}
+                RESULT_VARIABLE RC OUTPUT_VARIABLE OUT ERROR_VARIABLE ERR
+                TIMEOUT 120)
+if(NOT RC EQUAL 3)
+  message(FATAL_ERROR
+          "budget-exhaustion run should exit 3 (partial result), got "
+          "'${RC}':\n${OUT}\n${ERR}")
+endif()
+file(READ ${LOST} LOST_TEXT)
+string(REGEX MATCHALL "\"cell_status\":\"lost\"" LOST_MARKERS "${LOST_TEXT}")
+list(LENGTH LOST_MARKERS NUM_LOST)
+if(NUM_LOST EQUAL 0)
+  message(FATAL_ERROR
+          "budget-exhaustion output has no cell_status=lost markers: ${LOST}")
+endif()
+
+# --- 4. local --cell-timeout marks the slow cell and exits 3 ----------------
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E env
+                        BOR_SVC_SMOKE_SLEEP_MS=600 BOR_SVC_SMOKE_SLEEP_CELL=5
+                        ${BENCH} --experiment svc_smoke --threads 2
+                        --cell-timeout 0.2 --no-table --json ${TIMEOUT}
+                RESULT_VARIABLE RC OUTPUT_VARIABLE OUT ERROR_VARIABLE ERR
+                TIMEOUT 120)
+if(NOT RC EQUAL 3)
+  message(FATAL_ERROR
+          "--cell-timeout run should exit 3 (partial result), got "
+          "'${RC}':\n${OUT}\n${ERR}")
+endif()
+file(READ ${TIMEOUT} TIMEOUT_TEXT)
+if(NOT TIMEOUT_TEXT MATCHES "\"cell_status\":\"timeout\"")
+  message(FATAL_ERROR
+          "--cell-timeout output has no cell_status=timeout marker: "
+          "${TIMEOUT}")
+endif()
+
+message(STATUS "chaos gate passed: byte-identical under faults, "
+               "graceful degradation on exhaustion (${NUM_LOST} lost cells)")

@@ -665,3 +665,48 @@ TEST(LibraryPool, PersistsAndReloadsThroughCacheDir) {
   EXPECT_NE(Path.find(Dir), std::string::npos);
   std::remove(Path.c_str());
 }
+
+TEST(LibraryPool, CorruptCacheFileIsRebuiltNotFatal) {
+  MicrobenchProgram MB = brrProgram();
+  DecodedProgram DP(MB.Prog);
+  std::string Dir = testing::TempDir() + "ckpt_corrupt_cache";
+
+  std::vector<uint8_t> GoodBytes;
+  {
+    LibraryPool Pool(Dir);
+    GoodBytes = Pool.getOrBuild(DP, BrrUnitConfig(), 20000)->encode();
+  }
+  std::string Path = LibraryPool(Dir).cachePathFor(
+      LibraryPool::keyFor(MB.Prog, BrrUnitConfig(), 20000));
+  ASSERT_FALSE(Path.empty());
+
+  // Injected corruption: truncate the persisted image mid-payload, as a
+  // torn write from a killed process would.
+  {
+    std::FILE *F = std::fopen(Path.c_str(), "rb+");
+    ASSERT_NE(F, nullptr);
+    std::fputs("garbage where the header was", F);
+    ASSERT_EQ(std::fclose(F), 0);
+  }
+
+  // A fresh pool must warn and rebuild — same library, never a crash or
+  // a poisoned result.
+  {
+    LibraryPool Pool(Dir);
+    std::shared_ptr<const CheckpointLibrary> Lib =
+        Pool.getOrBuild(DP, BrrUnitConfig(), 20000);
+    ASSERT_NE(Lib, nullptr);
+    EXPECT_EQ(Lib->encode(), GoodBytes);
+  }
+
+  // And the rebuild repaired the cache file in place: the next pool loads
+  // it cleanly.
+  {
+    Program Cached;
+    CheckpointLibrary Lib;
+    std::string Error;
+    EXPECT_TRUE(loadLibraryFile(Path, Cached, Lib, Error)) << Error;
+    EXPECT_EQ(Lib.encode(), GoodBytes);
+  }
+  std::remove(Path.c_str());
+}

@@ -1,0 +1,96 @@
+//===- tests/test_path.cpp - Atomic output-file helper unit tests --------===//
+//
+// writeFileAtomic backs every output file the tools write (results JSON,
+// manifests, traces, checkpoint libraries), so its contract — readers see
+// the old file or the complete new file, never a truncated one — gets its
+// own tests here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Path.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+using namespace bor;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(Path, AtomicTempPathIsASiblingTmpName) {
+  EXPECT_EQ(atomicTempPath("out/results.json"), "out/results.json.tmp");
+  EXPECT_EQ(atomicTempPath("plain"), "plain.tmp");
+}
+
+TEST(Path, WriteFileAtomicWritesAndCreatesParents) {
+  std::string Dir = testing::TempDir() + "path_atomic_parents";
+  fs::remove_all(Dir);
+  std::string Target = Dir + "/a/b/out.json";
+
+  std::string Err;
+  ASSERT_TRUE(writeFileAtomic(Target, "{\"ok\":true}\n", Err)) << Err;
+  EXPECT_EQ(slurp(Target), "{\"ok\":true}\n");
+  // No staging residue once the rename landed.
+  EXPECT_FALSE(fs::exists(atomicTempPath(Target)));
+  fs::remove_all(Dir);
+}
+
+TEST(Path, WriteFileAtomicReplacesExistingFile) {
+  std::string Target = testing::TempDir() + "path_atomic_replace.txt";
+  std::string Err;
+  ASSERT_TRUE(writeFileAtomic(Target, "old contents, rather long\n", Err));
+  ASSERT_TRUE(writeFileAtomic(Target, "new\n", Err)) << Err;
+  EXPECT_EQ(slurp(Target), "new\n");
+  fs::remove(Target);
+}
+
+TEST(Path, WriteFileAtomicOverwritesStaleTempFile) {
+  // A crash mid-write leaves "<path>.tmp" behind; the next writer must
+  // overwrite it and still land the real contents.
+  std::string Target = testing::TempDir() + "path_atomic_stale.txt";
+  std::ofstream(atomicTempPath(Target)) << "torn half-written garbage";
+
+  std::string Err;
+  ASSERT_TRUE(writeFileAtomic(Target, "complete\n", Err)) << Err;
+  EXPECT_EQ(slurp(Target), "complete\n");
+  EXPECT_FALSE(fs::exists(atomicTempPath(Target)));
+  fs::remove(Target);
+}
+
+TEST(Path, StaleTempFileAloneIsNotTheOutput) {
+  // The reader-facing half of the contract: if only the temp file exists
+  // (writer died before rename), the real path reads as absent.
+  std::string Target = testing::TempDir() + "path_atomic_orphan.txt";
+  fs::remove(Target);
+  std::ofstream(atomicTempPath(Target)) << "half";
+  EXPECT_FALSE(fs::exists(Target));
+  fs::remove(atomicTempPath(Target));
+}
+
+TEST(Path, WriteFileAtomicFailsLoudlyWhenParentIsAFile) {
+  std::string Blocker = testing::TempDir() + "path_atomic_blocker";
+  std::ofstream(Blocker) << "i am a file";
+
+  std::string Err;
+  EXPECT_FALSE(writeFileAtomic(Blocker + "/child.json", "x", Err));
+  EXPECT_FALSE(Err.empty());
+  // The diagnostic names the offending path.
+  EXPECT_NE(Err.find("path_atomic_blocker"), std::string::npos) << Err;
+  fs::remove(Blocker);
+}
+
+TEST(Path, JoinPathInsertsExactlyOneSeparator) {
+  EXPECT_EQ(joinPath("a", "b"), "a/b");
+  EXPECT_EQ(joinPath("a/", "b"), "a/b");
+}
+
+} // namespace

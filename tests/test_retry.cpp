@@ -1,0 +1,118 @@
+//===- tests/test_retry.cpp - Backoff/retry-budget policy unit tests -----===//
+//
+// support/Retry is the one retry policy the sweep service trusts for every
+// failure path, so its ladder must be exactly predictable. Time is always
+// passed in, never read from a clock, so these tests run with synthetic
+// timestamps and no sleeps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Retry.h"
+
+#include "gtest/gtest.h"
+
+using namespace bor::support;
+
+namespace {
+
+TEST(BackoffPolicy, DelayLadderIsCappedExponential) {
+  BackoffPolicy P;
+  P.InitialS = 0.1;
+  P.Multiplier = 2.0;
+  P.CapS = 5.0;
+
+  EXPECT_DOUBLE_EQ(P.delayFor(0), 0.1);
+  EXPECT_DOUBLE_EQ(P.delayFor(1), 0.2);
+  EXPECT_DOUBLE_EQ(P.delayFor(2), 0.4);
+  EXPECT_DOUBLE_EQ(P.delayFor(3), 0.8);
+  // 0.1 * 2^6 = 6.4 > cap.
+  EXPECT_DOUBLE_EQ(P.delayFor(6), 5.0);
+  // Far past the cap must not overflow into inf/nan.
+  EXPECT_DOUBLE_EQ(P.delayFor(1000), 5.0);
+}
+
+TEST(BackoffPolicy, CapBelowInitialClampsEverything) {
+  BackoffPolicy P;
+  P.InitialS = 2.0;
+  P.CapS = 1.0;
+  EXPECT_DOUBLE_EQ(P.delayFor(0), 1.0);
+  EXPECT_DOUBLE_EQ(P.delayFor(3), 1.0);
+}
+
+TEST(RetryState, BudgetOfOneNeverRetries) {
+  BackoffPolicy P;
+  P.Budget = 1;
+  RetryState S(P);
+
+  EXPECT_FALSE(S.exhausted());
+  S.beginAttempt();
+  EXPECT_TRUE(S.exhausted());
+
+  // scheduleRetry after exhaustion is a no-op: no future ready time.
+  S.scheduleRetry(100.0);
+  EXPECT_DOUBLE_EQ(S.readyAt(), 0.0);
+}
+
+TEST(RetryState, BackoffRungsAdvancePerFailure) {
+  BackoffPolicy P;
+  P.InitialS = 1.0;
+  P.Multiplier = 3.0;
+  P.CapS = 100.0;
+  P.Budget = 10;
+  RetryState S(P);
+
+  S.beginAttempt();
+  S.scheduleRetry(10.0);
+  EXPECT_DOUBLE_EQ(S.readyAt(), 11.0); // + delayFor(0) = 1
+  EXPECT_FALSE(S.ready(10.5));
+  EXPECT_TRUE(S.ready(11.0));
+
+  S.beginAttempt();
+  S.scheduleRetry(11.0);
+  EXPECT_DOUBLE_EQ(S.readyAt(), 14.0); // + delayFor(1) = 3
+
+  S.beginAttempt();
+  S.scheduleRetry(14.0);
+  EXPECT_DOUBLE_EQ(S.readyAt(), 23.0); // + delayFor(2) = 9
+}
+
+TEST(RetryState, ExhaustionAfterBudgetAttempts) {
+  BackoffPolicy P;
+  P.Budget = 3;
+  RetryState S(P);
+
+  for (unsigned I = 0; I != 3; ++I) {
+    EXPECT_FALSE(S.exhausted()) << "attempt " << I;
+    S.beginAttempt();
+  }
+  EXPECT_TRUE(S.exhausted());
+  EXPECT_EQ(S.attempts(), 3u);
+}
+
+TEST(RetryState, SuccessResetsTheLadder) {
+  BackoffPolicy P;
+  P.InitialS = 1.0;
+  P.Multiplier = 2.0;
+  P.CapS = 50.0;
+  P.Budget = 3;
+  RetryState S(P);
+
+  // Burn two attempts, climbing to the second rung.
+  S.beginAttempt();
+  S.scheduleRetry(0.0);
+  S.beginAttempt();
+  S.scheduleRetry(1.0);
+  EXPECT_DOUBLE_EQ(S.readyAt(), 3.0);
+  EXPECT_EQ(S.attempts(), 2u);
+
+  // A success starts everything over: full budget, bottom rung.
+  S.reset();
+  EXPECT_EQ(S.attempts(), 0u);
+  EXPECT_FALSE(S.exhausted());
+  EXPECT_DOUBLE_EQ(S.readyAt(), 0.0);
+  S.beginAttempt();
+  S.scheduleRetry(100.0);
+  EXPECT_DOUBLE_EQ(S.readyAt(), 101.0); // back to delayFor(0)
+}
+
+} // namespace

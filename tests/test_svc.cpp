@@ -1,0 +1,501 @@
+//===- tests/test_svc.cpp - Sweep-service protocol and scheduler tests ---===//
+//
+// Deterministic unit coverage for the distributed sweep service: the
+// length-prefixed frame buffer, the JSON frame/record/options codecs (the
+// byte-identical-results guarantee rides on these being lossless), the
+// --fault-spec grammar, and the CellScheduler state machine. The scheduler
+// never reads a clock — every test drives it with synthetic timestamps, so
+// heartbeat expiry, wall-clock timeouts, backoff and budget exhaustion all
+// run in microseconds with no sleeps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Socket.h"
+#include "svc/FaultSpec.h"
+#include "svc/Protocol.h"
+#include "svc/Scheduler.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+using namespace bor;
+using namespace bor::svc;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// FrameBuffer wire framing
+//===----------------------------------------------------------------------===//
+
+TEST(FrameBuffer, ReassemblesAcrossArbitrarySplits) {
+  std::string Wire = net::encodeFrame("{\"t\":\"ready\"}") +
+                     net::encodeFrame("{\"t\":\"heartbeat\"}");
+  // Feed one byte at a time — worst-case TCP fragmentation.
+  net::FrameBuffer B;
+  std::vector<std::string> Got;
+  for (char C : Wire) {
+    B.append(&C, 1);
+    std::string Payload;
+    while (B.next(Payload))
+      Got.push_back(Payload);
+  }
+  ASSERT_EQ(Got.size(), 2u);
+  EXPECT_EQ(Got[0], "{\"t\":\"ready\"}");
+  EXPECT_EQ(Got[1], "{\"t\":\"heartbeat\"}");
+  EXPECT_FALSE(B.bad());
+  EXPECT_EQ(B.buffered(), 0u);
+}
+
+TEST(FrameBuffer, MalformedLengthPrefixPoisonsTheStream) {
+  net::FrameBuffer B;
+  B.append("notanumber\n", 11);
+  std::string Payload;
+  EXPECT_FALSE(B.next(Payload));
+  EXPECT_TRUE(B.bad());
+  // A poisoned buffer stays poisoned even if valid bytes follow.
+  std::string Wire = net::encodeFrame("{}");
+  B.append(Wire.data(), Wire.size());
+  EXPECT_FALSE(B.next(Payload));
+}
+
+TEST(FrameBuffer, OversizedFramePoisonsTheStream) {
+  net::FrameBuffer B;
+  std::string Huge =
+      std::to_string(net::FrameBuffer::MaxFrameBytes + 1) + "\n";
+  B.append(Huge.data(), Huge.size());
+  std::string Payload;
+  EXPECT_FALSE(B.next(Payload));
+  EXPECT_TRUE(B.bad());
+}
+
+//===----------------------------------------------------------------------===//
+// Frame codec
+//===----------------------------------------------------------------------===//
+
+TEST(Protocol, HelloRoundTrips) {
+  Frame F;
+  std::string Err;
+  ASSERT_TRUE(decodeFrame(encodeHello("w7", 12345), F, Err)) << Err;
+  EXPECT_EQ(F.Type, FrameType::Hello);
+  EXPECT_EQ(F.Worker, "w7");
+  EXPECT_EQ(F.Pid, 12345u);
+  EXPECT_EQ(F.Proto, ProtocolVersion);
+}
+
+TEST(Protocol, LeaseRoundTripsWithOptionsVerbatim) {
+  exp::ExperimentOptions Opt;
+  Opt.Scale = 3;
+  std::string OptJson = encodeOptions(Opt);
+
+  Frame F;
+  std::string Err;
+  ASSERT_TRUE(decodeFrame(
+      encodeLease(42, "fig13", 7, 2, 0.5, 30.0, OptJson), F, Err))
+      << Err;
+  EXPECT_EQ(F.Type, FrameType::Lease);
+  EXPECT_EQ(F.Job, 42u);
+  EXPECT_EQ(F.Experiment, "fig13");
+  EXPECT_EQ(F.Cell, 7u);
+  EXPECT_EQ(F.Attempt, 2u);
+  EXPECT_DOUBLE_EQ(F.HeartbeatS, 0.5);
+  EXPECT_DOUBLE_EQ(F.TimeoutS, 30.0);
+  // The worker keys its spec cache on the re-encoded options text, so the
+  // lease must carry them round-trip-stable.
+  exp::ExperimentOptions Back;
+  ASSERT_TRUE(decodeOptions(F.OptionsJson, Back, Err)) << Err;
+  EXPECT_EQ(encodeOptions(Back), OptJson);
+}
+
+TEST(Protocol, ResultErrorAndShutdownRoundTrip) {
+  Frame F;
+  std::string Err;
+  ASSERT_TRUE(
+      decodeFrame(encodeResultError(9, "unknown experiment"), F, Err));
+  EXPECT_EQ(F.Type, FrameType::Result);
+  EXPECT_FALSE(F.Ok);
+  EXPECT_EQ(F.Job, 9u);
+  EXPECT_EQ(F.Error, "unknown experiment");
+
+  ASSERT_TRUE(decodeFrame(encodeShutdown("drained"), F, Err));
+  EXPECT_EQ(F.Type, FrameType::Shutdown);
+  EXPECT_EQ(F.Reason, "drained");
+}
+
+TEST(Protocol, MalformedFramesAreRejectedWithDiagnostics) {
+  Frame F;
+  std::string Err;
+  EXPECT_FALSE(decodeFrame("not json at all", F, Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(decodeFrame("{\"t\":\"no-such-type\"}", F, Err));
+  EXPECT_FALSE(decodeFrame("{\"t\":\"heartbeat\"}", F, Err)); // missing job
+}
+
+//===----------------------------------------------------------------------===//
+// RunRecord codec — must be lossless for byte-identical output
+//===----------------------------------------------------------------------===//
+
+TEST(Protocol, RunRecordU64SurvivesAboveDoublePrecision) {
+  // 2^63 + 1 is not representable as a double; a codec that routes u64s
+  // through the JSON number type would corrupt it.
+  const uint64_t Big = 0x8000000000000001ULL;
+  exp::RunRecord R;
+  R.param("stream", "2").metric("checksum", Big);
+
+  exp::RunRecord Out;
+  std::string Err;
+  ASSERT_TRUE(decodeRunRecord(encodeRunRecord(R), Out, Err)) << Err;
+  ASSERT_EQ(Out.Metrics.size(), 1u);
+  EXPECT_EQ(Out.Metrics[0].second.K, exp::Metric::Kind::UInt);
+  EXPECT_EQ(Out.Metrics[0].second.U, Big);
+  ASSERT_EQ(Out.Params.size(), 1u);
+  EXPECT_EQ(Out.Params[0].first, "stream");
+  EXPECT_EQ(Out.Params[0].second, "2");
+}
+
+TEST(Protocol, RunRecordRealKeepsPrecisionAndNaN) {
+  exp::RunRecord R;
+  R.metric("ipc", 1.2345678901234567, 3);
+  R.metric("undefined", std::numeric_limits<double>::quiet_NaN(), 2);
+  R.metric("note", std::string("text \"quoted\" value"));
+
+  exp::RunRecord Out;
+  std::string Err;
+  ASSERT_TRUE(decodeRunRecord(encodeRunRecord(R), Out, Err)) << Err;
+  ASSERT_EQ(Out.Metrics.size(), 3u);
+  EXPECT_DOUBLE_EQ(Out.Metrics[0].second.D, 1.2345678901234567);
+  EXPECT_EQ(Out.Metrics[0].second.TablePrecision, 3);
+  EXPECT_TRUE(std::isnan(Out.Metrics[1].second.D));
+  EXPECT_EQ(Out.Metrics[2].second.K, exp::Metric::Kind::Text);
+  EXPECT_EQ(Out.Metrics[2].second.S, "text \"quoted\" value");
+
+  // The decisive property: re-encoding the decoded record is stable.
+  EXPECT_EQ(encodeRunRecord(Out), encodeRunRecord(R));
+}
+
+TEST(Protocol, ResultOkCarriesTheRecord) {
+  exp::RunRecord R;
+  R.param("length", "1000").metric("checksum", uint64_t(0xdeadbeef));
+  Frame F;
+  std::string Err;
+  ASSERT_TRUE(decodeFrame(encodeResultOk(5, R), F, Err)) << Err;
+  EXPECT_EQ(F.Type, FrameType::Result);
+  EXPECT_TRUE(F.Ok);
+  EXPECT_EQ(F.Job, 5u);
+  EXPECT_EQ(encodeRunRecord(F.Record), encodeRunRecord(R));
+}
+
+TEST(Protocol, OptionsCodecCarriesScaleAndSamplingPlan) {
+  exp::ExperimentOptions Opt;
+  Opt.Scale = 7;
+  Opt.Sample = true;
+  Opt.Plan.PeriodInsts = 123456789012345ULL;
+  Opt.Plan.WarmupInsts = 11;
+  Opt.Plan.MeasureInsts = 22;
+  Opt.Plan.DetailedWarmupInsts = 33;
+
+  exp::ExperimentOptions Out;
+  std::string Err;
+  ASSERT_TRUE(decodeOptions(encodeOptions(Opt), Out, Err)) << Err;
+  EXPECT_EQ(Out.Scale, 7u);
+  EXPECT_TRUE(Out.Sample);
+  EXPECT_EQ(Out.Plan.PeriodInsts, 123456789012345ULL);
+  EXPECT_EQ(Out.Plan.WarmupInsts, 11u);
+  EXPECT_EQ(Out.Plan.MeasureInsts, 22u);
+  EXPECT_EQ(Out.Plan.DetailedWarmupInsts, 33u);
+}
+
+//===----------------------------------------------------------------------===//
+// FaultSpec grammar
+//===----------------------------------------------------------------------===//
+
+TEST(FaultSpec, ParsesTargetsAndFaults) {
+  FaultSpec S;
+  std::string Err;
+  ASSERT_TRUE(FaultSpec::parse(
+      "w0:crash-at-cell=2;w1:stall-heartbeat=3,all:drop-conn-after=5", S,
+      Err))
+      << Err;
+  ASSERT_EQ(S.Clauses.size(), 3u);
+  EXPECT_EQ(S.Clauses[0].WorkerId, 0);
+  EXPECT_EQ(S.Clauses[0].Kind, FaultKind::CrashAtCell);
+  EXPECT_EQ(S.Clauses[0].N, 2u);
+  EXPECT_EQ(S.Clauses[1].WorkerId, 1);
+  EXPECT_EQ(S.Clauses[1].Kind, FaultKind::StallHeartbeat);
+  EXPECT_EQ(S.Clauses[2].WorkerId, -1);
+  EXPECT_EQ(S.Clauses[2].Kind, FaultKind::DropConnAfter);
+  EXPECT_EQ(S.Clauses[2].N, 5u);
+}
+
+TEST(FaultSpec, EmptySpecIsFaultFree) {
+  FaultSpec S;
+  std::string Err;
+  ASSERT_TRUE(FaultSpec::parse("", S, Err));
+  EXPECT_TRUE(S.empty());
+  EXPECT_FALSE(planForWorker(S, 0).any());
+}
+
+TEST(FaultSpec, RejectsMalformedClauses) {
+  FaultSpec S;
+  std::string Err;
+  EXPECT_FALSE(FaultSpec::parse("crash-at-cell", S, Err)); // no =N
+  EXPECT_FALSE(FaultSpec::parse("explode=3", S, Err));     // unknown fault
+  EXPECT_FALSE(FaultSpec::parse("w:crash-at-cell=1", S, Err)); // bad target
+  EXPECT_FALSE(FaultSpec::parse("crash-at-cell=0", S, Err));   // 1-based
+  EXPECT_FALSE(FaultSpec::parse("crash-at-cell=x", S, Err));
+}
+
+TEST(FaultSpec, PlanResolutionTargetsAndLastWins) {
+  FaultSpec S;
+  std::string Err;
+  ASSERT_TRUE(FaultSpec::parse(
+      "all:crash-at-cell=9;w1:crash-at-cell=2;w2:stall-heartbeat=4", S,
+      Err))
+      << Err;
+
+  // w1: the later targeted clause overrides the earlier 'all'.
+  FaultPlan P1 = planForWorker(S, 1);
+  EXPECT_EQ(P1.CrashAtCell, 2u);
+  EXPECT_EQ(P1.StallHeartbeat, 0u);
+
+  // w2: inherits the 'all' crash plus its own stall.
+  FaultPlan P2 = planForWorker(S, 2);
+  EXPECT_EQ(P2.CrashAtCell, 9u);
+  EXPECT_EQ(P2.StallHeartbeat, 4u);
+
+  // w5: only the 'all' clause applies.
+  FaultPlan P5 = planForWorker(S, 5);
+  EXPECT_EQ(P5.CrashAtCell, 9u);
+  EXPECT_FALSE(P5.StallHeartbeat || P5.DropConnAfter);
+}
+
+TEST(FaultSpec, RenderRoundTripsCanonically) {
+  FaultSpec S;
+  std::string Err;
+  ASSERT_TRUE(FaultSpec::parse("w0:crash-at-cell=2,all:drop-conn-after=3",
+                               S, Err));
+  FaultSpec Again;
+  ASSERT_TRUE(FaultSpec::parse(S.render(), Again, Err)) << Err;
+  EXPECT_EQ(Again.render(), S.render());
+  ASSERT_EQ(Again.Clauses.size(), 2u);
+  EXPECT_EQ(Again.Clauses[0].WorkerId, 0);
+  EXPECT_EQ(Again.Clauses[1].WorkerId, -1);
+}
+
+//===----------------------------------------------------------------------===//
+// CellScheduler — synthetic-clock state machine
+//===----------------------------------------------------------------------===//
+
+SchedulerConfig testConfig() {
+  SchedulerConfig C;
+  C.HeartbeatS = 1.0;
+  C.MissedHeartbeats = 3; // heartbeat deadline = +3s
+  C.CellTimeoutS = 0;
+  C.Backoff.InitialS = 0.5;
+  C.Backoff.Multiplier = 2.0;
+  C.Backoff.CapS = 4.0;
+  C.Backoff.Budget = 3;
+  return C;
+}
+
+TEST(CellScheduler, LeasesCellsInOrderAndCompletes) {
+  CellScheduler S(3, testConfig());
+  auto G0 = S.assign(/*Worker=*/1, /*Now=*/0.0);
+  auto G1 = S.assign(1, 0.0);
+  auto G2 = S.assign(2, 0.0);
+  ASSERT_TRUE(G0 && G1 && G2);
+  EXPECT_EQ(G0->Cell, 0u);
+  EXPECT_EQ(G1->Cell, 1u);
+  EXPECT_EQ(G2->Cell, 2u);
+  EXPECT_EQ(G0->Attempt, 1u);
+  EXPECT_FALSE(S.assign(1, 0.0)); // nothing left to lease
+  EXPECT_EQ(S.leasesInFlight(), 3u);
+
+  EXPECT_EQ(S.complete(G0->Job), CellScheduler::ResultDisposition::Accepted);
+  EXPECT_EQ(S.complete(G1->Job), CellScheduler::ResultDisposition::Accepted);
+  EXPECT_FALSE(S.finished());
+  EXPECT_EQ(S.complete(G2->Job), CellScheduler::ResultDisposition::Accepted);
+  EXPECT_TRUE(S.finished());
+  EXPECT_EQ(S.totals().Leases, 3u);
+  EXPECT_EQ(S.totals().CellsDone, 3u);
+  EXPECT_EQ(S.totals().Retries, 0u);
+}
+
+TEST(CellScheduler, JobIdsStartAtFirstJobAndMapToCells) {
+  SchedulerConfig C = testConfig();
+  C.FirstJob = 100;
+  CellScheduler S(2, C);
+  auto G = S.assign(1, 0.0);
+  ASSERT_TRUE(G);
+  EXPECT_EQ(G->Job, 100u);
+  EXPECT_EQ(S.cellForJob(100), std::optional<size_t>(0));
+  EXPECT_FALSE(S.cellForJob(99).has_value());
+  S.assign(1, 0.0);
+  EXPECT_EQ(S.nextJob(), 102u);
+}
+
+TEST(CellScheduler, MissedHeartbeatsExpireAndRequeueWithBackoff) {
+  CellScheduler S(1, testConfig());
+  auto G = S.assign(7, 0.0);
+  ASSERT_TRUE(G);
+
+  // Heartbeats push the deadline out: at t=2.5 a beat makes the new
+  // deadline 5.5, so t=5.0 expires nothing.
+  EXPECT_TRUE(S.heartbeat(G->Job, 2.5));
+  EXPECT_TRUE(S.expireDeadlines(5.0).empty());
+
+  auto Expired = S.expireDeadlines(5.5);
+  ASSERT_EQ(Expired.size(), 1u);
+  EXPECT_TRUE(Expired[0].HeartbeatMissed);
+  EXPECT_EQ(Expired[0].Worker, 7u);
+  EXPECT_EQ(S.cellState(0), CellState::Pending);
+
+  // The retry backs off: not leasable until 5.5 + 0.5.
+  EXPECT_FALSE(S.assign(8, 5.6));
+  EXPECT_DOUBLE_EQ(S.nextEventTime(), 6.0);
+  auto Again = S.assign(8, 6.0);
+  ASSERT_TRUE(Again);
+  EXPECT_EQ(Again->Attempt, 2u);
+  EXPECT_NE(Again->Job, G->Job);
+  EXPECT_EQ(S.totals().Retries, 1u);
+  EXPECT_EQ(S.totals().Requeues, 1u);
+  EXPECT_EQ(S.totals().HeartbeatExpiries, 1u);
+}
+
+TEST(CellScheduler, WallClockTimeoutWinsTheExpiryLabel) {
+  SchedulerConfig C = testConfig();
+  C.CellTimeoutS = 10.0; // heartbeat deadline (3s) would trip first...
+  CellScheduler S(1, C);
+  auto G = S.assign(1, 0.0);
+  ASSERT_TRUE(G);
+  // ...but keep beating so only the wall clock can expire the lease.
+  for (double T = 1.0; T < 10.0; T += 1.0)
+    EXPECT_TRUE(S.heartbeat(G->Job, T));
+  auto Expired = S.expireDeadlines(10.0);
+  ASSERT_EQ(Expired.size(), 1u);
+  EXPECT_FALSE(Expired[0].HeartbeatMissed); // labeled timeout, not missed
+  EXPECT_EQ(S.totals().TimeoutExpiries, 1u);
+  EXPECT_EQ(S.totals().HeartbeatExpiries, 0u);
+}
+
+TEST(CellScheduler, ResultAfterExpiryIsStale) {
+  CellScheduler S(1, testConfig());
+  auto G = S.assign(1, 0.0);
+  ASSERT_TRUE(G);
+  ASSERT_EQ(S.expireDeadlines(3.0).size(), 1u);
+
+  // The presumed-dead worker reports in late: the payload must not land.
+  EXPECT_FALSE(S.cellForJob(G->Job).has_value());
+  EXPECT_EQ(S.complete(G->Job), CellScheduler::ResultDisposition::Stale);
+  EXPECT_EQ(S.totals().StaleResults, 1u);
+  EXPECT_EQ(S.cellState(0), CellState::Pending); // re-lease still needed
+}
+
+TEST(CellScheduler, HeartbeatForExpiredJobIsRejected) {
+  CellScheduler S(1, testConfig());
+  auto G = S.assign(1, 0.0);
+  ASSERT_TRUE(G);
+  ASSERT_EQ(S.expireDeadlines(3.0).size(), 1u);
+  EXPECT_FALSE(S.heartbeat(G->Job, 3.1));
+}
+
+TEST(CellScheduler, BudgetExhaustionDegradesToLostNeverHangs) {
+  CellScheduler S(1, testConfig()); // Budget = 3
+  double Now = 0.0;
+  for (unsigned Attempt = 1; Attempt <= 3; ++Attempt) {
+    // Skip past any backoff to the next leasable instant.
+    double At = S.nextEventTime();
+    if (At > Now && At < std::numeric_limits<double>::infinity())
+      Now = At;
+    auto G = S.assign(1, Now);
+    ASSERT_TRUE(G) << "attempt " << Attempt << " at t=" << Now;
+    EXPECT_EQ(G->Attempt, Attempt);
+    EXPECT_EQ(S.fail(G->Job, Now),
+              CellScheduler::ResultDisposition::Accepted);
+  }
+  EXPECT_EQ(S.cellState(0), CellState::Lost);
+  EXPECT_EQ(S.cellAttempts(0), 3u);
+  EXPECT_TRUE(S.finished()); // lost, not hung
+  EXPECT_FALSE(S.assign(1, Now + 100.0));
+  EXPECT_EQ(S.totals().CellsLost, 1u);
+  EXPECT_EQ(S.totals().Requeues, 2u); // third failure went to Lost
+}
+
+TEST(CellScheduler, WorkerLostRequeuesAllItsLeases) {
+  CellScheduler S(4, testConfig());
+  auto A = S.assign(1, 0.0);
+  auto B = S.assign(1, 0.0);
+  auto C = S.assign(2, 0.0);
+  ASSERT_TRUE(A && B && C);
+
+  EXPECT_EQ(S.workerLost(1, 1.0), 2u);
+  EXPECT_EQ(S.cellState(A->Cell), CellState::Pending);
+  EXPECT_EQ(S.cellState(B->Cell), CellState::Pending);
+  EXPECT_EQ(S.cellState(C->Cell), CellState::Leased); // other worker's
+  EXPECT_EQ(S.leasesInFlight(), 1u);
+  // The dead worker's results are now stale.
+  EXPECT_EQ(S.complete(A->Job), CellScheduler::ResultDisposition::Stale);
+}
+
+TEST(CellScheduler, DrainStopsNewLeasesButAcceptsInFlight) {
+  CellScheduler S(3, testConfig());
+  auto G = S.assign(1, 0.0);
+  ASSERT_TRUE(G);
+  S.drain();
+  EXPECT_TRUE(S.draining());
+  EXPECT_FALSE(S.assign(2, 0.0)); // cells 1 and 2 stay unleased
+  EXPECT_EQ(S.complete(G->Job), CellScheduler::ResultDisposition::Accepted);
+  EXPECT_EQ(S.cellState(0), CellState::Done);
+  EXPECT_EQ(S.leasesInFlight(), 0u);
+}
+
+TEST(CellScheduler, AbandonPendingMarksEverythingUnfinishedLost) {
+  CellScheduler S(3, testConfig());
+  auto G = S.assign(1, 0.0);
+  ASSERT_TRUE(G);
+  ASSERT_EQ(S.complete(G->Job), CellScheduler::ResultDisposition::Accepted);
+  auto H = S.assign(1, 0.0);
+  ASSERT_TRUE(H);
+
+  S.abandonPending(); // no workers left: cell 1 leased, cell 2 pending
+  EXPECT_EQ(S.cellState(0), CellState::Done);
+  EXPECT_EQ(S.cellState(1), CellState::Lost);
+  EXPECT_EQ(S.cellState(2), CellState::Lost);
+  EXPECT_TRUE(S.finished());
+  EXPECT_EQ(S.totals().CellsLost, 2u);
+}
+
+TEST(CellScheduler, NextEventTimeTracksDeadlinesAndBackoff) {
+  SchedulerConfig C = testConfig();
+  C.CellTimeoutS = 2.0; // tighter than the 3s heartbeat deadline
+  CellScheduler S(2, C);
+  EXPECT_EQ(S.nextEventTime(), std::numeric_limits<double>::infinity());
+
+  auto G = S.assign(1, 0.0);
+  ASSERT_TRUE(G);
+  EXPECT_DOUBLE_EQ(S.nextEventTime(), 2.0); // the wall deadline
+
+  ASSERT_EQ(S.expireDeadlines(2.0).size(), 1u);
+  EXPECT_DOUBLE_EQ(S.nextEventTime(), 2.5); // the backoff expiry
+
+  S.abandonPending();
+  EXPECT_EQ(S.nextEventTime(), std::numeric_limits<double>::infinity());
+}
+
+TEST(CellScheduler, SuccessResetsTheRetryLadder) {
+  CellScheduler S(1, testConfig()); // Budget = 3
+  auto A = S.assign(1, 0.0);
+  ASSERT_TRUE(A);
+  S.fail(A->Job, 0.0);
+  auto B = S.assign(1, 1.0);
+  ASSERT_TRUE(B);
+  ASSERT_EQ(S.complete(B->Job), CellScheduler::ResultDisposition::Accepted);
+  // Done cells stay done; totals reflect the one retry.
+  EXPECT_EQ(S.cellState(0), CellState::Done);
+  EXPECT_EQ(S.totals().Retries, 1u);
+  EXPECT_EQ(S.totals().CellsDone, 1u);
+}
+
+} // namespace
